@@ -1,0 +1,89 @@
+// Command concord-experiments regenerates every table and figure of the
+// paper's evaluation (§5) on the synthetic datasets. See DESIGN.md for
+// the experiment index and EXPERIMENTS.md for paper-vs-measured results.
+//
+// Usage:
+//
+//	concord-experiments -experiment all
+//	concord-experiments -experiment table3 -scale 0.5
+//	concord-experiments -experiment figure6 -role W1
+//
+// Experiments: table3, figure6, table4, table5, figure7, figure8,
+// table6, figure9, table7, table8, optimization, incidents, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"concord/internal/harness"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "which experiment to run")
+	scale := flag.Float64("scale", 1.0, "dataset scale factor (1.0 = full evaluation)")
+	role := flag.String("role", "W1", "role for figure6/optimization")
+	f7roles := flag.String("figure7-roles", "", "comma-separated roles for figure7 (default: all)")
+	timeout := flag.Duration("bf-timeout", 2*time.Minute, "brute-force timeout for the optimization ablation")
+	flag.Parse()
+
+	r := harness.NewRunner(*scale)
+	w := os.Stdout
+	run := func(name string, f func() error) {
+		fmt.Fprintf(w, "\n===== %s =====\n", name)
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "concord-experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "(%s completed in %v)\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	all := harness.AllRoles()
+	figure7Roles := all
+	if *f7roles != "" {
+		figure7Roles = strings.Split(*f7roles, ",")
+	}
+	experiments := map[string]func() error{
+		"table3":  func() error { return r.Table3(w, all) },
+		"figure6": func() error { _, err := r.Figure6(w, *role, 5); return err },
+		"table4":  func() error { return r.Table4(w, all) },
+		"table5":  func() error { return r.Table5(w, all) },
+		"figure7": func() error { _, err := r.Figure7(w, figure7Roles); return err },
+		"figure8": func() error { _, err := r.Figure8(w, all); return err },
+		"table6":  func() error { _, err := r.Table6(w); return err },
+		"figure9": func() error { _, err := r.Figure9(w); return err },
+		"table7":  func() error { _, err := r.Table7(w); return err },
+		"table8":  func() error { return r.Table8(w, 5) },
+		"optimization": func() error {
+			_, err := r.Optimization(w, *role, *timeout)
+			return err
+		},
+		"incidents": func() error { _, err := r.Incidents(w); return err },
+	}
+
+	if *experiment == "all" {
+		// Order mirrors the paper's evaluation section.
+		for _, name := range []string{
+			"table3", "figure6", "table4", "table5", "figure7", "figure8",
+			"table6", "figure9", "table7", "table8", "optimization", "incidents",
+		} {
+			run(name, experiments[name])
+		}
+		return
+	}
+	f, ok := experiments[*experiment]
+	if !ok {
+		var names []string
+		for n := range experiments {
+			names = append(names, n)
+		}
+		fmt.Fprintf(os.Stderr, "concord-experiments: unknown experiment %q (have: %s, all)\n",
+			*experiment, strings.Join(names, ", "))
+		os.Exit(2)
+	}
+	run(*experiment, f)
+}

@@ -1,0 +1,390 @@
+// Command concord learns network configuration contracts from example
+// configurations and checks them against new or changed configurations,
+// the CLI described in §4 of the paper.
+//
+// Usage:
+//
+//	concord learn -configs 'train/*.cfg' [-meta 'meta/*.json'] [-tokens tokens.json] -out contracts.json
+//	concord check -configs 'test/*.cfg' -contracts contracts.json [-html report.html] [-out report.json]
+//
+// Shared flags: -support, -confidence, -score-threshold, -parallel,
+// -no-embed (disable context embedding), -constants (constant-learning
+// mode), -no-minimize, -disable (comma-separated categories, e.g.
+// "ordering" as in the production deployment).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"concord"
+	"concord/internal/report"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "learn":
+		err = runLearn(os.Args[2:], os.Stdout)
+	case "check":
+		var violations int
+		violations, err = runCheck(os.Args[2:], os.Stdout)
+		if err == nil && violations > 0 {
+			os.Exit(3)
+		}
+	case "coverage":
+		err = runCoverage(os.Args[2:], os.Stdout)
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "concord: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "concord:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  concord learn -configs GLOB [-meta GLOB] [-tokens FILE] [-out FILE] [options]
+  concord check -configs GLOB -contracts FILE [-meta GLOB] [-out FILE] [-html FILE] [options]
+  concord coverage -configs GLOB -contracts FILE [-meta GLOB] [-uncovered] [options]
+
+options:
+  -support N           minimum configurations per pattern (default 5)
+  -confidence F        required contract confidence (default 0.96)
+  -score-threshold F   relational score threshold (default 8)
+  -parallel N          worker count (default GOMAXPROCS)
+  -no-embed            disable context embedding
+  -constants           enable constant-learning mode
+  -no-minimize         disable contract minimization
+  -disable CATS        comma-separated categories to disable (e.g. ordering)`)
+}
+
+// filterCategories drops contracts whose category is not enabled, for
+// check-time use of -disable on an already-learned set.
+func filterCategories(set *concord.ContractSet, enabled []concord.Category) *concord.ContractSet {
+	if len(enabled) == 0 {
+		return set
+	}
+	on := make(map[concord.Category]bool, len(enabled))
+	for _, c := range enabled {
+		on[c] = true
+	}
+	out := &concord.ContractSet{}
+	for _, c := range set.Contracts {
+		if on[c.Category()] {
+			out.Contracts = append(out.Contracts, c)
+		}
+	}
+	return out
+}
+
+// sharedFlags registers the engine options on a flag set.
+func sharedFlags(fs *flag.FlagSet) func() (concord.Options, error) {
+	support := fs.Int("support", 5, "minimum configurations per pattern (S)")
+	confidence := fs.Float64("confidence", 0.96, "required contract confidence (C)")
+	threshold := fs.Float64("score-threshold", 8, "relational score threshold")
+	parallel := fs.Int("parallel", 0, "worker count (0 = GOMAXPROCS)")
+	noEmbed := fs.Bool("no-embed", false, "disable context embedding")
+	constants := fs.Bool("constants", false, "enable constant-learning mode")
+	noMinimize := fs.Bool("no-minimize", false, "disable contract minimization")
+	disable := fs.String("disable", "", "comma-separated categories to disable")
+	tokens := fs.String("tokens", "", "JSON file of user lexer token specs")
+	return func() (concord.Options, error) {
+		opts := concord.DefaultOptions()
+		opts.Support = *support
+		opts.Confidence = *confidence
+		opts.ScoreThreshold = *threshold
+		opts.Parallelism = *parallel
+		opts.ContextEmbedding = !*noEmbed
+		opts.ConstantLearning = *constants
+		opts.Minimize = !*noMinimize
+		if *disable != "" {
+			enabled := map[concord.Category]bool{}
+			for _, c := range []concord.Category{
+				concord.CatPresent, concord.CatOrdering, concord.CatType,
+				concord.CatSequence, concord.CatUnique, concord.CatRelation,
+			} {
+				enabled[c] = true
+			}
+			for _, name := range strings.Split(*disable, ",") {
+				delete(enabled, concord.Category(strings.TrimSpace(name)))
+			}
+			for c, on := range enabled {
+				if on {
+					opts.Categories = append(opts.Categories, c)
+				}
+			}
+		}
+		if *tokens != "" {
+			specs, err := loadTokens(*tokens)
+			if err != nil {
+				return opts, err
+			}
+			opts.UserTokens = specs
+		}
+		return opts, nil
+	}
+}
+
+// tokenFile is the on-disk form of user token specs:
+// [{"name": "iface", "pattern": "et-[0-9]+"}].
+type tokenFile []struct {
+	Name    string `json:"name"`
+	Pattern string `json:"pattern"`
+}
+
+func loadTokens(path string) ([]concord.TokenSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var tf tokenFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	var out []concord.TokenSpec
+	for _, t := range tf {
+		out = append(out, concord.TokenSpec{Name: t.Name, Pattern: t.Pattern})
+	}
+	return out, nil
+}
+
+func loadInputs(configGlob, metaGlob string) (srcs, meta []concord.Source, err error) {
+	if configGlob == "" {
+		return nil, nil, fmt.Errorf("-configs is required")
+	}
+	srcs, err = concord.LoadGlob(configGlob)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(srcs) == 0 {
+		return nil, nil, fmt.Errorf("no files match %q", configGlob)
+	}
+	if metaGlob != "" {
+		meta, err = concord.LoadGlob(metaGlob)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return srcs, meta, nil
+}
+
+func runLearn(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("learn", flag.ExitOnError)
+	configGlob := fs.String("configs", "", "glob of training configuration files")
+	metaGlob := fs.String("meta", "", "glob of metadata files")
+	out := fs.String("out", "contracts.json", "output contract file")
+	getOpts := sharedFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts, err := getOpts()
+	if err != nil {
+		return err
+	}
+	srcs, meta, err := loadInputs(*configGlob, *metaGlob)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	lr, err := concord.Learn(srcs, meta, opts)
+	if err != nil {
+		return err
+	}
+	data, err := report.ContractsJSON(lr.Set, lr.Stats)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "learned %d contracts from %d configurations (%d lines, %d patterns) in %v\n",
+		lr.Set.Len(), lr.Stats.Configs, lr.Stats.Lines, lr.Stats.Patterns,
+		time.Since(start).Round(time.Millisecond))
+	if lr.Minimization.Before > 0 {
+		fmt.Fprintf(w, "minimization: %d -> %d relational contracts (%.1fx)\n",
+			lr.Minimization.Before, lr.Minimization.After, lr.Minimization.ReductionFactor())
+	}
+	fmt.Fprintf(w, "wrote %s\n", *out)
+	return nil
+}
+
+func runCheck(args []string, w io.Writer) (int, error) {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	configGlob := fs.String("configs", "", "glob of test configuration files")
+	metaGlob := fs.String("meta", "", "glob of metadata files")
+	contractsPath := fs.String("contracts", "", "contract file from concord learn")
+	jsonOut := fs.String("out", "", "write JSON report to this file")
+	htmlOut := fs.String("html", "", "write HTML report to this file")
+	suppress := fs.String("suppress", "", "JSON file of contract IDs to suppress (operator feedback)")
+	getOpts := sharedFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
+	opts, err := getOpts()
+	if err != nil {
+		return 0, err
+	}
+	if *contractsPath == "" {
+		return 0, fmt.Errorf("-contracts is required")
+	}
+	data, err := os.ReadFile(*contractsPath)
+	if err != nil {
+		return 0, err
+	}
+	set, err := report.ParseContractsJSON(data)
+	if err != nil {
+		return 0, err
+	}
+	set = filterCategories(set, opts.Categories)
+	if *suppress != "" {
+		ids, err := loadSuppressions(*suppress)
+		if err != nil {
+			return 0, err
+		}
+		var n int
+		set, n = set.Without(ids)
+		fmt.Fprintf(w, "suppressed %d contract(s) per %s\n", n, *suppress)
+	}
+	srcs, meta, err := loadInputs(*configGlob, *metaGlob)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	cr, err := concord.Check(set, srcs, meta, opts)
+	if err != nil {
+		return 0, err
+	}
+	fmt.Fprintf(w, "checked %d configurations against %d contracts in %v\n",
+		cr.Stats.Configs, set.Len(), time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(w, "coverage: %.1f%% of %d lines\n", cr.Coverage.Percent(), cr.Coverage.TotalLines)
+	for _, v := range cr.Violations {
+		if v.Line > 0 {
+			fmt.Fprintf(w, "%s:%d: [%s] %s\n", v.File, v.Line, v.Category, v.Detail)
+		} else {
+			fmt.Fprintf(w, "%s: [%s] %s\n", v.File, v.Category, v.Detail)
+		}
+	}
+	rep := report.New(cr, time.Now())
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return 0, err
+		}
+		defer f.Close()
+		if err := rep.WriteJSON(f); err != nil {
+			return 0, err
+		}
+		fmt.Fprintf(w, "wrote %s\n", *jsonOut)
+	}
+	if *htmlOut != "" {
+		f, err := os.Create(*htmlOut)
+		if err != nil {
+			return 0, err
+		}
+		defer f.Close()
+		if err := rep.WriteHTML(f); err != nil {
+			return 0, err
+		}
+		fmt.Fprintf(w, "wrote %s\n", *htmlOut)
+	}
+	if len(cr.Violations) > 0 {
+		fmt.Fprintf(w, "%d violation(s) found\n", len(cr.Violations))
+	} else {
+		fmt.Fprintln(w, "no violations")
+	}
+	return len(cr.Violations), nil
+}
+
+// loadSuppressions reads a JSON array of contract IDs.
+func loadSuppressions(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ids []string
+	if err := json.Unmarshal(data, &ids); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	out := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		out[id] = true
+	}
+	return out, nil
+}
+
+// runCoverage prints per-line coverage annotations (§3.9).
+func runCoverage(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("coverage", flag.ExitOnError)
+	configGlob := fs.String("configs", "", "glob of configuration files")
+	metaGlob := fs.String("meta", "", "glob of metadata files")
+	contractsPath := fs.String("contracts", "", "contract file from concord learn")
+	uncoveredOnly := fs.Bool("uncovered", false, "print only uncovered lines")
+	getOpts := sharedFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts, err := getOpts()
+	if err != nil {
+		return err
+	}
+	if *contractsPath == "" {
+		return fmt.Errorf("-contracts is required")
+	}
+	data, err := os.ReadFile(*contractsPath)
+	if err != nil {
+		return err
+	}
+	set, err := report.ParseContractsJSON(data)
+	if err != nil {
+		return err
+	}
+	set = filterCategories(set, opts.Categories)
+	srcs, meta, err := loadInputs(*configGlob, *metaGlob)
+	if err != nil {
+		return err
+	}
+	eng, err := concord.NewEngine(opts)
+	if err != nil {
+		return err
+	}
+	lines, err := eng.CoverageLines(set, srcs, meta)
+	if err != nil {
+		return err
+	}
+	covered := 0
+	for _, lc := range lines {
+		if lc.Covered {
+			covered++
+			if *uncoveredOnly {
+				continue
+			}
+			cats := make([]string, 0, len(lc.Categories))
+			for _, c := range lc.Categories {
+				cats = append(cats, string(c))
+			}
+			fmt.Fprintf(w, "C %s:%d: %s  [%s]\n", lc.File, lc.Line, lc.Raw, strings.Join(cats, ","))
+		} else {
+			fmt.Fprintf(w, ". %s:%d: %s\n", lc.File, lc.Line, lc.Raw)
+		}
+	}
+	if len(lines) > 0 {
+		fmt.Fprintf(w, "covered %d/%d lines (%.1f%%)\n",
+			covered, len(lines), 100*float64(covered)/float64(len(lines)))
+	}
+	return nil
+}

@@ -1,0 +1,299 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"concord/internal/synth"
+)
+
+// writeDataset materializes a small edge dataset into a directory.
+func writeDataset(t *testing.T, dir string, mutateFirst func(string) (string, bool)) {
+	t.Helper()
+	role, _ := synth.RoleByName("E1", 0.5)
+	ds := synth.Generate(role)
+	for i, f := range ds.Configs {
+		text := string(f.Text)
+		if i == 0 && mutateFirst != nil {
+			var ok bool
+			text, ok = mutateFirst(text)
+			if !ok {
+				t.Fatal("mutation failed")
+			}
+		}
+		if err := os.WriteFile(filepath.Join(dir, f.Name), []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, f := range ds.Meta {
+		if err := os.WriteFile(filepath.Join(dir, f.Name), f.Text, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLearnCheckEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	writeDataset(t, dir, nil)
+	contractsPath := filepath.Join(dir, "contracts.json")
+
+	var out bytes.Buffer
+	err := runLearn([]string{
+		"-configs", filepath.Join(dir, "*.cfg"),
+		"-meta", filepath.Join(dir, "*.json"),
+		"-out", contractsPath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("learn: %v", err)
+	}
+	if !strings.Contains(out.String(), "learned ") {
+		t.Errorf("learn output: %s", out.String())
+	}
+	if _, err := os.Stat(contractsPath); err != nil {
+		t.Fatalf("contracts file missing: %v", err)
+	}
+
+	// Checking the clean corpus: no violations, exit count 0.
+	out.Reset()
+	jsonPath := filepath.Join(dir, "report.json")
+	htmlPath := filepath.Join(dir, "report.html")
+	n, err := runCheck([]string{
+		"-configs", filepath.Join(dir, "*.cfg"),
+		"-meta", filepath.Join(dir, "*.json"),
+		"-contracts", contractsPath,
+		"-out", jsonPath,
+		"-html", htmlPath,
+		"-disable", "ordering",
+	}, &out)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if n != 0 {
+		t.Errorf("clean corpus: %d violations\n%s", n, out.String())
+	}
+	for _, p := range []string{jsonPath, htmlPath} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("report %s missing or empty", p)
+		}
+	}
+}
+
+func TestCheckCatchesInjectedBug(t *testing.T) {
+	trainDir := t.TempDir()
+	writeDataset(t, trainDir, nil)
+	contractsPath := filepath.Join(trainDir, "contracts.json")
+	var out bytes.Buffer
+	if err := runLearn([]string{
+		"-configs", filepath.Join(trainDir, "*.cfg"),
+		"-meta", filepath.Join(trainDir, "*.json"),
+		"-out", contractsPath,
+	}, &out); err != nil {
+		t.Fatalf("learn: %v", err)
+	}
+
+	badDir := t.TempDir()
+	writeDataset(t, badDir, synth.InjectMissingAggregate)
+	out.Reset()
+	n, err := runCheck([]string{
+		"-configs", filepath.Join(badDir, "*.cfg"),
+		"-meta", filepath.Join(badDir, "*.json"),
+		"-contracts", contractsPath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if n == 0 {
+		t.Error("injected bug not caught")
+	}
+	if !strings.Contains(out.String(), "aggregate-address") {
+		t.Errorf("violation output does not mention the missing line:\n%s", out.String())
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := runLearn([]string{"-configs", ""}, &out); err == nil {
+		t.Error("missing -configs accepted")
+	}
+	if err := runLearn([]string{"-configs", "/nonexistent/*.cfg"}, &out); err == nil {
+		t.Error("empty glob accepted")
+	}
+	if _, err := runCheck([]string{"-configs", "x"}, &out); err == nil {
+		t.Error("missing -contracts accepted")
+	}
+}
+
+func TestUserTokensFile(t *testing.T) {
+	dir := t.TempDir()
+	tokensPath := filepath.Join(dir, "tokens.json")
+	if err := os.WriteFile(tokensPath, []byte(`[{"name":"iface","pattern":"et-[0-9]+"}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "r1.cfg")
+	if err := os.WriteFile(cfgPath, []byte("set interfaces et-1 mtu 9100\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := runLearn([]string{
+		"-configs", filepath.Join(dir, "*.cfg"),
+		"-tokens", tokensPath,
+		"-support", "1",
+		"-out", filepath.Join(dir, "c.json"),
+	}, &out)
+	if err != nil {
+		t.Fatalf("learn with tokens: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "c.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "[iface]") {
+		t.Error("user token type missing from learned contracts")
+	}
+	// Malformed tokens file is rejected.
+	badTokens := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(badTokens, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runLearn([]string{
+		"-configs", filepath.Join(dir, "*.cfg"),
+		"-tokens", badTokens,
+	}, &out); err == nil {
+		t.Error("malformed tokens file accepted")
+	}
+}
+
+func TestCoverageSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	writeDataset(t, dir, nil)
+	contractsPath := filepath.Join(dir, "contracts.json")
+	var out bytes.Buffer
+	if err := runLearn([]string{
+		"-configs", filepath.Join(dir, "*.cfg"),
+		"-meta", filepath.Join(dir, "*.json"),
+		"-out", contractsPath,
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := runCoverage([]string{
+		"-configs", filepath.Join(dir, "*.cfg"),
+		"-meta", filepath.Join(dir, "*.json"),
+		"-contracts", contractsPath,
+	}, &out); err != nil {
+		t.Fatalf("coverage: %v", err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "covered ") {
+		t.Errorf("no summary:\n%.500s", text)
+	}
+	if !strings.HasPrefix(text, "C ") && !strings.Contains(text, "\nC ") {
+		t.Error("no covered-line annotations")
+	}
+	// -uncovered prints only dots.
+	out.Reset()
+	if err := runCoverage([]string{
+		"-configs", filepath.Join(dir, "*.cfg"),
+		"-meta", filepath.Join(dir, "*.json"),
+		"-contracts", contractsPath,
+		"-uncovered",
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "\nC ") {
+		t.Error("-uncovered printed covered lines")
+	}
+}
+
+func TestSuppressionFlag(t *testing.T) {
+	dir := t.TempDir()
+	writeDataset(t, dir, nil)
+	contractsPath := filepath.Join(dir, "contracts.json")
+	var out bytes.Buffer
+	if err := runLearn([]string{
+		"-configs", filepath.Join(dir, "*.cfg"),
+		"-meta", filepath.Join(dir, "*.json"),
+		"-out", contractsPath,
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// Checking without metadata violates @meta contracts; suppressing
+	// them silences exactly those.
+	out.Reset()
+	n1, err := runCheck([]string{
+		"-configs", filepath.Join(dir, "*.cfg"),
+		"-contracts", contractsPath,
+		"-disable", "ordering,present,unique",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 == 0 {
+		t.Fatal("expected @meta violations without metadata")
+	}
+	// Suppress every relational contract mentioning @meta.
+	var ids []string
+	data, err := os.ReadFile(contractsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Contracts []struct {
+			Category string          `json:"category"`
+			Contract json.RawMessage `json:"contract"`
+		} `json:"contracts"`
+	}
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range parsed.Contracts {
+		if strings.Contains(string(c.Contract), "@meta") {
+			var body struct {
+				P1  string `json:"pattern1"`
+				I1  int    `json:"param1"`
+				T1  string `json:"transform1"`
+				Rel string `json:"rel"`
+				P2  string `json:"pattern2"`
+				I2  int    `json:"param2"`
+				T2  string `json:"transform2"`
+			}
+			if c.Category != "relation" {
+				continue
+			}
+			if err := json.Unmarshal(c.Contract, &body); err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, fmt.Sprintf("relation|%s|%d|%s|%s|%s|%d|%s",
+				body.P1, body.I1, body.T1, body.Rel, body.P2, body.I2, body.T2))
+		}
+	}
+	if len(ids) == 0 {
+		t.Fatal("no @meta contracts found to suppress")
+	}
+	supPath := filepath.Join(dir, "suppress.json")
+	supData, _ := json.Marshal(ids)
+	if err := os.WriteFile(supPath, supData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	n2, err := runCheck([]string{
+		"-configs", filepath.Join(dir, "*.cfg"),
+		"-contracts", contractsPath,
+		"-disable", "ordering,present,unique",
+		"-suppress", supPath,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 >= n1 {
+		t.Errorf("suppression did not reduce violations: %d -> %d", n1, n2)
+	}
+	if !strings.Contains(out.String(), "suppressed ") {
+		t.Error("suppression not reported")
+	}
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"concord/internal/synth"
+)
+
+func TestWriteCleanDataset(t *testing.T) {
+	dir := t.TempDir()
+	role, _ := synth.RoleByName("E1", 0.5)
+	ds := synth.Generate(role)
+	if err := write(ds, dir, "", "", 1); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(ds.Configs)+len(ds.Meta) {
+		t.Errorf("wrote %d files, want %d", len(entries), len(ds.Configs)+len(ds.Meta))
+	}
+}
+
+func TestWriteWithMutation(t *testing.T) {
+	dir := t.TempDir()
+	role, _ := synth.RoleByName("E1", 0.5)
+	ds := synth.Generate(role)
+	if err := write(ds, dir, "drop-line", "", 7); err != nil {
+		t.Fatalf("write with mutation: %v", err)
+	}
+	// Every config differs from the pristine one.
+	for _, f := range ds.Configs {
+		data, err := os.ReadFile(filepath.Join(dir, f.Name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) == string(f.Text) {
+			t.Errorf("%s unchanged by mutation", f.Name)
+		}
+	}
+}
+
+func TestWriteWithIncident(t *testing.T) {
+	dir := t.TempDir()
+	role, _ := synth.RoleByName("E1", 0.5)
+	ds := synth.Generate(role)
+	if err := write(ds, dir, "", "vlans", 1); err != nil {
+		t.Fatalf("write with incident: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, ds.Configs[0].Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "vlan 4901") {
+		t.Error("incident not injected into the first config")
+	}
+	if err := write(ds, t.TempDir(), "", "nope", 1); err == nil {
+		t.Error("unknown incident accepted")
+	}
+}

@@ -1,0 +1,178 @@
+// Package concord learns and checks network configuration contracts,
+// reproducing the system from "Concord: Learning Network Configuration
+// Contracts" (EuroSys 2026).
+//
+// Contracts are lightweight syntactic rules checked locally against each
+// configuration file: presence of required lines, line ordering,
+// parameter types, arithmetic sequences, global uniqueness, and
+// relational dependencies such as "every interface address is permitted
+// by some prefix-list entry". Concord learns them automatically from
+// example configurations (Learn) and evaluates them against new or
+// changed configurations to localize likely bugs (Check).
+//
+// Quick start:
+//
+//	training, _ := concord.LoadGlob("configs/*.cfg")
+//	result, _ := concord.Learn(training, nil, concord.DefaultOptions())
+//	report, _ := concord.Check(result.Set, changed, nil, concord.DefaultOptions())
+//	for _, v := range report.Violations {
+//	    fmt.Printf("%s:%d: %s\n", v.File, v.Line, v.Detail)
+//	}
+//
+// See the examples directory for runnable programs and cmd/concord for
+// the command-line interface.
+package concord
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"concord/internal/contracts"
+	"concord/internal/core"
+	"concord/internal/lexer"
+	"concord/internal/netdata"
+	"concord/internal/relations"
+)
+
+// Re-exported types: the engine's options and inputs, the contract
+// model, and results. Aliases keep the public API in one import path
+// while the implementation lives in internal packages.
+type (
+	// Options configures learning and checking (support, confidence,
+	// score threshold, parallelism, context embedding, constant
+	// learning, minimization, category filter, user lexer tokens).
+	Options = core.Options
+	// Source is one input file (configuration or metadata).
+	Source = core.Source
+	// Engine runs the learn/check pipelines.
+	Engine = core.Engine
+	// LearnResult carries the learned contract set, minimization
+	// statistics, and corpus statistics.
+	LearnResult = core.LearnResult
+	// CheckResult carries violations and coverage.
+	CheckResult = core.CheckResult
+	// ProcessStats summarizes a processed corpus.
+	ProcessStats = core.ProcessStats
+	// CoverageSummary aggregates per-line coverage.
+	CoverageSummary = core.CoverageSummary
+
+	// ContractSet is a collection of contracts with JSON serialization.
+	ContractSet = contracts.Set
+	// Contract is one learned or hand-written contract.
+	Contract = contracts.Contract
+	// Category names a contract category.
+	Category = contracts.Category
+	// Violation is one contract failure localized to a line.
+	Violation = contracts.Violation
+	// Stats is the statistical evidence behind a contract.
+	Stats = contracts.Stats
+
+	// TokenSpec extends the lexer with user-defined token types.
+	TokenSpec = lexer.TokenSpec
+	// Transform is a named data transformation used by relational
+	// contracts; custom transforms plug in via Options.ExtraTransforms.
+	Transform = relations.Transform
+	// RelationDefinition is a user-defined relation (evaluation function
+	// plus witness index); custom relations plug in via
+	// Options.ExtraRelations.
+	RelationDefinition = relations.Definition
+	// Rel names a relation in contracts.
+	Rel = relations.Rel
+	// RelationIndex is the witness search structure a custom relation
+	// supplies.
+	RelationIndex = relations.Index
+	// RelationEntry is one indexed witness (source + value).
+	RelationEntry = relations.Entry
+	// RelationSource identifies where a witness value came from.
+	RelationSource = relations.Source
+
+	// Value is a typed configuration value (the operand of relations and
+	// transforms). The concrete types below cover the built-in kinds.
+	Value = netdata.Value
+	// Num is an arbitrary-precision integer value.
+	Num = netdata.Num
+	// Str is a free-form string value (also the usual transform result).
+	Str = netdata.Str
+	// IP is an IPv4 or IPv6 address value.
+	IP = netdata.IP
+	// Prefix is an IPv4 or IPv6 prefix value.
+	Prefix = netdata.Prefix
+	// MAC is a hardware address value.
+	MAC = netdata.MAC
+)
+
+// The contract categories.
+const (
+	CatPresent  = contracts.CatPresent
+	CatOrdering = contracts.CatOrdering
+	CatType     = contracts.CatType
+	CatSequence = contracts.CatSequence
+	CatUnique   = contracts.CatUnique
+	CatRelation = contracts.CatRelation
+)
+
+// DefaultOptions returns the paper's default parameters: support 5,
+// confidence 96%, context embedding and contract minimization enabled.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// NewEngine builds a reusable engine (compiles user token specs once).
+func NewEngine(opts Options) (*Engine, error) { return core.New(opts) }
+
+// Learn infers a contract set from training configurations plus optional
+// metadata files (concord learn).
+func Learn(training, metadata []Source, opts Options) (*LearnResult, error) {
+	eng, err := core.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Learn(training, metadata)
+}
+
+// Check evaluates a contract set against test configurations, reporting
+// violations and per-line coverage (concord check).
+func Check(set *ContractSet, test, metadata []Source, opts Options) (*CheckResult, error) {
+	eng, err := core.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Check(set, test, metadata)
+}
+
+// LoadGlob reads every file matching the glob pattern into sources,
+// sorted by name for determinism.
+func LoadGlob(pattern string) ([]Source, error) {
+	paths, err := filepath.Glob(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("concord: bad glob %q: %w", pattern, err)
+	}
+	sort.Strings(paths)
+	var out []Source
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, fmt.Errorf("concord: %w", err)
+		}
+		out = append(out, Source{Name: filepath.Base(p), Text: data})
+	}
+	return out, nil
+}
+
+// DefaultTransforms returns the built-in data transformation registry
+// (identity, hex, str, IP octets, MAC segments).
+func DefaultTransforms() []Transform { return relations.DefaultTransforms() }
+
+// NewFuncIndex adapts a relation's Holds function into a linear-scan
+// witness index, convenient for prototyping custom relations (see
+// RelationDefinition).
+func NewFuncIndex(rel Rel, holds func(lhs, witness Value) bool) RelationIndex {
+	return relations.NewFuncIndex(rel, holds)
+}
+
+// NewKeyedIndex builds a hash-bucketed witness index for custom
+// relations whose matches can be keyed (e.g. /31 peers keyed by their
+// shared upper bits); see relations.KeyedIndex.
+func NewKeyedIndex(rel Rel, keyOf func(v Value) (string, bool), verify func(lhs, witness Value) bool) RelationIndex {
+	return relations.NewKeyedIndex(rel, keyOf, verify)
+}

@@ -1,0 +1,299 @@
+package concord
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const miniConfig = `hostname DEV%d
+!
+interface Loopback0
+   ip address 10.14.%d.34
+!
+ip prefix-list loopback
+   seq 10 permit 10.14.%d.34/32
+   seq 20 permit 0.0.0.0/0
+!
+router bgp %d
+   router-id 10.14.%d.34
+`
+
+func miniCorpus(t *testing.T, n int) []Source {
+	t.Helper()
+	var out []Source
+	for d := 1; d <= n; d++ {
+		text := strings.ReplaceAll(miniConfig, "%d", "")
+		_ = text
+		out = append(out, Source{
+			Name: filepath.Base("dev" + string(rune('0'+d)) + ".cfg"),
+			Text: []byte(render(miniConfig, d)),
+		})
+	}
+	return out
+}
+
+func render(tmpl string, d int) string {
+	out := tmpl
+	for strings.Contains(out, "%d") {
+		out = strings.Replace(out, "%d", itoa(d), 1)
+	}
+	return out
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestPublicLearnCheck(t *testing.T) {
+	training := miniCorpus(t, 8)
+	lr, err := Learn(training, nil, DefaultOptions())
+	if err != nil {
+		t.Fatalf("Learn: %v", err)
+	}
+	if lr.Set.Len() == 0 {
+		t.Fatal("no contracts learned")
+	}
+	// The clean corpus checks clean.
+	cr, err := Check(lr.Set, training, nil, DefaultOptions())
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if len(cr.Violations) != 0 {
+		t.Fatalf("clean corpus violated: %+v", cr.Violations)
+	}
+	// A broken router-id (no longer the loopback) is caught.
+	broken := strings.Replace(render(miniConfig, 9), "router-id 10.14.9.34", "router-id 10.14.99.99", 1)
+	cr, err = Check(lr.Set, []Source{{Name: "bad.cfg", Text: []byte(broken)}}, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.Violations) == 0 {
+		t.Error("broken router-id not caught")
+	}
+}
+
+func TestContractSetJSONPublic(t *testing.T) {
+	lr, err := Learn(miniCorpus(t, 8), nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(lr.Set)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back ContractSet
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Len() != lr.Set.Len() {
+		t.Errorf("round trip: %d != %d", back.Len(), lr.Set.Len())
+	}
+}
+
+func TestLoadGlob(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"b.cfg", "a.cfg", "skip.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("hostname X1\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srcs, err := LoadGlob(filepath.Join(dir, "*.cfg"))
+	if err != nil {
+		t.Fatalf("LoadGlob: %v", err)
+	}
+	if len(srcs) != 2 || srcs[0].Name != "a.cfg" || srcs[1].Name != "b.cfg" {
+		t.Errorf("srcs = %+v", srcs)
+	}
+	if _, err := LoadGlob("[bad"); err == nil {
+		t.Error("bad glob accepted")
+	}
+}
+
+func TestUserTokensThroughPublicAPI(t *testing.T) {
+	opts := DefaultOptions()
+	opts.UserTokens = []TokenSpec{{Name: "iface", Pattern: `et-[0-9]+(?:/[0-9]+)*`}}
+	var training []Source
+	for d := 1; d <= 8; d++ {
+		text := "set interfaces et-0/0/1 mtu 9100\nhostname R" + itoa(d) + "\n"
+		training = append(training, Source{Name: "r" + itoa(d), Text: []byte(text)})
+	}
+	lr, err := Learn(training, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range lr.Set.Contracts {
+		if strings.Contains(c.String(), ":iface]") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("user token type did not reach learned contracts")
+	}
+}
+
+func TestCategoriesConstants(t *testing.T) {
+	cats := []Category{CatPresent, CatOrdering, CatType, CatSequence, CatUnique, CatRelation}
+	seen := map[Category]bool{}
+	for _, c := range cats {
+		if seen[c] {
+			t.Errorf("duplicate category %s", c)
+		}
+		seen[c] = true
+	}
+	if len(DefaultTransforms()) == 0 {
+		t.Error("no default transforms")
+	}
+}
+
+func TestExtraTransformsThroughPublicAPI(t *testing.T) {
+	// A custom "dot" transform replaces the dash of a site code with a
+	// dot so that "site-17" relates to an IP octet pair — a relation the
+	// built-in registry cannot express. Here we use a simpler variant:
+	// doubling numbers, so that "timer 34" == double("slot 17").
+	opts := DefaultOptions()
+	opts.ExtraTransforms = []Transform{{
+		Name: "double",
+		Apply: func(v Value) (Value, bool) {
+			n, ok := v.(Num)
+			if !ok {
+				return nil, false
+			}
+			i, ok := n.Int64()
+			if !ok {
+				return nil, false
+			}
+			return Str(itoa(int(2 * i))), true
+		},
+	}}
+	var training []Source
+	for d := 1; d <= 8; d++ {
+		text := "slot " + itoa(1000+d) + "\ntimer " + itoa(2*(1000+d)) + "\n"
+		training = append(training, Source{Name: "r" + itoa(d), Text: []byte(text)})
+	}
+	lr, err := Learn(training, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range lr.Set.Contracts {
+		if strings.Contains(c.String(), "double(") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("custom transform did not produce a contract")
+	}
+	// The custom transform also evaluates at check time.
+	bad := Source{Name: "bad", Text: []byte("slot 1009\ntimer 999\n")}
+	cr, err := Check(lr.Set, []Source{bad}, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caught := false
+	for _, v := range cr.Violations {
+		if strings.Contains(v.Contract, "double(") {
+			caught = true
+		}
+	}
+	if !caught {
+		t.Error("custom-transform contract not enforced at check time")
+	}
+	// Duplicate transform names are rejected.
+	dup := DefaultOptions()
+	dup.ExtraTransforms = []Transform{{Name: "hex", Apply: func(v Value) (Value, bool) { return v, true }}}
+	if _, err := Learn(nil, nil, dup); err == nil {
+		t.Error("duplicate transform name accepted")
+	}
+}
+
+// TestCustomRelationThroughPublicAPI defines a "peer31" relation — two
+// IPv4 addresses are /31 point-to-point peers when they differ only in
+// the last bit — and verifies Concord learns and enforces it end to end.
+// This exercises §4's pluggable relation interface.
+func TestCustomRelationThroughPublicAPI(t *testing.T) {
+	peer31 := func(lhs, witness Value) bool {
+		a, ok1 := lhs.(IP)
+		b, ok2 := witness.(IP)
+		if !ok1 || !ok2 || a.Is6() || b.Is6() {
+			return false
+		}
+		ab, bb := a.Bytes(), b.Bytes()
+		for i := 0; i < 3; i++ {
+			if ab[i] != bb[i] {
+				return false
+			}
+		}
+		return ab[3]^bb[3] == 1
+	}
+	opts := DefaultOptions()
+	opts.ExtraRelations = []RelationDefinition{{
+		Rel:   "peer31",
+		Holds: peer31,
+		NewIndex: func() RelationIndex {
+			return NewFuncIndex("peer31", peer31)
+		},
+	}}
+
+	var training []Source
+	for d := 1; d <= 8; d++ {
+		text := "interface Ethernet1\n   ip address 10.7." + itoa(d) + ".2\n!\n" +
+			"router bgp 65000\n   neighbor 10.7." + itoa(d) + ".3 remote-as 65001\n"
+		training = append(training, Source{Name: "r" + itoa(d), Text: []byte(text)})
+	}
+	lr, err := Learn(training, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range lr.Set.Contracts {
+		if strings.Contains(c.String(), "peer31(") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("custom relation did not produce a contract")
+	}
+
+	// A neighbor that is not the interface's /31 peer violates it.
+	bad := Source{Name: "bad", Text: []byte(
+		"interface Ethernet1\n   ip address 10.7.9.2\n!\n" +
+			"router bgp 65000\n   neighbor 10.7.99.77 remote-as 65001\n")}
+	cr, err := Check(lr.Set, []Source{bad}, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caught := false
+	for _, v := range cr.Violations {
+		if strings.Contains(v.Contract, "peer31(") {
+			caught = true
+		}
+	}
+	if !caught {
+		t.Error("custom relation contract not enforced at check time")
+	}
+
+	// Invalid definitions are rejected.
+	for _, badDef := range []RelationDefinition{
+		{Rel: "", Holds: peer31, NewIndex: func() RelationIndex { return NewFuncIndex("x", peer31) }},
+		{Rel: "equals", Holds: peer31, NewIndex: func() RelationIndex { return NewFuncIndex("x", peer31) }},
+		{Rel: "nofn"},
+	} {
+		o := DefaultOptions()
+		o.ExtraRelations = []RelationDefinition{badDef}
+		if _, err := Learn(nil, nil, o); err == nil {
+			t.Errorf("invalid definition accepted: %+v", badDef.Rel)
+		}
+	}
+}

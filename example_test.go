@@ -1,0 +1,76 @@
+package concord_test
+
+import (
+	"fmt"
+	"strings"
+
+	"concord"
+)
+
+// device renders a deterministic training configuration.
+func device(d int) string {
+	return fmt.Sprintf(`hostname DEV%d
+!
+interface Loopback0
+   ip address 10.20.%d.1
+!
+router bgp %d
+   router-id 10.20.%d.1
+`, d, d, 65000+d, d)
+}
+
+// ExampleLearn shows the one-call learning API: eight known-good
+// configurations yield contracts including the router-id ↔ loopback
+// equality.
+func ExampleLearn() {
+	var training []concord.Source
+	for d := 1; d <= 8; d++ {
+		training = append(training, concord.Source{
+			Name: fmt.Sprintf("dev%d.cfg", d),
+			Text: []byte(device(d)),
+		})
+	}
+	result, err := concord.Learn(training, nil, concord.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	for _, c := range result.Set.Contracts {
+		if c.Category() == concord.CatRelation &&
+			strings.Contains(c.String(), "router-id") &&
+			strings.Contains(c.String(), "Loopback") {
+			fmt.Println(strings.ReplaceAll(c.String(), "\n", " "))
+			return
+		}
+	}
+	// Output:
+	// forall l1 ~ /interface Loopback[num]/ip address [a:ip4] exists l2 ~ /router bgp [num]/router-id [a:ip4] equals(l1.a, l2.a)
+}
+
+// ExampleCheck shows violation reporting: a device whose router id no
+// longer matches its loopback is flagged with a line number.
+func ExampleCheck() {
+	var training []concord.Source
+	for d := 1; d <= 8; d++ {
+		training = append(training, concord.Source{
+			Name: fmt.Sprintf("dev%d.cfg", d),
+			Text: []byte(device(d)),
+		})
+	}
+	result, err := concord.Learn(training, nil, concord.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	broken := strings.Replace(device(9), "router-id 10.20.9.1", "router-id 10.99.0.1", 1)
+	report, err := concord.Check(result.Set, []concord.Source{
+		{Name: "dev9.cfg", Text: []byte(broken)},
+	}, nil, concord.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	for _, v := range report.Violations {
+		fmt.Printf("%s:%d [%s]\n", v.File, v.Line, v.Category)
+	}
+	// Output:
+	// dev9.cfg:4 [relation]
+	// dev9.cfg:7 [relation]
+}

@@ -1,0 +1,117 @@
+// The edgedc example simulates the paper's production deployment
+// (Figure 10): Concord gates the CI/CD pipeline of a configuration
+// management service for mobile edge datacenters. The pipeline runs the
+// service pre-change and post-change, learns contracts from the
+// pre-change configurations, and checks the post-change configurations —
+// blocking the pull request when contracts are violated.
+//
+// The example replays the paper's three §5.5 incidents as "post-change"
+// regressions: missing route aggregation, rogue vlans creating a MAC
+// broadcast loop, and erroneous VRF configuration breaking line order.
+//
+// Run with: go run ./examples/edgedc
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"concord"
+	"concord/internal/synth"
+)
+
+func main() {
+	// "Service v1" generates the pre-change configurations: the E1 edge
+	// role plus its network-function policy metadata.
+	role, _ := synth.RoleByName("E1", 1.0)
+	ds := synth.Generate(role)
+	var preChange, metadata []concord.Source
+	for _, f := range ds.Configs {
+		preChange = append(preChange, concord.Source{Name: f.Name, Text: f.Text})
+	}
+	for _, f := range ds.Meta {
+		metadata = append(metadata, concord.Source{Name: f.Name, Text: f.Text})
+	}
+
+	fmt.Printf("CI/CD pipeline: learning contracts from %d pre-change configurations...\n", len(preChange))
+	learned, err := concord.Learn(preChange, metadata, concord.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d contracts learned (minimization: %d -> %d relational)\n\n",
+		learned.Set.Len(), learned.Minimization.Before, learned.Minimization.After)
+
+	// Each pull request produces post-change configurations; the three
+	// incidents below are the regressions the paper replayed.
+	victim := string(preChange[0].Text)
+	pullRequests := []struct {
+		title  string
+		mutate func(string) (string, bool)
+	}{
+		{
+			"PR-1041: struct refactor (drops BGP route aggregation)",
+			synth.InjectMissingAggregate,
+		},
+		{
+			"PR-1105: new low-cost SKU (leaks vlans into existing SKU)",
+			func(s string) (string, bool) { return synth.InjectRogueVlans(s, []int{4901, 4902}) },
+		},
+		{
+			"PR-1152: VRF push fix (inserts config mid-block)",
+			synth.InjectVRFOrderBreak,
+		},
+		{
+			"PR-1200: comment-only change (no regression)",
+			func(s string) (string, bool) { return s, true },
+		},
+	}
+
+	for _, pr := range pullRequests {
+		postChange, ok := pr.mutate(victim)
+		if !ok {
+			log.Fatalf("injection failed for %s", pr.title)
+		}
+		report, err := concord.Check(learned.Set, []concord.Source{
+			{Name: "post-change.cfg", Text: []byte(postChange)},
+		}, metadata, concord.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Ordering contracts are noisy on generated configs (§5.4); the
+		// production deployment keeps them off. We surface them last and
+		// gate only on the rest.
+		blocking := 0
+		for _, v := range report.Violations {
+			if v.Category != concord.CatOrdering {
+				blocking++
+			}
+		}
+		// Incident 3 is only caught by ordering contracts — the paper
+		// notes exactly this tension, so this pipeline treats ordering
+		// violations in the bgp block as blocking too.
+		for _, v := range report.Violations {
+			if v.Category == concord.CatOrdering && strings.Contains(v.Contract, "redistribute connected") {
+				blocking++
+			}
+		}
+		fmt.Println(pr.title)
+		if blocking == 0 {
+			fmt.Println("  ✓ contracts hold — merge allowed")
+		} else {
+			fmt.Printf("  ✗ BLOCKED: %d contract violation(s); first few:\n", blocking)
+			shown := 0
+			for _, v := range report.Violations {
+				if shown >= 3 {
+					break
+				}
+				if v.Category == concord.CatOrdering && !strings.Contains(v.Contract, "redistribute connected") {
+					continue
+				}
+				shown++
+				fmt.Printf("    %s:%d [%s] %s\n", v.File, v.Line, v.Category, v.Detail)
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module concord
+
+go 1.22

@@ -1,0 +1,426 @@
+package contracts
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"concord/internal/lexer"
+	"concord/internal/netdata"
+	"concord/internal/relations"
+)
+
+// Violation reports one contract failure localized to a configuration
+// line (Line is 1-based; 0 means the violation concerns the whole file,
+// e.g. a missing line).
+type Violation struct {
+	Category   Category `json:"category"`
+	ContractID string   `json:"contract_id"`
+	Contract   string   `json:"contract"`
+	File       string   `json:"file"`
+	Line       int      `json:"line"`
+	Detail     string   `json:"detail"`
+}
+
+// Checker evaluates a contract set against configurations (§3.8). It is
+// safe for concurrent use: per-configuration state lives on the stack.
+type Checker struct {
+	set        *Set
+	transforms map[string]relations.Transform
+	custom     map[relations.Rel]func(lhs, witness netdata.Value) bool
+}
+
+// NewChecker builds a checker for the given contract set using the
+// default transformation registry.
+func NewChecker(set *Set) *Checker {
+	return NewCheckerWithTransforms(set, relations.DefaultTransforms())
+}
+
+// NewCheckerWithTransforms builds a checker with a custom transformation
+// registry (the registry must include every transform named by the set's
+// relational contracts).
+func NewCheckerWithTransforms(set *Set, ts []relations.Transform) *Checker {
+	return NewCheckerWith(set, ts, nil)
+}
+
+// NewCheckerWith builds a checker with custom transforms and custom
+// relation definitions; the definitions must cover every non-built-in
+// relation named by the set's contracts.
+func NewCheckerWith(set *Set, ts []relations.Transform, defs []relations.Definition) *Checker {
+	m := make(map[string]relations.Transform, len(ts))
+	for _, t := range ts {
+		m[t.Name] = t
+	}
+	var custom map[relations.Rel]func(lhs, witness netdata.Value) bool
+	if len(defs) > 0 {
+		custom = make(map[relations.Rel]func(lhs, witness netdata.Value) bool, len(defs))
+		for _, d := range defs {
+			custom[d.Rel] = d.Holds
+		}
+	}
+	return &Checker{set: set, transforms: m, custom: custom}
+}
+
+// holds evaluates a relation, consulting custom definitions for
+// non-built-in names.
+func (ch *Checker) holds(rel relations.Rel, lhs, witness netdata.Value) bool {
+	if f, ok := ch.custom[rel]; ok {
+		return f(lhs, witness)
+	}
+	return rel.Holds(lhs, witness)
+}
+
+// view is the per-configuration evaluation state.
+type view struct {
+	cfg       *lexer.Config
+	byPattern map[string][]int
+	byText    map[string][]int // exact-text index for constant contracts
+	// transformed caches witness values keyed by pattern|idx|transform.
+	transformed map[string][]witness
+}
+
+type witness struct {
+	line  int
+	value netdata.Value
+}
+
+func newView(cfg *lexer.Config) *view {
+	v := &view{
+		cfg:         cfg,
+		byPattern:   make(map[string][]int),
+		transformed: make(map[string][]witness),
+	}
+	for i := range cfg.Lines {
+		p := cfg.Lines[i].Pattern
+		v.byPattern[p] = append(v.byPattern[p], i)
+	}
+	return v
+}
+
+// matches returns the line indexes matching a present contract,
+// consulting the exact-text index for constant contracts.
+func (v *view) matches(c *Present) []int {
+	if !c.Exact {
+		return v.byPattern[c.Pattern]
+	}
+	if v.byText == nil {
+		v.byText = make(map[string][]int)
+		for i := range v.cfg.Lines {
+			t := v.cfg.Lines[i].Text
+			v.byText[t] = append(v.byText[t], i)
+		}
+	}
+	return v.byText[c.Pattern]
+}
+
+// values returns the transformed parameter values for all lines of a
+// pattern, caching the result.
+func (v *view) values(ch *Checker, pattern string, paramIdx int, transform string) []witness {
+	key := fmt.Sprintf("%s|%d|%s", pattern, paramIdx, transform)
+	if ws, ok := v.transformed[key]; ok {
+		return ws
+	}
+	tr, trOK := ch.transforms[transform]
+	var ws []witness
+	for _, li := range v.byPattern[pattern] {
+		line := &v.cfg.Lines[li]
+		if paramIdx >= len(line.Params) || !trOK {
+			continue
+		}
+		tv, ok := tr.Apply(line.Params[paramIdx].Value)
+		if !ok {
+			continue
+		}
+		ws = append(ws, witness{line: li, value: tv})
+	}
+	v.transformed[key] = ws
+	return ws
+}
+
+// Check evaluates every per-configuration contract against cfg and
+// returns the violations in deterministic order. Cross-configuration
+// unique contracts are evaluated by CheckAll.
+func (ch *Checker) Check(cfg *lexer.Config) []Violation {
+	v := newView(cfg)
+	var out []Violation
+	for _, c := range ch.set.Contracts {
+		switch c := c.(type) {
+		case *Present:
+			out = append(out, ch.checkPresent(v, c)...)
+		case *Ordering:
+			out = append(out, ch.checkOrdering(v, c)...)
+		case *TypeError:
+			out = append(out, ch.checkType(v, c)...)
+		case *Sequence:
+			out = append(out, ch.checkSequence(v, c)...)
+		case *Unique:
+			out = append(out, ch.checkUniqueExistence(v, c)...)
+		case *Relational:
+			out = append(out, ch.checkRelational(v, c)...)
+		}
+	}
+	sortViolations(out)
+	return out
+}
+
+// CheckAll evaluates the full set against a batch of configurations,
+// including the cross-configuration uniqueness component of unique
+// contracts.
+func (ch *Checker) CheckAll(cfgs []*lexer.Config) []Violation {
+	var out []Violation
+	for _, cfg := range cfgs {
+		out = append(out, ch.Check(cfg)...)
+	}
+	out = append(out, ch.checkUniqueGlobal(cfgs)...)
+	sortViolations(out)
+	return out
+}
+
+func sortViolations(vs []Violation) {
+	sort.Slice(vs, func(i, j int) bool {
+		if vs[i].File != vs[j].File {
+			return vs[i].File < vs[j].File
+		}
+		if vs[i].Line != vs[j].Line {
+			return vs[i].Line < vs[j].Line
+		}
+		return vs[i].ContractID < vs[j].ContractID
+	})
+}
+
+func violation(c Contract, file string, line int, detail string) Violation {
+	return Violation{
+		Category:   c.Category(),
+		ContractID: c.ID(),
+		Contract:   c.String(),
+		File:       file,
+		Line:       line,
+		Detail:     detail,
+	}
+}
+
+func (ch *Checker) checkPresent(v *view, c *Present) []Violation {
+	if len(v.matches(c)) > 0 {
+		return nil
+	}
+	return []Violation{violation(c, v.cfg.Name, 0,
+		fmt.Sprintf("no line matches required pattern %s", c.Display))}
+}
+
+// successor returns the index of the line following li within the same
+// (config vs. metadata) segment, or -1.
+func successor(cfg *lexer.Config, li int) int {
+	next := li + 1
+	if next >= len(cfg.Lines) || cfg.Lines[next].Meta != cfg.Lines[li].Meta {
+		return -1
+	}
+	return next
+}
+
+func (ch *Checker) checkOrdering(v *view, c *Ordering) []Violation {
+	var out []Violation
+	for _, li := range v.byPattern[c.First] {
+		next := successor(v.cfg, li)
+		if next < 0 || v.cfg.Lines[next].Pattern != c.Second {
+			line := &v.cfg.Lines[li]
+			out = append(out, violation(c, v.cfg.Name, line.Num,
+				fmt.Sprintf("line %q is not followed by a line matching %s", line.Raw, c.DisplaySecond)))
+		}
+	}
+	return out
+}
+
+func (ch *Checker) checkType(v *view, c *TypeError) []Violation {
+	var out []Violation
+	for i := range v.cfg.Lines {
+		line := &v.cfg.Lines[i]
+		if c.ParamIdx >= len(line.Params) {
+			continue
+		}
+		if line.Params[c.ParamIdx].Type != c.BadType {
+			continue
+		}
+		if lexer.TypeAgnostic(line.Pattern) != c.Agnostic {
+			continue
+		}
+		out = append(out, violation(c, v.cfg.Name, line.Num,
+			fmt.Sprintf("parameter %s has forbidden type [%s] (expected one of %v)",
+				lexer.VarName(c.ParamIdx), c.BadType, c.GoodTypes)))
+	}
+	return out
+}
+
+// numericValues extracts the big.Int values of a numeric parameter for
+// every line of a pattern, in line order, paired with line indexes.
+func numericValues(cfg *lexer.Config, lines []int, paramIdx int) (vals []*big.Int, at []int) {
+	for _, li := range lines {
+		line := &cfg.Lines[li]
+		if paramIdx >= len(line.Params) {
+			continue
+		}
+		n, ok := line.Params[paramIdx].Value.(netdata.Num)
+		if !ok {
+			continue
+		}
+		vals = append(vals, n.Big())
+		at = append(at, li)
+	}
+	return vals, at
+}
+
+// equidistant reports whether consecutive differences are all equal and
+// nonzero. Fewer than two values are trivially equidistant.
+func equidistant(vals []*big.Int) bool {
+	if len(vals) < 2 {
+		return true
+	}
+	diff := new(big.Int).Sub(vals[1], vals[0])
+	if diff.Sign() == 0 {
+		return false
+	}
+	for i := 2; i < len(vals); i++ {
+		d := new(big.Int).Sub(vals[i], vals[i-1])
+		if d.Cmp(diff) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (ch *Checker) checkSequence(v *view, c *Sequence) []Violation {
+	vals, at := numericValues(v.cfg, v.byPattern[c.Pattern], c.ParamIdx)
+	if len(vals) < 2 || equidistant(vals) {
+		return nil
+	}
+	// Localize to the first value that breaks the expected step.
+	diff := new(big.Int).Sub(vals[1], vals[0])
+	for i := 2; i < len(vals); i++ {
+		d := new(big.Int).Sub(vals[i], vals[i-1])
+		if d.Cmp(diff) != 0 {
+			line := &v.cfg.Lines[at[i]]
+			return []Violation{violation(c, v.cfg.Name, line.Num,
+				fmt.Sprintf("value %s breaks the sequence step %s", vals[i], diff))}
+		}
+	}
+	line := &v.cfg.Lines[at[1]]
+	return []Violation{violation(c, v.cfg.Name, line.Num, "sequence step is zero")}
+}
+
+// checkUniqueExistence enforces the per-configuration existence
+// component of a unique contract.
+func (ch *Checker) checkUniqueExistence(v *view, c *Unique) []Violation {
+	if len(v.byPattern[c.Pattern]) > 0 {
+		return nil
+	}
+	return []Violation{violation(c, v.cfg.Name, 0,
+		fmt.Sprintf("no line defines the unique parameter of %s", c.Display))}
+}
+
+// CheckUniqueAcross evaluates only the cross-configuration uniqueness
+// component of the set's unique contracts, for callers that parallelize
+// per-configuration checks themselves and run the global pass once.
+func (ch *Checker) CheckUniqueAcross(cfgs []*lexer.Config) []Violation {
+	out := ch.checkUniqueGlobal(cfgs)
+	sortViolations(out)
+	return out
+}
+
+// checkUniqueGlobal enforces global value uniqueness across the batch.
+func (ch *Checker) checkUniqueGlobal(cfgs []*lexer.Config) []Violation {
+	var out []Violation
+	for _, c := range ch.set.Contracts {
+		u, ok := c.(*Unique)
+		if !ok {
+			continue
+		}
+		type site struct {
+			file string
+			line int
+		}
+		seen := make(map[string]site)
+		for _, cfg := range cfgs {
+			for i := range cfg.Lines {
+				line := &cfg.Lines[i]
+				if line.Pattern != u.Pattern || u.ParamIdx >= len(line.Params) {
+					continue
+				}
+				key := line.Params[u.ParamIdx].Value.Key()
+				if prev, dup := seen[key]; dup {
+					out = append(out, violation(u, cfg.Name, line.Num,
+						fmt.Sprintf("value %s duplicates %s:%d",
+							line.Params[u.ParamIdx].Value, prev.file, prev.line)))
+					continue
+				}
+				seen[key] = site{file: cfg.Name, line: line.Num}
+			}
+		}
+	}
+	return out
+}
+
+func (ch *Checker) checkRelational(v *view, c *Relational) []Violation {
+	l1s := v.byPattern[c.Pattern1]
+	if len(l1s) == 0 {
+		return nil // vacuously true
+	}
+	t1, ok := ch.transforms[c.Transform1]
+	if !ok {
+		return []Violation{violation(c, v.cfg.Name, 0,
+			fmt.Sprintf("unknown transform %q", c.Transform1))}
+	}
+	wits := v.values(ch, c.Pattern2, c.ParamIdx2, c.Transform2)
+	var out []Violation
+	for _, li := range l1s {
+		line := &v.cfg.Lines[li]
+		if c.ParamIdx1 >= len(line.Params) {
+			continue
+		}
+		v1, ok := t1.Apply(line.Params[c.ParamIdx1].Value)
+		if !ok {
+			continue
+		}
+		found := false
+		for _, w := range wits {
+			if w.line == li && c.Pattern2 == c.Pattern1 && c.ParamIdx2 == c.ParamIdx1 {
+				continue // a parameter is not its own witness
+			}
+			if ch.holds(c.Rel, v1, w.value) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, violation(c, v.cfg.Name, line.Num,
+				fmt.Sprintf("no witness matching %s relates to value %s",
+					c.Display2, line.Params[c.ParamIdx1].Value)))
+		}
+	}
+	return out
+}
+
+// FindWitness reports the witness line indexes satisfying the contract
+// for the forall line at index li, used by coverage analysis.
+func (ch *Checker) findWitnesses(v *view, c *Relational, li int) []int {
+	line := &v.cfg.Lines[li]
+	if c.ParamIdx1 >= len(line.Params) {
+		return nil
+	}
+	t1, ok := ch.transforms[c.Transform1]
+	if !ok {
+		return nil
+	}
+	v1, ok := t1.Apply(line.Params[c.ParamIdx1].Value)
+	if !ok {
+		return nil
+	}
+	var out []int
+	for _, w := range v.values(ch, c.Pattern2, c.ParamIdx2, c.Transform2) {
+		if w.line == li && c.Pattern2 == c.Pattern1 && c.ParamIdx2 == c.ParamIdx1 {
+			continue
+		}
+		if ch.holds(c.Rel, v1, w.value) {
+			out = append(out, w.line)
+		}
+	}
+	return out
+}

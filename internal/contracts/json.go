@@ -1,0 +1,60 @@
+package contracts
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// envelope is the on-disk JSON form of a contract: a category tag plus
+// the category-specific body.
+type envelope struct {
+	Category Category        `json:"category"`
+	Body     json.RawMessage `json:"contract"`
+}
+
+// MarshalJSON serializes the set as a JSON array of tagged contracts,
+// the format emitted by `concord learn`.
+func (s *Set) MarshalJSON() ([]byte, error) {
+	envs := make([]envelope, 0, len(s.Contracts))
+	for _, c := range s.Contracts {
+		body, err := json.Marshal(c)
+		if err != nil {
+			return nil, err
+		}
+		envs = append(envs, envelope{Category: c.Category(), Body: body})
+	}
+	return json.Marshal(envs)
+}
+
+// UnmarshalJSON parses the JSON array form produced by MarshalJSON.
+func (s *Set) UnmarshalJSON(data []byte) error {
+	var envs []envelope
+	if err := json.Unmarshal(data, &envs); err != nil {
+		return err
+	}
+	s.Contracts = s.Contracts[:0]
+	for _, e := range envs {
+		var c Contract
+		switch e.Category {
+		case CatPresent:
+			c = new(Present)
+		case CatOrdering:
+			c = new(Ordering)
+		case CatType:
+			c = new(TypeError)
+		case CatSequence:
+			c = new(Sequence)
+		case CatUnique:
+			c = new(Unique)
+		case CatRelation:
+			c = new(Relational)
+		default:
+			return fmt.Errorf("contracts: unknown category %q", e.Category)
+		}
+		if err := json.Unmarshal(e.Body, c); err != nil {
+			return fmt.Errorf("contracts: decoding %s contract: %w", e.Category, err)
+		}
+		s.Contracts = append(s.Contracts, c)
+	}
+	return nil
+}

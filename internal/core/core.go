@@ -1,0 +1,379 @@
+// Package core is Concord's engine: it orchestrates format inference and
+// context embedding (§3.1), pattern and value extraction (§3.2),
+// contract mining (§3.4–§3.5), contract minimization (§3.6), metadata
+// incorporation (§3.7), contract checking (§3.8), and coverage
+// measurement (§3.9). The root concord package re-exports this engine as
+// the public API.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"concord/internal/contracts"
+	"concord/internal/format"
+	"concord/internal/lexer"
+	"concord/internal/minimize"
+	"concord/internal/mining"
+	"concord/internal/relations"
+)
+
+// Source is one input file: a configuration or a metadata document.
+type Source struct {
+	// Name identifies the file (shown in violations).
+	Name string
+	// Text is the raw file content.
+	Text []byte
+}
+
+// Options configures the engine, mirroring the command-line parameters
+// of §4.
+type Options struct {
+	// Support (S): minimum number of configurations a pattern must
+	// appear in. Default 5.
+	Support int
+	// Confidence (C): required fraction of supporting configurations in
+	// which a contract holds. Default 0.96.
+	Confidence float64
+	// ScoreThreshold filters spurious relational contracts (§3.5).
+	// Default 8.
+	ScoreThreshold float64
+	// Parallelism is the worker count for processing, mining, and
+	// checking; 0 selects GOMAXPROCS.
+	Parallelism int
+	// ContextEmbedding enables hierarchical context embedding (§3.1).
+	ContextEmbedding bool
+	// ConstantLearning additionally learns exact-line contracts (§4).
+	ConstantLearning bool
+	// Minimize runs relational contract minimization (§3.6).
+	Minimize bool
+	// Categories restricts learning to the listed categories; empty
+	// learns all. (The production deployment disables ordering, §5.4.)
+	Categories []contracts.Category
+	// UserTokens extends the lexer with domain-specific token types.
+	UserTokens []lexer.TokenSpec
+	// ExtraTransforms extends the data transformation registry beyond
+	// the defaults (identity, hex, str, octets, MAC segments); §4 notes
+	// the implementation keeps relation learning extensible.
+	ExtraTransforms []relations.Transform
+	// ExtraRelations adds user-defined relations (with their witness
+	// indexes) to the built-in four.
+	ExtraRelations []relations.Definition
+	// MaxFanout bounds per-value candidate generation. Default 64.
+	MaxFanout int
+}
+
+// DefaultOptions returns the paper's defaults: S=5, C=96%, context
+// embedding and minimization on.
+func DefaultOptions() Options {
+	return Options{
+		Support:          5,
+		Confidence:       0.96,
+		ScoreThreshold:   8,
+		ContextEmbedding: true,
+		Minimize:         true,
+	}
+}
+
+// Engine runs Concord's learn and check pipelines. Safe for concurrent
+// use after construction.
+type Engine struct {
+	opts       Options
+	lx         *lexer.Lexer
+	transforms []relations.Transform
+}
+
+// New builds an engine, compiling any user token specifications.
+func New(opts Options) (*Engine, error) {
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	lx, err := lexer.New(opts.UserTokens...)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	seen := make(map[string]bool)
+	transforms := relations.DefaultTransforms()
+	for _, t := range transforms {
+		seen[t.Name] = true
+	}
+	for _, t := range opts.ExtraTransforms {
+		if t.Name == "" || t.Apply == nil {
+			return nil, fmt.Errorf("core: extra transform needs a name and an Apply func")
+		}
+		if seen[t.Name] {
+			return nil, fmt.Errorf("core: duplicate transform %q", t.Name)
+		}
+		seen[t.Name] = true
+		transforms = append(transforms, t)
+	}
+	for i := range opts.ExtraRelations {
+		if err := opts.ExtraRelations[i].Validate(); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	return &Engine{opts: opts, lx: lx, transforms: transforms}, nil
+}
+
+// MustNew is New for known-good options; it panics on error.
+func MustNew(opts Options) *Engine {
+	e, err := New(opts)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// ProcessStats summarizes a processed corpus (the per-dataset columns of
+// Table 3).
+type ProcessStats struct {
+	// Configs is the number of configuration files.
+	Configs int
+	// Lines is the total number of non-blank configuration lines.
+	Lines int
+	// Patterns is the number of distinct extracted patterns.
+	Patterns int
+	// Parameters is the number of distinct (pattern, parameter) slots.
+	Parameters int
+}
+
+// Process embeds and lexes every source in parallel, appending processed
+// metadata lines to each configuration (§3.7). The result order matches
+// the input order.
+func (e *Engine) Process(sources, meta []Source) ([]*lexer.Config, ProcessStats) {
+	metaLines := e.processMeta(meta)
+	cfgs := make([]*lexer.Config, len(sources))
+	e.forEach(len(sources), func(i int) {
+		cfg := format.Process(sources[i].Name, sources[i].Text, e.lx, format.Options{Embed: e.opts.ContextEmbedding})
+		cfg.Lines = append(cfg.Lines, metaLines...)
+		cfgs[i] = &cfg
+	})
+	st := ProcessStats{Configs: len(cfgs)}
+	patterns := make(map[string]int)
+	for _, cfg := range cfgs {
+		st.Lines += cfg.SourceLines
+		for i := range cfg.Lines {
+			line := &cfg.Lines[i]
+			if line.Meta {
+				continue
+			}
+			if n, ok := patterns[line.Pattern]; !ok || len(line.Params) > n {
+				patterns[line.Pattern] = len(line.Params)
+			}
+		}
+	}
+	st.Patterns = len(patterns)
+	for _, n := range patterns {
+		st.Parameters += n
+	}
+	return cfgs, st
+}
+
+// processMeta embeds and lexes metadata files into lines tagged with the
+// @meta prefix, so metadata patterns are distinguishable and relations
+// against them read like the paper's example
+// (@meta/nfInfos/vrfName/vlanId [a:num]).
+func (e *Engine) processMeta(meta []Source) []lexer.Line {
+	var out []lexer.Line
+	for _, m := range meta {
+		cfg := format.Process(m.Name, m.Text, e.lx, format.Options{Embed: e.opts.ContextEmbedding})
+		for _, line := range cfg.Lines {
+			line.Meta = true
+			line.Pattern = "@meta" + line.Pattern
+			line.Display = "@meta" + line.Display
+			line.Text = "@meta" + line.Text
+			out = append(out, line)
+		}
+	}
+	return out
+}
+
+// forEach runs fn(0..n-1) over the engine's worker pool.
+func (e *Engine) forEach(n int, fn func(i int)) {
+	workers := e.opts.Parallelism
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// LearnResult is the output of Learn.
+type LearnResult struct {
+	// Set is the learned (and, if enabled, minimized) contract set.
+	Set *contracts.Set
+	// Minimization reports the contract reduction (§3.6); zero-valued
+	// when minimization is disabled.
+	Minimization minimize.Result
+	// Stats summarizes the processed corpus.
+	Stats ProcessStats
+}
+
+// Learn processes the training sources and mines a contract set.
+func (e *Engine) Learn(sources, meta []Source) (*LearnResult, error) {
+	cfgs, pstats := e.Process(sources, meta)
+	return e.LearnProcessed(cfgs, pstats)
+}
+
+// LearnProcessed mines contracts from already-processed configurations,
+// for callers that processed once and learn repeatedly (e.g. ablations).
+func (e *Engine) LearnProcessed(cfgs []*lexer.Config, pstats ProcessStats) (*LearnResult, error) {
+	m := mining.New(mining.Options{
+		Support:          e.opts.Support,
+		Confidence:       e.opts.Confidence,
+		ScoreThreshold:   e.opts.ScoreThreshold,
+		MaxFanout:        e.opts.MaxFanout,
+		Categories:       e.categorySet(),
+		ConstantLearning: e.opts.ConstantLearning,
+		Parallelism:      e.opts.Parallelism,
+		Transforms:       e.transforms,
+		ExtraRelations:   e.opts.ExtraRelations,
+	})
+	set := m.Mine(cfgs)
+	res := &LearnResult{Set: set, Stats: pstats}
+	if e.opts.Minimize {
+		minimized, minRes := minimize.Set(set)
+		res.Set = minimized
+		res.Minimization = minRes
+	}
+	return res, nil
+}
+
+func (e *Engine) categorySet() map[contracts.Category]bool {
+	if len(e.opts.Categories) == 0 {
+		return nil
+	}
+	m := make(map[contracts.Category]bool, len(e.opts.Categories))
+	for _, c := range e.opts.Categories {
+		m[c] = true
+	}
+	return m
+}
+
+// ConfigCoverage reports coverage for a single configuration.
+type ConfigCoverage struct {
+	Name        string
+	SourceLines int
+	Covered     int
+	ByCategory  map[contracts.Category]int
+}
+
+// CoverageSummary aggregates coverage across a corpus (the data behind
+// Tables 4 and 5).
+type CoverageSummary struct {
+	TotalLines   int
+	CoveredLines int
+	ByCategory   map[contracts.Category]int
+	PerConfig    []ConfigCoverage
+}
+
+// Percent returns total line coverage in [0, 100].
+func (s *CoverageSummary) Percent() float64 {
+	if s.TotalLines == 0 {
+		return 0
+	}
+	return 100 * float64(s.CoveredLines) / float64(s.TotalLines)
+}
+
+// CategoryPercent returns the coverage percentage attributable to one
+// contract category.
+func (s *CoverageSummary) CategoryPercent(cat contracts.Category) float64 {
+	if s.TotalLines == 0 {
+		return 0
+	}
+	return 100 * float64(s.ByCategory[cat]) / float64(s.TotalLines)
+}
+
+// CheckResult is the output of Check.
+type CheckResult struct {
+	// Violations lists every contract violation, sorted by file and
+	// line.
+	Violations []contracts.Violation
+	// Coverage summarizes which configuration lines the contract set
+	// tests (§3.9).
+	Coverage CoverageSummary
+	// Stats summarizes the processed corpus.
+	Stats ProcessStats
+}
+
+// Check processes the test sources and evaluates the contract set
+// against them, computing violations and coverage in parallel.
+func (e *Engine) Check(set *contracts.Set, sources, meta []Source) (*CheckResult, error) {
+	cfgs, pstats := e.Process(sources, meta)
+	return e.CheckProcessed(set, cfgs, pstats)
+}
+
+// CheckProcessed evaluates a contract set against already-processed
+// configurations.
+func (e *Engine) CheckProcessed(set *contracts.Set, cfgs []*lexer.Config, pstats ProcessStats) (*CheckResult, error) {
+	checker := contracts.NewCheckerWith(set, e.transforms, e.opts.ExtraRelations)
+	perCfgViolations := make([][]contracts.Violation, len(cfgs))
+	perCfgCoverage := make([]*contracts.CoverageResult, len(cfgs))
+	e.forEach(len(cfgs), func(i int) {
+		perCfgViolations[i] = checker.Check(cfgs[i])
+		perCfgCoverage[i] = checker.Coverage(cfgs[i])
+	})
+
+	res := &CheckResult{Stats: pstats}
+	for _, vs := range perCfgViolations {
+		res.Violations = append(res.Violations, vs...)
+	}
+	res.Violations = append(res.Violations, checker.CheckUniqueAcross(cfgs)...)
+	sortViolations(res.Violations)
+
+	res.Coverage.ByCategory = make(map[contracts.Category]int)
+	for i, cov := range perCfgCoverage {
+		cc := ConfigCoverage{
+			Name:        cfgs[i].Name,
+			SourceLines: cov.SourceLines,
+			Covered:     len(cov.Covered),
+			ByCategory:  make(map[contracts.Category]int),
+		}
+		for cat, lines := range cov.ByCategory {
+			cc.ByCategory[cat] = len(lines)
+			res.Coverage.ByCategory[cat] += len(lines)
+		}
+		res.Coverage.TotalLines += cov.SourceLines
+		res.Coverage.CoveredLines += len(cov.Covered)
+		res.Coverage.PerConfig = append(res.Coverage.PerConfig, cc)
+	}
+	return res, nil
+}
+
+func sortViolations(vs []contracts.Violation) {
+	sort.Slice(vs, func(i, j int) bool {
+		if vs[i].File != vs[j].File {
+			return vs[i].File < vs[j].File
+		}
+		if vs[i].Line != vs[j].Line {
+			return vs[i].Line < vs[j].Line
+		}
+		return vs[i].ContractID < vs[j].ContractID
+	})
+}
+
+// Transforms exposes the default transformation registry for callers
+// that render or re-evaluate contracts.
+func Transforms() []relations.Transform { return relations.DefaultTransforms() }

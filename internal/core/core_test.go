@@ -1,0 +1,323 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"concord/internal/contracts"
+	"concord/internal/lexer"
+	"concord/internal/synth"
+)
+
+// edgeSources generates a scaled edge dataset as engine inputs.
+func edgeSources(t *testing.T, name string, scale float64) ([]Source, []Source, *synth.Dataset) {
+	t.Helper()
+	role, ok := synth.RoleByName(name, scale)
+	if !ok {
+		t.Fatalf("role %s not found", name)
+	}
+	ds := synth.Generate(role)
+	var srcs, meta []Source
+	for _, f := range ds.Configs {
+		srcs = append(srcs, Source{Name: f.Name, Text: f.Text})
+	}
+	for _, f := range ds.Meta {
+		meta = append(meta, Source{Name: f.Name, Text: f.Text})
+	}
+	return srcs, meta, ds
+}
+
+func TestLearnAndCheckCleanCorpus(t *testing.T) {
+	srcs, meta, _ := edgeSources(t, "E1", 0.5)
+	eng := MustNew(DefaultOptions())
+	lr, err := eng.Learn(srcs, meta)
+	if err != nil {
+		t.Fatalf("Learn: %v", err)
+	}
+	if lr.Set.Len() == 0 {
+		t.Fatal("no contracts learned")
+	}
+	if lr.Stats.Configs != len(srcs) || lr.Stats.Lines == 0 || lr.Stats.Patterns == 0 {
+		t.Errorf("stats = %+v", lr.Stats)
+	}
+	cr, err := eng.Check(lr.Set, srcs, meta)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	for _, v := range cr.Violations {
+		if v.Category != contracts.CatOrdering {
+			t.Errorf("clean corpus violated: %+v", v)
+		}
+	}
+	if cr.Coverage.Percent() < 50 {
+		t.Errorf("coverage = %.1f%%, want majority", cr.Coverage.Percent())
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	srcs, meta, _ := edgeSources(t, "E1", 0.5)
+	seq := DefaultOptions()
+	seq.Parallelism = 1
+	par := DefaultOptions()
+	par.Parallelism = 4
+	a, err := MustNew(seq).Learn(srcs, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MustNew(par).Learn(srcs, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Set.Len() != b.Set.Len() {
+		t.Fatalf("parallel learned %d contracts, sequential %d", b.Set.Len(), a.Set.Len())
+	}
+	for i := range a.Set.Contracts {
+		if a.Set.Contracts[i].ID() != b.Set.Contracts[i].ID() {
+			t.Fatalf("contract %d differs: %s vs %s", i,
+				a.Set.Contracts[i].ID(), b.Set.Contracts[i].ID())
+		}
+	}
+}
+
+// TestIncidentReplays reproduces the three §5.5 incidents: Concord
+// learns from known-good configurations and must flag each injected
+// regression.
+func TestIncidentReplays(t *testing.T) {
+	srcs, meta, _ := edgeSources(t, "E1", 0.8)
+	eng := MustNew(DefaultOptions())
+	lr, err := eng.Learn(srcs, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name, text string) []contracts.Violation {
+		t.Helper()
+		cr, err := eng.Check(lr.Set, []Source{{Name: name, Text: []byte(text)}}, meta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cr.Violations
+	}
+	victim := string(srcs[0].Text)
+
+	t.Run("MissingAggregate", func(t *testing.T) {
+		bad, ok := synth.InjectMissingAggregate(victim)
+		if !ok {
+			t.Fatal("injection failed")
+		}
+		vs := check("incident1.cfg", bad)
+		found := false
+		for _, v := range vs {
+			if v.Category == contracts.CatRelation && strings.Contains(v.Contract, "aggregate-address") {
+				found = true
+			}
+			if v.Category == contracts.CatPresent && strings.Contains(v.Contract, "aggregate-address") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing aggregate not flagged; violations: %d", len(vs))
+		}
+	})
+
+	t.Run("RogueVlans", func(t *testing.T) {
+		bad, ok := synth.InjectRogueVlans(victim, []int{4901, 4902})
+		if !ok {
+			t.Fatal("injection failed")
+		}
+		vs := check("incident2.cfg", bad)
+		found := false
+		for _, v := range vs {
+			if v.Category == contracts.CatRelation && strings.Contains(v.Contract, "@meta") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("rogue vlans not flagged by a metadata contract; violations: %+v", summarize(vs))
+		}
+	})
+
+	t.Run("VRFOrderBreak", func(t *testing.T) {
+		bad, ok := synth.InjectVRFOrderBreak(victim)
+		if !ok {
+			t.Fatal("injection failed")
+		}
+		vs := check("incident3.cfg", bad)
+		found := false
+		for _, v := range vs {
+			if v.Category == contracts.CatOrdering && strings.Contains(v.Contract, "redistribute connected") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("order break not flagged; violations: %+v", summarize(vs))
+		}
+	})
+}
+
+func summarize(vs []contracts.Violation) []string {
+	out := make([]string, 0, len(vs))
+	for _, v := range vs {
+		out = append(out, string(v.Category)+"@"+v.File)
+	}
+	return out
+}
+
+func TestMutationsAreDetected(t *testing.T) {
+	srcs, meta, _ := edgeSources(t, "E1", 0.8)
+	eng := MustNew(DefaultOptions())
+	lr, err := eng.Learn(srcs, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detected := 0
+	trials := 0
+	for seed := int64(1); seed <= 10; seed++ {
+		for _, kind := range synth.Mutations() {
+			bad, _, ok := synth.Mutate(string(srcs[1].Text), kind, seed)
+			if !ok {
+				continue
+			}
+			trials++
+			cr, err := eng.Check(lr.Set, []Source{{Name: "mut.cfg", Text: []byte(bad)}}, meta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(cr.Violations) > 0 {
+				detected++
+			}
+		}
+	}
+	if trials == 0 {
+		t.Fatal("no mutations applied")
+	}
+	// Not every random mutation must be caught (coverage is ~85%), but
+	// the majority should be.
+	if float64(detected)/float64(trials) < 0.6 {
+		t.Errorf("detected %d/%d mutations", detected, trials)
+	}
+}
+
+func TestMetadataRelationsLearned(t *testing.T) {
+	srcs, meta, _ := edgeSources(t, "E1", 0.5)
+	eng := MustNew(DefaultOptions())
+	lr, err := eng.Learn(srcs, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range lr.Set.Contracts {
+		if r, ok := c.(*contracts.Relational); ok &&
+			strings.Contains(r.Pattern2, "@meta") && strings.Contains(r.Pattern1, "vlan [num]") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no vlan/metadata contract learned")
+	}
+}
+
+func TestCheckWithoutMetadataStillWorks(t *testing.T) {
+	srcs, meta, _ := edgeSources(t, "E1", 0.5)
+	eng := MustNew(DefaultOptions())
+	lr, err := eng.Learn(srcs, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Checking without the metadata: @meta patterns are absent, so the
+	// metadata relation fires for every vlan line.
+	cr, err := eng.Check(lr.Set, srcs[:1], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawMeta := false
+	for _, v := range cr.Violations {
+		if strings.Contains(v.Contract, "@meta") {
+			sawMeta = true
+		}
+	}
+	if !sawMeta {
+		t.Error("missing metadata should violate metadata contracts")
+	}
+}
+
+func TestEngineRejectsBadUserTokens(t *testing.T) {
+	opts := DefaultOptions()
+	opts.UserTokens = []lexer.TokenSpec{{Name: "bad", Pattern: "("}}
+	if _, err := New(opts); err == nil {
+		t.Error("invalid user token accepted")
+	}
+}
+
+func TestCategoriesOption(t *testing.T) {
+	srcs, meta, _ := edgeSources(t, "E1", 0.5)
+	opts := DefaultOptions()
+	opts.Categories = []contracts.Category{contracts.CatPresent}
+	lr, err := MustNew(opts).Learn(srcs, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.Set.Count(contracts.CatPresent) == 0 {
+		t.Error("present mining disabled")
+	}
+	for _, c := range lr.Set.Contracts {
+		if c.Category() != contracts.CatPresent {
+			t.Errorf("category filter leaked %s", c.Category())
+		}
+	}
+}
+
+func TestMinimizationToggle(t *testing.T) {
+	srcs, meta, _ := edgeSources(t, "E1", 0.5)
+	on := DefaultOptions()
+	off := DefaultOptions()
+	off.Minimize = false
+	lrOn, err := MustNew(on).Learn(srcs, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lrOff, err := MustNew(off).Learn(srcs, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lrOn.Set.Count(contracts.CatRelation) >= lrOff.Set.Count(contracts.CatRelation) {
+		t.Errorf("minimization did not reduce: %d vs %d",
+			lrOn.Set.Count(contracts.CatRelation), lrOff.Set.Count(contracts.CatRelation))
+	}
+	if lrOn.Minimization.ReductionFactor() <= 1 {
+		t.Errorf("reduction factor = %v", lrOn.Minimization.ReductionFactor())
+	}
+	if lrOff.Minimization.Before != 0 {
+		t.Error("minimization ran despite being disabled")
+	}
+}
+
+func TestProcessStats(t *testing.T) {
+	eng := MustNew(DefaultOptions())
+	cfgs, st := eng.Process([]Source{
+		{Name: "a", Text: []byte("hostname A1\nvlan 2\n")},
+		{Name: "b", Text: []byte("hostname B2\nvlan 3\n")},
+	}, nil)
+	if len(cfgs) != 2 || st.Lines != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// hostname A[num]/B[num] differ as patterns; vlan [num] shared.
+	if st.Patterns != 3 {
+		t.Errorf("patterns = %d, want 3", st.Patterns)
+	}
+	if st.Parameters != 3 {
+		t.Errorf("parameters = %d, want 3", st.Parameters)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	eng := MustNew(DefaultOptions())
+	lr, err := eng.Learn(nil, nil)
+	if err != nil || lr.Set.Len() != 0 {
+		t.Errorf("empty learn: %v, %d contracts", err, lr.Set.Len())
+	}
+	cr, err := eng.Check(lr.Set, nil, nil)
+	if err != nil || len(cr.Violations) != 0 {
+		t.Errorf("empty check: %v, %d violations", err, len(cr.Violations))
+	}
+}

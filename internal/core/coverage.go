@@ -1,0 +1,62 @@
+package core
+
+import (
+	"sort"
+
+	"concord/internal/contracts"
+)
+
+// LineCoverage reports the coverage status of one configuration line
+// (§3.9: "Concord summarizes the percent of configuration lines covered
+// and also reports the coverage of each line").
+type LineCoverage struct {
+	// File is the configuration name.
+	File string `json:"file"`
+	// Line is the 1-based line number in the original file.
+	Line int `json:"line"`
+	// Raw is the original line text.
+	Raw string `json:"raw"`
+	// Covered reports whether removing the line would violate at least
+	// one contract.
+	Covered bool `json:"covered"`
+	// Categories lists the contract categories covering the line.
+	Categories []contracts.Category `json:"categories,omitempty"`
+}
+
+// CoverageLines computes per-line coverage detail for every source
+// configuration under the given contract set. Metadata lines are
+// excluded. Results are ordered by file then line.
+func (e *Engine) CoverageLines(set *contracts.Set, sources, meta []Source) ([]LineCoverage, error) {
+	cfgs, _ := e.Process(sources, meta)
+	checker := contracts.NewCheckerWith(set, e.transforms, e.opts.ExtraRelations)
+	perCfg := make([][]LineCoverage, len(cfgs))
+	e.forEach(len(cfgs), func(i int) {
+		cov := checker.Coverage(cfgs[i])
+		var out []LineCoverage
+		for li := range cfgs[i].Lines {
+			line := &cfgs[i].Lines[li]
+			if line.Meta {
+				continue
+			}
+			lc := LineCoverage{
+				File:    cfgs[i].Name,
+				Line:    line.Num,
+				Raw:     line.Raw,
+				Covered: cov.Covered[li],
+			}
+			for _, cat := range contracts.Categories() {
+				if cov.ByCategory[cat][li] {
+					lc.Categories = append(lc.Categories, cat)
+				}
+			}
+			out = append(out, lc)
+		}
+		sort.Slice(out, func(a, b int) bool { return out[a].Line < out[b].Line })
+		perCfg[i] = out
+	})
+	var all []LineCoverage
+	for _, lines := range perCfg {
+		all = append(all, lines...)
+	}
+	return all, nil
+}

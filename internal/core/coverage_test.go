@@ -1,0 +1,171 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"concord/internal/contracts"
+)
+
+// TestCoverageSoundness validates the §3.9 definition end to end: a line
+// reported as covered must, when removed from the raw configuration,
+// produce at least one contract violation. The analytic coverage
+// computation (sole matches, adjacency simulation, sole witnesses,
+// sequence breaks) must agree with actually deleting the line and
+// re-running the checker.
+func TestCoverageSoundness(t *testing.T) {
+	srcs, meta, _ := edgeSources(t, "E1", 0.8)
+	eng := MustNew(DefaultOptions())
+	lr, err := eng.Learn(srcs, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker := contracts.NewChecker(lr.Set)
+
+	cfgs, _ := eng.Process(srcs[:1], meta)
+	cfg := cfgs[0]
+	cov := checker.Coverage(cfg)
+	if len(cov.Covered) == 0 {
+		t.Fatal("nothing covered")
+	}
+
+	raw := strings.Split(string(srcs[0].Text), "\n")
+	tested := 0
+	for li := range cov.Covered {
+		if tested >= 60 {
+			break
+		}
+		line := cfg.Lines[li]
+		if line.Meta {
+			t.Fatalf("metadata line %d marked covered", li)
+		}
+		// Skip block headers: removing one reparents its children, a case
+		// the analytic coverage deliberately approximates (see
+		// contracts.Checker.Coverage).
+		if li+1 < len(cfg.Lines) && strings.HasPrefix(cfg.Lines[li+1].Pattern, line.Pattern+"/") {
+			continue
+		}
+		// Remove the raw source line and re-check the mutated config.
+		mutated := make([]string, 0, len(raw)-1)
+		mutated = append(mutated, raw[:line.Num-1]...)
+		mutated = append(mutated, raw[line.Num:]...)
+		cr, err := eng.Check(lr.Set, []Source{
+			{Name: "mutated.cfg", Text: []byte(strings.Join(mutated, "\n"))},
+		}, meta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cr.Violations) == 0 {
+			t.Errorf("line %d (%q) is covered but its removal violates nothing",
+				line.Num, line.Raw)
+		}
+		tested++
+	}
+	if tested == 0 {
+		t.Fatal("no covered lines tested")
+	}
+}
+
+// TestCoverageExcludesMeta ensures metadata lines never count toward
+// coverage numerators or denominators.
+func TestCoverageExcludesMeta(t *testing.T) {
+	srcs, meta, _ := edgeSources(t, "E1", 0.5)
+	eng := MustNew(DefaultOptions())
+	lr, err := eng.Learn(srcs, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := eng.Check(lr.Set, srcs[:1], meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs, _ := eng.Process(srcs[:1], meta)
+	nonMeta := 0
+	for _, l := range cfgs[0].Lines {
+		if !l.Meta {
+			nonMeta++
+		}
+	}
+	if cr.Coverage.TotalLines > nonMeta {
+		t.Errorf("coverage denominator %d exceeds non-meta lines %d",
+			cr.Coverage.TotalLines, nonMeta)
+	}
+	if cr.Coverage.CoveredLines > cr.Coverage.TotalLines {
+		t.Errorf("covered %d > total %d", cr.Coverage.CoveredLines, cr.Coverage.TotalLines)
+	}
+}
+
+// TestRobustnessOnHostileInputs feeds the full pipeline degenerate
+// inputs: empty files, binary junk, enormous single lines, deeply nested
+// indentation, and malformed JSON. Nothing may panic and results must be
+// well-formed.
+func TestRobustnessOnHostileInputs(t *testing.T) {
+	hostile := []Source{
+		{Name: "empty", Text: nil},
+		{Name: "blank", Text: []byte("\n\n\n  \n\t\n")},
+		{Name: "binary", Text: []byte{0x00, 0xff, 0x1b, 0x07, '\n', 'a', '\n'}},
+		{Name: "longline", Text: []byte(strings.Repeat("10.0.0.1 ", 5000) + "\n")},
+		{Name: "deep", Text: []byte(deepIndent(200))},
+		{Name: "badjson", Text: []byte(`{"a": [1, 2, {"b": }`)},
+		{Name: "unicode", Text: []byte("héllo wörld 10.0.0.1\n‮10.0.0.2\n")},
+	}
+	eng := MustNew(DefaultOptions())
+	lr, err := eng.Learn(hostile, hostile)
+	if err != nil {
+		t.Fatalf("Learn on hostile inputs: %v", err)
+	}
+	if _, err := eng.Check(lr.Set, hostile, hostile); err != nil {
+		t.Fatalf("Check on hostile inputs: %v", err)
+	}
+}
+
+func deepIndent(depth int) string {
+	var sb strings.Builder
+	for i := 0; i < depth; i++ {
+		sb.WriteString(strings.Repeat(" ", i))
+		sb.WriteString("level\n")
+	}
+	return sb.String()
+}
+
+// TestCoverageLines exercises the per-line coverage API.
+func TestCoverageLines(t *testing.T) {
+	srcs, meta, _ := edgeSources(t, "E1", 0.5)
+	eng := MustNew(DefaultOptions())
+	lr, err := eng.Learn(srcs, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines, err := eng.CoverageLines(lr.Set, srcs[:2], meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 {
+		t.Fatal("no lines")
+	}
+	covered := 0
+	for _, lc := range lines {
+		if lc.File == "" || lc.Line <= 0 {
+			t.Fatalf("malformed entry: %+v", lc)
+		}
+		if lc.Covered {
+			covered++
+			if len(lc.Categories) == 0 {
+				t.Errorf("covered line without categories: %+v", lc)
+			}
+		} else if len(lc.Categories) != 0 {
+			t.Errorf("uncovered line with categories: %+v", lc)
+		}
+	}
+	if covered == 0 {
+		t.Error("nothing covered")
+	}
+	// Line numbers are ascending within each file.
+	prevFile, prevLine := "", 0
+	for _, lc := range lines {
+		if lc.File == prevFile && lc.Line < prevLine {
+			t.Fatalf("line order broken at %+v", lc)
+		}
+		prevFile, prevLine = lc.File, lc.Line
+	}
+}

@@ -1,0 +1,137 @@
+// Package expert simulates the contract reviewer of the paper's
+// precision evaluation (§5.4). The paper used GPT-4 with chain-of-thought
+// prompting to obtain an initial 1-10 validity score for each learned
+// contract, sized the statistically required manual review from those
+// scores, and then had humans adjudicate the sample.
+//
+// GPT-4 is substituted by a deterministic scorer driven by the synthetic
+// generator's ground-truth manifest: contracts realizing planted
+// invariants score high (8-10 with occasional hedging), coincidental
+// contracts score low (1-5), and a calibrated hash-based jitter creates
+// the overlap a fallible reviewer exhibits. The statistical methodology
+// downstream of the scores — CDFs, sample sizing with finite population
+// correction, precision estimation — is exactly the paper's, which is
+// the reproducible part of the experiment (see DESIGN.md §4).
+package expert
+
+import (
+	"hash/fnv"
+
+	"concord/internal/contracts"
+)
+
+// Truth adjudicates whether a learned contract reflects a real
+// invariant; synth.Manifest implements it, as do merged multi-role
+// classifiers.
+type Truth interface {
+	IsTrue(c contracts.Contract) bool
+}
+
+// Reviewer scores learned contracts against a ground truth.
+type Reviewer struct {
+	truth Truth
+	// fallibility is the probability mass moved across the true/false
+	// boundary to emulate reviewer uncertainty (~0.08 when constructed
+	// with New).
+	fallibility float64
+}
+
+// New builds a reviewer over a dataset's ground truth.
+func New(truth Truth) *Reviewer {
+	return &Reviewer{truth: truth, fallibility: 0.08}
+}
+
+// jitter derives a deterministic pseudo-random float in [0, 1) from a
+// contract's identity.
+func jitter(id string, salt uint64) float64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(id))
+	v := h.Sum64() ^ (salt * 0x9e3779b97f4a7c15)
+	// Mix and take 53 bits.
+	v ^= v >> 33
+	v *= 0xff51afd7ed558ccd
+	v ^= v >> 33
+	return float64(v>>11) / float64(1<<53)
+}
+
+// Score returns the reviewer's 1-10 validity score for a contract: 10
+// means certain the contract is a real invariant. Scores are
+// deterministic per contract.
+func (r *Reviewer) Score(c contracts.Contract) int {
+	istrue := r.truth.IsTrue(c)
+	j1 := jitter(c.ID(), 1)
+	j2 := jitter(c.ID(), 2)
+	if j1 < r.fallibility {
+		istrue = !istrue // the reviewer misjudges this one
+	}
+	if istrue {
+		// True contracts concentrate at 8-10 with a tail at 6-7.
+		switch {
+		case j2 < 0.55:
+			return 10
+		case j2 < 0.75:
+			return 9
+		case j2 < 0.88:
+			return 8
+		case j2 < 0.95:
+			return 7
+		default:
+			return 6
+		}
+	}
+	// False contracts concentrate at 1-3 with a tail at 4-5.
+	switch {
+	case j2 < 0.40:
+		return 1
+	case j2 < 0.65:
+		return 2
+	case j2 < 0.82:
+		return 3
+	case j2 < 0.93:
+		return 4
+	default:
+		return 5
+	}
+}
+
+// TruePositive applies the paper's decision rule: scores 6-10 are
+// treated as true positives when estimating precision.
+func TruePositive(score int) bool { return score >= 6 }
+
+// CDF computes the cumulative distribution of scores for the given
+// contracts, indexed from score 10 down to 1 (the paper's Figure 9 axis
+// direction): CDF[0] is the fraction scoring 10, CDF[9] is 1.0.
+func (r *Reviewer) CDF(cs []contracts.Contract) [10]float64 {
+	var counts [11]int
+	total := 0
+	for _, c := range cs {
+		counts[r.Score(c)]++
+		total++
+	}
+	var cdf [10]float64
+	if total == 0 {
+		return cdf
+	}
+	cum := 0
+	for s := 10; s >= 1; s-- {
+		cum += counts[s]
+		cdf[10-s] = float64(cum) / float64(total)
+	}
+	return cdf
+}
+
+// EstimatePrecision returns the reviewer's precision estimate for a
+// contract list: the fraction scoring 6-10. This seeds the sample-size
+// computation of Table 6.
+func (r *Reviewer) EstimatePrecision(cs []contracts.Contract) float64 {
+	if len(cs) == 0 {
+		return 0
+	}
+	tp := 0
+	for _, c := range cs {
+		if TruePositive(r.Score(c)) {
+			tp++
+		}
+	}
+	return float64(tp) / float64(len(cs))
+}

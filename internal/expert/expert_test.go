@@ -1,0 +1,134 @@
+package expert
+
+import (
+	"fmt"
+	"testing"
+
+	"concord/internal/contracts"
+	"concord/internal/synth"
+)
+
+// truthAll / truthNone are manifests that classify everything true or
+// false, for controlled scorer behavior.
+func truthNone() *synth.Manifest { return &synth.Manifest{} }
+
+func relationalContracts(n int) []contracts.Contract {
+	out := make([]contracts.Contract, n)
+	for i := range out {
+		out[i] = &contracts.Relational{
+			Pattern1: fmt.Sprintf("/p%d [num]", i), Rel: "equals",
+			Pattern2: fmt.Sprintf("/q%d [num]", i),
+		}
+	}
+	return out
+}
+
+func presentContracts(n int) []contracts.Contract {
+	out := make([]contracts.Contract, n)
+	for i := range out {
+		out[i] = &contracts.Present{Pattern: fmt.Sprintf("/p%d", i)}
+	}
+	return out
+}
+
+func TestScoreDeterministic(t *testing.T) {
+	r := New(truthNone())
+	c := relationalContracts(1)[0]
+	s := r.Score(c)
+	for i := 0; i < 5; i++ {
+		if r.Score(c) != s {
+			t.Fatal("score not deterministic")
+		}
+	}
+	if s < 1 || s > 10 {
+		t.Fatalf("score out of range: %d", s)
+	}
+}
+
+func TestScoreSeparatesTrueFromFalse(t *testing.T) {
+	r := New(truthNone())
+	// Present contracts are always true under any manifest; relational
+	// ones are false under the empty manifest.
+	trueScores := 0.0
+	for _, c := range presentContracts(200) {
+		trueScores += float64(r.Score(c))
+	}
+	falseScores := 0.0
+	for _, c := range relationalContracts(200) {
+		falseScores += float64(r.Score(c))
+	}
+	if trueScores/200 < 7 {
+		t.Errorf("mean true score = %v, want high", trueScores/200)
+	}
+	if falseScores/200 > 4 {
+		t.Errorf("mean false score = %v, want low", falseScores/200)
+	}
+}
+
+func TestReviewerIsFallible(t *testing.T) {
+	r := New(truthNone())
+	// Some false contracts must be misjudged as true (scores 6-10), at
+	// roughly the fallibility rate.
+	misjudged := 0
+	cs := relationalContracts(1000)
+	for _, c := range cs {
+		if TruePositive(r.Score(c)) {
+			misjudged++
+		}
+	}
+	if misjudged == 0 {
+		t.Error("reviewer never misjudges; overlap required for Figure 9")
+	}
+	if misjudged > 200 {
+		t.Errorf("reviewer misjudges too often: %d/1000", misjudged)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	r := New(truthNone())
+	cdf := r.CDF(presentContracts(500))
+	if cdf[9] != 1.0 {
+		t.Errorf("CDF must end at 1.0, got %v", cdf[9])
+	}
+	for i := 1; i < 10; i++ {
+		if cdf[i] < cdf[i-1] {
+			t.Errorf("CDF not monotone at %d: %v", i, cdf)
+		}
+	}
+	// High-scoring population: most mass at scores >= 8 (first 3 bins).
+	if cdf[2] < 0.7 {
+		t.Errorf("true population should concentrate high: %v", cdf)
+	}
+	var empty [10]float64
+	if r.CDF(nil) != empty {
+		t.Error("empty CDF should be zero")
+	}
+}
+
+func TestEstimatePrecision(t *testing.T) {
+	r := New(truthNone())
+	pTrue := r.EstimatePrecision(presentContracts(300))
+	pFalse := r.EstimatePrecision(relationalContracts(300))
+	if pTrue < 0.85 {
+		t.Errorf("estimate for true population = %v", pTrue)
+	}
+	if pFalse > 0.2 {
+		t.Errorf("estimate for false population = %v", pFalse)
+	}
+	if r.EstimatePrecision(nil) != 0 {
+		t.Error("empty estimate should be 0")
+	}
+}
+
+func TestTruePositiveRule(t *testing.T) {
+	for s := 1; s <= 5; s++ {
+		if TruePositive(s) {
+			t.Errorf("score %d should not be TP", s)
+		}
+	}
+	for s := 6; s <= 10; s++ {
+		if !TruePositive(s) {
+			t.Errorf("score %d should be TP", s)
+		}
+	}
+}

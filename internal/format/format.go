@@ -1,0 +1,297 @@
+// Package format implements Concord's configuration format inference and
+// context embedding (§3.1). Each input file is categorized as JSON,
+// YAML, indentation-based, or flat text; hierarchical formats are then
+// flattened into a sequence of lines carrying their parent path, so that
+// a line such as "ip address 10.14.14.34" becomes
+// "/interface Loopback[num]/ip address 10.14.14.34" and can be
+// distinguished from the same command in other contexts.
+//
+// Context segments are the *untyped* patterns of the parent lines:
+// parents never bind parameter values (paper §3.2), because any real
+// relationship involving a parent is captured directly on the parent's
+// own line.
+package format
+
+import (
+	"encoding/json"
+	"strings"
+
+	"concord/internal/lexer"
+)
+
+// Category is an inferred configuration data format.
+type Category string
+
+// The recognized format categories.
+const (
+	JSON   Category = "json"
+	YAML   Category = "yaml"
+	Indent Category = "indent"
+	Flat   Category = "flat"
+)
+
+// Detect infers the data format category of a configuration file. The
+// heuristics mirror the paper's observation that despite thousands of
+// configuration dialects, the number of ways to structure hierarchy is
+// small: valid JSON documents, YAML-style "key:" documents, files that
+// indent blocks, and everything else (flat).
+func Detect(text []byte) Category {
+	trimmed := strings.TrimSpace(string(text))
+	if trimmed == "" {
+		return Flat
+	}
+	if trimmed[0] == '{' || trimmed[0] == '[' {
+		if json.Valid([]byte(trimmed)) {
+			return JSON
+		}
+	}
+	lines := strings.Split(trimmed, "\n")
+	yamlish, indented, total := 0, 0, 0
+	for _, l := range lines {
+		t := strings.TrimRight(l, " \t\r")
+		if strings.TrimSpace(t) == "" {
+			continue
+		}
+		total++
+		if len(t) > 0 && (t[0] == ' ' || t[0] == '\t') {
+			indented++
+		}
+		s := strings.TrimSpace(t)
+		if isYAMLish(s) {
+			yamlish++
+		}
+	}
+	if total == 0 {
+		return Flat
+	}
+	if yamlish*2 >= total && indented > 0 {
+		return YAML
+	}
+	if indented > 0 {
+		return Indent
+	}
+	return Flat
+}
+
+// isYAMLish reports whether a trimmed line looks like YAML structure: a
+// document marker, a list item, a bare "key:" header, or a single-word
+// "key: value" mapping.
+func isYAMLish(s string) bool {
+	if s == "---" || strings.HasPrefix(s, "- ") || strings.HasSuffix(s, ":") {
+		return true
+	}
+	key, _, ok := strings.Cut(s, ": ")
+	if !ok || key == "" {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		b := key[i]
+		if !(b == '_' || b == '-' || b == '.' ||
+			(b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') || (b >= '0' && b <= '9')) {
+			return false
+		}
+	}
+	return true
+}
+
+// Options controls processing.
+type Options struct {
+	// Embed enables context embedding for hierarchical formats. When
+	// false every format is treated as flat, which is the "Baseline"
+	// configuration of Figure 7.
+	Embed bool
+}
+
+// Process turns raw file text into a lexed configuration. It detects the
+// format, performs context embedding when enabled, and lexes every line.
+func Process(name string, text []byte, lx *lexer.Lexer, opts Options) lexer.Config {
+	cat := Detect(text)
+	if !opts.Embed {
+		cat = Flat
+	}
+	switch cat {
+	case JSON:
+		if cfg, ok := processJSON(name, text, lx); ok {
+			return cfg
+		}
+		return processIndent(name, text, lx, false)
+	case YAML:
+		if cfg, ok := processYAML(name, text, lx); ok {
+			return cfg
+		}
+		return processIndent(name, text, lx, true)
+	case Indent:
+		return processIndent(name, text, lx, true)
+	default:
+		return processIndent(name, text, lx, false)
+	}
+}
+
+// stackEntry is a pending parent block during indent embedding.
+type stackEntry struct {
+	indent  int
+	context string // untyped pattern of the parent line
+}
+
+// processIndent handles indentation-based and flat formats. With
+// embed=false the parent stack is never populated, producing flat
+// patterns prefixed with "/".
+func processIndent(name string, text []byte, lx *lexer.Lexer, embed bool) lexer.Config {
+	cfg := lexer.Config{Name: name}
+	var stack []stackEntry
+	lines := strings.Split(string(text), "\n")
+	for i, raw := range lines {
+		trimmedRight := strings.TrimRight(raw, " \t\r")
+		content := strings.TrimSpace(trimmedRight)
+		if content == "" {
+			continue
+		}
+		cfg.SourceLines++
+		indent := indentWidth(trimmedRight)
+		if embed {
+			for len(stack) > 0 && stack[len(stack)-1].indent >= indent {
+				stack = stack[:len(stack)-1]
+			}
+		}
+		leaf := lx.Lex(content)
+		var prefix strings.Builder
+		for _, e := range stack {
+			prefix.WriteByte('/')
+			prefix.WriteString(e.context)
+		}
+		prefix.WriteByte('/')
+		line := lexer.Line{
+			File:    name,
+			Num:     i + 1,
+			Raw:     content,
+			Text:    prefix.String() + content,
+			Pattern: prefix.String() + leaf.Untyped,
+			Display: prefix.String() + leaf.Display,
+			Params:  leaf.Params,
+		}
+		cfg.Lines = append(cfg.Lines, line)
+		if embed {
+			stack = append(stack, stackEntry{indent: indent, context: leaf.Untyped})
+		}
+	}
+	return cfg
+}
+
+// indentWidth computes the leading-whitespace width of a line with tabs
+// expanded to four columns.
+func indentWidth(s string) int {
+	w := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ' ':
+			w++
+		case '\t':
+			w += 4
+		default:
+			return w
+		}
+	}
+	return w
+}
+
+// processJSON flattens a JSON document into one line per scalar leaf,
+// with the object-key path as context. Array indices are deliberately
+// omitted from paths so repeated elements share a pattern. Line numbers
+// are recovered from decoder byte offsets.
+func processJSON(name string, text []byte, lx *lexer.Lexer) (lexer.Config, bool) {
+	dec := json.NewDecoder(strings.NewReader(string(text)))
+	dec.UseNumber()
+
+	// Precompute byte offset -> line number.
+	lineAt := func(off int64) int {
+		n := 1
+		for i := int64(0); i < off && i < int64(len(text)); i++ {
+			if text[i] == '\n' {
+				n++
+			}
+		}
+		return n
+	}
+
+	cfg := lexer.Config{Name: name}
+	var path []string
+	var walk func() bool
+	emit := func(valueText string, off int64) {
+		content := "/" + strings.Join(path, "/")
+		if len(path) > 0 {
+			content += " "
+		}
+		content += valueText
+		leaf := lx.Lex(valueText)
+		prefix := "/" + strings.Join(path, "/")
+		if len(path) > 0 {
+			prefix += " "
+		}
+		cfg.SourceLines++
+		cfg.Lines = append(cfg.Lines, lexer.Line{
+			File:    name,
+			Num:     lineAt(off),
+			Raw:     content,
+			Text:    content,
+			Pattern: prefix + leaf.Untyped,
+			Display: prefix + leaf.Display,
+			Params:  leaf.Params,
+		})
+	}
+	walk = func() bool {
+		tok, err := dec.Token()
+		if err != nil {
+			return false
+		}
+		switch t := tok.(type) {
+		case json.Delim:
+			switch t {
+			case '{':
+				for dec.More() {
+					keyTok, err := dec.Token()
+					if err != nil {
+						return false
+					}
+					key, _ := keyTok.(string)
+					path = append(path, key)
+					if !walk() {
+						return false
+					}
+					path = path[:len(path)-1]
+				}
+				_, err := dec.Token() // closing '}'
+				return err == nil
+			case '[':
+				for dec.More() {
+					if !walk() {
+						return false
+					}
+				}
+				_, err := dec.Token() // closing ']'
+				return err == nil
+			}
+			return false
+		case string:
+			emit(t, dec.InputOffset())
+			return true
+		case json.Number:
+			emit(t.String(), dec.InputOffset())
+			return true
+		case bool:
+			if t {
+				emit("true", dec.InputOffset())
+			} else {
+				emit("false", dec.InputOffset())
+			}
+			return true
+		case nil:
+			emit("null", dec.InputOffset())
+			return true
+		}
+		return false
+	}
+	if !walk() {
+		return lexer.Config{}, false
+	}
+	return cfg, true
+}

@@ -1,0 +1,129 @@
+package format
+
+import (
+	"strings"
+
+	"concord/internal/lexer"
+)
+
+// processYAML flattens a YAML-subset document into one line per scalar,
+// with the mapping-key path as context — the YAML analogue of the JSON
+// flattener. The subset covers what configuration metadata actually
+// uses: nested mappings by indentation, block sequences ("- item",
+// including inline "- key: value" entries), scalars with optional single
+// or double quotes, comments, and document markers. Anchors, aliases,
+// flow collections, and multi-line scalars fall back to plain indent
+// embedding (the pre-parser is best-effort by design — Concord treats
+// everything as text in the end).
+func processYAML(name string, text []byte, lx *lexer.Lexer) (lexer.Config, bool) {
+	type frame struct {
+		indent int
+		key    string
+	}
+	cfg := lexer.Config{Name: name}
+	var stack []frame
+
+	emit := func(num int, path []string, keyPrefix, scalar string) {
+		content := "/" + strings.Join(path, "/")
+		if keyPrefix != "" {
+			content += "/" + keyPrefix
+		}
+		leafText := scalar
+		leaf := lx.Lex(leafText)
+		prefix := content
+		if leafText != "" {
+			prefix += " "
+		}
+		cfg.SourceLines++
+		cfg.Lines = append(cfg.Lines, lexer.Line{
+			File:    name,
+			Num:     num,
+			Raw:     strings.TrimSpace(keyPrefix + " " + scalar),
+			Text:    prefix + leafText,
+			Pattern: prefix + leaf.Untyped,
+			Display: prefix + leaf.Display,
+			Params:  leaf.Params,
+		})
+	}
+
+	lines := strings.Split(string(text), "\n")
+	for i, raw := range lines {
+		trimmedRight := strings.TrimRight(raw, " \t\r")
+		content := strings.TrimSpace(trimmedRight)
+		if content == "" || strings.HasPrefix(content, "#") || content == "---" || content == "..." {
+			continue
+		}
+		// Unsupported constructs bail out to the generic indent embedder.
+		if strings.ContainsAny(content, "&*{}") || strings.HasSuffix(content, "|") || strings.HasSuffix(content, ">") {
+			return lexer.Config{}, false
+		}
+		indent := indentWidth(trimmedRight)
+		for len(stack) > 0 && stack[len(stack)-1].indent >= indent {
+			stack = stack[:len(stack)-1]
+		}
+		path := make([]string, 0, len(stack))
+		for _, f := range stack {
+			path = append(path, f.key)
+		}
+
+		// Sequence items: "- scalar" or "- key: value".
+		if item, ok := strings.CutPrefix(content, "- "); ok {
+			item = strings.TrimSpace(item)
+			if key, val, isMap := cutYAMLKey(item); isMap {
+				if val == "" {
+					// "- key:" opens a nested mapping within the item.
+					stack = append(stack, frame{indent: indent + 2, key: key + ":"})
+					continue
+				}
+				emit(i+1, path, key+":", unquoteYAML(val))
+				continue
+			}
+			emit(i+1, path, "-", unquoteYAML(item))
+			continue
+		}
+
+		key, val, isMap := cutYAMLKey(content)
+		if !isMap {
+			// A bare scalar line (uncommon); treat as a value at the
+			// current path.
+			emit(i+1, path, "", unquoteYAML(content))
+			continue
+		}
+		if val == "" {
+			// "key:" opens a nested mapping or sequence.
+			stack = append(stack, frame{indent: indent, key: key + ":"})
+			continue
+		}
+		emit(i+1, path, key+":", unquoteYAML(val))
+	}
+	return cfg, true
+}
+
+// cutYAMLKey splits "key: value" (or "key:"), requiring a plausible
+// plain-style key.
+func cutYAMLKey(s string) (key, value string, ok bool) {
+	i := strings.Index(s, ":")
+	if i <= 0 {
+		return "", "", false
+	}
+	// "key:value" without a space is not a YAML mapping (it's a plain
+	// scalar like an IPv6 address) unless the colon ends the line.
+	if i+1 < len(s) && s[i+1] != ' ' {
+		return "", "", false
+	}
+	key = strings.TrimSpace(s[:i])
+	if key == "" || strings.ContainsAny(key, " \t") {
+		return "", "", false
+	}
+	return key, strings.TrimSpace(s[i+1:]), true
+}
+
+// unquoteYAML strips one level of single or double quotes.
+func unquoteYAML(s string) string {
+	if len(s) >= 2 {
+		if (s[0] == '"' && s[len(s)-1] == '"') || (s[0] == '\'' && s[len(s)-1] == '\'') {
+			return s[1 : len(s)-1]
+		}
+	}
+	return s
+}

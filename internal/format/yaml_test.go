@@ -1,0 +1,143 @@
+package format
+
+import (
+	"strings"
+	"testing"
+
+	"concord/internal/lexer"
+)
+
+func yamlPatterns(t *testing.T, text string) []string {
+	t.Helper()
+	lx := lexer.MustNew()
+	cfg, ok := processYAML("y", []byte(text), lx)
+	if !ok {
+		t.Fatalf("processYAML bailed out on:\n%s", text)
+	}
+	var out []string
+	for _, l := range cfg.Lines {
+		out = append(out, l.Pattern)
+	}
+	return out
+}
+
+func TestYAMLNestedMappings(t *testing.T) {
+	pats := yamlPatterns(t, `
+network:
+  mgmt:
+    gateway: 10.0.0.254
+    mtu: 9000
+  core:
+    gateway: 10.0.1.254
+`)
+	joined := strings.Join(pats, "\n")
+	for _, want := range []string{
+		"/network:/mgmt:/gateway: [ip4]",
+		"/network:/mgmt:/mtu: [num]",
+		"/network:/core:/gateway: [ip4]",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing %q in:\n%s", want, joined)
+		}
+	}
+}
+
+func TestYAMLSequences(t *testing.T) {
+	pats := yamlPatterns(t, `
+vlans:
+  - 100
+  - 200
+servers:
+  - name: ns1
+    addr: 10.0.0.53
+  - name: ns2
+    addr: 10.0.1.53
+`)
+	joined := strings.Join(pats, "\n")
+	if strings.Count(joined, "/vlans:/- [num]") != 2 {
+		t.Errorf("sequence scalars wrong:\n%s", joined)
+	}
+	// Inline "- key: value" items become key-scoped lines; the follow-up
+	// mapping lines nest under the item.
+	if strings.Count(joined, "name: ns[num]") != 2 {
+		t.Errorf("inline map items wrong:\n%s", joined)
+	}
+	if strings.Count(joined, "addr: [ip4]") != 2 {
+		t.Errorf("nested item fields wrong:\n%s", joined)
+	}
+}
+
+func TestYAMLQuotedScalarsAndComments(t *testing.T) {
+	pats := yamlPatterns(t, `
+# top comment
+host: "10.1.2.3"
+label: 'edge'
+`)
+	joined := strings.Join(pats, "\n")
+	if !strings.Contains(joined, "/host: [ip4]") {
+		t.Errorf("quoted scalar not unwrapped:\n%s", joined)
+	}
+	if strings.Contains(joined, "#") {
+		t.Errorf("comment leaked:\n%s", joined)
+	}
+}
+
+func TestYAMLPlainScalarWithColonIsNotAKey(t *testing.T) {
+	// IPv6-ish scalars contain colons without a following space.
+	pats := yamlPatterns(t, "addr: 2001:db8::1\n")
+	if len(pats) != 1 || !strings.Contains(pats[0], "/addr: [ip6]") {
+		t.Errorf("patterns = %v", pats)
+	}
+}
+
+func TestYAMLUnsupportedFallsBack(t *testing.T) {
+	lx := lexer.MustNew()
+	for _, text := range []string{
+		"anchor: &a value\n",
+		"ref: *a\n",
+		"flow: {a: 1}\n",
+		"block: |\n  text\n",
+	} {
+		if _, ok := processYAML("y", []byte(text), lx); ok {
+			t.Errorf("unsupported construct accepted: %q", text)
+		}
+	}
+	// Process falls back gracefully to indent embedding.
+	cfg := Process("y", []byte("top:\n  anchor: &a v\n  other: 1\n"), lx, Options{Embed: true})
+	if len(cfg.Lines) == 0 {
+		t.Error("fallback produced no lines")
+	}
+}
+
+func TestYAMLDocumentMarkers(t *testing.T) {
+	pats := yamlPatterns(t, "---\nkey: 1\n...\n")
+	if len(pats) != 1 {
+		t.Errorf("patterns = %v", pats)
+	}
+}
+
+func TestYAMLThroughProcessEndToEnd(t *testing.T) {
+	lx := lexer.MustNew()
+	text := "nfInfos:\n  vrfs:\n    - vrfName: NF-VRF-1\n      vlanId: 1101\n    - vrfName: NF-VRF-2\n      vlanId: 1108\n"
+	if Detect([]byte(text)) != YAML {
+		t.Fatalf("not detected as YAML")
+	}
+	cfg := Process("meta.yaml", []byte(text), lx, Options{Embed: true})
+	joined := ""
+	for _, l := range cfg.Lines {
+		joined += l.Pattern + "\n"
+	}
+	if strings.Count(joined, "vlanId: [num]") != 2 {
+		t.Errorf("vlanIds not extracted:\n%s", joined)
+	}
+	// Values parse correctly.
+	found := false
+	for _, l := range cfg.Lines {
+		if strings.Contains(l.Pattern, "vlanId") && len(l.Params) == 1 && l.Params[0].Value.Key() == "num:1101" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("vlanId value 1101 not captured")
+	}
+}

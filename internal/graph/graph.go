@@ -1,0 +1,281 @@
+// Package graph implements the directed-graph algorithms behind
+// Concord's relational contract minimization (§3.6): Tarjan's strongly
+// connected components, SCC condensation, and transitive reduction of a
+// DAG. Minimization replaces each fully connected equality group with a
+// simple cycle and removes edges implied by transitivity, preserving
+// reachability (and therefore bug-finding power) exactly.
+package graph
+
+import "sort"
+
+// Digraph is a directed graph over nodes 0..N-1 with an adjacency-set
+// representation. The zero value is unusable; use New.
+type Digraph struct {
+	n   int
+	adj []map[int]bool
+}
+
+// New creates a digraph with n nodes and no edges.
+func New(n int) *Digraph {
+	g := &Digraph{n: n, adj: make([]map[int]bool, n)}
+	for i := range g.adj {
+		g.adj[i] = make(map[int]bool)
+	}
+	return g
+}
+
+// N returns the number of nodes.
+func (g *Digraph) N() int { return g.n }
+
+// AddEdge inserts the edge u -> v. Self-loops and duplicates are
+// ignored.
+func (g *Digraph) AddEdge(u, v int) {
+	if u == v || u < 0 || v < 0 || u >= g.n || v >= g.n {
+		return
+	}
+	g.adj[u][v] = true
+}
+
+// RemoveEdge deletes the edge u -> v if present.
+func (g *Digraph) RemoveEdge(u, v int) {
+	if u >= 0 && u < g.n {
+		delete(g.adj[u], v)
+	}
+}
+
+// HasEdge reports whether the edge u -> v exists.
+func (g *Digraph) HasEdge(u, v int) bool {
+	return u >= 0 && u < g.n && g.adj[u][v]
+}
+
+// Succ returns the successors of u in ascending order.
+func (g *Digraph) Succ(u int) []int {
+	out := make([]int, 0, len(g.adj[u]))
+	for v := range g.adj[u] {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// EdgeCount returns the total number of edges.
+func (g *Digraph) EdgeCount() int {
+	total := 0
+	for _, m := range g.adj {
+		total += len(m)
+	}
+	return total
+}
+
+// Edges returns all edges in deterministic (u, then v) order.
+func (g *Digraph) Edges() [][2]int {
+	var out [][2]int
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.Succ(u) {
+			out = append(out, [2]int{u, v})
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Digraph) Clone() *Digraph {
+	c := New(g.n)
+	for u := 0; u < g.n; u++ {
+		for v := range g.adj[u] {
+			c.adj[u][v] = true
+		}
+	}
+	return c
+}
+
+// Reachable reports whether dest is reachable from src (src reaches
+// itself trivially).
+func (g *Digraph) Reachable(src, dest int) bool {
+	if src == dest {
+		return true
+	}
+	seen := make([]bool, g.n)
+	stack := []int{src}
+	seen[src] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for v := range g.adj[u] {
+			if v == dest {
+				return true
+			}
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return false
+}
+
+// SCC computes strongly connected components with an iterative Tarjan
+// algorithm. It returns the component index of each node and the number
+// of components. Component indexes follow reverse topological order of
+// the condensation (a Tarjan property): if comp[u] < comp[v] then there
+// is no path from u to v across components.
+func (g *Digraph) SCC() (comp []int, count int) {
+	const unvisited = -1
+	index := make([]int, g.n)
+	low := make([]int, g.n)
+	onStack := make([]bool, g.n)
+	comp = make([]int, g.n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var stack []int
+	next := 0
+
+	type frame struct {
+		node int
+		succ []int
+		i    int
+	}
+	for start := 0; start < g.n; start++ {
+		if index[start] != unvisited {
+			continue
+		}
+		frames := []frame{{node: start, succ: g.Succ(start)}}
+		index[start] = next
+		low[start] = next
+		next++
+		stack = append(stack, start)
+		onStack[start] = true
+
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.i < len(f.succ) {
+				w := f.succ[f.i]
+				f.i++
+				if index[w] == unvisited {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{node: w, succ: g.Succ(w)})
+				} else if onStack[w] && index[w] < low[f.node] {
+					low[f.node] = index[w]
+				}
+				continue
+			}
+			// All successors processed: maybe pop a component.
+			v := f.node
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = count
+					if w == v {
+						break
+					}
+				}
+				count++
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := frames[len(frames)-1].node
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+		}
+	}
+	return comp, count
+}
+
+// Condense builds the condensation DAG of g given an SCC labeling: one
+// node per component, with an edge between components whenever any
+// cross-component edge exists in g.
+func (g *Digraph) Condense(comp []int, count int) *Digraph {
+	dag := New(count)
+	for u := 0; u < g.n; u++ {
+		for v := range g.adj[u] {
+			if comp[u] != comp[v] {
+				dag.AddEdge(comp[u], comp[v])
+			}
+		}
+	}
+	return dag
+}
+
+// TopoOrder returns a topological ordering of a DAG (Kahn's algorithm).
+// Behavior is undefined if the graph has cycles; callers should condense
+// first.
+func (g *Digraph) TopoOrder() []int {
+	indeg := make([]int, g.n)
+	for u := 0; u < g.n; u++ {
+		for v := range g.adj[u] {
+			indeg[v]++
+		}
+	}
+	var queue []int
+	for i := 0; i < g.n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	var order []int
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, v := range g.Succ(u) {
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	return order
+}
+
+// TransitiveReduce removes every edge (u, w) of a DAG that is implied by
+// a longer path from u to w, in place. The result is the unique minimal
+// graph with the same reachability relation (Aho, Garey & Ullman 1972).
+// The graph must be acyclic.
+func (g *Digraph) TransitiveReduce() {
+	order := g.TopoOrder()
+	pos := make([]int, g.n)
+	for i, u := range order {
+		pos[u] = i
+	}
+	// reach[u] = bitset of nodes reachable from u (excluding u itself via
+	// the empty path, including everything downstream). Computed in
+	// reverse topological order.
+	words := (g.n + 63) / 64
+	reach := make([][]uint64, g.n)
+	setBit := func(bs []uint64, i int) { bs[i/64] |= 1 << (i % 64) }
+	getBit := func(bs []uint64, i int) bool { return bs[i/64]&(1<<(i%64)) != 0 }
+
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		bs := make([]uint64, words)
+		// Successors sorted nearest-first by topological position: if w is
+		// reachable from v then pos[v] < pos[w] in every topological order,
+		// so v is processed first, its reachability covers w, and the
+		// redundant direct edge u->w is removed.
+		succ := g.Succ(u)
+		sort.Slice(succ, func(a, b int) bool { return pos[succ[a]] < pos[succ[b]] })
+		for _, v := range succ {
+			if getBit(bs, v) {
+				// v already reachable through a previously kept successor:
+				// the direct edge is redundant.
+				g.RemoveEdge(u, v)
+				continue
+			}
+			setBit(bs, v)
+			for w := range reach[v] {
+				bs[w] |= reach[v][w]
+			}
+		}
+		reach[u] = bs
+	}
+}

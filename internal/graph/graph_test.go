@@ -1,0 +1,248 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAddEdgeBasics(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1) // duplicate
+	g.AddEdge(1, 1) // self loop ignored
+	g.AddEdge(-1, 2)
+	g.AddEdge(0, 99)
+	if g.EdgeCount() != 1 {
+		t.Errorf("EdgeCount = %d, want 1", g.EdgeCount())
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Error("HasEdge wrong")
+	}
+	g.RemoveEdge(0, 1)
+	if g.EdgeCount() != 0 {
+		t.Error("RemoveEdge failed")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	if !g.Reachable(0, 2) {
+		t.Error("0 should reach 2")
+	}
+	if g.Reachable(2, 0) {
+		t.Error("2 should not reach 0")
+	}
+	if !g.Reachable(4, 4) {
+		t.Error("node should reach itself")
+	}
+	if g.Reachable(0, 4) {
+		t.Error("0 should not reach 4")
+	}
+}
+
+func TestSCCSimpleCycle(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	g.AddEdge(2, 3)
+	comp, count := g.SCC()
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Error("cycle nodes should share a component")
+	}
+	if comp[3] == comp[0] {
+		t.Error("node 3 should be its own component")
+	}
+}
+
+func TestSCCDisconnected(t *testing.T) {
+	g := New(3)
+	_, count := g.SCC()
+	if count != 3 {
+		t.Errorf("count = %d, want 3 singleton components", count)
+	}
+}
+
+func TestCondense(t *testing.T) {
+	g := New(5)
+	// Two cycles {0,1} and {2,3}, plus edges 1->2 and 3->4.
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 2)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	comp, count := g.SCC()
+	dag := g.Condense(comp, count)
+	if dag.N() != 3 {
+		t.Fatalf("condensation has %d nodes, want 3", dag.N())
+	}
+	if dag.EdgeCount() != 2 {
+		t.Errorf("condensation has %d edges, want 2", dag.EdgeCount())
+	}
+	// Condensation must be acyclic.
+	c2, n2 := dag.SCC()
+	_ = c2
+	if n2 != dag.N() {
+		t.Error("condensation is not acyclic")
+	}
+}
+
+func TestTransitiveReduceTriangle(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2) // implied
+	g.TransitiveReduce()
+	if g.HasEdge(0, 2) {
+		t.Error("implied edge 0->2 not removed")
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) {
+		t.Error("chain edges must survive")
+	}
+}
+
+func TestTransitiveReduceDiamond(t *testing.T) {
+	g := New(4)
+	// 0->1->3, 0->2->3, 0->3 (only 0->3 is redundant).
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 3)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(0, 3)
+	g.TransitiveReduce()
+	if g.HasEdge(0, 3) {
+		t.Error("0->3 should be removed")
+	}
+	if g.EdgeCount() != 4 {
+		t.Errorf("EdgeCount = %d, want 4", g.EdgeCount())
+	}
+}
+
+func TestTransitiveReduceLongChainShortcut(t *testing.T) {
+	const n = 10
+	g := New(n)
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(i, i+1)
+	}
+	// Every shortcut is redundant.
+	for i := 0; i < n; i++ {
+		for j := i + 2; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	g.TransitiveReduce()
+	if g.EdgeCount() != n-1 {
+		t.Errorf("EdgeCount = %d, want %d", g.EdgeCount(), n-1)
+	}
+}
+
+// TestTransitiveReducePreservesReachability is the core §3.6 invariant:
+// after reduction, reachability between every pair of nodes is unchanged,
+// and no kept edge is redundant.
+func TestTransitiveReducePreservesReachability(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		n := 8 + rng.Intn(10)
+		g := New(n)
+		// Random DAG: edges only from lower to higher index.
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.3 {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+		orig := g.Clone()
+		g.TransitiveReduce()
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if orig.Reachable(u, v) != g.Reachable(u, v) {
+					t.Fatalf("trial %d: reachability %d->%d changed", trial, u, v)
+				}
+			}
+		}
+		// Minimality: removing any kept edge must change reachability.
+		for _, e := range g.Edges() {
+			g2 := g.Clone()
+			g2.RemoveEdge(e[0], e[1])
+			if g2.Reachable(e[0], e[1]) {
+				t.Fatalf("trial %d: kept edge %v is redundant", trial, e)
+			}
+		}
+	}
+}
+
+// TestSCCMatchesBruteForce checks Tarjan against mutual-reachability.
+func TestSCCMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + rng.Intn(8)
+		g := New(n)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && rng.Float64() < 0.25 {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+		comp, _ := g.SCC()
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				same := g.Reachable(u, v) && g.Reachable(v, u)
+				if same != (comp[u] == comp[v]) {
+					t.Fatalf("trial %d: SCC disagrees for %d,%d", trial, u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestSCCReverseTopoProperty(t *testing.T) {
+	// Tarjan numbers components in reverse topological order: an edge
+	// u->v across components implies comp[u] > comp[v].
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		n := 6 + rng.Intn(10)
+		g := New(n)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && rng.Float64() < 0.2 {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+		comp, _ := g.SCC()
+		for _, e := range g.Edges() {
+			if comp[e[0]] != comp[e[1]] && comp[e[0]] < comp[e[1]] {
+				t.Fatalf("trial %d: edge %v violates reverse-topo component order", trial, e)
+			}
+		}
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	g := New(4)
+	g.AddEdge(3, 2)
+	g.AddEdge(2, 1)
+	g.AddEdge(1, 0)
+	order := g.TopoOrder()
+	if len(order) != 4 {
+		t.Fatalf("TopoOrder len = %d", len(order))
+	}
+	pos := make(map[int]int)
+	for i, u := range order {
+		pos[u] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e[0]] > pos[e[1]] {
+			t.Errorf("edge %v out of topological order", e)
+		}
+	}
+}

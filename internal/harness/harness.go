@@ -1,0 +1,227 @@
+// Package harness reproduces the paper's evaluation: it generates the
+// synthetic datasets, runs Concord over them, and regenerates every
+// table and figure of §5 (see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured numbers).
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"concord/internal/contracts"
+	"concord/internal/core"
+	"concord/internal/minimize"
+	"concord/internal/synth"
+)
+
+// RoleResult is one dataset's full evaluation artifact.
+type RoleResult struct {
+	Role         synth.RoleSpec
+	Dataset      *synth.Dataset
+	Stats        core.ProcessStats
+	LearnTime    time.Duration
+	CheckTime    time.Duration
+	Set          *contracts.Set
+	Check        *core.CheckResult
+	Minimization minimize.Result
+}
+
+// Runner executes and caches per-role evaluations so that experiments
+// sharing a dataset do not recompute it.
+type Runner struct {
+	// Scale multiplies dataset sizes (1.0 reproduces the full
+	// evaluation; tests and benchmarks use smaller values).
+	Scale float64
+	// Opts configures the engine; zero value selects defaults.
+	Opts core.Options
+
+	results map[string]*RoleResult
+}
+
+// NewRunner builds a runner at the given scale with default options.
+func NewRunner(scale float64) *Runner {
+	return &Runner{Scale: scale, Opts: core.DefaultOptions()}
+}
+
+// sources converts a dataset to engine inputs.
+func sources(ds *synth.Dataset) (srcs, meta []core.Source) {
+	for _, f := range ds.Configs {
+		srcs = append(srcs, core.Source{Name: f.Name, Text: f.Text})
+	}
+	for _, f := range ds.Meta {
+		meta = append(meta, core.Source{Name: f.Name, Text: f.Text})
+	}
+	return srcs, meta
+}
+
+// Role runs (or returns the cached) evaluation of one dataset role:
+// generate, learn (timed), then check the training corpus against the
+// learned contracts (timed), mirroring the paper's Table 3 methodology.
+func (r *Runner) Role(name string) (*RoleResult, error) {
+	if res, ok := r.results[name]; ok {
+		return res, nil
+	}
+	spec, ok := synth.RoleByName(name, r.Scale)
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown role %q", name)
+	}
+	ds := synth.Generate(spec)
+	srcs, meta := sources(ds)
+	eng, err := core.New(r.Opts)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	lr, err := eng.Learn(srcs, meta)
+	if err != nil {
+		return nil, err
+	}
+	learnTime := time.Since(start)
+	start = time.Now()
+	cr, err := eng.Check(lr.Set, srcs, meta)
+	if err != nil {
+		return nil, err
+	}
+	checkTime := time.Since(start)
+	res := &RoleResult{
+		Role:         spec,
+		Dataset:      ds,
+		Stats:        lr.Stats,
+		LearnTime:    learnTime,
+		CheckTime:    checkTime,
+		Set:          lr.Set,
+		Check:        cr,
+		Minimization: lr.Minimization,
+	}
+	if r.results == nil {
+		r.results = make(map[string]*RoleResult)
+	}
+	r.results[name] = res
+	return res, nil
+}
+
+// AllRoles returns every Table 3 role name in order.
+func AllRoles() []string {
+	var names []string
+	for _, spec := range synth.Roles(1) {
+		names = append(names, spec.Name)
+	}
+	return names
+}
+
+// EdgeRoles returns the mobile edge datacenter roles.
+func EdgeRoles() []string { return []string{"E1", "E2"} }
+
+// WANRoles returns the wide-area roles.
+func WANRoles() []string {
+	return []string{"W1", "W2", "W3", "W4", "W5", "W6", "W7", "W8"}
+}
+
+// table is a simple aligned-column text renderer.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) write(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	seps := make([]string, len(t.header))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+// fmtDuration renders a duration the way Table 3 does (0.1s, 16.0s).
+func fmtDuration(d time.Duration) string {
+	return fmt.Sprintf("%.1fs", d.Seconds())
+}
+
+// fmtMagnitude renders a line count as its nearest order of magnitude,
+// matching the anonymized "O(10^k)" column of Table 3 (622k lines reads
+// as O(10^6), not O(10^5)).
+func fmtMagnitude(lines int) string {
+	if lines <= 0 {
+		return "O(10^0)"
+	}
+	k := int(math.Round(math.Log10(float64(lines))))
+	return fmt.Sprintf("O(10^%d)", k)
+}
+
+// relSplit counts relational contracts by the paper's E/C/A columns
+// (equality, contains, affix).
+func relSplit(set *contracts.Set) (eq, co, af int) {
+	for _, c := range set.Contracts {
+		r, ok := c.(*contracts.Relational)
+		if !ok {
+			continue
+		}
+		switch r.Rel {
+		case "equals":
+			eq++
+		case "contains":
+			co++
+		default:
+			af++
+		}
+	}
+	return eq, co, af
+}
+
+// collectByCategory gathers a set's contracts for one category in
+// deterministic order.
+func collectByCategory(set *contracts.Set, cat contracts.Category) []contracts.Contract {
+	var out []contracts.Contract
+	for _, c := range set.Contracts {
+		if c.Category() == cat {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
+// collectByRel gathers relational contracts for one of the E/C/A splits
+// ("equals", "contains", "affix").
+func collectByRel(set *contracts.Set, rel string) []contracts.Contract {
+	var out []contracts.Contract
+	for _, c := range set.Contracts {
+		r, ok := c.(*contracts.Relational)
+		if !ok {
+			continue
+		}
+		isAffix := r.Rel == "startswith" || r.Rel == "endswith"
+		if (rel == "affix" && isAffix) || string(r.Rel) == rel {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}

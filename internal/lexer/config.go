@@ -1,0 +1,58 @@
+package lexer
+
+// Line is one processed configuration line: the original source text,
+// its context-embedded form, and the extracted typed pattern and
+// parameters. Pattern identity (the Pattern field) includes the
+// embedded context, so identical leaf commands under different parents
+// are distinct patterns, per §3.1 of the paper.
+type Line struct {
+	// File names the source configuration (or metadata) file.
+	File string
+	// Num is the 1-based line number in the original file.
+	Num int
+	// Raw is the original source line with surrounding whitespace
+	// trimmed.
+	Raw string
+	// Text is the context-embedded line that was lexed, e.g.
+	// "/interface Loopback[num]/ip address 10.14.14.34". Context
+	// segments use untyped placeholders; the leaf retains original text.
+	Text string
+	// Pattern is the canonical pattern key: embedded context plus the
+	// untyped leaf pattern. Lines with equal Pattern match the same
+	// contract patterns.
+	Pattern string
+	// Display is the context plus the named leaf pattern, e.g.
+	// ".../rd [a:ip4]:[b:num]", used when rendering contracts.
+	Display string
+	// Params holds the leaf's extracted parameters in order. Context
+	// segments never bind parameters (paper §3.2).
+	Params []Param
+	// Meta marks lines appended from external metadata files (§3.7).
+	// Ordering contracts never span a meta boundary.
+	Meta bool
+}
+
+// Config is one processed configuration: a device's worth of lines plus
+// any appended metadata lines.
+type Config struct {
+	// Name identifies the configuration (usually the file name).
+	Name string
+	// Lines lists the processed lines in file order; metadata lines, if
+	// any, follow the configuration's own lines.
+	Lines []Line
+	// SourceLines counts the non-blank lines of the original
+	// configuration file (excluding metadata), the denominator for
+	// coverage.
+	SourceLines int
+}
+
+// ParamIndex returns the index of the parameter with the given name, or
+// -1 if absent.
+func (l *Line) ParamIndex(name string) int {
+	for i := range l.Params {
+		if l.Params[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,270 @@
+// Package lexer implements Concord's pattern and value extraction
+// (§3.2). It separates each configuration line into a typed pattern — the
+// line text with data values replaced by typed placeholders such as
+// [num] or [ip4] — and an ordered parameter map binding fresh variable
+// names (a, b, c, ...) to parsed values.
+//
+// Built-in token types cover the network data types from Table 1 of the
+// paper (numbers, hex literals, booleans, MAC addresses, IPv4/IPv6
+// addresses and prefixes). Users extend the lexer with custom regular
+// expressions for domain objects such as interface names; user tokens
+// take precedence over built-ins.
+package lexer
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+
+	"concord/internal/netdata"
+)
+
+// TokenSpec describes one token type: a name used in pattern
+// placeholders, a regular expression locating candidate spans, and an
+// optional parser that validates the span and produces a typed value.
+// Parse failures make the lexer fall through to the next token type at
+// the same position, so loose regexes are safe.
+type TokenSpec struct {
+	// Name appears in placeholders, e.g. "iface" renders as [iface].
+	Name string
+	// Pattern is an RE2 regular expression matching candidate spans.
+	Pattern string
+	// Parse validates a candidate span and converts it to a value. If
+	// nil, every span is accepted as a netdata.Str.
+	Parse func(string) (netdata.Value, error)
+	// NoDigitBefore rejects spans immediately preceded by an ASCII
+	// digit, preventing numeric tokens from starting mid-number.
+	NoDigitBefore bool
+	// WordBoundary rejects spans whose neighboring characters are
+	// letters, digits, or underscores (used for keyword-like tokens such
+	// as booleans).
+	WordBoundary bool
+}
+
+type compiledSpec struct {
+	TokenSpec
+	re *regexp.Regexp
+}
+
+// Lexer extracts typed patterns and parameter values from configuration
+// lines. It is safe for concurrent use after construction.
+type Lexer struct {
+	specs []compiledSpec
+}
+
+// Builtin returns the built-in token specifications, ordered by matching
+// precedence (most specific first). The set mirrors Table 1 of the
+// paper; the hex token requires a 0x prefix so that leading-zero decimal
+// numbers are not misclassified.
+func Builtin() []TokenSpec {
+	return []TokenSpec{
+		{
+			Name:    "pfx6",
+			Pattern: `[0-9a-fA-F]{0,4}(?::[0-9a-fA-F]{0,4}){1,8}(?:\.[0-9]{1,3}){0,3}/[0-9]{1,3}`,
+			Parse:   func(s string) (netdata.Value, error) { return netdata.ParsePrefix6(s) },
+		},
+		{
+			Name:    "ip6",
+			Pattern: `[0-9a-fA-F]{0,4}(?::[0-9a-fA-F]{0,4}){1,8}(?:\.[0-9]{1,3}){0,3}`,
+			Parse:   func(s string) (netdata.Value, error) { return netdata.ParseIP6(s) },
+		},
+		{
+			Name:    "mac",
+			Pattern: `[0-9a-fA-F]{1,2}(?::[0-9a-fA-F]{1,2}){5}`,
+			Parse:   func(s string) (netdata.Value, error) { return netdata.ParseMAC(s) },
+		},
+		{
+			Name:          "pfx4",
+			Pattern:       `[0-9]{1,3}(?:\.[0-9]{1,3}){3}/[0-9]{1,2}`,
+			Parse:         func(s string) (netdata.Value, error) { return netdata.ParsePrefix4(s) },
+			NoDigitBefore: true,
+		},
+		{
+			Name:          "ip4",
+			Pattern:       `[0-9]{1,3}(?:\.[0-9]{1,3}){3}`,
+			Parse:         func(s string) (netdata.Value, error) { return netdata.ParseIP4(s) },
+			NoDigitBefore: true,
+		},
+		{
+			Name:          "hex",
+			Pattern:       `0[xX][0-9a-fA-F]+`,
+			Parse:         func(s string) (netdata.Value, error) { return netdata.ParseHex(s) },
+			NoDigitBefore: true,
+		},
+		{
+			Name:         "bool",
+			Pattern:      `true|false`,
+			Parse:        func(s string) (netdata.Value, error) { return netdata.ParseBool(s) },
+			WordBoundary: true,
+		},
+		{
+			Name:          "num",
+			Pattern:       `[0-9]+`,
+			Parse:         func(s string) (netdata.Value, error) { return netdata.ParseNum(s) },
+			NoDigitBefore: true,
+		},
+	}
+}
+
+// New compiles a lexer with the given user token specifications, which
+// take precedence over the built-ins.
+func New(user ...TokenSpec) (*Lexer, error) {
+	lx := &Lexer{}
+	for _, spec := range append(append([]TokenSpec{}, user...), Builtin()...) {
+		if spec.Name == "" {
+			return nil, fmt.Errorf("lexer: token spec with empty name")
+		}
+		re, err := regexp.Compile(spec.Pattern)
+		if err != nil {
+			return nil, fmt.Errorf("lexer: token %s: %w", spec.Name, err)
+		}
+		lx.specs = append(lx.specs, compiledSpec{TokenSpec: spec, re: re})
+	}
+	return lx, nil
+}
+
+// MustNew is New for known-good specs; it panics on error.
+func MustNew(user ...TokenSpec) *Lexer {
+	lx, err := New(user...)
+	if err != nil {
+		panic(err)
+	}
+	return lx
+}
+
+// Param is one extracted parameter of a lexed line.
+type Param struct {
+	// Name is the fresh variable ("a", "b", ...) in extraction order.
+	Name string
+	// Type is the token type name (e.g. "num", "ip4", "iface").
+	Type string
+	// Value is the parsed typed value.
+	Value netdata.Value
+}
+
+// Lexed is the result of lexing one line of text.
+type Lexed struct {
+	// Untyped is the canonical pattern with anonymous placeholders,
+	// e.g. "rd [ip4]:[num]". Two lines with equal Untyped (and equal
+	// context) share a pattern.
+	Untyped string
+	// Display carries parameter names, e.g. "rd [a:ip4]:[b:num]".
+	Display string
+	// Params lists the extracted parameters in order of appearance.
+	Params []Param
+}
+
+type span struct {
+	start, end int
+	spec       int
+	value      netdata.Value
+}
+
+// varName returns the i-th fresh variable name: a..z then v26, v27, ...
+func varName(i int) string {
+	if i < 26 {
+		return string(rune('a' + i))
+	}
+	return fmt.Sprintf("v%d", i)
+}
+
+// MaxParamsPerLine bounds the parameters extracted from a single line.
+// Real configuration commands carry a handful of values; the cap keeps
+// adversarial inputs (megabyte single-line files) from exploding the
+// relational candidate space downstream.
+const MaxParamsPerLine = 64
+
+// Lex extracts the typed pattern and parameters from a single line of
+// text. Matching is greedy left to right; at each position the
+// highest-precedence token whose span parses successfully wins.
+func (lx *Lexer) Lex(line string) Lexed {
+	// Collect candidate spans from every spec, then resolve overlaps by
+	// position and precedence.
+	var candidates []span
+	for si := range lx.specs {
+		spec := &lx.specs[si]
+		for _, loc := range spec.re.FindAllStringIndex(line, -1) {
+			start, end := loc[0], loc[1]
+			if start == end {
+				continue
+			}
+			if spec.NoDigitBefore && start > 0 && isDigit(line[start-1]) {
+				continue
+			}
+			if spec.WordBoundary {
+				if start > 0 && isWordByte(line[start-1]) {
+					continue
+				}
+				if end < len(line) && isWordByte(line[end]) {
+					continue
+				}
+			}
+			var v netdata.Value
+			if spec.Parse != nil {
+				parsed, err := spec.Parse(line[start:end])
+				if err != nil {
+					continue
+				}
+				v = parsed
+			} else {
+				v = netdata.Str(line[start:end])
+			}
+			candidates = append(candidates, span{start: start, end: end, spec: si, value: v})
+		}
+	}
+	// Stable resolution: earlier start first; at equal start, higher
+	// precedence (lower spec index) first; ties broken by longer span.
+	sort.Slice(candidates, func(i, j int) bool {
+		a, b := candidates[i], candidates[j]
+		if a.start != b.start {
+			return a.start < b.start
+		}
+		if a.spec != b.spec {
+			return a.spec < b.spec
+		}
+		return a.end > b.end
+	})
+
+	var chosen []span
+	pos := 0
+	for _, c := range candidates {
+		if c.start < pos {
+			continue
+		}
+		if len(chosen) >= MaxParamsPerLine {
+			break
+		}
+		chosen = append(chosen, c)
+		pos = c.end
+	}
+
+	var untyped, display []byte
+	params := make([]Param, 0, len(chosen))
+	prev := 0
+	for _, c := range chosen {
+		name := varName(len(params))
+		typ := lx.specs[c.spec].Name
+		untyped = append(untyped, line[prev:c.start]...)
+		display = append(display, line[prev:c.start]...)
+		untyped = append(untyped, '[')
+		untyped = append(untyped, typ...)
+		untyped = append(untyped, ']')
+		display = append(display, '[')
+		display = append(display, name...)
+		display = append(display, ':')
+		display = append(display, typ...)
+		display = append(display, ']')
+		params = append(params, Param{Name: name, Type: typ, Value: c.value})
+		prev = c.end
+	}
+	untyped = append(untyped, line[prev:]...)
+	display = append(display, line[prev:]...)
+	return Lexed{Untyped: string(untyped), Display: string(display), Params: params}
+}
+
+func isDigit(b byte) bool { return b >= '0' && b <= '9' }
+
+func isWordByte(b byte) bool {
+	return b == '_' || isDigit(b) ||
+		(b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+}

@@ -1,0 +1,31 @@
+package lexer
+
+import (
+	"regexp"
+	"strings"
+)
+
+// VarName returns the i-th parameter variable name used in displayed
+// patterns: a..z, then v26, v27, ...
+func VarName(i int) string { return varName(i) }
+
+var placeholderRE = regexp.MustCompile(`\[[A-Za-z][A-Za-z0-9]*\]`)
+
+// TypeAgnostic rewrites an untyped pattern so that every typed
+// placeholder becomes the wildcard [?]. It is the representation used by
+// type contracts (§3.4): both "ip address [ip4]" and "ip address [ip6]"
+// map to "ip address [?]".
+func TypeAgnostic(untyped string) string {
+	return placeholderRE.ReplaceAllString(untyped, "[?]")
+}
+
+// PlaceholderTypes returns the type names of the placeholders in an
+// untyped pattern, in order.
+func PlaceholderTypes(untyped string) []string {
+	matches := placeholderRE.FindAllString(untyped, -1)
+	out := make([]string, len(matches))
+	for i, m := range matches {
+		out[i] = strings.TrimSuffix(strings.TrimPrefix(m, "["), "]")
+	}
+	return out
+}

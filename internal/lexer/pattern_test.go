@@ -1,0 +1,41 @@
+package lexer
+
+import (
+	"testing"
+)
+
+func TestTypeAgnostic(t *testing.T) {
+	cases := map[string]string{
+		"ip address [ip4]":                   "ip address [?]",
+		"ip address [ip6]":                   "ip address [?]",
+		"/interface Loopback[num]/mtu [num]": "/interface Loopback[?]/mtu [?]",
+		"no placeholders":                    "no placeholders",
+		"rd [ip4]:[num]":                     "rd [?]:[?]",
+		"user [iface] and [descr]":           "user [?] and [?]",
+	}
+	for in, want := range cases {
+		if got := TypeAgnostic(in); got != want {
+			t.Errorf("TypeAgnostic(%q) = %q, want %q", in, got, want)
+		}
+	}
+	// ip4 and ip6 versions of the same command collapse together.
+	if TypeAgnostic("ip address [ip4]") != TypeAgnostic("ip address [ip6]") {
+		t.Error("type variants should share the agnostic form")
+	}
+}
+
+func TestPlaceholderTypes(t *testing.T) {
+	got := PlaceholderTypes("rd [ip4]:[num] via [mac]")
+	want := []string{"ip4", "num", "mac"}
+	if len(got) != len(want) {
+		t.Fatalf("PlaceholderTypes = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("PlaceholderTypes[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if len(PlaceholderTypes("plain text")) != 0 {
+		t.Error("plain text has no placeholders")
+	}
+}

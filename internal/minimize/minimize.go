@@ -1,0 +1,250 @@
+// Package minimize implements Concord's relational contract minimization
+// (§3.6). Contracts over transitive relations form a directed graph
+// whose nodes are (pattern, parameter, transformation) triples; an edge
+// records a learned "forall n1 exists n2" contract. Because the
+// relations compose — if every A-value has a related B-value and every
+// B-value a related C-value, then every A-value has a related C-value —
+// many contracts are implied by others. Minimization keeps a minimal
+// edge set with the same reachability, preserving the set's bug-finding
+// power exactly: each strongly connected group (mutual equality) is
+// replaced by a simple cycle, and the condensed DAG undergoes transitive
+// reduction.
+package minimize
+
+import (
+	"fmt"
+	"sort"
+
+	"concord/internal/contracts"
+	"concord/internal/graph"
+	"concord/internal/relations"
+)
+
+// Result reports the effect of one minimization run.
+type Result struct {
+	// Before and After count relational contracts over transitive
+	// relations before and after minimization.
+	Before, After int
+	// Synthesized counts contracts created for cycle edges that had no
+	// learned counterpart (implied by transitivity within an equality
+	// group).
+	Synthesized int
+}
+
+// ReductionFactor returns Before/After (1 if nothing to reduce),
+// the metric plotted in Figure 8 of the paper.
+func (r Result) ReductionFactor() float64 {
+	if r.After == 0 {
+		return 1
+	}
+	return float64(r.Before) / float64(r.After)
+}
+
+// node is a (pattern, parameter, transform) triple.
+type node struct {
+	pattern   string
+	idx       int
+	transform string
+}
+
+func (n node) key() string { return fmt.Sprintf("%s|%d|%s", n.pattern, n.idx, n.transform) }
+
+// edge is a directed contract edge between node ids.
+type edge struct{ u, v int }
+
+// Set minimizes the relational contracts of a contract set in place,
+// returning the new set and the reduction statistics. Non-relational
+// contracts and contracts over non-transitive relations pass through
+// untouched.
+func Set(set *contracts.Set) (*contracts.Set, Result) {
+	var rels []*contracts.Relational
+	var rest []contracts.Contract
+	for _, c := range set.Contracts {
+		if r, ok := c.(*contracts.Relational); ok && r.Rel.Transitive() {
+			rels = append(rels, r)
+		} else {
+			rest = append(rest, c)
+		}
+	}
+	kept, res := Relational(rels)
+	out := &contracts.Set{Contracts: rest}
+	for _, r := range kept {
+		out.Contracts = append(out.Contracts, r)
+	}
+	sort.Slice(out.Contracts, func(i, j int) bool { return out.Contracts[i].ID() < out.Contracts[j].ID() })
+	return out, res
+}
+
+// Relational minimizes a list of transitive relational contracts,
+// processing each relation independently.
+func Relational(rels []*contracts.Relational) ([]*contracts.Relational, Result) {
+	byRel := make(map[relations.Rel][]*contracts.Relational)
+	for _, r := range rels {
+		byRel[r.Rel] = append(byRel[r.Rel], r)
+	}
+	var relOrder []relations.Rel
+	for rel := range byRel {
+		relOrder = append(relOrder, rel)
+	}
+	sort.Slice(relOrder, func(i, j int) bool { return relOrder[i] < relOrder[j] })
+
+	res := Result{Before: len(rels)}
+	var kept []*contracts.Relational
+	for _, rel := range relOrder {
+		k, synth := minimizeOne(rel, byRel[rel])
+		kept = append(kept, k...)
+		res.Synthesized += synth
+	}
+	res.After = len(kept)
+	return kept, res
+}
+
+// minimizeOne reduces the contract graph of a single relation.
+func minimizeOne(rel relations.Rel, rels []*contracts.Relational) ([]*contracts.Relational, int) {
+	// Assign node ids deterministically.
+	nodeID := make(map[string]int)
+	var nodes []node
+	displays := make(map[string]string)
+	intern := func(n node, display string) int {
+		k := n.key()
+		if display != "" {
+			displays[k] = display
+		}
+		id, ok := nodeID[k]
+		if !ok {
+			id = len(nodes)
+			nodeID[k] = id
+			nodes = append(nodes, n)
+		}
+		return id
+	}
+	contractFor := make(map[edge]*contracts.Relational)
+	sorted := append([]*contracts.Relational{}, rels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID() < sorted[j].ID() })
+	for _, r := range sorted {
+		u := intern(node{r.Pattern1, r.ParamIdx1, r.Transform1}, r.Display1)
+		v := intern(node{r.Pattern2, r.ParamIdx2, r.Transform2}, r.Display2)
+		e := edge{u, v}
+		if _, dup := contractFor[e]; !dup {
+			contractFor[e] = r
+		}
+	}
+
+	g := graph.New(len(nodes))
+	for e := range contractFor {
+		g.AddEdge(e.u, e.v)
+	}
+	comp, count := g.SCC()
+
+	// Group members per component, deterministically ordered.
+	members := make([][]int, count)
+	for id := range nodes {
+		members[comp[id]] = append(members[comp[id]], id)
+	}
+	for _, m := range members {
+		sort.Ints(m)
+	}
+
+	var out []*contracts.Relational
+	synth := 0
+
+	// Cycle edges within each non-trivial SCC.
+	for _, m := range members {
+		if len(m) < 2 {
+			continue
+		}
+		for i := range m {
+			u, v := m[i], m[(i+1)%len(m)]
+			if r, ok := contractFor[edge{u, v}]; ok {
+				out = append(out, r)
+				continue
+			}
+			out = append(out, synthesize(rel, nodes[u], nodes[v], displays, collectStats(m, contractFor)))
+			synth++
+		}
+	}
+
+	// Cross-component edges: condense, transitively reduce, and keep one
+	// representative contract per surviving DAG edge.
+	dag := g.Condense(comp, count)
+	dag.TransitiveReduce()
+	type dagEdge struct{ a, b int }
+	keptDag := make(map[dagEdge]bool)
+	for _, e := range dag.Edges() {
+		keptDag[dagEdge{e[0], e[1]}] = true
+	}
+	// Representative: smallest contract ID among original edges mapping
+	// to the kept DAG edge.
+	best := make(map[dagEdge]*contracts.Relational)
+	for e, r := range contractFor {
+		de := dagEdge{comp[e.u], comp[e.v]}
+		if de.a == de.b || !keptDag[de] {
+			continue
+		}
+		if cur, ok := best[de]; !ok || r.ID() < cur.ID() {
+			best[de] = r
+		}
+	}
+	var dagEdges []dagEdge
+	for de := range best {
+		dagEdges = append(dagEdges, de)
+	}
+	sort.Slice(dagEdges, func(i, j int) bool {
+		if dagEdges[i].a != dagEdges[j].a {
+			return dagEdges[i].a < dagEdges[j].a
+		}
+		return dagEdges[i].b < dagEdges[j].b
+	})
+	for _, de := range dagEdges {
+		out = append(out, best[de])
+	}
+	return out, synth
+}
+
+// collectStats merges evidence across a component's contracts: the
+// weakest support and confidence, so synthesized contracts never claim
+// more evidence than their constituents.
+func collectStats(members []int, contractFor map[edge]*contracts.Relational) contracts.Stats {
+	inSCC := make(map[int]bool, len(members))
+	for _, m := range members {
+		inSCC[m] = true
+	}
+	st := contracts.Stats{Support: -1, Confidence: 2}
+	for e, r := range contractFor {
+		if !inSCC[e.u] || !inSCC[e.v] {
+			continue
+		}
+		if st.Support < 0 || r.Evidence.Support < st.Support {
+			st.Support = r.Evidence.Support
+		}
+		if r.Evidence.Confidence < st.Confidence {
+			st.Confidence = r.Evidence.Confidence
+		}
+		if r.Evidence.Score > st.Score {
+			st.Score = r.Evidence.Score
+		}
+	}
+	if st.Support < 0 {
+		st = contracts.Stats{}
+	}
+	return st
+}
+
+// synthesize builds the implied contract for a cycle edge that had no
+// learned counterpart.
+func synthesize(rel relations.Rel, u, v node, displays map[string]string, st contracts.Stats) *contracts.Relational {
+	d1 := displays[u.key()]
+	if d1 == "" {
+		d1 = u.pattern
+	}
+	d2 := displays[v.key()]
+	if d2 == "" {
+		d2 = v.pattern
+	}
+	return &contracts.Relational{
+		Pattern1: u.pattern, Display1: d1, ParamIdx1: u.idx, Transform1: u.transform,
+		Rel:      rel,
+		Pattern2: v.pattern, Display2: d2, ParamIdx2: v.idx, Transform2: v.transform,
+		Evidence: st,
+	}
+}

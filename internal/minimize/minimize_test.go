@@ -1,0 +1,238 @@
+package minimize
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"concord/internal/contracts"
+	"concord/internal/graph"
+	"concord/internal/relations"
+)
+
+// rc builds an equality contract between two pattern nodes (param 0,
+// identity transform).
+func rc(p1, p2 string) *contracts.Relational {
+	return &contracts.Relational{
+		Pattern1: p1, Display1: p1, ParamIdx1: 0, Transform1: "id",
+		Rel:      relations.Equals,
+		Pattern2: p2, Display2: p2, ParamIdx2: 0, Transform2: "id",
+		Evidence: contracts.Stats{Support: 10, Confidence: 1, Score: 20},
+	}
+}
+
+func TestMinimizeCompleteEqualityGroup(t *testing.T) {
+	// The paper's p4/p5/p6 example: all six pairwise contracts collapse
+	// to a three-edge cycle.
+	var rels []*contracts.Relational
+	ps := []string{"p4", "p5", "p6"}
+	for _, a := range ps {
+		for _, b := range ps {
+			if a != b {
+				rels = append(rels, rc(a, b))
+			}
+		}
+	}
+	kept, res := Relational(rels)
+	if res.Before != 6 {
+		t.Errorf("Before = %d", res.Before)
+	}
+	if len(kept) != 3 || res.After != 3 {
+		t.Fatalf("kept %d contracts, want 3 (cycle)", len(kept))
+	}
+	// The kept edges must form a single cycle covering all three nodes.
+	succ := map[string]string{}
+	for _, r := range kept {
+		succ[r.Pattern1] = r.Pattern2
+	}
+	seen := map[string]bool{}
+	cur := "p4"
+	for i := 0; i < 3; i++ {
+		seen[cur] = true
+		cur = succ[cur]
+	}
+	if len(seen) != 3 || cur != "p4" {
+		t.Errorf("kept edges do not form a 3-cycle: %v", succ)
+	}
+	if res.ReductionFactor() != 2 {
+		t.Errorf("ReductionFactor = %v, want 2", res.ReductionFactor())
+	}
+}
+
+func TestMinimizeChain(t *testing.T) {
+	// a->b, b->c, a->c: the shortcut is removed.
+	rels := []*contracts.Relational{rc("a", "b"), rc("b", "c"), rc("a", "c")}
+	kept, res := Relational(rels)
+	if len(kept) != 2 {
+		t.Fatalf("kept %d, want 2: %v", len(kept), kept)
+	}
+	for _, r := range kept {
+		if r.Pattern1 == "a" && r.Pattern2 == "c" {
+			t.Error("implied shortcut survived")
+		}
+	}
+	if res.Synthesized != 0 {
+		t.Errorf("Synthesized = %d", res.Synthesized)
+	}
+}
+
+func TestMinimizeSynthesizesCycleEdges(t *testing.T) {
+	// a<->b and b<->c mutually equal, plus a->c: SCC {a,b,c} is formed
+	// via transitivity, and the cycle may need a synthesized edge.
+	rels := []*contracts.Relational{
+		rc("a", "b"), rc("b", "a"),
+		rc("b", "c"), rc("c", "b"),
+		rc("a", "c"), rc("c", "a"),
+	}
+	kept, res := Relational(rels)
+	if len(kept) != 3 {
+		t.Fatalf("kept %d, want 3", len(kept))
+	}
+	// Reachability must be preserved: from any node, both others are
+	// reachable through the cycle.
+	idx := map[string]int{"a": 0, "b": 1, "c": 2}
+	g := graph.New(3)
+	for _, r := range kept {
+		g.AddEdge(idx[r.Pattern1], idx[r.Pattern2])
+	}
+	for u := 0; u < 3; u++ {
+		for v := 0; v < 3; v++ {
+			if !g.Reachable(u, v) {
+				t.Errorf("reachability %d->%d lost", u, v)
+			}
+		}
+	}
+	_ = res
+}
+
+func TestMinimizeKeepsDistinctRelationsApart(t *testing.T) {
+	eq := rc("a", "b")
+	sw := rc("a", "b")
+	sw.Rel = relations.StartsWith
+	kept, _ := Relational([]*contracts.Relational{eq, sw})
+	if len(kept) != 2 {
+		t.Errorf("contracts over different relations merged: %d", len(kept))
+	}
+}
+
+func TestMinimizeDifferentTransformsAreDifferentNodes(t *testing.T) {
+	// a --hex--> b and b --id--> c do NOT compose (different node for b's
+	// two roles is the same only if pattern+param+transform all match).
+	r1 := rc("a", "b")
+	r1.Transform2 = "hex"
+	r2 := rc("b", "c")
+	r3 := rc("a", "c")
+	kept, _ := Relational([]*contracts.Relational{r1, r2, r3})
+	// (a,0,id)->(b,0,hex); (b,0,id)->(c,0,id); (a,0,id)->(c,0,id).
+	// No path a->...->c exists via b, so a->c must be kept.
+	found := false
+	for _, r := range kept {
+		if r.Pattern1 == "a" && r.Pattern2 == "c" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("a->c removed although not implied (transform mismatch)")
+	}
+}
+
+func TestMinimizeSet(t *testing.T) {
+	set := &contracts.Set{Contracts: []contracts.Contract{
+		&contracts.Present{Pattern: "p", Display: "p"},
+		rc("a", "b"), rc("b", "c"), rc("a", "c"),
+	}}
+	out, res := Set(set)
+	if out.Count(contracts.CatPresent) != 1 {
+		t.Error("non-relational contract lost")
+	}
+	if out.Count(contracts.CatRelation) != 2 {
+		t.Errorf("relational count = %d, want 2", out.Count(contracts.CatRelation))
+	}
+	if res.Before != 3 || res.After != 2 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestMinimizeEmpty(t *testing.T) {
+	kept, res := Relational(nil)
+	if len(kept) != 0 || res.ReductionFactor() != 1 {
+		t.Errorf("empty minimization: %v %+v", kept, res)
+	}
+}
+
+// TestMinimizePreservesBugFinding is the paper's core claim: deleting
+// any single node's pattern (simulating a missing line) still triggers a
+// violation after minimization whenever it did before. We model this at
+// the graph level: for every node with an incoming original edge, the
+// minimized graph also has a path into it.
+func TestMinimizePreservesBugFinding(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(8)
+		var rels []*contracts.Relational
+		name := func(i int) string { return fmt.Sprintf("n%02d", i) }
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && rng.Float64() < 0.3 {
+					rels = append(rels, rc(name(u), name(v)))
+				}
+			}
+		}
+		kept, _ := Relational(rels)
+
+		origIn := map[string]bool{}
+		for _, r := range rels {
+			origIn[r.Pattern2] = true
+		}
+		// Build reachability over kept edges.
+		idx := map[string]int{}
+		for i := 0; i < n; i++ {
+			idx[name(i)] = i
+		}
+		g := graph.New(n)
+		keptIn := map[string]bool{}
+		for _, r := range kept {
+			g.AddEdge(idx[r.Pattern1], idx[r.Pattern2])
+			keptIn[r.Pattern2] = true
+		}
+		// Every node that was a witness target must still be one: if its
+		// pattern disappears, some kept contract must point at it.
+		for p := range origIn {
+			if !keptIn[p] {
+				t.Fatalf("trial %d: node %s lost all incoming contracts", trial, p)
+			}
+		}
+		// Reachability equivalence between original and kept graphs.
+		og := graph.New(n)
+		for _, r := range rels {
+			og.AddEdge(idx[r.Pattern1], idx[r.Pattern2])
+		}
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if og.Reachable(u, v) != g.Reachable(u, v) {
+					t.Fatalf("trial %d: reachability %d->%d changed", trial, u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestMinimizeQuadraticToLinear(t *testing.T) {
+	// n patterns with mutual equality: n^2-n contracts collapse to n.
+	const n = 12
+	var rels []*contracts.Relational
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v {
+				rels = append(rels, rc(fmt.Sprintf("q%02d", u), fmt.Sprintf("q%02d", v)))
+			}
+		}
+	}
+	kept, res := Relational(rels)
+	if len(kept) != n {
+		t.Errorf("kept %d, want %d (simple cycle)", len(kept), n)
+	}
+	if res.ReductionFactor() < float64(n-1) {
+		t.Errorf("ReductionFactor = %v", res.ReductionFactor())
+	}
+}

@@ -1,0 +1,180 @@
+package mining
+
+import (
+	"sort"
+	"strings"
+
+	"concord/internal/lexer"
+)
+
+// AprioriRule is a classic association rule X -> Y over pattern item
+// sets: configurations containing all patterns in X also contain all
+// patterns in Y.
+type AprioriRule struct {
+	Antecedent []string
+	Consequent string
+	Support    float64 // fraction of configs containing X ∪ {Y}
+	Confidence float64 // support(X ∪ {Y}) / support(X)
+}
+
+// AprioriOptions parameterizes the baseline miner.
+type AprioriOptions struct {
+	// MinSupport is the minimum fraction of configurations an item set
+	// must appear in to be frequent.
+	MinSupport float64
+	// MinConfidence is the minimum rule confidence.
+	MinConfidence float64
+	// MaxSetSize bounds the size of frequent item sets (and therefore
+	// |X| + 1). Classic Apriori has no such bound; we expose one so the
+	// baseline can run at all on large inputs.
+	MaxSetSize int
+}
+
+// Apriori is the classic two-phase frequent-item-set rule miner
+// (Agrawal et al. 1993) that the paper identifies as unscalable for
+// configuration mining (§3.3): each configuration is a transaction whose
+// items are its distinct patterns, frequent item sets are grown
+// level-wise with candidate generation + pruning, and rules with a
+// single-item consequent are enumerated from every frequent set. It
+// learns co-occurrence only — none of Concord's value relations — and
+// its cost grows combinatorially with the number of frequent patterns.
+func Apriori(cfgs []*lexer.Config, opts AprioriOptions) []AprioriRule {
+	if opts.MaxSetSize <= 0 {
+		opts.MaxSetSize = 3
+	}
+	n := len(cfgs)
+	if n == 0 {
+		return nil
+	}
+	// Transactions: sorted distinct patterns per config.
+	txns := make([][]string, n)
+	for i, cfg := range cfgs {
+		set := make(map[string]bool)
+		for li := range cfg.Lines {
+			set[cfg.Lines[li].Pattern] = true
+		}
+		items := make([]string, 0, len(set))
+		for p := range set {
+			items = append(items, p)
+		}
+		sort.Strings(items)
+		txns[i] = items
+	}
+
+	contains := func(txn []string, items []string) bool {
+		// Both sorted: merge scan.
+		j := 0
+		for _, it := range items {
+			for j < len(txn) && txn[j] < it {
+				j++
+			}
+			if j >= len(txn) || txn[j] != it {
+				return false
+			}
+		}
+		return true
+	}
+	supportOf := func(items []string) int {
+		c := 0
+		for _, txn := range txns {
+			if contains(txn, items) {
+				c++
+			}
+		}
+		return c
+	}
+
+	minCount := int(opts.MinSupport * float64(n))
+	if minCount < 1 {
+		minCount = 1
+	}
+
+	// Level 1: frequent single items.
+	counts := make(map[string]int)
+	for _, txn := range txns {
+		for _, it := range txn {
+			counts[it]++
+		}
+	}
+	var level [][]string
+	freqSupport := make(map[string]int)
+	for it, c := range counts {
+		if c >= minCount {
+			level = append(level, []string{it})
+			freqSupport[it] = c
+		}
+	}
+	sort.Slice(level, func(i, j int) bool { return level[i][0] < level[j][0] })
+
+	key := func(items []string) string { return strings.Join(items, "\x00") }
+	allFrequent := make(map[string]int)
+	for _, s := range level {
+		allFrequent[key(s)] = freqSupport[s[0]]
+	}
+
+	// Level-wise growth with prefix-join candidate generation.
+	for size := 2; size <= opts.MaxSetSize && len(level) > 1; size++ {
+		var next [][]string
+		for i := 0; i < len(level); i++ {
+			for j := i + 1; j < len(level); j++ {
+				a, b := level[i], level[j]
+				if !equalPrefix(a, b, size-2) {
+					continue
+				}
+				cand := append(append([]string{}, a...), b[size-2])
+				if c := supportOf(cand); c >= minCount {
+					next = append(next, cand)
+					allFrequent[key(cand)] = c
+				}
+			}
+		}
+		level = next
+	}
+
+	// Rule generation: for each frequent set of size >= 2, each item in
+	// turn is the consequent.
+	var rules []AprioriRule
+	for k, supXY := range allFrequent {
+		items := strings.Split(k, "\x00")
+		if len(items) < 2 {
+			continue
+		}
+		for ci := range items {
+			ante := make([]string, 0, len(items)-1)
+			ante = append(ante, items[:ci]...)
+			ante = append(ante, items[ci+1:]...)
+			supX, ok := allFrequent[key(ante)]
+			if !ok {
+				supX = supportOf(ante)
+			}
+			if supX == 0 {
+				continue
+			}
+			conf := float64(supXY) / float64(supX)
+			if conf < opts.MinConfidence {
+				continue
+			}
+			rules = append(rules, AprioriRule{
+				Antecedent: ante,
+				Consequent: items[ci],
+				Support:    float64(supXY) / float64(n),
+				Confidence: conf,
+			})
+		}
+	}
+	sort.Slice(rules, func(i, j int) bool {
+		a := strings.Join(rules[i].Antecedent, ",") + "->" + rules[i].Consequent
+		b := strings.Join(rules[j].Antecedent, ",") + "->" + rules[j].Consequent
+		return a < b
+	})
+	return rules
+}
+
+func equalPrefix(a, b []string, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,89 @@
+package mining
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"concord/internal/contracts"
+)
+
+// TestBruteForceMatchesIndexed: on small corpora where the fanout cap
+// never binds, the indexed miner and the brute-force miner must learn
+// the same relational contracts.
+func TestBruteForceMatchesIndexed(t *testing.T) {
+	cfgs := figure1Corpus(t, 8)
+	opts := DefaultOptions()
+	opts.MaxFanout = 1 << 20
+	m := New(opts)
+
+	fastOpts := opts
+	fastOpts.Categories = map[contracts.Category]bool{contracts.CatRelation: true}
+	fast := New(fastOpts).Mine(cfgs)
+
+	slow, err := m.MineRelationalBruteForce(context.Background(), cfgs)
+	if err != nil {
+		t.Fatalf("brute force: %v", err)
+	}
+
+	fastIDs := make(map[string]bool)
+	for _, c := range fast.Contracts {
+		fastIDs[c.ID()] = true
+	}
+	slowIDs := make(map[string]bool)
+	for _, c := range slow {
+		slowIDs[c.ID()] = true
+	}
+	for id := range fastIDs {
+		if !slowIDs[id] {
+			t.Errorf("indexed-only contract: %s", id)
+		}
+	}
+	for id := range slowIDs {
+		if !fastIDs[id] {
+			t.Errorf("brute-only contract: %s", id)
+		}
+	}
+}
+
+func TestBruteForceHonorsTimeout(t *testing.T) {
+	cfgs := figure1Corpus(t, 10)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	_, err := New(DefaultOptions()).MineRelationalBruteForce(ctx, cfgs)
+	if err == nil {
+		t.Error("expired context not reported")
+	}
+}
+
+func TestApriori(t *testing.T) {
+	cfgs := figure1Corpus(t, 10)
+	rules := Apriori(cfgs, AprioriOptions{MinSupport: 0.9, MinConfidence: 0.9, MaxSetSize: 2})
+	if len(rules) == 0 {
+		t.Fatal("no rules learned")
+	}
+	// Every pattern co-occurs with every other here, so rules abound and
+	// all have support ~1.
+	for _, r := range rules {
+		if r.Support < 0.9 || r.Confidence < 0.9 {
+			t.Errorf("rule below thresholds: %+v", r)
+		}
+		if len(r.Antecedent) == 0 || r.Consequent == "" {
+			t.Errorf("malformed rule: %+v", r)
+		}
+	}
+}
+
+func TestAprioriEmpty(t *testing.T) {
+	if rules := Apriori(nil, AprioriOptions{MinSupport: 0.5, MinConfidence: 0.5}); rules != nil {
+		t.Errorf("rules from empty input: %v", rules)
+	}
+}
+
+func TestAprioriRespectsSupport(t *testing.T) {
+	cfgs := figure1Corpus(t, 10)
+	rules := Apriori(cfgs, AprioriOptions{MinSupport: 1.1, MinConfidence: 0.5, MaxSetSize: 2})
+	if len(rules) != 0 {
+		t.Errorf("impossible support still yielded %d rules", len(rules))
+	}
+}

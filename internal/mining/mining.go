@@ -1,0 +1,522 @@
+// Package mining implements Concord's contract learning (§3.3–§3.5): a
+// single statistics pass over the training configurations followed by
+// per-category miners for present, ordering, type, sequence, and unique
+// contracts, and the index-accelerated relational miner. A brute-force
+// relational miner (brute.go) and a classic Apriori item-set miner
+// (apriori.go) are included as the baselines the paper compares against.
+package mining
+
+import (
+	"sort"
+	"strconv"
+
+	"concord/internal/contracts"
+	"concord/internal/lexer"
+	"concord/internal/netdata"
+	"concord/internal/relations"
+)
+
+// Options controls learning. The zero value is not useful; use
+// DefaultOptions.
+type Options struct {
+	// Support (S) is the minimum absolute number of configurations in
+	// which a pattern must appear before contracts about it are
+	// considered. Default 5 (paper §4).
+	Support int
+	// Confidence (C) is the required fraction of supporting
+	// configurations in which a contract must hold. Default 0.96.
+	Confidence float64
+	// ScoreThreshold gates relational contracts on their cumulative
+	// diversity-weighted informativeness score (§3.5).
+	ScoreThreshold float64
+	// MaxFanout caps the number of candidate sources generated per value
+	// lookup, bounding worst-case work on ubiquitous values (those
+	// candidates score near zero anyway). Default 64.
+	MaxFanout int
+	// Transforms is the data transformation registry; nil selects
+	// relations.DefaultTransforms.
+	Transforms []relations.Transform
+	// ExtraRelations adds user-defined relations to the four built-ins;
+	// each definition supplies its evaluation function and witness index
+	// (§4's pluggable relation-learning structures).
+	ExtraRelations []relations.Definition
+	// Categories restricts mining to the given categories; nil enables
+	// all.
+	Categories map[contracts.Category]bool
+	// ConstantLearning additionally learns present contracts over exact
+	// line text for lines carrying data values (§4), which captures
+	// "magic constant" policies.
+	ConstantLearning bool
+	// Parallelism is the number of workers for relational mining
+	// (<= 1 means sequential).
+	Parallelism int
+}
+
+// DefaultOptions returns the paper's default parameters.
+func DefaultOptions() Options {
+	return Options{
+		Support:        5,
+		Confidence:     0.96,
+		ScoreThreshold: 8,
+		MaxFanout:      64,
+	}
+}
+
+// enabled reports whether a category should be mined.
+func (o *Options) enabled(cat contracts.Category) bool {
+	return o.Categories == nil || o.Categories[cat]
+}
+
+// Miner learns a contract set from training configurations.
+type Miner struct {
+	opts       Options
+	transforms []relations.Transform
+	// rels maps the compact relation index used in the relational-mining
+	// hot path to relation names: the four built-ins followed by extras.
+	rels []relations.Rel
+}
+
+// New builds a miner, filling unset options with defaults.
+func New(opts Options) *Miner {
+	def := DefaultOptions()
+	if opts.Support <= 0 {
+		opts.Support = def.Support
+	}
+	if opts.Confidence <= 0 {
+		opts.Confidence = def.Confidence
+	}
+	if opts.ScoreThreshold < 0 {
+		opts.ScoreThreshold = def.ScoreThreshold
+	}
+	if opts.MaxFanout <= 0 {
+		opts.MaxFanout = def.MaxFanout
+	}
+	ts := opts.Transforms
+	if ts == nil {
+		ts = relations.DefaultTransforms()
+	}
+	rels := []relations.Rel{relations.Equals, relations.Contains, relations.StartsWith, relations.EndsWith}
+	for _, def := range opts.ExtraRelations {
+		rels = append(rels, def.Rel)
+	}
+	return &Miner{opts: opts, transforms: ts, rels: rels}
+}
+
+// Mine learns contracts from the training configurations. The returned
+// set is deterministic for a given input.
+func (m *Miner) Mine(cfgs []*lexer.Config) *contracts.Set {
+	st := collectStats(cfgs)
+	set := &contracts.Set{}
+	if m.opts.enabled(contracts.CatPresent) {
+		set.Contracts = append(set.Contracts, m.minePresent(st)...)
+		if m.opts.ConstantLearning {
+			set.Contracts = append(set.Contracts, m.mineConstants(st)...)
+		}
+	}
+	if m.opts.enabled(contracts.CatOrdering) {
+		set.Contracts = append(set.Contracts, m.mineOrdering(st)...)
+	}
+	if m.opts.enabled(contracts.CatType) {
+		set.Contracts = append(set.Contracts, m.mineTypes(st)...)
+	}
+	if m.opts.enabled(contracts.CatSequence) {
+		set.Contracts = append(set.Contracts, m.mineSequence(st)...)
+	}
+	if m.opts.enabled(contracts.CatUnique) {
+		set.Contracts = append(set.Contracts, m.mineUnique(st)...)
+	}
+	if m.opts.enabled(contracts.CatRelation) {
+		set.Contracts = append(set.Contracts, m.mineRelational(cfgs, st)...)
+	}
+	return set
+}
+
+// patternStats aggregates the global statistics of one pattern.
+type patternStats struct {
+	display     string
+	configCount int // configurations containing the pattern
+	lineCount   int
+}
+
+// pairStats tracks an observed successor pair (first, second).
+type pairStats struct {
+	displayFirst  string
+	displaySecond string
+	holdConfigs   int // configs where every first is followed by second
+}
+
+// typeStats tracks parameter types per type-agnostic pattern.
+type typeStats struct {
+	// perParam[i][type] counts lines using that type at leaf param i.
+	perParam []map[string]*typeUse
+	total    int
+}
+
+type typeUse struct {
+	lines   int
+	configs map[int]bool
+}
+
+// seqStats tracks a numeric parameter's per-config equidistance.
+type seqStats struct {
+	display      string
+	configsWith2 int // configs with >= 2 values
+	configsSeq   int // of those, equidistant ones
+}
+
+// uniqStats tracks global value uniqueness of a parameter.
+type uniqStats struct {
+	display     string
+	valueCount  map[string]int
+	totalValues int
+}
+
+// stats is everything the simple miners need, computed in one pass.
+type stats struct {
+	nConfigs  int
+	patterns  map[string]*patternStats
+	pairs     map[[2]string]*pairStats
+	firstOccs map[string]int // configs containing the first pattern of a pair
+	types     map[string]*typeStats
+	seqs      map[string]*seqStats // key: pattern|paramIdx
+	uniqs     map[string]*uniqStats
+	constants map[string]*patternStats // exact line text -> stats
+
+	// seqMeta/uniqMeta recover (pattern, idx) from the composite key.
+	seqMeta  map[string]patternParam
+	uniqMeta map[string]patternParam
+}
+
+type patternParam struct {
+	pattern string
+	idx     int
+}
+
+func key2(pattern string, idx int) string {
+	// Pattern text never contains '\x00'.
+	return pattern + "\x00" + strconv.Itoa(idx)
+}
+
+func collectStats(cfgs []*lexer.Config) *stats {
+	st := &stats{
+		nConfigs:  len(cfgs),
+		patterns:  make(map[string]*patternStats),
+		pairs:     make(map[[2]string]*pairStats),
+		firstOccs: make(map[string]int),
+		types:     make(map[string]*typeStats),
+		seqs:      make(map[string]*seqStats),
+		uniqs:     make(map[string]*uniqStats),
+		constants: make(map[string]*patternStats),
+		seqMeta:   make(map[string]patternParam),
+		uniqMeta:  make(map[string]patternParam),
+	}
+	for ci, cfg := range cfgs {
+		seenPatterns := make(map[string]bool)
+		seenConstants := make(map[string]bool)
+		// Ordering bookkeeping: per first-pattern occurrence counts and
+		// per-(first,second) successor counts within this config.
+		occ := make(map[string]int)
+		succ := make(map[[2]string]int)
+		succDisp := make(map[[2]string][2]string)
+		// Sequence bookkeeping: values in line order.
+		seqVals := make(map[string][]int64)
+		for i := range cfg.Lines {
+			line := &cfg.Lines[i]
+			p := line.Pattern
+			ps := st.patterns[p]
+			if ps == nil {
+				ps = &patternStats{display: line.Display}
+				st.patterns[p] = ps
+			}
+			ps.lineCount++
+			if !seenPatterns[p] {
+				seenPatterns[p] = true
+				ps.configCount++
+			}
+			// Constants: exact line text of valued lines.
+			if len(line.Params) > 0 && !seenConstants[line.Text] {
+				seenConstants[line.Text] = true
+				cs := st.constants[line.Text]
+				if cs == nil {
+					cs = &patternStats{display: line.Text}
+					st.constants[line.Text] = cs
+				}
+				cs.configCount++
+			}
+			// Ordering pairs (not across the metadata boundary).
+			occ[p]++
+			if next := i + 1; next < len(cfg.Lines) && cfg.Lines[next].Meta == line.Meta {
+				k := [2]string{p, cfg.Lines[next].Pattern}
+				succ[k]++
+				succDisp[k] = [2]string{line.Display, cfg.Lines[next].Display}
+			}
+			// Types.
+			if len(line.Params) > 0 {
+				ag := lexer.TypeAgnostic(p)
+				ts := st.types[ag]
+				if ts == nil {
+					ts = &typeStats{}
+					st.types[ag] = ts
+				}
+				for len(ts.perParam) < len(line.Params) {
+					ts.perParam = append(ts.perParam, make(map[string]*typeUse))
+				}
+				ts.total++
+				for pi, prm := range line.Params {
+					tu := ts.perParam[pi][prm.Type]
+					if tu == nil {
+						tu = &typeUse{configs: make(map[int]bool)}
+						ts.perParam[pi][prm.Type] = tu
+					}
+					tu.lines++
+					tu.configs[ci] = true
+				}
+			}
+			// Sequences and uniques per parameter.
+			for pi, prm := range line.Params {
+				k := key2(p, pi)
+				if n, ok := prm.Value.(netdata.Num); ok {
+					if v, fits := n.Int64(); fits {
+						seqVals[k] = append(seqVals[k], v)
+						if _, ok := st.seqMeta[k]; !ok {
+							st.seqMeta[k] = patternParam{pattern: p, idx: pi}
+							st.seqs[k] = &seqStats{display: line.Display}
+						}
+					}
+				}
+				us := st.uniqs[k]
+				if us == nil {
+					us = &uniqStats{display: line.Display, valueCount: make(map[string]int)}
+					st.uniqs[k] = us
+					st.uniqMeta[k] = patternParam{pattern: p, idx: pi}
+				}
+				us.valueCount[prm.Value.Key()]++
+				us.totalValues++
+			}
+		}
+		// Fold per-config ordering results into global pair stats.
+		for k, n := range succ {
+			ps := st.pairs[k]
+			if ps == nil {
+				d := succDisp[k]
+				ps = &pairStats{displayFirst: d[0], displaySecond: d[1]}
+				st.pairs[k] = ps
+			}
+			if n == occ[k[0]] {
+				ps.holdConfigs++
+			}
+		}
+		for p := range seenPatterns {
+			st.firstOccs[p]++
+		}
+		// Fold per-config sequence results.
+		for k, vals := range seqVals {
+			ss := st.seqs[k]
+			if ss == nil {
+				continue
+			}
+			if len(vals) >= 2 {
+				ss.configsWith2++
+				if isArithmetic(vals) {
+					ss.configsSeq++
+				}
+			}
+		}
+	}
+	return st
+}
+
+// isArithmetic reports whether the values form a nonzero arithmetic
+// progression in order.
+func isArithmetic(vals []int64) bool {
+	if len(vals) < 2 {
+		return true
+	}
+	d := vals[1] - vals[0]
+	if d == 0 {
+		return false
+	}
+	for i := 2; i < len(vals); i++ {
+		if vals[i]-vals[i-1] != d {
+			return false
+		}
+	}
+	return true
+}
+
+// minePresent learns one present contract per pattern appearing in at
+// least Support configs and at least Confidence of all configs.
+func (m *Miner) minePresent(st *stats) []contracts.Contract {
+	var out []contracts.Contract
+	for p, ps := range st.patterns {
+		conf := float64(ps.configCount) / float64(st.nConfigs)
+		if ps.configCount >= m.opts.Support && conf >= m.opts.Confidence {
+			out = append(out, &contracts.Present{
+				Pattern:  p,
+				Display:  ps.display,
+				Evidence: contracts.Stats{Support: ps.configCount, Confidence: conf},
+			})
+		}
+	}
+	sortByID(out)
+	return out
+}
+
+// mineConstants learns exact-text present contracts for valued lines
+// whose full text recurs across configurations (constant-learning mode).
+func (m *Miner) mineConstants(st *stats) []contracts.Contract {
+	var out []contracts.Contract
+	for text, cs := range st.constants {
+		conf := float64(cs.configCount) / float64(st.nConfigs)
+		if cs.configCount >= m.opts.Support && conf >= m.opts.Confidence {
+			out = append(out, &contracts.Present{
+				Pattern:  text,
+				Display:  text,
+				Exact:    true,
+				Evidence: contracts.Stats{Support: cs.configCount, Confidence: conf},
+			})
+		}
+	}
+	sortByID(out)
+	return out
+}
+
+// mineOrdering learns successor contracts: pairs where the second
+// pattern immediately follows every occurrence of the first in at least
+// Confidence of the configs containing the first.
+func (m *Miner) mineOrdering(st *stats) []contracts.Contract {
+	var out []contracts.Contract
+	for k, ps := range st.pairs {
+		first, second := k[0], k[1]
+		supportFirst := st.firstOccs[first]
+		supportSecond := st.firstOccs[second]
+		if supportFirst < m.opts.Support || supportSecond < m.opts.Support {
+			continue
+		}
+		conf := float64(ps.holdConfigs) / float64(supportFirst)
+		if conf < m.opts.Confidence {
+			continue
+		}
+		out = append(out, &contracts.Ordering{
+			First:         first,
+			Second:        second,
+			DisplayFirst:  ps.displayFirst,
+			DisplaySecond: ps.displaySecond,
+			Evidence:      contracts.Stats{Support: supportFirst, Confidence: conf},
+		})
+	}
+	sortByID(out)
+	return out
+}
+
+// mineTypes learns negative type contracts: for each type-agnostic
+// pattern and parameter position, types used in fewer than (1-C) of the
+// lines are deemed invalid.
+func (m *Miner) mineTypes(st *stats) []contracts.Contract {
+	var out []contracts.Contract
+	for ag, ts := range st.types {
+		for pi, uses := range ts.perParam {
+			// Total lines that have this parameter position.
+			total := 0
+			for _, tu := range uses {
+				total += tu.lines
+			}
+			if total == 0 || len(uses) < 2 {
+				continue // a single observed type is not evidence of error
+			}
+			var good []string
+			for typ, tu := range uses {
+				if float64(tu.lines)/float64(total) >= 1-m.opts.Confidence {
+					good = append(good, typ)
+				}
+			}
+			sort.Strings(good)
+			for typ, tu := range uses {
+				frac := float64(tu.lines) / float64(total)
+				if frac >= 1-m.opts.Confidence {
+					continue
+				}
+				if total-tu.lines < m.opts.Support {
+					continue // dominant evidence too thin
+				}
+				out = append(out, &contracts.TypeError{
+					Agnostic:  ag,
+					ParamIdx:  pi,
+					BadType:   typ,
+					GoodTypes: good,
+					Evidence: contracts.Stats{
+						Support:    total - tu.lines,
+						Confidence: 1 - frac,
+					},
+				})
+			}
+		}
+	}
+	sortByID(out)
+	return out
+}
+
+// mineSequence learns equidistance contracts for numeric parameters.
+func (m *Miner) mineSequence(st *stats) []contracts.Contract {
+	var out []contracts.Contract
+	for k, ss := range st.seqs {
+		if ss.configsWith2 < m.opts.Support {
+			continue
+		}
+		conf := float64(ss.configsSeq) / float64(ss.configsWith2)
+		if conf < m.opts.Confidence {
+			continue
+		}
+		meta := st.seqMeta[k]
+		out = append(out, &contracts.Sequence{
+			Pattern:  meta.pattern,
+			Display:  ss.display,
+			ParamIdx: meta.idx,
+			Evidence: contracts.Stats{Support: ss.configsWith2, Confidence: conf},
+		})
+	}
+	sortByID(out)
+	return out
+}
+
+// mineUnique learns global-uniqueness contracts: parameters whose values
+// never repeat across the whole training set.
+func (m *Miner) mineUnique(st *stats) []contracts.Contract {
+	var out []contracts.Contract
+	for k, us := range st.uniqs {
+		meta := st.uniqMeta[k]
+		ps := st.patterns[meta.pattern]
+		if ps == nil || ps.configCount < m.opts.Support {
+			continue
+		}
+		if us.totalValues < 2 {
+			continue
+		}
+		// Confidence: the fraction of occurrences whose value appears
+		// exactly once globally. A few duplicates below the tolerance
+		// 1-C are forgiven, matching the other miners.
+		uniqueOccs := 0
+		for _, n := range us.valueCount {
+			if n == 1 {
+				uniqueOccs++
+			}
+		}
+		conf := float64(uniqueOccs) / float64(us.totalValues)
+		if conf < m.opts.Confidence {
+			continue
+		}
+		out = append(out, &contracts.Unique{
+			Pattern:  meta.pattern,
+			Display:  us.display,
+			ParamIdx: meta.idx,
+			Evidence: contracts.Stats{Support: ps.configCount, Confidence: conf},
+		})
+	}
+	sortByID(out)
+	return out
+}
+
+// sortByID orders contracts deterministically.
+func sortByID(cs []contracts.Contract) {
+	sort.Slice(cs, func(i, j int) bool { return cs[i].ID() < cs[j].ID() })
+}

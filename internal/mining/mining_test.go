@@ -1,0 +1,426 @@
+package mining
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"concord/internal/contracts"
+	"concord/internal/format"
+	"concord/internal/lexer"
+	"concord/internal/netdata"
+	"concord/internal/relations"
+)
+
+// figure1Device renders a Figure-1-style edge switch configuration for
+// device d, with values parameterized so that cross-device diversity is
+// realistic: the MAC's last segment is the port-channel number in hex,
+// the loopback address is permitted by the prefix list, and the route
+// distinguisher ends with the vlan number.
+func figure1Device(d int) string {
+	pc1, pc2 := 11+d, 110+d
+	vlan := 200 + d
+	var b strings.Builder
+	fmt.Fprintf(&b, "hostname DEV%d\n!\n", d)
+	fmt.Fprintf(&b, "interface Loopback0\n   ip address 10.14.%d.34\n!\n", d)
+	for _, pc := range []int{pc1, pc2} {
+		fmt.Fprintf(&b, "interface Port-Channel%d\n   evpn ether-segment\n      route-target import 00:00:0c:d3:00:%02x\n!\n", pc, pc)
+	}
+	fmt.Fprintf(&b, "ip prefix-list loopback\n   seq 10 permit 10.14.%d.34/32\n   seq 20 permit 0.0.0.0/0\n!\n", d)
+	fmt.Fprintf(&b, "router bgp %d\n   maximum-paths 64 ecmp 64\n   vlan %d\n      rd 10.14.%d.117:10%d\n!\n", 65000+d, vlan, d, vlan)
+	return b.String()
+}
+
+func figure1Corpus(t *testing.T, n int) []*lexer.Config {
+	t.Helper()
+	lx := lexer.MustNew()
+	var cfgs []*lexer.Config
+	for d := 1; d <= n; d++ {
+		cfg := format.Process(fmt.Sprintf("dev%d", d), []byte(figure1Device(d)), lx, format.Options{Embed: true})
+		cfgs = append(cfgs, &cfg)
+	}
+	return cfgs
+}
+
+func mineDefault(t *testing.T, cfgs []*lexer.Config) *contracts.Set {
+	t.Helper()
+	return New(DefaultOptions()).Mine(cfgs)
+}
+
+func hasContractID(set *contracts.Set, id string) bool {
+	for _, c := range set.Contracts {
+		if c.ID() == id {
+			return true
+		}
+	}
+	return false
+}
+
+func findRelational(set *contracts.Set, substr1, rel, substr2 string) *contracts.Relational {
+	for _, c := range set.Contracts {
+		r, ok := c.(*contracts.Relational)
+		if !ok {
+			continue
+		}
+		if string(r.Rel) == rel &&
+			strings.Contains(r.Pattern1, substr1) &&
+			strings.Contains(r.Pattern2, substr2) {
+			return r
+		}
+	}
+	return nil
+}
+
+func TestMinePresent(t *testing.T) {
+	set := mineDefault(t, figure1Corpus(t, 10))
+	for _, pat := range []string{
+		"/hostname DEV[num]",
+		"/router bgp [num]",
+		"/interface Loopback[num]/ip address [ip4]",
+		"/ip prefix-list loopback",
+	} {
+		if !hasContractID(set, "present|"+pat) {
+			t.Errorf("missing present contract for %q", pat)
+		}
+	}
+}
+
+func TestMinePresentRespectsSupport(t *testing.T) {
+	// With only 3 configs (< default support 5), nothing is learned.
+	set := mineDefault(t, figure1Corpus(t, 3))
+	if set.Count(contracts.CatPresent) != 0 {
+		t.Errorf("learned %d present contracts from 3 configs", set.Count(contracts.CatPresent))
+	}
+}
+
+func TestMinePresentRespectsConfidence(t *testing.T) {
+	cfgs := figure1Corpus(t, 10)
+	// Remove the router bgp block from one config: 9/10 = 0.9 < 0.96.
+	lx := lexer.MustNew()
+	txt := figure1Device(1)
+	txt = txt[:strings.Index(txt, "router bgp")]
+	cfg := format.Process("dev1", []byte(txt), lx, format.Options{Embed: true})
+	cfgs[0] = &cfg
+	set := mineDefault(t, cfgs)
+	if hasContractID(set, "present|/router bgp [num]") {
+		t.Error("low-confidence present contract learned")
+	}
+	if !hasContractID(set, "present|/hostname DEV[num]") {
+		t.Error("unrelated present contract lost")
+	}
+}
+
+func TestMineOrdering(t *testing.T) {
+	set := mineDefault(t, figure1Corpus(t, 10))
+	// evpn ether-segment always follows interface Port-Channel[num].
+	found := false
+	for _, c := range set.Contracts {
+		o, ok := c.(*contracts.Ordering)
+		if !ok {
+			continue
+		}
+		if o.First == "/interface Port-Channel[num]" &&
+			strings.Contains(o.Second, "evpn ether-segment") {
+			found = true
+			if o.Evidence.Confidence < 0.96 {
+				t.Errorf("confidence = %v", o.Evidence.Confidence)
+			}
+		}
+	}
+	if !found {
+		t.Error("missing ordering contract for port-channel -> evpn")
+	}
+}
+
+func TestMineSequence(t *testing.T) {
+	set := mineDefault(t, figure1Corpus(t, 10))
+	want := "sequence|/ip prefix-list loopback/seq [num] permit [pfx4]|0"
+	if !hasContractID(set, want) {
+		t.Errorf("missing sequence contract %q", want)
+	}
+}
+
+func TestMineUnique(t *testing.T) {
+	set := mineDefault(t, figure1Corpus(t, 10))
+	if !hasContractID(set, "unique|/hostname DEV[num]|0") {
+		t.Error("hostname should be unique")
+	}
+	if !hasContractID(set, "unique|/interface Loopback[num]/ip address [ip4]|0") {
+		t.Error("loopback address should be unique")
+	}
+	// seq numbers repeat in every config: never unique.
+	if hasContractID(set, "unique|/ip prefix-list loopback/seq [num] permit [pfx4]|0") {
+		t.Error("repeated seq numbers learned as unique")
+	}
+}
+
+func TestMineTypes(t *testing.T) {
+	// 30 configs with ip4, 1 with a pfx4 at the same spot.
+	lx := lexer.MustNew()
+	var cfgs []*lexer.Config
+	for d := 0; d < 30; d++ {
+		text := fmt.Sprintf("interface Loopback0\n   ip address 10.0.%d.1\n", d)
+		cfg := format.Process(fmt.Sprintf("t%d", d), []byte(text), lx, format.Options{Embed: true})
+		cfgs = append(cfgs, &cfg)
+	}
+	bad := format.Process("bad", []byte("interface Loopback0\n   ip address 10.0.99.1/24\n"), lx, format.Options{Embed: true})
+	cfgs = append(cfgs, &bad)
+	set := mineDefault(t, cfgs)
+	found := false
+	for _, c := range set.Contracts {
+		te, ok := c.(*contracts.TypeError)
+		if !ok {
+			continue
+		}
+		if te.BadType == "pfx4" && strings.Contains(te.Agnostic, "ip address") {
+			found = true
+			if len(te.GoodTypes) != 1 || te.GoodTypes[0] != "ip4" {
+				t.Errorf("GoodTypes = %v", te.GoodTypes)
+			}
+		}
+	}
+	if !found {
+		t.Error("missing type contract for rare pfx4 use")
+	}
+	// The dominant type must never be flagged.
+	for _, c := range set.Contracts {
+		if te, ok := c.(*contracts.TypeError); ok && te.BadType == "ip4" {
+			t.Error("dominant type flagged as error")
+		}
+	}
+}
+
+func TestMineRelationalFigure1(t *testing.T) {
+	set := mineDefault(t, figure1Corpus(t, 10))
+
+	// Contract 1: hex(port-channel) == segment6(mac).
+	c1 := findRelational(set, "/interface Port-Channel[num]", "equals", "route-target import [mac]")
+	if c1 == nil {
+		t.Fatal("missing hex/segment contract (Figure 1 contract 1)")
+	}
+	if !(c1.Transform1 == "hex" && c1.Transform2 == "segment6") &&
+		!(c1.Transform1 == "segment6" && c1.Transform2 == "hex") {
+		t.Errorf("transforms = %s / %s", c1.Transform1, c1.Transform2)
+	}
+
+	// Contract 2: prefix contains loopback address.
+	c2 := findRelational(set, "ip address [ip4]", "contains", "seq [num] permit [pfx4]")
+	if c2 == nil {
+		t.Fatal("missing contains contract (Figure 1 contract 2)")
+	}
+	if c2.Transform1 != "id" || c2.Transform2 != "id" {
+		t.Errorf("transforms = %s / %s", c2.Transform1, c2.Transform2)
+	}
+
+	// Contract 3: rd number ends with the vlan number.
+	c3 := findRelational(set, "/router bgp [num]/vlan [num]", "endswith", "rd [ip4]:[num]")
+	if c3 == nil {
+		t.Fatal("missing endswith contract (Figure 1 contract 3)")
+	}
+}
+
+func TestMineRelationalRejectsSpurious(t *testing.T) {
+	set := mineDefault(t, figure1Corpus(t, 10))
+	// The rd IP (10.14.x.117) is contained only by 0.0.0.0/0, whose
+	// informativeness is zero: the contract must be rejected (§3.5).
+	spurious := findRelational(set, "rd [ip4]:[num]", "contains", "seq [num] permit [pfx4]")
+	if spurious != nil {
+		t.Errorf("spurious default-route contract learned: %s", spurious)
+	}
+	// Low-diversity equality (maximum-paths 64 ecmp 64) is also rejected.
+	lowdiv := findRelational(set, "maximum-paths [num] ecmp [num]", "equals", "maximum-paths [num] ecmp [num]")
+	if lowdiv != nil {
+		t.Errorf("low-diversity constant equality learned: %s", lowdiv)
+	}
+}
+
+func TestMineRelationalBrokenInvariantNotLearned(t *testing.T) {
+	// If a third of the configs break the MAC invariant, confidence
+	// falls below C and the contract disappears.
+	lx := lexer.MustNew()
+	var cfgs []*lexer.Config
+	for d := 1; d <= 12; d++ {
+		text := figure1Device(d)
+		if d%3 == 0 {
+			text = strings.Replace(text, "00:00:0c:d3:00:", "00:00:0c:d3:01:", 2)
+			// Only the last segment participates; shifting segment 5
+			// leaves the contract intact, so break segment 6 instead.
+			text = strings.Replace(text, fmt.Sprintf(":%02x\n", 11+d), ":ff\n", 1)
+			text = strings.Replace(text, fmt.Sprintf(":%02x\n", 110+d), ":fe\n", 1)
+		}
+		cfg := format.Process(fmt.Sprintf("dev%d", d), []byte(text), lx, format.Options{Embed: true})
+		cfgs = append(cfgs, &cfg)
+	}
+	set := mineDefault(t, cfgs)
+	c1 := findRelational(set, "/interface Port-Channel[num]", "equals", "route-target import [mac]")
+	if c1 != nil && c1.Transform1 == "hex" && c1.Transform2 == "segment6" {
+		t.Errorf("broken invariant still learned with confidence %v", c1.Evidence.Confidence)
+	}
+}
+
+func TestMineConstantLearning(t *testing.T) {
+	opts := DefaultOptions()
+	opts.ConstantLearning = true
+	set := New(opts).Mine(figure1Corpus(t, 10))
+	// "maximum-paths 64 ecmp 64" recurs verbatim in every config.
+	found := false
+	for _, c := range set.Contracts {
+		if p, ok := c.(*contracts.Present); ok && p.Exact &&
+			strings.Contains(p.Pattern, "maximum-paths 64 ecmp 64") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing exact-text constant contract")
+	}
+	// Device-specific lines (hostname DEV7) must not become constants.
+	for _, c := range set.Contracts {
+		if p, ok := c.(*contracts.Present); ok && p.Exact &&
+			strings.Contains(p.Pattern, "hostname DEV") {
+			t.Errorf("device-specific constant learned: %s", p.Pattern)
+		}
+	}
+}
+
+func TestLearnedContractsHoldOnTraining(t *testing.T) {
+	// Soundness: contracts learned at confidence 1.0 produce no
+	// violations when checked against their own training set.
+	cfgs := figure1Corpus(t, 10)
+	set := mineDefault(t, cfgs)
+	ch := contracts.NewChecker(set)
+	for _, cfg := range cfgs {
+		for _, v := range ch.Check(cfg) {
+			if v.Category == contracts.CatOrdering {
+				continue // ordering across '!' separators can differ at file tail
+			}
+			t.Errorf("training violation: %+v", v)
+		}
+	}
+}
+
+func TestMineEmptyInput(t *testing.T) {
+	set := mineDefault(t, nil)
+	if set.Len() != 0 {
+		t.Errorf("empty input produced %d contracts", set.Len())
+	}
+	empty := lexer.Config{Name: "e"}
+	set = mineDefault(t, []*lexer.Config{&empty})
+	if set.Len() != 0 {
+		t.Errorf("blank config produced %d contracts", set.Len())
+	}
+}
+
+func TestMineCategoriesFilter(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Categories = map[contracts.Category]bool{contracts.CatPresent: true}
+	set := New(opts).Mine(figure1Corpus(t, 10))
+	if set.Count(contracts.CatPresent) == 0 {
+		t.Error("present mining disabled unexpectedly")
+	}
+	if set.Len() != set.Count(contracts.CatPresent) {
+		t.Error("category filter leaked other categories")
+	}
+}
+
+func TestMineDeterministic(t *testing.T) {
+	cfgs := figure1Corpus(t, 10)
+	a := mineDefault(t, cfgs)
+	b := mineDefault(t, cfgs)
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Contracts {
+		if a.Contracts[i].ID() != b.Contracts[i].ID() {
+			t.Fatalf("contract %d differs: %s vs %s", i, a.Contracts[i].ID(), b.Contracts[i].ID())
+		}
+		if a.Contracts[i].Stats() != b.Contracts[i].Stats() {
+			t.Fatalf("stats differ for %s", a.Contracts[i].ID())
+		}
+	}
+}
+
+// TestScoringAblation shows the §3.5 false-positive filter at work: with
+// the score threshold disabled, the spurious default-route containment
+// contract IS learned; with the default threshold it is not.
+func TestScoringAblation(t *testing.T) {
+	cfgs := figure1Corpus(t, 10)
+	off := DefaultOptions()
+	off.ScoreThreshold = 0 // accept everything
+	setOff := New(off).Mine(cfgs)
+	spurious := findRelational(setOff, "rd [ip4]:[num]", "contains", "seq [num] permit [pfx4]")
+	if spurious == nil {
+		t.Fatal("ablation sanity: spurious contract should exist without scoring")
+	}
+	setOn := mineDefault(t, cfgs)
+	if findRelational(setOn, "rd [ip4]:[num]", "contains", "seq [num] permit [pfx4]") != nil {
+		t.Error("spurious contract survived scoring")
+	}
+	if setOn.Count(contracts.CatRelation) >= setOff.Count(contracts.CatRelation) {
+		t.Errorf("scoring did not reduce relational contracts: %d vs %d",
+			setOn.Count(contracts.CatRelation), setOff.Count(contracts.CatRelation))
+	}
+}
+
+// TestMaxFanoutBoundsCandidates ensures the fanout cap is honored and
+// deterministic.
+func TestMaxFanoutBoundsCandidates(t *testing.T) {
+	cfgs := figure1Corpus(t, 10)
+	small := DefaultOptions()
+	small.MaxFanout = 1
+	a := New(small).Mine(cfgs)
+	b := New(small).Mine(cfgs)
+	if a.Len() != b.Len() {
+		t.Fatal("fanout-capped mining not deterministic")
+	}
+	big := DefaultOptions()
+	big.MaxFanout = 1 << 16
+	c := New(big).Mine(cfgs)
+	if c.Count(contracts.CatRelation) < a.Count(contracts.CatRelation) {
+		t.Errorf("larger fanout lost contracts: %d vs %d",
+			c.Count(contracts.CatRelation), a.Count(contracts.CatRelation))
+	}
+}
+
+// TestExtraRelationsAtMinerLevel drives a custom relation directly
+// through mining.Options: values related when equal after doubling.
+func TestExtraRelationsAtMinerLevel(t *testing.T) {
+	holds := func(lhs, w relations.Value) bool {
+		a, ok1 := lhs.(netdata.Num)
+		b, ok2 := w.(netdata.Num)
+		if !ok1 || !ok2 {
+			return false
+		}
+		x, _ := a.Int64()
+		y, _ := b.Int64()
+		return y == 2*x && x != 0
+	}
+	opts := DefaultOptions()
+	opts.ExtraRelations = []relations.Definition{{
+		Rel:   "doubled",
+		Holds: holds,
+		NewIndex: func() relations.Index {
+			return relations.NewFuncIndex("doubled", holds)
+		},
+	}}
+	lx := lexer.MustNew()
+	var cfgs []*lexer.Config
+	for d := 1; d <= 8; d++ {
+		text := fmt.Sprintf("half %d\nfull %d\n", 500+d, 2*(500+d))
+		cfg := format.Process(fmt.Sprintf("c%d", d), []byte(text), lx, format.Options{Embed: true})
+		cfgs = append(cfgs, &cfg)
+	}
+	set := New(opts).Mine(cfgs)
+	found := false
+	for _, c := range set.Contracts {
+		r, ok := c.(*contracts.Relational)
+		if ok && r.Rel == "doubled" {
+			found = true
+			if r.Evidence.Confidence != 1 {
+				t.Errorf("confidence = %v", r.Evidence.Confidence)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("custom relation contract not mined")
+	}
+}

@@ -1,0 +1,416 @@
+package mining
+
+import (
+	"math"
+	"strconv"
+	"sync"
+
+	"concord/internal/contracts"
+	"concord/internal/lexer"
+	"concord/internal/netdata"
+	"concord/internal/relations"
+	"concord/internal/score"
+	"concord/internal/trie"
+)
+
+// candKey identifies a candidate relational contract globally.
+type candKey struct {
+	p1  string
+	i1  int
+	t1  string
+	rel relations.Rel
+	p2  string
+	i2  int
+	t2  string
+}
+
+// candState accumulates cross-configuration evidence for one candidate.
+type candState struct {
+	display1, display2 string
+	holdConfigs        int
+	agg                *score.Aggregator
+}
+
+// mineRelational learns relational contracts with relation-aware search
+// structures (§3.5). For each configuration it makes two passes: pass A
+// indexes every (transformed) parameter value as a potential witness;
+// pass B queries the indexes for every value, generating candidates only
+// where an actual relationship exists. Candidates are then filtered by
+// support, confidence, and the diversity-weighted score threshold.
+func (m *Miner) mineRelational(cfgs []*lexer.Config, st *stats) []contracts.Contract {
+	global := make(map[candKey]*candState)
+
+	workers := m.opts.Parallelism
+	if workers <= 1 || len(cfgs) < 2 {
+		for _, cfg := range cfgs {
+			m.mineRelationalConfig(cfg, global)
+		}
+	} else {
+		// Each worker accumulates into a private table; tables are merged
+		// sequentially. Merging is commutative, so the result matches the
+		// sequential run.
+		if workers > len(cfgs) {
+			workers = len(cfgs)
+		}
+		tables := make([]map[candKey]*candState, workers)
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			w := w
+			tables[w] = make(map[candKey]*candState)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ci := range next {
+					m.mineRelationalConfig(cfgs[ci], tables[w])
+				}
+			}()
+		}
+		for ci := range cfgs {
+			next <- ci
+		}
+		close(next)
+		wg.Wait()
+		for _, tab := range tables {
+			for k, cs := range tab {
+				g := global[k]
+				if g == nil {
+					global[k] = cs
+					continue
+				}
+				g.holdConfigs += cs.holdConfigs
+				g.agg.Merge(cs.agg)
+			}
+		}
+	}
+
+	var out []contracts.Contract
+	for k, cs := range global {
+		supp := st.patterns[k.p1].configCount
+		if supp < m.opts.Support {
+			continue
+		}
+		conf := float64(cs.holdConfigs) / float64(supp)
+		if conf < m.opts.Confidence {
+			continue
+		}
+		if cs.agg.Total() < m.opts.ScoreThreshold {
+			continue
+		}
+		// Transform echo suppression: if two parameters are equal under
+		// the identity transform, they are also equal under every common
+		// injective transform (hex/hex, str/str, ...). Keep only the
+		// identity form.
+		if k.rel == relations.Equals && k.t1 == k.t2 && k.t1 != "id" {
+			idKey := k
+			idKey.t1, idKey.t2 = "id", "id"
+			if idc, ok := global[idKey]; ok &&
+				float64(idc.holdConfigs)/float64(supp) >= m.opts.Confidence &&
+				idc.agg.Total() >= m.opts.ScoreThreshold {
+				continue
+			}
+		}
+		out = append(out, &contracts.Relational{
+			Pattern1:   k.p1,
+			Display1:   cs.display1,
+			ParamIdx1:  k.i1,
+			Transform1: k.t1,
+			Rel:        k.rel,
+			Pattern2:   k.p2,
+			Display2:   cs.display2,
+			ParamIdx2:  k.i2,
+			Transform2: k.t2,
+			Evidence: contracts.Stats{
+				Support:    supp,
+				Confidence: conf,
+				Score:      cs.agg.Total(),
+			},
+		})
+	}
+	sortByID(out)
+	return out
+}
+
+// srcInfo is an interned (pattern, param, transform) triple within one
+// configuration.
+type srcInfo struct {
+	patternID int32
+	paramIdx  int32
+	transform int32 // index into m.transforms
+}
+
+// hit is an indexed witness occurrence: its source plus the
+// informativeness score of the stored value, precomputed at insert time.
+type hit struct {
+	src   int32
+	score float32
+}
+
+// appliedVal is one transformed parameter value of one line, with
+// everything the query pass needs precomputed.
+type appliedVal struct {
+	lhs   int32 // source id
+	val   netdata.Value
+	key   string
+	score float64
+}
+
+// candLocal tracks one candidate's per-configuration evidence. Lines are
+// visited in increasing order, so distinct satisfied lines can be
+// counted with a single lastLine watermark.
+type candLocal struct {
+	lhs       int32
+	rel       int8
+	src       int32
+	lastLine  int32
+	satisfied int32
+	instances []scoredInstance
+}
+
+type scoredInstance struct {
+	key string
+	s   float64
+}
+
+// mineRelationalConfig processes one configuration into the global
+// candidate table. The hot path works entirely on interned integer ids;
+// pattern strings appear only when folding per-configuration results
+// into the global table.
+func (m *Miner) mineRelationalConfig(cfg *lexer.Config, global map[candKey]*candState) {
+	// Intern patterns and (pattern, param, transform) sources.
+	patternID := make(map[string]int32)
+	var patterns []string
+	var displays []string
+	internPattern := func(p, display string) int32 {
+		id, ok := patternID[p]
+		if !ok {
+			id = int32(len(patterns))
+			patternID[p] = id
+			patterns = append(patterns, p)
+			displays = append(displays, display)
+		}
+		return id
+	}
+	type srcKey struct {
+		p int32
+		i int32
+		t int32
+	}
+	srcID := make(map[srcKey]int32)
+	var sources []srcInfo
+	var occurrences []int32 // per-source forall instance count
+	internSrc := func(k srcKey) int32 {
+		id, ok := srcID[k]
+		if !ok {
+			id = int32(len(sources))
+			srcID[k] = id
+			sources = append(sources, srcInfo{patternID: k.p, paramIdx: k.i, transform: k.t})
+			occurrences = append(occurrences, 0)
+		}
+		return id
+	}
+
+	// Specialized per-relation indexes with integer payloads.
+	eq := make(map[string][]hit)
+	cv4 := trie.NewPrefixTrie[hit](false)
+	cv6 := trie.NewPrefixTrie[hit](true)
+	sw := trie.NewStringTrie[hit]()
+	ew := trie.NewStringTrie[hit]()
+
+	// User-defined relation indexes work with string-keyed sources; the
+	// side table maps their query hits back to interned ids.
+	extraIx := make([]relations.Index, len(m.opts.ExtraRelations))
+	for k := range m.opts.ExtraRelations {
+		extraIx[k] = m.opts.ExtraRelations[k].NewIndex()
+	}
+	var extraSrcID map[relations.Source]int32
+	if len(extraIx) > 0 {
+		extraSrcID = make(map[relations.Source]int32)
+	}
+
+	// Pass A: apply transforms, intern sources, and index witness
+	// values. Duplicate (value, source) pairs are indexed once.
+	lineVals := make([][]appliedVal, len(cfg.Lines))
+	indexed := make(map[string]bool)
+	for li := range cfg.Lines {
+		line := &cfg.Lines[li]
+		pid := internPattern(line.Pattern, line.Display)
+		if len(line.Params) == 0 {
+			continue
+		}
+		vals := make([]appliedVal, 0, len(line.Params))
+		for pi := range line.Params {
+			for ti := range m.transforms {
+				tv, ok := m.transforms[ti].Apply(line.Params[pi].Value)
+				if !ok {
+					continue
+				}
+				id := internSrc(srcKey{p: pid, i: int32(pi), t: int32(ti)})
+				occurrences[id]++
+				key := tv.Key()
+				sc := score.Value(tv)
+				vals = append(vals, appliedVal{lhs: id, val: tv, key: key, score: sc})
+				dk := key + "\x00" + strconv.Itoa(int(id))
+				if indexed[dk] {
+					continue
+				}
+				indexed[dk] = true
+				h := hit{src: id, score: float32(sc)}
+				eq[key] = append(eq[key], h)
+				switch v := tv.(type) {
+				case netdata.Prefix:
+					if v.Addr().Is6() {
+						cv6.Insert(v, h)
+					} else {
+						cv4.Insert(v, h)
+					}
+				case netdata.Str:
+					sw.Insert(string(v), h)
+					ew.Insert(trie.Reverse(string(v)), h)
+				}
+				if len(extraIx) > 0 {
+					esrc := relations.Source{Pattern: line.Pattern, ParamIdx: pi, Transform: m.transforms[ti].Name}
+					extraSrcID[esrc] = id
+					for _, ix := range extraIx {
+						ix.Add(tv, esrc)
+					}
+				}
+			}
+		}
+		lineVals[li] = vals
+	}
+
+	// Witness-source density penalty: a source whose values densely
+	// cover a small domain (e.g. interface indexes 0..N) witnesses
+	// almost any small value by coincidence. Instance scores are damped
+	// by the source's occurrence count, generalizing the paper's
+	// "common values yield spurious matches" heuristic.
+	density := make([]float64, len(sources))
+	for i := range sources {
+		density[i] = 1 / (1 + math.Log2(math.Max(1, float64(occurrences[i]))))
+	}
+
+	// Pass B: query the indexes for every value. Candidates are tracked
+	// in a compact map keyed by packed (lhs, src, rel).
+	local := make(map[uint64]*candLocal)
+	maxFanout := m.opts.MaxFanout
+	record := func(av *appliedVal, li int32, rel int8, h hit) {
+		ck := uint64(uint32(av.lhs))<<34 | uint64(uint32(h.src))<<4 | uint64(rel)
+		c := local[ck]
+		if c == nil {
+			c = &candLocal{lhs: av.lhs, rel: rel, src: h.src, lastLine: -1}
+			local[ck] = c
+		}
+		inst := av.score
+		if s := float64(h.score); s < inst {
+			inst = s
+		}
+		inst *= density[h.src]
+		if c.lastLine == li {
+			at := len(c.instances) - 1
+			if inst > c.instances[at].s {
+				c.instances[at].s = inst
+			}
+			return
+		}
+		c.lastLine = li
+		c.satisfied++
+		c.instances = append(c.instances, scoredInstance{key: av.key, s: inst})
+	}
+	for li := range cfg.Lines {
+		for ai := range lineVals[li] {
+			av := &lineVals[li][ai]
+			lhsSrc := sources[av.lhs]
+			fanout, visited := 0, 0
+			visit := func(rel int8) func(h hit) bool {
+				fanout, visited = 0, 0
+				return func(h hit) bool {
+					// Traversal budget: self-skips below still consume it,
+					// so a subtree dominated by the query's own values
+					// cannot force a full walk.
+					visited++
+					if visited > 4*maxFanout {
+						return false
+					}
+					ws := sources[h.src]
+					// A parameter never witnesses itself: the same
+					// (pattern, param) is skipped regardless of transform,
+					// since relating a value to a transform of itself
+					// carries no cross-line information.
+					if ws.patternID == lhsSrc.patternID && ws.paramIdx == lhsSrc.paramIdx {
+						return true
+					}
+					fanout++
+					if fanout > maxFanout {
+						return false
+					}
+					record(av, int32(li), rel, h)
+					return true
+				}
+			}
+			if bucket := eq[av.key]; len(bucket) > 0 {
+				v := visit(0)
+				for i := range bucket {
+					if !v(bucket[i]) {
+						break
+					}
+				}
+			}
+			switch v := av.val.(type) {
+			case netdata.IP:
+				if v.Is6() {
+					cv6.Containing(v, visit(1))
+				} else {
+					cv4.Containing(v, visit(1))
+				}
+			case netdata.Prefix:
+				if v.Addr().Is6() {
+					cv6.ContainingPrefix(v, visit(1))
+				} else {
+					cv4.ContainingPrefix(v, visit(1))
+				}
+			case netdata.Str:
+				sw.ExtensionsOf(string(v), true, visit(2))
+				ew.ExtensionsOf(trie.Reverse(string(v)), true, visit(3))
+			}
+			for k, ix := range extraIx {
+				v := visit(int8(4 + k))
+				ix.Query(av.val, func(e relations.Entry) bool {
+					id, ok := extraSrcID[e.Source]
+					if !ok {
+						return true
+					}
+					return v(hit{src: id, score: float32(score.Value(e.Value))})
+				})
+			}
+		}
+	}
+
+	// Fold: a candidate holds here iff every forall instance found a
+	// witness.
+	for _, c := range local {
+		if c.satisfied != occurrences[c.lhs] {
+			continue
+		}
+		ls := sources[c.lhs]
+		ws := sources[c.src]
+		k := candKey{
+			p1: patterns[ls.patternID], i1: int(ls.paramIdx), t1: m.transforms[ls.transform].Name,
+			rel: m.rels[c.rel],
+			p2:  patterns[ws.patternID], i2: int(ws.paramIdx), t2: m.transforms[ws.transform].Name,
+		}
+		cs := global[k]
+		if cs == nil {
+			cs = &candState{
+				display1: displays[ls.patternID],
+				display2: displays[ws.patternID],
+				agg:      score.NewAggregator(),
+			}
+			global[k] = cs
+		}
+		cs.holdConfigs++
+		for _, inst := range c.instances {
+			cs.agg.AddInstance(inst.key, inst.s)
+		}
+	}
+}

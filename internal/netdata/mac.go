@@ -1,0 +1,63 @@
+package netdata
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// MAC is a 48-bit hardware address written as six colon-separated
+// hexadecimal segments (e.g. 00:00:0c:d3:00:6e).
+type MAC struct {
+	b [6]byte
+}
+
+// ParseMAC parses a colon-separated MAC address. Each of the six
+// segments must be one or two hex digits.
+func ParseMAC(s string) (MAC, error) {
+	var m MAC
+	parts := strings.Split(s, ":")
+	if len(parts) != 6 {
+		return m, fmt.Errorf("netdata: invalid MAC address %q", s)
+	}
+	for i, p := range parts {
+		if p == "" || len(p) > 2 {
+			return m, fmt.Errorf("netdata: invalid MAC address %q", s)
+		}
+		n, err := strconv.ParseUint(p, 16, 8)
+		if err != nil {
+			return m, fmt.Errorf("netdata: invalid MAC address %q", s)
+		}
+		m.b[i] = byte(n)
+	}
+	return m, nil
+}
+
+// Kind implements Value.
+func (m MAC) Kind() Kind { return KindMAC }
+
+// Key implements Value.
+func (m MAC) Key() string { return "mac:" + m.String() }
+
+// String implements Value, rendering two lower-case hex digits per
+// segment.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x",
+		m.b[0], m.b[1], m.b[2], m.b[3], m.b[4], m.b[5])
+}
+
+// Segment returns the i-th segment (1-based) formatted as minimal
+// lower-case hex (no leading zero), matching the segment(m, i) data
+// transformation from the paper: segment(00:00:0c:d3:00:6e, 6) = "6e".
+func (m MAC) Segment(i int) (string, bool) {
+	if i < 1 || i > 6 {
+		return "", false
+	}
+	return strconv.FormatUint(uint64(m.b[i-1]), 16), true
+}
+
+// Bytes returns a copy of the six address bytes.
+func (m MAC) Bytes() []byte {
+	b := m.b
+	return b[:]
+}

@@ -1,0 +1,199 @@
+// Package netdata defines the typed data values that Concord extracts
+// from configuration text: numbers, hexadecimal literals, booleans, MAC
+// addresses, IPv4/IPv6 addresses and prefixes, and free-form strings.
+//
+// Values are immutable. Each value has a Kind describing its runtime
+// representation and a canonical Key used for hashing and equality during
+// relational contract mining. Keys embed the kind so that values of
+// different kinds never collide (a relation between a number and a string
+// must go through an explicit transformation first).
+package netdata
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+)
+
+// Kind enumerates the runtime representations of configuration values.
+type Kind uint8
+
+// The supported value kinds.
+const (
+	KindInvalid Kind = iota
+	KindNum          // arbitrary-precision non-negative integer
+	KindHex          // hexadecimal integer literal (0x...)
+	KindBool         // true / false
+	KindMAC          // 48-bit MAC address
+	KindIP4          // IPv4 address
+	KindIP6          // IPv6 address
+	KindPfx4         // IPv4 prefix (address/length)
+	KindPfx6         // IPv6 prefix (address/length)
+	KindString       // free-form string (user token types, transforms)
+)
+
+// String returns the lower-case name of the kind, matching the token
+// names used in lexer patterns (e.g. "num", "ip4").
+func (k Kind) String() string {
+	switch k {
+	case KindNum:
+		return "num"
+	case KindHex:
+		return "hex"
+	case KindBool:
+		return "bool"
+	case KindMAC:
+		return "mac"
+	case KindIP4:
+		return "ip4"
+	case KindIP6:
+		return "ip6"
+	case KindPfx4:
+		return "pfx4"
+	case KindPfx6:
+		return "pfx6"
+	case KindString:
+		return "str"
+	default:
+		return "invalid"
+	}
+}
+
+// Value is an immutable typed configuration value.
+type Value interface {
+	// Kind reports the runtime representation of the value.
+	Kind() Kind
+	// Key returns a canonical string that uniquely identifies the value
+	// within its kind. Keys embed the kind name so values of different
+	// kinds never compare equal.
+	Key() string
+	// String renders the value for display, approximating its original
+	// configuration spelling.
+	String() string
+}
+
+// Num is an arbitrary-precision non-negative integer value.
+type Num struct {
+	i *big.Int
+}
+
+// NewNum returns a Num holding v.
+func NewNum(v int64) Num { return Num{big.NewInt(v)} }
+
+// ParseNum parses a decimal integer of arbitrary size.
+func ParseNum(s string) (Num, error) {
+	i, ok := new(big.Int).SetString(s, 10)
+	if !ok {
+		return Num{}, fmt.Errorf("netdata: invalid number %q", s)
+	}
+	return Num{i}, nil
+}
+
+// Kind implements Value.
+func (n Num) Kind() Kind { return KindNum }
+
+// Key implements Value.
+func (n Num) Key() string { return "num:" + n.i.String() }
+
+// String implements Value.
+func (n Num) String() string { return n.i.String() }
+
+// Int64 returns the value as an int64 and whether it fits.
+func (n Num) Int64() (int64, bool) {
+	if n.i == nil || !n.i.IsInt64() {
+		return 0, false
+	}
+	return n.i.Int64(), true
+}
+
+// Big returns a copy of the underlying big integer.
+func (n Num) Big() *big.Int { return new(big.Int).Set(n.i) }
+
+// Hex returns the value formatted in lower-case hexadecimal without a
+// leading "0x" (e.g. 110 -> "6e"). This is the hex() data transformation
+// from the paper.
+func (n Num) Hex() string { return n.i.Text(16) }
+
+// Cmp compares two numbers, returning -1, 0, or 1.
+func (n Num) Cmp(o Num) int { return n.i.Cmp(o.i) }
+
+// Sub returns n - o as a new Num.
+func (n Num) Sub(o Num) Num { return Num{new(big.Int).Sub(n.i, o.i)} }
+
+// Hex is a hexadecimal integer literal such as 0x1f.
+type Hex struct {
+	i   *big.Int
+	raw string
+}
+
+// ParseHex parses a "0x"-prefixed hexadecimal literal.
+func ParseHex(s string) (Hex, error) {
+	body := strings.TrimPrefix(strings.TrimPrefix(s, "0x"), "0X")
+	if body == s {
+		return Hex{}, fmt.Errorf("netdata: hex literal %q missing 0x prefix", s)
+	}
+	i, ok := new(big.Int).SetString(body, 16)
+	if !ok {
+		return Hex{}, fmt.Errorf("netdata: invalid hex literal %q", s)
+	}
+	return Hex{i: i, raw: s}, nil
+}
+
+// Kind implements Value.
+func (h Hex) Kind() Kind { return KindHex }
+
+// Key implements Value.
+func (h Hex) Key() string { return "hex:" + h.i.Text(16) }
+
+// String implements Value.
+func (h Hex) String() string { return h.raw }
+
+// Int64 returns the value as an int64 and whether it fits.
+func (h Hex) Int64() (int64, bool) {
+	if h.i == nil || !h.i.IsInt64() {
+		return 0, false
+	}
+	return h.i.Int64(), true
+}
+
+// Bool is a boolean literal.
+type Bool bool
+
+// ParseBool parses "true" or "false".
+func ParseBool(s string) (Bool, error) {
+	switch s {
+	case "true":
+		return Bool(true), nil
+	case "false":
+		return Bool(false), nil
+	}
+	return false, fmt.Errorf("netdata: invalid bool %q", s)
+}
+
+// Kind implements Value.
+func (b Bool) Kind() Kind { return KindBool }
+
+// Key implements Value.
+func (b Bool) Key() string { return "bool:" + b.String() }
+
+// String implements Value.
+func (b Bool) String() string {
+	if b {
+		return "true"
+	}
+	return "false"
+}
+
+// Str is a free-form string value. It backs user-defined token types and
+// the results of string-producing data transformations such as str() and
+// segment().
+type Str string
+
+// Kind implements Value.
+func (s Str) Kind() Kind { return KindString }
+
+// Key implements Value.
+func (s Str) Key() string { return "str:" + string(s) }
+
+// String implements Value.
+func (s Str) String() string { return string(s) }

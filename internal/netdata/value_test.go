@@ -1,0 +1,137 @@
+package netdata
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseNum(t *testing.T) {
+	n, err := ParseNum("110")
+	if err != nil {
+		t.Fatalf("ParseNum: %v", err)
+	}
+	if got, ok := n.Int64(); !ok || got != 110 {
+		t.Errorf("Int64() = %d, %v; want 110, true", got, ok)
+	}
+	if n.Hex() != "6e" {
+		t.Errorf("Hex() = %q, want %q", n.Hex(), "6e")
+	}
+	if n.Key() != "num:110" {
+		t.Errorf("Key() = %q", n.Key())
+	}
+}
+
+func TestParseNumHuge(t *testing.T) {
+	huge := strings.Repeat("9", 40)
+	n, err := ParseNum(huge)
+	if err != nil {
+		t.Fatalf("ParseNum: %v", err)
+	}
+	if _, ok := n.Int64(); ok {
+		t.Error("Int64() fits, want overflow")
+	}
+	if n.String() != huge {
+		t.Errorf("String() = %q", n.String())
+	}
+}
+
+func TestParseNumInvalid(t *testing.T) {
+	for _, s := range []string{"", "abc", "1.5", "0x10", "-"} {
+		if _, err := ParseNum(s); err == nil {
+			t.Errorf("ParseNum(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestNumArithmetic(t *testing.T) {
+	a, b := NewNum(30), NewNum(10)
+	if d := a.Sub(b); d.String() != "20" {
+		t.Errorf("Sub = %s, want 20", d)
+	}
+	if a.Cmp(b) != 1 || b.Cmp(a) != -1 || a.Cmp(a) != 0 {
+		t.Error("Cmp ordering wrong")
+	}
+}
+
+func TestParseHex(t *testing.T) {
+	h, err := ParseHex("0x1F")
+	if err != nil {
+		t.Fatalf("ParseHex: %v", err)
+	}
+	if got, ok := h.Int64(); !ok || got != 31 {
+		t.Errorf("Int64() = %d, want 31", got)
+	}
+	if h.Key() != "hex:1f" {
+		t.Errorf("Key() = %q", h.Key())
+	}
+	if h.String() != "0x1F" {
+		t.Errorf("String() = %q, want original spelling", h.String())
+	}
+}
+
+func TestParseHexInvalid(t *testing.T) {
+	for _, s := range []string{"", "1f", "0x", "0xzz"} {
+		if _, err := ParseHex(s); err == nil {
+			t.Errorf("ParseHex(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestParseBool(t *testing.T) {
+	b, err := ParseBool("true")
+	if err != nil || !bool(b) {
+		t.Fatalf("ParseBool(true) = %v, %v", b, err)
+	}
+	if b.Key() != "bool:true" {
+		t.Errorf("Key() = %q", b.Key())
+	}
+	if _, err := ParseBool("True"); err == nil {
+		t.Error("ParseBool(True) succeeded, want error (case-sensitive)")
+	}
+}
+
+func TestStr(t *testing.T) {
+	s := Str("et-0/0/1")
+	if s.Kind() != KindString || s.Key() != "str:et-0/0/1" {
+		t.Errorf("Str key/kind wrong: %v %q", s.Kind(), s.Key())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		KindNum: "num", KindHex: "hex", KindBool: "bool", KindMAC: "mac",
+		KindIP4: "ip4", KindIP6: "ip6", KindPfx4: "pfx4", KindPfx6: "pfx6",
+		KindString: "str", KindInvalid: "invalid",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestKeysAreKindDisjoint(t *testing.T) {
+	// A number 110 and the string "110" must not collide.
+	n := NewNum(110)
+	s := Str("110")
+	if n.Key() == s.Key() {
+		t.Errorf("num and str keys collide: %q", n.Key())
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	n := NewNum(42)
+	if n.Big().Int64() != 42 {
+		t.Error("Big() wrong")
+	}
+	// Big returns a copy: mutating it must not affect the Num.
+	b := n.Big()
+	b.SetInt64(99)
+	if got, _ := n.Int64(); got != 42 {
+		t.Error("Big() aliases internal state")
+	}
+	h, _ := ParseHex("0xff")
+	if v, ok := h.Int64(); !ok || v != 255 {
+		t.Errorf("hex Int64 = %d, %v", v, ok)
+	}
+}

@@ -1,0 +1,125 @@
+package relations
+
+import "fmt"
+
+// Definition describes a user-defined relation: how to evaluate it and
+// how to index witness values for scalable candidate generation. This is
+// the "simple interface" §4 of the paper describes for implementing new
+// relationships — built-in relations (equals, contains, startswith,
+// endswith) are hard-wired for speed, while custom relations plug in
+// through mining options and checker construction.
+type Definition struct {
+	// Rel names the relation. It must not collide with a built-in name.
+	Rel Rel
+	// Holds evaluates the relation with lhs from the forall line and
+	// witness from the exists line.
+	Holds func(lhs, witness Value) bool
+	// NewIndex builds an empty per-configuration witness index. The
+	// miner adds every transformed parameter value and queries it with
+	// every value; Query must visit exactly the entries whose stored
+	// value satisfies Holds(lhs, stored).
+	NewIndex func() Index
+}
+
+// Value aliases the value interface so custom definitions can be written
+// without importing internal/netdata directly from user code (the root
+// concord package re-exports both).
+type Value = valueIface
+
+// Validate checks a definition for use alongside the built-ins.
+func (d *Definition) Validate() error {
+	switch {
+	case d.Rel == "":
+		return fmt.Errorf("relations: custom relation needs a name")
+	case d.Rel == Equals || d.Rel == Contains || d.Rel == StartsWith || d.Rel == EndsWith:
+		return fmt.Errorf("relations: %q is a built-in relation", d.Rel)
+	case d.Holds == nil:
+		return fmt.Errorf("relations: custom relation %q needs a Holds func", d.Rel)
+	case d.NewIndex == nil:
+		return fmt.Errorf("relations: custom relation %q needs a NewIndex func", d.Rel)
+	}
+	return nil
+}
+
+// FuncIndex adapts a brute-force Holds function into an Index by linear
+// scan — convenient for prototyping a custom relation before writing a
+// real search structure. Query cost is O(inserted values), so use it
+// only where witness sets stay small.
+type FuncIndex struct {
+	rel     Rel
+	holds   func(lhs, witness Value) bool
+	entries []Entry
+}
+
+// NewFuncIndex builds a linear-scan index for the given relation.
+func NewFuncIndex(rel Rel, holds func(lhs, witness Value) bool) *FuncIndex {
+	return &FuncIndex{rel: rel, holds: holds}
+}
+
+// Rel implements Index.
+func (ix *FuncIndex) Rel() Rel { return ix.rel }
+
+// Add implements Index.
+func (ix *FuncIndex) Add(v Value, src Source) {
+	ix.entries = append(ix.entries, Entry{Source: src, Value: v})
+}
+
+// Query implements Index.
+func (ix *FuncIndex) Query(lhs Value, visit func(e Entry) bool) {
+	for _, e := range ix.entries {
+		if ix.holds(lhs, e.Value) {
+			if !visit(e) {
+				return
+			}
+		}
+	}
+}
+
+// KeyedIndex indexes witness values under caller-derived hash keys, the
+// scalable counterpart to FuncIndex for custom relations whose matches
+// can be bucketed: Query visits entries whose stored value shares a key
+// with the query value. Supply Verify when keys over-approximate the
+// relation (entries failing Verify are skipped). A /31-peer relation,
+// for example, keys both addresses of a link by their shared upper 31
+// bits, making lookups O(1) instead of O(values).
+type KeyedIndex struct {
+	rel    Rel
+	keyOf  func(v Value) (string, bool)
+	verify func(lhs, witness Value) bool
+	m      map[string][]Entry
+}
+
+// NewKeyedIndex builds a keyed index. keyOf returns the bucket key for a
+// value (ok=false excludes the value); verify may be nil when bucket
+// equality exactly characterizes the relation.
+func NewKeyedIndex(rel Rel, keyOf func(v Value) (string, bool), verify func(lhs, witness Value) bool) *KeyedIndex {
+	return &KeyedIndex{rel: rel, keyOf: keyOf, verify: verify, m: make(map[string][]Entry)}
+}
+
+// Rel implements Index.
+func (ix *KeyedIndex) Rel() Rel { return ix.rel }
+
+// Add implements Index.
+func (ix *KeyedIndex) Add(v Value, src Source) {
+	k, ok := ix.keyOf(v)
+	if !ok {
+		return
+	}
+	ix.m[k] = append(ix.m[k], Entry{Source: src, Value: v})
+}
+
+// Query implements Index.
+func (ix *KeyedIndex) Query(lhs Value, visit func(e Entry) bool) {
+	k, ok := ix.keyOf(lhs)
+	if !ok {
+		return
+	}
+	for _, e := range ix.m[k] {
+		if ix.verify != nil && !ix.verify(lhs, e.Value) {
+			continue
+		}
+		if !visit(e) {
+			return
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package relations
+
+import (
+	"concord/internal/netdata"
+	"concord/internal/trie"
+)
+
+// Rel names a binary relation between the forall-side value (from line
+// l1) and the exists-side witness value (from line l2). By convention
+// the witness is the "larger" operand: contains(l2.b, l1.a) means l2's
+// prefix contains l1's address, endswith(l2.b, l1.a) means l2's string
+// ends with l1's string, matching the paper's rendering.
+type Rel string
+
+// The supported relations.
+const (
+	Equals     Rel = "equals"
+	Contains   Rel = "contains"
+	StartsWith Rel = "startswith"
+	EndsWith   Rel = "endswith"
+)
+
+// Transitive reports whether chained contracts over this relation imply
+// the transitive closure contract, making them eligible for minimization
+// (§3.6).
+func (r Rel) Transitive() bool {
+	switch r {
+	case Equals, StartsWith, EndsWith, Contains:
+		return true
+	}
+	return false
+}
+
+// Holds evaluates the relation with lhs from the forall line and witness
+// from the exists line.
+func (r Rel) Holds(lhs, witness netdata.Value) bool {
+	switch r {
+	case Equals:
+		return lhs.Key() == witness.Key()
+	case Contains:
+		p, ok := witness.(netdata.Prefix)
+		if !ok {
+			return false
+		}
+		switch l := lhs.(type) {
+		case netdata.IP:
+			return p.ContainsIP(l)
+		case netdata.Prefix:
+			return p.ContainsPrefix(l)
+		}
+		return false
+	case StartsWith:
+		a, b, ok := stringPair(lhs, witness)
+		return ok && len(b) > len(a) && b[:len(a)] == a
+	case EndsWith:
+		a, b, ok := stringPair(lhs, witness)
+		return ok && len(b) > len(a) && b[len(b)-len(a):] == a
+	}
+	return false
+}
+
+func stringPair(lhs, witness netdata.Value) (string, string, bool) {
+	a, ok1 := lhs.(netdata.Str)
+	b, ok2 := witness.(netdata.Str)
+	if !ok1 || !ok2 {
+		return "", "", false
+	}
+	return string(a), string(b), true
+}
+
+// Source identifies where a witness value came from: a pattern, the
+// index of the parameter within that pattern, and the transform that
+// produced the indexed value. Sources are the graph nodes of contract
+// minimization.
+type Source struct {
+	Pattern   string
+	ParamIdx  int
+	Transform string
+}
+
+// valueIface is the value interface all relations operate on.
+type valueIface = netdata.Value
+
+// Entry pairs a witness value with its source.
+type Entry struct {
+	Source Source
+	Value  netdata.Value
+}
+
+// Index is a relation-aware search structure: witness values are added
+// once, and Query enumerates the entries whose stored value relates to
+// the query value. Implementations replace the quadratic enumeration of
+// candidate (pattern, pattern) pairs with per-value lookups.
+type Index interface {
+	// Rel identifies the relation this index answers.
+	Rel() Rel
+	// Add indexes one witness value with its source.
+	Add(v netdata.Value, src Source)
+	// Query visits every entry whose stored value relates to lhs (i.e.
+	// Rel().Holds(lhs, entry.Value) is true). Visiting stops early when
+	// visit returns false.
+	Query(lhs netdata.Value, visit func(e Entry) bool)
+}
+
+// NewDefaultIndexes returns one index per supported relation.
+func NewDefaultIndexes() []Index {
+	return []Index{
+		NewEqualityIndex(),
+		NewContainsIndex(),
+		NewAffixIndex(StartsWith),
+		NewAffixIndex(EndsWith),
+	}
+}
+
+// EqualityIndex finds equal values with a hash table keyed by canonical
+// value keys.
+type EqualityIndex struct {
+	m map[string][]Entry
+}
+
+// NewEqualityIndex returns an empty equality index.
+func NewEqualityIndex() *EqualityIndex {
+	return &EqualityIndex{m: make(map[string][]Entry)}
+}
+
+// Rel implements Index.
+func (ix *EqualityIndex) Rel() Rel { return Equals }
+
+// Add implements Index.
+func (ix *EqualityIndex) Add(v netdata.Value, src Source) {
+	k := v.Key()
+	ix.m[k] = append(ix.m[k], Entry{Source: src, Value: v})
+}
+
+// Query implements Index.
+func (ix *EqualityIndex) Query(lhs netdata.Value, visit func(e Entry) bool) {
+	for _, e := range ix.m[lhs.Key()] {
+		if !visit(e) {
+			return
+		}
+	}
+}
+
+// ContainsIndex finds containing prefixes with binary prefix tries, one
+// per address family.
+type ContainsIndex struct {
+	v4 *trie.PrefixTrie[Entry]
+	v6 *trie.PrefixTrie[Entry]
+}
+
+// NewContainsIndex returns an empty containment index.
+func NewContainsIndex() *ContainsIndex {
+	return &ContainsIndex{
+		v4: trie.NewPrefixTrie[Entry](false),
+		v6: trie.NewPrefixTrie[Entry](true),
+	}
+}
+
+// Rel implements Index.
+func (ix *ContainsIndex) Rel() Rel { return Contains }
+
+// Add implements Index. Only prefix values are indexed; other kinds are
+// ignored (they can never be containment witnesses).
+func (ix *ContainsIndex) Add(v netdata.Value, src Source) {
+	p, ok := v.(netdata.Prefix)
+	if !ok {
+		return
+	}
+	e := Entry{Source: src, Value: p}
+	if p.Addr().Is6() {
+		ix.v6.Insert(p, e)
+	} else {
+		ix.v4.Insert(p, e)
+	}
+}
+
+// Query implements Index: for an IP it visits all containing prefixes;
+// for a prefix it visits all subsuming prefixes.
+func (ix *ContainsIndex) Query(lhs netdata.Value, visit func(e Entry) bool) {
+	switch l := lhs.(type) {
+	case netdata.IP:
+		if l.Is6() {
+			ix.v6.Containing(l, visit)
+		} else {
+			ix.v4.Containing(l, visit)
+		}
+	case netdata.Prefix:
+		if l.Addr().Is6() {
+			ix.v6.ContainingPrefix(l, visit)
+		} else {
+			ix.v4.ContainingPrefix(l, visit)
+		}
+	}
+}
+
+// AffixIndex finds strings extending the query string (startswith) or
+// ending with it (endswith) using a string trie; endswith indexes
+// reversed strings. Only string values participate, and matches are
+// proper (a string is not its own affix) so that affix contracts stay
+// disjoint from equality contracts.
+type AffixIndex struct {
+	rel Rel
+	tr  *trie.StringTrie[Entry]
+}
+
+// NewAffixIndex returns an empty affix index for StartsWith or EndsWith.
+func NewAffixIndex(rel Rel) *AffixIndex {
+	return &AffixIndex{rel: rel, tr: trie.NewStringTrie[Entry]()}
+}
+
+// Rel implements Index.
+func (ix *AffixIndex) Rel() Rel { return ix.rel }
+
+// Add implements Index.
+func (ix *AffixIndex) Add(v netdata.Value, src Source) {
+	s, ok := v.(netdata.Str)
+	if !ok {
+		return
+	}
+	key := string(s)
+	if ix.rel == EndsWith {
+		key = trie.Reverse(key)
+	}
+	ix.tr.Insert(key, Entry{Source: src, Value: v})
+}
+
+// Query implements Index.
+func (ix *AffixIndex) Query(lhs netdata.Value, visit func(e Entry) bool) {
+	s, ok := lhs.(netdata.Str)
+	if !ok {
+		return
+	}
+	key := string(s)
+	if ix.rel == EndsWith {
+		key = trie.Reverse(key)
+	}
+	ix.tr.ExtensionsOf(key, true, visit)
+}

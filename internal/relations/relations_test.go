@@ -1,0 +1,348 @@
+package relations
+
+import (
+	"fmt"
+	"testing"
+
+	"concord/internal/netdata"
+)
+
+func findTransform(t *testing.T, name string) Transform {
+	t.Helper()
+	for _, tr := range DefaultTransforms() {
+		if tr.Name == name {
+			return tr
+		}
+	}
+	t.Fatalf("transform %q not found", name)
+	return Transform{}
+}
+
+func TestHexTransform(t *testing.T) {
+	tr := findTransform(t, "hex")
+	v, ok := tr.Apply(netdata.NewNum(110))
+	if !ok || v.Key() != "str:6e" {
+		t.Errorf("hex(110) = %v, %v", v, ok)
+	}
+	if _, ok := tr.Apply(netdata.Str("x")); ok {
+		t.Error("hex applied to a string")
+	}
+}
+
+func TestStrTransform(t *testing.T) {
+	tr := findTransform(t, "str")
+	v, ok := tr.Apply(netdata.NewNum(251))
+	if !ok || v.Key() != "str:251" {
+		t.Errorf("str(251) = %v", v)
+	}
+	ip, _ := netdata.ParseIP4("10.0.0.1")
+	v, ok = tr.Apply(ip)
+	if !ok || v.Key() != "str:10.0.0.1" {
+		t.Errorf("str(ip) = %v", v)
+	}
+	if _, ok := tr.Apply(netdata.Str("already")); ok {
+		t.Error("str applied to a string")
+	}
+}
+
+func TestOctetTransform(t *testing.T) {
+	ip, _ := netdata.ParseIP4("10.14.99.34")
+	tr := findTransform(t, "octet3")
+	v, ok := tr.Apply(ip)
+	if !ok || v.Key() != "num:99" {
+		t.Errorf("octet3 = %v", v)
+	}
+	ip6, _ := netdata.ParseIP6("::1")
+	if _, ok := tr.Apply(ip6); ok {
+		t.Error("octet applied to IPv6")
+	}
+}
+
+func TestSegmentTransform(t *testing.T) {
+	m, _ := netdata.ParseMAC("00:00:0c:d3:00:6e")
+	tr := findTransform(t, "segment6")
+	v, ok := tr.Apply(m)
+	if !ok || v.Key() != "str:6e" {
+		t.Errorf("segment6 = %v", v)
+	}
+}
+
+func TestApplyAll(t *testing.T) {
+	// A number admits id, hex, and str.
+	got := ApplyAll(DefaultTransforms(), netdata.NewNum(110))
+	names := map[string]bool{}
+	for _, a := range got {
+		names[a.Transform] = true
+	}
+	for _, want := range []string{"id", "hex", "str"} {
+		if !names[want] {
+			t.Errorf("missing transform %q in %v", want, names)
+		}
+	}
+	if names["octet1"] || names["segment1"] {
+		t.Error("inapplicable transforms returned")
+	}
+	if got[0].Transform != "id" {
+		t.Error("identity must come first")
+	}
+}
+
+func TestRelHolds(t *testing.T) {
+	ip, _ := netdata.ParseIP4("10.14.14.34")
+	p32, _ := netdata.ParsePrefix4("10.14.14.34/32")
+	p0, _ := netdata.ParsePrefix4("0.0.0.0/0")
+	cases := []struct {
+		rel     Rel
+		lhs, w  netdata.Value
+		want    bool
+		comment string
+	}{
+		{Equals, netdata.NewNum(5), netdata.NewNum(5), true, "equal nums"},
+		{Equals, netdata.NewNum(5), netdata.Str("5"), false, "kinds differ"},
+		{Contains, ip, p32, true, "ip in /32"},
+		{Contains, ip, p0, true, "ip in default"},
+		{Contains, p32, p0, true, "prefix subsumption"},
+		{Contains, p0, p32, false, "reverse subsumption"},
+		{Contains, ip, netdata.NewNum(1), false, "witness not a prefix"},
+		{StartsWith, netdata.Str("Neigh"), netdata.Str("Neighbor-1"), true, "proper prefix"},
+		{StartsWith, netdata.Str("Neighbor-1"), netdata.Str("Neighbor-1"), false, "equality excluded"},
+		{EndsWith, netdata.Str("251"), netdata.Str("10251"), true, "vlan/rd suffix"},
+		{EndsWith, netdata.Str("251"), netdata.Str("252"), false, "no suffix"},
+		{EndsWith, netdata.NewNum(251), netdata.Str("10251"), false, "lhs not a string"},
+	}
+	for _, c := range cases {
+		if got := c.rel.Holds(c.lhs, c.w); got != c.want {
+			t.Errorf("%s: %v.Holds(%v, %v) = %v, want %v", c.comment, c.rel, c.lhs, c.w, got, c.want)
+		}
+	}
+}
+
+func TestTransitive(t *testing.T) {
+	for _, r := range []Rel{Equals, StartsWith, EndsWith, Contains} {
+		if !r.Transitive() {
+			t.Errorf("%v should be transitive", r)
+		}
+	}
+	if Rel("bogus").Transitive() {
+		t.Error("unknown relation marked transitive")
+	}
+}
+
+func queryAll(ix Index, v netdata.Value) []Source {
+	var out []Source
+	ix.Query(v, func(e Entry) bool { out = append(out, e.Source); return true })
+	return out
+}
+
+func TestEqualityIndex(t *testing.T) {
+	ix := NewEqualityIndex()
+	src := Source{Pattern: "vlan [num]", ParamIdx: 0, Transform: "id"}
+	ix.Add(netdata.NewNum(251), src)
+	got := queryAll(ix, netdata.NewNum(251))
+	if len(got) != 1 || got[0] != src {
+		t.Errorf("Query = %v", got)
+	}
+	if len(queryAll(ix, netdata.NewNum(252))) != 0 {
+		t.Error("unexpected hit")
+	}
+	// Kind-disjoint: str "251" does not hit num 251.
+	if len(queryAll(ix, netdata.Str("251"))) != 0 {
+		t.Error("cross-kind equality hit")
+	}
+}
+
+func TestContainsIndex(t *testing.T) {
+	ix := NewContainsIndex()
+	p, _ := netdata.ParsePrefix4("10.14.14.0/24")
+	src := Source{Pattern: "seq [num] permit [pfx4]", ParamIdx: 1, Transform: "id"}
+	ix.Add(p, src)
+	ix.Add(netdata.NewNum(5), Source{}) // non-prefix ignored
+	ip, _ := netdata.ParseIP4("10.14.14.34")
+	got := queryAll(ix, ip)
+	if len(got) != 1 || got[0] != src {
+		t.Errorf("Query(ip) = %v", got)
+	}
+	outside, _ := netdata.ParseIP4("10.15.0.1")
+	if len(queryAll(ix, outside)) != 0 {
+		t.Error("address outside prefix matched")
+	}
+	sub, _ := netdata.ParsePrefix4("10.14.14.0/25")
+	if len(queryAll(ix, sub)) != 1 {
+		t.Error("prefix subsumption query failed")
+	}
+	if len(queryAll(ix, netdata.NewNum(1))) != 0 {
+		t.Error("non-address query matched")
+	}
+}
+
+func TestContainsIndexV6(t *testing.T) {
+	ix := NewContainsIndex()
+	p6, _ := netdata.ParsePrefix6("2001:db8::/32")
+	ix.Add(p6, Source{Pattern: "p6"})
+	ip6, _ := netdata.ParseIP6("2001:db8::1")
+	if len(queryAll(ix, ip6)) != 1 {
+		t.Error("v6 containment failed")
+	}
+	ip4, _ := netdata.ParseIP4("10.0.0.1")
+	if len(queryAll(ix, ip4)) != 0 {
+		t.Error("v4 query hit v6 trie")
+	}
+}
+
+func TestAffixIndexes(t *testing.T) {
+	sw := NewAffixIndex(StartsWith)
+	ew := NewAffixIndex(EndsWith)
+	src := Source{Pattern: "rd ...", ParamIdx: 1, Transform: "str"}
+	sw.Add(netdata.Str("10251"), src)
+	ew.Add(netdata.Str("10251"), src)
+
+	// startswith: witness 10251 starts with 102.
+	if got := queryAll(sw, netdata.Str("102")); len(got) != 1 {
+		t.Errorf("startswith = %v", got)
+	}
+	// endswith: witness 10251 ends with 251 (the Figure 1 vlan contract).
+	if got := queryAll(ew, netdata.Str("251")); len(got) != 1 {
+		t.Errorf("endswith = %v", got)
+	}
+	// Proper: the string does not match itself.
+	if got := queryAll(ew, netdata.Str("10251")); len(got) != 0 {
+		t.Errorf("improper affix match = %v", got)
+	}
+	// Non-strings are ignored.
+	sw.Add(netdata.NewNum(1), src)
+	if got := queryAll(sw, netdata.NewNum(1)); len(got) != 0 {
+		t.Errorf("non-string matched = %v", got)
+	}
+}
+
+func TestNewDefaultIndexes(t *testing.T) {
+	ixs := NewDefaultIndexes()
+	rels := map[Rel]bool{}
+	for _, ix := range ixs {
+		rels[ix.Rel()] = true
+	}
+	for _, r := range []Rel{Equals, Contains, StartsWith, EndsWith} {
+		if !rels[r] {
+			t.Errorf("missing index for %v", r)
+		}
+	}
+}
+
+// TestIndexConsistentWithHolds: every source returned by an index Query
+// must satisfy Rel.Holds for the value it indexed.
+func TestIndexConsistentWithHolds(t *testing.T) {
+	type pair struct {
+		v   netdata.Value
+		src Source
+	}
+	mk := func(ss ...string) []pair {
+		var out []pair
+		for i, s := range ss {
+			out = append(out, pair{netdata.Str(s), Source{Pattern: s, ParamIdx: i}})
+		}
+		return out
+	}
+	pairs := mk("abc", "abcd", "xabc", "ab", "", "abc")
+	sw := NewAffixIndex(StartsWith)
+	ew := NewAffixIndex(EndsWith)
+	stored := map[Source]netdata.Value{}
+	for _, p := range pairs {
+		sw.Add(p.v, p.src)
+		ew.Add(p.v, p.src)
+		stored[p.src] = p.v
+	}
+	for _, q := range pairs {
+		for _, ix := range []Index{sw, ew} {
+			ix.Query(q.v, func(e Entry) bool {
+				if !ix.Rel().Holds(q.v, e.Value) {
+					t.Errorf("%v.Query(%v) returned %v whose value %v does not hold",
+						ix.Rel(), q.v, e.Source, e.Value)
+				}
+				return true
+			})
+		}
+	}
+}
+
+func TestFuncIndex(t *testing.T) {
+	within10 := func(lhs, w netdata.Value) bool {
+		a, ok1 := lhs.(netdata.Num)
+		b, ok2 := w.(netdata.Num)
+		if !ok1 || !ok2 {
+			return false
+		}
+		x, _ := a.Int64()
+		y, _ := b.Int64()
+		d := x - y
+		if d < 0 {
+			d = -d
+		}
+		return d != 0 && d <= 10
+	}
+	ix := NewFuncIndex("within10", within10)
+	if ix.Rel() != "within10" {
+		t.Error("Rel wrong")
+	}
+	ix.Add(netdata.NewNum(100), Source{Pattern: "p1"})
+	ix.Add(netdata.NewNum(500), Source{Pattern: "p2"})
+	got := queryAll(ix, netdata.NewNum(105))
+	if len(got) != 1 || got[0].Pattern != "p1" {
+		t.Errorf("Query = %v", got)
+	}
+	if len(queryAll(ix, netdata.NewNum(300))) != 0 {
+		t.Error("unexpected match")
+	}
+}
+
+func TestKeyedIndex(t *testing.T) {
+	// /31-peer relation keyed by the shared upper 31 bits.
+	key := func(v netdata.Value) (string, bool) {
+		ip, ok := v.(netdata.IP)
+		if !ok || ip.Is6() {
+			return "", false
+		}
+		b := ip.Bytes()
+		return fmt.Sprintf("%d.%d.%d.%d", b[0], b[1], b[2], b[3]>>1), true
+	}
+	verify := func(lhs, w netdata.Value) bool {
+		a := lhs.(netdata.IP).Bytes()
+		b := w.(netdata.IP).Bytes()
+		return a[3]^b[3] == 1
+	}
+	ix := NewKeyedIndex("peer31", key, verify)
+	a, _ := netdata.ParseIP4("10.0.0.2")
+	b, _ := netdata.ParseIP4("10.0.0.3")
+	c, _ := netdata.ParseIP4("10.0.0.4")
+	ix.Add(a, Source{Pattern: "pa"})
+	ix.Add(b, Source{Pattern: "pb"})
+	ix.Add(c, Source{Pattern: "pc"})
+	ix.Add(netdata.NewNum(1), Source{Pattern: "ignored"}) // non-IP excluded
+
+	got := queryAll(ix, a)
+	if len(got) != 1 || got[0].Pattern != "pb" {
+		t.Errorf("peer of .2 = %v, want pb", got)
+	}
+	got = queryAll(ix, c)
+	if len(got) != 0 {
+		t.Errorf("peer of .4 = %v, want none (.5 absent)", got)
+	}
+}
+
+func TestDefinitionValidate(t *testing.T) {
+	holds := func(lhs, w netdata.Value) bool { return false }
+	newIx := func() Index { return NewFuncIndex("x", holds) }
+	good := Definition{Rel: "custom", Holds: holds, NewIndex: newIx}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good definition rejected: %v", err)
+	}
+	for _, bad := range []Definition{
+		{Rel: "", Holds: holds, NewIndex: newIx},
+		{Rel: Equals, Holds: holds, NewIndex: newIx},
+		{Rel: "x", NewIndex: newIx},
+		{Rel: "x", Holds: holds},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("invalid definition accepted: %+v", bad.Rel)
+		}
+	}
+}

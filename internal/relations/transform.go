@@ -1,0 +1,114 @@
+// Package relations defines the value relations Concord learns between
+// configuration lines (equals, contains, startswith, endswith), the data
+// transformations that widen the relation space (identity, hex, string
+// conversion, IP octets, MAC segments), and the relation-aware search
+// indexes (§3.5) that make candidate generation scale: a hash table for
+// equality, binary prefix tries for containment, and string tries for
+// affix relations.
+package relations
+
+import (
+	"fmt"
+
+	"concord/internal/netdata"
+)
+
+// Transform is a named unary data transformation applied to a parameter
+// value before relating it to another value. The identity transform is
+// named "id" and applies to every kind.
+type Transform struct {
+	// Name identifies the transform in contracts, e.g. "hex", "octet3".
+	Name string
+	// Apply converts a value; ok=false means the transform does not
+	// apply to this value.
+	Apply func(netdata.Value) (netdata.Value, bool)
+}
+
+// Identity is the identity transform.
+var Identity = Transform{
+	Name:  "id",
+	Apply: func(v netdata.Value) (netdata.Value, bool) { return v, true },
+}
+
+// DefaultTransforms returns the built-in transformation set, mirroring
+// the paper's examples: hex() for the port-channel/MAC contract,
+// segment(i) for MAC segments, octet(i) for IP octets, and str() for
+// affix relations over rendered values.
+func DefaultTransforms() []Transform {
+	ts := []Transform{
+		Identity,
+		{
+			Name: "hex",
+			Apply: func(v netdata.Value) (netdata.Value, bool) {
+				n, ok := v.(netdata.Num)
+				if !ok {
+					return nil, false
+				}
+				return netdata.Str(n.Hex()), true
+			},
+		},
+		{
+			Name: "str",
+			Apply: func(v netdata.Value) (netdata.Value, bool) {
+				switch v.(type) {
+				case netdata.Num, netdata.Hex, netdata.IP, netdata.Bool:
+					return netdata.Str(v.String()), true
+				}
+				return nil, false
+			},
+		},
+	}
+	for i := 1; i <= 4; i++ {
+		i := i
+		ts = append(ts, Transform{
+			Name: fmt.Sprintf("octet%d", i),
+			Apply: func(v netdata.Value) (netdata.Value, bool) {
+				ip, ok := v.(netdata.IP)
+				if !ok {
+					return nil, false
+				}
+				o, ok := ip.Octet(i)
+				if !ok {
+					return nil, false
+				}
+				return netdata.NewNum(int64(o)), true
+			},
+		})
+	}
+	for i := 1; i <= 6; i++ {
+		i := i
+		ts = append(ts, Transform{
+			Name: fmt.Sprintf("segment%d", i),
+			Apply: func(v netdata.Value) (netdata.Value, bool) {
+				m, ok := v.(netdata.MAC)
+				if !ok {
+					return nil, false
+				}
+				s, ok := m.Segment(i)
+				if !ok {
+					return nil, false
+				}
+				return netdata.Str(s), true
+			},
+		})
+	}
+	return ts
+}
+
+// ApplyAll returns every (transform, transformed value) pair that
+// applies to v, identity first. The result order is deterministic.
+func ApplyAll(ts []Transform, v netdata.Value) []Applied {
+	var out []Applied
+	for _, t := range ts {
+		if tv, ok := t.Apply(v); ok {
+			out = append(out, Applied{Transform: t.Name, Value: tv})
+		}
+	}
+	return out
+}
+
+// Applied pairs a transform name with its result.
+type Applied struct {
+	Transform string
+	Value     netdata.Value
+}

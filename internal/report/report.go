@@ -1,0 +1,208 @@
+// Package report renders Concord's outputs: the JSON violation file and
+// the user-friendly HTML report with filtering and searching that the
+// paper's implementation ships (§4).
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"io"
+	"sort"
+	"time"
+
+	"concord/internal/contracts"
+	"concord/internal/core"
+)
+
+// Report bundles everything a check run produced.
+type Report struct {
+	// GeneratedAt stamps the run.
+	GeneratedAt time.Time `json:"generated_at"`
+	// Violations lists all contract violations.
+	Violations []contracts.Violation `json:"violations"`
+	// Coverage summarizes per-line coverage.
+	Coverage CoverageJSON `json:"coverage"`
+	// Stats describes the checked corpus.
+	Stats core.ProcessStats `json:"stats"`
+}
+
+// CoverageJSON is the serializable coverage summary.
+type CoverageJSON struct {
+	TotalLines   int                `json:"total_lines"`
+	CoveredLines int                `json:"covered_lines"`
+	Percent      float64            `json:"percent"`
+	ByCategory   map[string]float64 `json:"by_category_percent"`
+	PerConfig    []ConfigJSON       `json:"per_config"`
+}
+
+// ConfigJSON is one configuration's coverage.
+type ConfigJSON struct {
+	Name        string  `json:"name"`
+	SourceLines int     `json:"source_lines"`
+	Covered     int     `json:"covered"`
+	Percent     float64 `json:"percent"`
+}
+
+// New builds a report from a check result.
+func New(res *core.CheckResult, now time.Time) *Report {
+	r := &Report{
+		GeneratedAt: now,
+		Violations:  res.Violations,
+		Stats:       res.Stats,
+		Coverage: CoverageJSON{
+			TotalLines:   res.Coverage.TotalLines,
+			CoveredLines: res.Coverage.CoveredLines,
+			Percent:      res.Coverage.Percent(),
+			ByCategory:   make(map[string]float64),
+		},
+	}
+	if r.Violations == nil {
+		r.Violations = []contracts.Violation{}
+	}
+	for _, cat := range contracts.Categories() {
+		r.Coverage.ByCategory[string(cat)] = res.Coverage.CategoryPercent(cat)
+	}
+	for _, cc := range res.Coverage.PerConfig {
+		pct := 0.0
+		if cc.SourceLines > 0 {
+			pct = 100 * float64(cc.Covered) / float64(cc.SourceLines)
+		}
+		r.Coverage.PerConfig = append(r.Coverage.PerConfig, ConfigJSON{
+			Name: cc.Name, SourceLines: cc.SourceLines, Covered: cc.Covered, Percent: pct,
+		})
+	}
+	sort.Slice(r.Coverage.PerConfig, func(i, j int) bool {
+		return r.Coverage.PerConfig[i].Name < r.Coverage.PerConfig[j].Name
+	})
+	return r
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// htmlTemplate renders the violation browser: a static page with a
+// client-side text filter and per-category toggle, mirroring the
+// filtering/searching UI described in §4.
+var htmlTemplate = template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>Concord Report</title>
+<style>
+ body { font-family: system-ui, sans-serif; margin: 2rem; color: #1a1a2e; }
+ h1 { font-size: 1.4rem; }
+ .summary { margin-bottom: 1rem; color: #444; }
+ input[type=search] { padding: .4rem; width: 24rem; margin-bottom: 1rem; }
+ table { border-collapse: collapse; width: 100%; }
+ th, td { text-align: left; padding: .35rem .6rem; border-bottom: 1px solid #ddd;
+          vertical-align: top; font-size: .9rem; }
+ th { background: #f4f4f8; }
+ td.contract { font-family: ui-monospace, monospace; white-space: pre-wrap; }
+ .cat { display: inline-block; padding: 0 .4rem; border-radius: .6rem;
+        background: #e8e8f5; font-size: .8rem; }
+ .controls label { margin-right: .8rem; font-size: .9rem; }
+</style>
+</head>
+<body>
+<h1>Concord check report</h1>
+<p class="summary">
+ Generated {{.GeneratedAt.Format "2006-01-02 15:04:05 MST"}} ·
+ {{len .Violations}} violation(s) ·
+ coverage {{printf "%.1f" .Coverage.Percent}}% of {{.Coverage.TotalLines}} lines ·
+ {{.Stats.Configs}} configuration(s), {{.Stats.Patterns}} pattern(s)
+</p>
+<div class="controls">
+ <input type="search" id="filter" placeholder="filter violations...">
+ {{range $cat, $pct := .Coverage.ByCategory}}
+  <label><input type="checkbox" class="cat-toggle" value="{{$cat}}" checked> {{$cat}}</label>
+ {{end}}
+</div>
+<table id="violations">
+<thead><tr><th></th><th>Category</th><th>File</th><th>Line</th><th>Detail</th><th>Contract</th></tr></thead>
+<tbody>
+{{range .Violations}}
+<tr data-cat="{{.Category}}" data-id="{{.ContractID}}">
+ <td><input type="checkbox" class="fp-mark" title="mark as false positive"></td>
+ <td><span class="cat">{{.Category}}</span></td>
+ <td>{{.File}}</td>
+ <td>{{if .Line}}{{.Line}}{{else}}—{{end}}</td>
+ <td>{{.Detail}}</td>
+ <td class="contract">{{.Contract}}</td>
+</tr>
+{{end}}
+</tbody>
+</table>
+<h2 style="font-size:1rem">Operator feedback</h2>
+<p style="color:#444;font-size:.9rem">
+ Tick violations that are false positives; save the suppression list below
+ and pass it to <code>concord check -suppress suppressions.json</code>.
+</p>
+<textarea id="suppressions" rows="4" style="width:100%" readonly>[]</textarea>
+<script>
+const rows = Array.from(document.querySelectorAll('#violations tbody tr'));
+const filter = document.getElementById('filter');
+const toggles = Array.from(document.querySelectorAll('.cat-toggle'));
+const suppressions = document.getElementById('suppressions');
+function refresh() {
+  const q = filter.value.toLowerCase();
+  const cats = new Set(toggles.filter(t => t.checked).map(t => t.value));
+  for (const row of rows) {
+    const show = cats.has(row.dataset.cat) &&
+      (!q || row.textContent.toLowerCase().includes(q));
+    row.style.display = show ? '' : 'none';
+  }
+}
+function refreshSuppressions() {
+  const ids = new Set();
+  for (const row of rows) {
+    const mark = row.querySelector('.fp-mark');
+    if (mark && mark.checked) ids.add(row.dataset.id);
+  }
+  suppressions.value = JSON.stringify(Array.from(ids).sort(), null, 1);
+}
+filter.addEventListener('input', refresh);
+toggles.forEach(t => t.addEventListener('change', refresh));
+rows.forEach(r => {
+  const mark = r.querySelector('.fp-mark');
+  if (mark) mark.addEventListener('change', refreshSuppressions);
+});
+</script>
+</body>
+</html>
+`))
+
+// WriteHTML renders the report as a standalone HTML page.
+func (r *Report) WriteHTML(w io.Writer) error {
+	return htmlTemplate.Execute(w, r)
+}
+
+// ContractsJSON serializes a learned contract set the way
+// `concord learn` emits it, with a small header documenting provenance.
+func ContractsJSON(set *contracts.Set, stats core.ProcessStats) ([]byte, error) {
+	payload := struct {
+		Stats     core.ProcessStats `json:"stats"`
+		Contracts *contracts.Set    `json:"contracts"`
+	}{Stats: stats, Contracts: set}
+	return json.MarshalIndent(payload, "", "  ")
+}
+
+// ParseContractsJSON reads a file produced by ContractsJSON. It also
+// accepts a bare contract array for hand-written contract files.
+func ParseContractsJSON(data []byte) (*contracts.Set, error) {
+	var payload struct {
+		Contracts *contracts.Set `json:"contracts"`
+	}
+	if err := json.Unmarshal(data, &payload); err == nil && payload.Contracts != nil {
+		return payload.Contracts, nil
+	}
+	set := &contracts.Set{}
+	if err := json.Unmarshal(data, set); err != nil {
+		return nil, fmt.Errorf("report: parsing contracts: %w", err)
+	}
+	return set, nil
+}

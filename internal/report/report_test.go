@@ -1,0 +1,152 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"concord/internal/contracts"
+	"concord/internal/core"
+)
+
+func sampleResult() *core.CheckResult {
+	return &core.CheckResult{
+		Violations: []contracts.Violation{
+			{Category: contracts.CatPresent, ContractID: "present|/x", Contract: "exists l ~ /x",
+				File: "dev1.cfg", Line: 0, Detail: "no line matches required pattern /x"},
+			{Category: contracts.CatRelation, ContractID: "relation|...", Contract: "forall l1 ~ a\nexists l2 ~ b\nequals(l1.a, l2.a)",
+				File: "dev2.cfg", Line: 17, Detail: "no witness"},
+		},
+		Coverage: core.CoverageSummary{
+			TotalLines:   100,
+			CoveredLines: 61,
+			ByCategory:   map[contracts.Category]int{contracts.CatPresent: 20},
+			PerConfig: []core.ConfigCoverage{
+				{Name: "dev1.cfg", SourceLines: 50, Covered: 30},
+				{Name: "dev2.cfg", SourceLines: 50, Covered: 31},
+			},
+		},
+		Stats: core.ProcessStats{Configs: 2, Lines: 100, Patterns: 12, Parameters: 9},
+	}
+}
+
+func TestJSONReport(t *testing.T) {
+	r := New(sampleResult(), time.Unix(1750000000, 0).UTC())
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if _, ok := parsed["violations"]; !ok {
+		t.Error("missing violations key")
+	}
+	cov := parsed["coverage"].(map[string]any)
+	if cov["percent"].(float64) != 61 {
+		t.Errorf("coverage percent = %v", cov["percent"])
+	}
+}
+
+func TestHTMLReport(t *testing.T) {
+	r := New(sampleResult(), time.Unix(1750000000, 0).UTC())
+	var buf bytes.Buffer
+	if err := r.WriteHTML(&buf); err != nil {
+		t.Fatalf("WriteHTML: %v", err)
+	}
+	html := buf.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>", "dev1.cfg", "dev2.cfg", "no witness",
+		"equals(l1.a, l2.a)", "61.0", "filter violations",
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("HTML missing %q", want)
+		}
+	}
+}
+
+func TestHTMLEscapesContent(t *testing.T) {
+	res := sampleResult()
+	res.Violations[0].Detail = `<script>alert("xss")</script>`
+	r := New(res, time.Now())
+	var buf bytes.Buffer
+	if err := r.WriteHTML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `<script>alert`) {
+		t.Error("violation content not escaped")
+	}
+}
+
+func TestContractsJSONRoundTrip(t *testing.T) {
+	set := &contracts.Set{Contracts: []contracts.Contract{
+		&contracts.Present{Pattern: "/router bgp [num]", Display: "/router bgp [a:num]"},
+		&contracts.Unique{Pattern: "/hostname [num]", Display: "/hostname [a:num]"},
+	}}
+	data, err := ContractsJSON(set, core.ProcessStats{Configs: 3})
+	if err != nil {
+		t.Fatalf("ContractsJSON: %v", err)
+	}
+	back, err := ParseContractsJSON(data)
+	if err != nil {
+		t.Fatalf("ParseContractsJSON: %v", err)
+	}
+	if back.Len() != 2 {
+		t.Errorf("round trip lost contracts: %d", back.Len())
+	}
+}
+
+func TestParseContractsBareArray(t *testing.T) {
+	set := &contracts.Set{Contracts: []contracts.Contract{
+		&contracts.Present{Pattern: "/x", Display: "/x"},
+	}}
+	data, err := json.Marshal(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseContractsJSON(data)
+	if err != nil {
+		t.Fatalf("bare array rejected: %v", err)
+	}
+	if back.Len() != 1 {
+		t.Error("bare array lost contracts")
+	}
+}
+
+func TestParseContractsInvalid(t *testing.T) {
+	if _, err := ParseContractsJSON([]byte("{nope")); err == nil {
+		t.Error("invalid JSON accepted")
+	}
+}
+
+func TestEmptyViolationsSerializeAsArray(t *testing.T) {
+	res := sampleResult()
+	res.Violations = nil
+	r := New(res, time.Now())
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"violations": []`) {
+		t.Error("nil violations should serialize as an empty array")
+	}
+}
+
+func TestHTMLIncludesSuppressionUI(t *testing.T) {
+	r := New(sampleResult(), time.Now())
+	var buf bytes.Buffer
+	if err := r.WriteHTML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	html := buf.String()
+	for _, want := range []string{
+		`data-id="present|/x"`, "fp-mark", "suppressions", "-suppress",
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("HTML missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Package score implements Concord's dynamic scoring for relational
+// contracts (§3.5). Each relation instance is scored by how unlikely it
+// is to arise coincidentally (instance-level informativeness), and
+// scores are aggregated across distinct values so that contracts
+// generalizing over diverse instances outrank those repeating a single
+// coincidence (diversity-based aggregation).
+package score
+
+import (
+	"math/big"
+	"sort"
+
+	"concord/internal/netdata"
+)
+
+// Value assigns an informativeness score in [0, 10] to a single data
+// value. Higher scores mean the value is less likely to match another
+// value by chance:
+//
+//   - the default prefix 0.0.0.0/0 (or ::/0) scores 0 because it contains
+//     every address; more specific prefixes score proportionally to their
+//     length;
+//   - small integers (0-10) are ubiquitous in configurations and score
+//     low, with a step function increasing toward large, rare values;
+//   - addresses and MAC values are high-entropy and score high;
+//   - booleans carry almost no information;
+//   - strings score with length, capped.
+func Value(v netdata.Value) float64 {
+	switch t := v.(type) {
+	case netdata.Prefix:
+		if t.Len() == 0 {
+			return 0
+		}
+		return 10 * float64(t.Len()) / float64(t.Bits())
+	case netdata.Num:
+		return numScore(t.Big())
+	case netdata.Hex:
+		if i, ok := t.Int64(); ok {
+			return numScore(big.NewInt(i))
+		}
+		return 8
+	case netdata.Bool:
+		return 0.5
+	case netdata.IP:
+		return 8
+	case netdata.MAC:
+		return 9
+	case netdata.Str:
+		// Digit-only strings (str() of numbers, decimal suffixes) carry
+		// the same information as the number they spell; scoring them by
+		// length would inflate ubiquitous small values like "10".
+		if n, ok := new(big.Int).SetString(string(t), 10); ok && len(t) > 0 {
+			return numScore(n)
+		}
+		n := len(t)
+		switch {
+		case n == 0:
+			return 0
+		case n == 1:
+			return 1
+		case n <= 3:
+			return 3
+		case n <= 8:
+			return 6
+		default:
+			return 8
+		}
+	default:
+		return 1
+	}
+}
+
+// numScore is the paper's step function: distance from zero is a proxy
+// for rarity (3852 is less likely to co-occur randomly than 1).
+func numScore(i *big.Int) float64 {
+	abs := new(big.Int).Abs(i)
+	switch {
+	case abs.Cmp(big.NewInt(10)) <= 0:
+		return 0.5
+	case abs.Cmp(big.NewInt(100)) <= 0:
+		return 2
+	case abs.Cmp(big.NewInt(1000)) <= 0:
+		return 4
+	case abs.Cmp(big.NewInt(100000)) <= 0:
+		return 6
+	default:
+		return 8
+	}
+}
+
+// Aggregator accumulates the diversity-weighted score of one candidate
+// contract: every *distinct* left-hand-side value contributes its
+// informativeness once, so a rule holding for {5, 6, 9, 11} accumulates
+// four contributions while one repeating 5 accumulates a single one.
+// Totals are summed in sorted key order so results are deterministic
+// regardless of insertion order.
+type Aggregator struct {
+	scores map[string]float64
+}
+
+// NewAggregator returns an empty aggregator.
+func NewAggregator() *Aggregator {
+	return &Aggregator{scores: make(map[string]float64)}
+}
+
+// Add records one relation instance whose left-hand side value is v.
+// Duplicate values (by canonical key) are ignored.
+func (a *Aggregator) Add(v netdata.Value) {
+	a.AddInstance(v.Key(), Value(v))
+}
+
+// AddInstance records one relation instance by explicit key and score,
+// for callers that score an instance as a function of both operands
+// (e.g. min of the two informativeness scores). Duplicate keys are
+// ignored.
+func (a *Aggregator) AddInstance(key string, s float64) {
+	if _, ok := a.scores[key]; ok {
+		return
+	}
+	a.scores[key] = s
+}
+
+// Total returns the cumulative diversity-weighted score.
+func (a *Aggregator) Total() float64 {
+	keys := make([]string, 0, len(a.scores))
+	for k := range a.scores {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += a.scores[k]
+	}
+	return total
+}
+
+// Distinct returns the number of distinct values scored.
+func (a *Aggregator) Distinct() int { return len(a.scores) }
+
+// Merge folds another aggregator's instances into a. Keys present in
+// both keep the larger score so merging is commutative.
+func (a *Aggregator) Merge(b *Aggregator) {
+	for k, s := range b.scores {
+		if cur, ok := a.scores[k]; !ok || s > cur {
+			a.scores[k] = s
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package score
+
+import (
+	"testing"
+
+	"concord/internal/netdata"
+)
+
+func TestDefaultPrefixScoresZero(t *testing.T) {
+	p, _ := netdata.ParsePrefix4("0.0.0.0/0")
+	if Value(p) != 0 {
+		t.Errorf("score(0.0.0.0/0) = %v, want 0", Value(p))
+	}
+	p6, _ := netdata.ParsePrefix6("::/0")
+	if Value(p6) != 0 {
+		t.Errorf("score(::/0) = %v, want 0", Value(p6))
+	}
+}
+
+func TestSpecificPrefixScoresHigher(t *testing.T) {
+	p8, _ := netdata.ParsePrefix4("10.0.0.0/8")
+	p24, _ := netdata.ParsePrefix4("10.1.2.0/24")
+	p32, _ := netdata.ParsePrefix4("10.1.2.3/32")
+	if !(Value(p8) < Value(p24) && Value(p24) < Value(p32)) {
+		t.Errorf("prefix scores not monotone: /8=%v /24=%v /32=%v",
+			Value(p8), Value(p24), Value(p32))
+	}
+	if Value(p32) != 10 {
+		t.Errorf("score(/32) = %v, want 10", Value(p32))
+	}
+}
+
+func TestNumStepFunction(t *testing.T) {
+	small := Value(netdata.NewNum(1))
+	medium := Value(netdata.NewNum(64))
+	port := Value(netdata.NewNum(3394))
+	huge := Value(netdata.NewNum(3000000))
+	if !(small < medium && medium < port && port < huge) {
+		t.Errorf("num scores not monotone: %v %v %v %v", small, medium, port, huge)
+	}
+}
+
+func TestHighEntropyValues(t *testing.T) {
+	ip, _ := netdata.ParseIP4("10.14.14.34")
+	mac, _ := netdata.ParseMAC("00:00:0c:d3:00:6e")
+	if Value(ip) < 5 || Value(mac) < 5 {
+		t.Error("addresses should score high")
+	}
+	if Value(netdata.Bool(true)) > 1 {
+		t.Error("booleans should score near zero")
+	}
+}
+
+func TestStrScores(t *testing.T) {
+	if Value(netdata.Str("")) != 0 {
+		t.Error("empty string should score 0")
+	}
+	if !(Value(netdata.Str("ab")) < Value(netdata.Str("et-0/0/1-long"))) {
+		t.Error("longer strings should score higher")
+	}
+}
+
+func TestAggregatorDiversity(t *testing.T) {
+	a := NewAggregator()
+	v := netdata.NewNum(3394)
+	a.Add(v)
+	a.Add(v)
+	a.Add(v)
+	if a.Distinct() != 1 {
+		t.Errorf("Distinct = %d, want 1", a.Distinct())
+	}
+	single := a.Total()
+
+	b := NewAggregator()
+	b.Add(netdata.NewNum(3394))
+	b.Add(netdata.NewNum(2817))
+	b.Add(netdata.NewNum(9451))
+	if b.Total() <= single {
+		t.Errorf("diverse rule (%v) should outscore repeated rule (%v)", b.Total(), single)
+	}
+	if b.Distinct() != 3 {
+		t.Errorf("Distinct = %d, want 3", b.Distinct())
+	}
+}
+
+func TestAggregatorSpuriousExample(t *testing.T) {
+	// The paper's example: a contract whose only evidence is the default
+	// prefix should accumulate no score at all.
+	a := NewAggregator()
+	p, _ := netdata.ParsePrefix4("0.0.0.0/0")
+	a.Add(p)
+	if a.Total() != 0 {
+		t.Errorf("Total = %v, want 0", a.Total())
+	}
+}
+
+func TestHexAndDigitStringScores(t *testing.T) {
+	h, _ := netdata.ParseHex("0x2f")
+	if Value(h) <= 0 {
+		t.Error("hex literal should score positively")
+	}
+	// Digit-only strings score like the number they spell.
+	if Value(netdata.Str("10")) != Value(netdata.NewNum(10)) {
+		t.Error("digit string and number should score equally")
+	}
+	if Value(netdata.Str("10251")) != Value(netdata.NewNum(10251)) {
+		t.Error("digit string and number should score equally")
+	}
+	// Hex-looking strings with letters keep string scoring.
+	if Value(netdata.Str("6e")) == Value(netdata.NewNum(6)) {
+		t.Error("non-decimal string should not use numeric scoring")
+	}
+}
+
+func TestAggregatorMerge(t *testing.T) {
+	a := NewAggregator()
+	a.AddInstance("x", 5)
+	a.AddInstance("y", 3)
+	b := NewAggregator()
+	b.AddInstance("y", 7) // higher score for the same key wins
+	b.AddInstance("z", 2)
+	a.Merge(b)
+	if a.Distinct() != 3 {
+		t.Errorf("Distinct = %d, want 3", a.Distinct())
+	}
+	if got := a.Total(); got != 5+7+2 {
+		t.Errorf("Total = %v, want 14", got)
+	}
+	// Merge is commutative on totals.
+	c := NewAggregator()
+	c.AddInstance("y", 7)
+	c.AddInstance("z", 2)
+	d := NewAggregator()
+	d.AddInstance("x", 5)
+	d.AddInstance("y", 3)
+	c.Merge(d)
+	if c.Total() != a.Total() {
+		t.Errorf("merge not commutative: %v vs %v", c.Total(), a.Total())
+	}
+}

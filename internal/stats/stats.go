@@ -1,0 +1,99 @@
+// Package stats implements the sampling statistics of the paper's
+// precision evaluation (§5.4, Table 6): the sample size required to
+// estimate a proportion at a given confidence level and margin of error,
+// the finite population correction, and the inverse computation of the
+// achieved margin when the review budget is capped.
+package stats
+
+import "math"
+
+// Z95 is the z-score for a 95% confidence level.
+const Z95 = 1.96
+
+// SampleSize returns n = Z^2 * p * (1-p) / E^2, the number of samples
+// needed to estimate a true-positive proportion p with margin of error E
+// at the confidence level implied by z.
+func SampleSize(p, z, e float64) float64 {
+	return z * z * p * (1 - p) / (e * e)
+}
+
+// FPC applies the finite population correction for a population of N:
+// n_adj = n / (1 + n/N).
+func FPC(n float64, population int) float64 {
+	if population <= 0 {
+		return 0
+	}
+	return n / (1 + n/float64(population))
+}
+
+// AdjustedSampleSize combines SampleSize and FPC, rounding up to a whole
+// number of samples and never exceeding the population.
+func AdjustedSampleSize(p, z, e float64, population int) int {
+	if population <= 0 {
+		return 0
+	}
+	n := FPC(SampleSize(p, z, e), population)
+	adj := int(math.Ceil(n))
+	if adj > population {
+		adj = population
+	}
+	if adj < 1 {
+		adj = 1
+	}
+	return adj
+}
+
+// MarginOfError inverts the sample-size formula with the finite
+// population correction: given a sample of n from a population of N and
+// an estimated proportion p, it returns the achieved margin E. This is
+// how the paper reports the slightly increased error rates after capping
+// manual review at 150 contracts per category.
+func MarginOfError(p, z float64, n, population int) float64 {
+	if n <= 0 || population <= 0 {
+		return 1
+	}
+	// FPC on the variance: E = z * sqrt(p(1-p)/n * (N-n)/(N-1)).
+	fpc := 1.0
+	if population > 1 {
+		fpc = float64(population-n) / float64(population-1)
+		if fpc < 0 {
+			fpc = 0
+		}
+	}
+	return z * math.Sqrt(p*(1-p)/float64(n)*fpc)
+}
+
+// PlanReview computes the paper's review plan for one contract category:
+// the adjusted sample size for the target margin, capped at cap, and the
+// achieved margin at the capped size. Populations smaller than minAll
+// are reviewed exhaustively (the paper reviews all categories with fewer
+// than 10 contracts).
+type ReviewPlan struct {
+	// Population is the number of learned contracts in the category.
+	Population int
+	// Samples is the number of contracts to review manually.
+	Samples int
+	// Margin is the achieved margin of error at that sample count.
+	Margin float64
+}
+
+// PlanReview returns the review plan given an initial precision estimate
+// p (e.g. from LLM scoring), target margin e, review cap, and the
+// exhaustive-review threshold minAll.
+func PlanReview(p float64, population, cap, minAll int) ReviewPlan {
+	if population <= 0 {
+		return ReviewPlan{}
+	}
+	if population < minAll {
+		return ReviewPlan{Population: population, Samples: population, Margin: 0}
+	}
+	n := AdjustedSampleSize(p, Z95, 0.05, population)
+	if cap > 0 && n > cap {
+		n = cap
+	}
+	margin := MarginOfError(p, Z95, n, population)
+	if n == population {
+		margin = 0
+	}
+	return ReviewPlan{Population: population, Samples: n, Margin: margin}
+}

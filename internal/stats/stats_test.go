@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSampleSizeTextbook(t *testing.T) {
+	// p=0.5, 95%, E=5% is the classic 384.16.
+	n := SampleSize(0.5, Z95, 0.05)
+	if math.Abs(n-384.16) > 0.01 {
+		t.Errorf("SampleSize = %v, want 384.16", n)
+	}
+	// Extreme proportions need fewer samples.
+	if SampleSize(0.95, Z95, 0.05) >= n {
+		t.Error("p=0.95 should need fewer samples than p=0.5")
+	}
+}
+
+func TestFPC(t *testing.T) {
+	// Infinite population: no correction. Small population: strong one.
+	n := 384.16
+	if FPC(n, 1000000) >= n {
+		t.Error("FPC should shrink n")
+	}
+	small := FPC(n, 100)
+	if small >= 100 {
+		t.Errorf("FPC(384, 100) = %v, should be below the population", small)
+	}
+}
+
+func TestAdjustedSampleSize(t *testing.T) {
+	// The paper reviews ~102 present contracts for the edge dataset
+	// (population ~1010, p high). Sanity-check the same ballpark: with
+	// p=0.93, N=1010 the adjusted size lands below 150.
+	n := AdjustedSampleSize(0.93, Z95, 0.05, 1010)
+	if n < 50 || n > 150 {
+		t.Errorf("AdjustedSampleSize = %d, want within [50,150]", n)
+	}
+	if AdjustedSampleSize(0.5, Z95, 0.05, 10) > 10 {
+		t.Error("sample size exceeded population")
+	}
+	if AdjustedSampleSize(0.5, Z95, 0.05, 0) != 0 {
+		t.Error("empty population should need no samples")
+	}
+}
+
+func TestMarginOfError(t *testing.T) {
+	// Reviewing everything gives (near) zero margin.
+	if m := MarginOfError(0.5, Z95, 100, 100); m != 0 {
+		t.Errorf("full census margin = %v, want 0", m)
+	}
+	// Capping the sample raises the margin but keeps it under 10% for
+	// the paper's ordered-contract scenario (large population, 150
+	// samples, p around 0.5).
+	m := MarginOfError(0.5, Z95, 150, 22313)
+	if m <= 0.05 || m >= 0.10 {
+		t.Errorf("capped margin = %v, want in (5%%, 10%%)", m)
+	}
+	if MarginOfError(0.5, Z95, 0, 100) != 1 {
+		t.Error("zero samples should return max margin")
+	}
+}
+
+func TestPlanReview(t *testing.T) {
+	// Tiny categories are reviewed exhaustively.
+	p := PlanReview(0.9, 9, 150, 10)
+	if p.Samples != 9 || p.Margin != 0 {
+		t.Errorf("tiny category plan = %+v", p)
+	}
+	// Large categories are capped at 150 with a raised margin.
+	p = PlanReview(0.5, 22313, 150, 10)
+	if p.Samples != 150 {
+		t.Errorf("capped plan = %+v", p)
+	}
+	if p.Margin <= 0.05 || p.Margin > 0.10 {
+		t.Errorf("capped margin = %v", p.Margin)
+	}
+	// Mid-size: below the cap.
+	p = PlanReview(0.93, 1010, 150, 10)
+	if p.Samples >= 150 || p.Samples < 10 {
+		t.Errorf("mid plan = %+v", p)
+	}
+	if PlanReview(0.5, 0, 150, 10).Samples != 0 {
+		t.Error("empty population plan should be empty")
+	}
+}
+
+func TestMonotonicity(t *testing.T) {
+	// Larger margins need fewer samples; larger populations need more.
+	if SampleSize(0.5, Z95, 0.10) >= SampleSize(0.5, Z95, 0.05) {
+		t.Error("sample size should fall with margin")
+	}
+	if AdjustedSampleSize(0.5, Z95, 0.05, 100) > AdjustedSampleSize(0.5, Z95, 0.05, 10000) {
+		t.Error("adjusted size should grow with population")
+	}
+}

@@ -1,0 +1,280 @@
+package synth
+
+import (
+	"fmt"
+
+	"concord/internal/contracts"
+)
+
+// generateEdge produces a mobile edge datacenter role (E1 leaf, E2 ToR)
+// in Arista-style indented syntax, mirroring the paper's §2 example:
+// loopbacks permitted by prefix lists, port-channel numbers encoded in
+// EVPN route-target MAC segments, vlan-derived route distinguishers, and
+// vlans driven by a shared JSON metadata file (Figure 10's user
+// policies).
+func generateEdge(role RoleSpec) *Dataset {
+	ds := &Dataset{Role: role, Truth: edgeManifest()}
+	vlans := edgeVlans(role)
+	for d := 1; d <= role.Devices; d++ {
+		ds.Configs = append(ds.Configs, File{
+			Name: fmt.Sprintf("%s-sw%03d.cfg", role.Name, d),
+			Text: []byte(edgeDevice(role, d, vlans)),
+		})
+	}
+	if role.WithMeta {
+		ds.Meta = append(ds.Meta, File{
+			Name: role.Name + "-policy.json",
+			Text: []byte(edgeMetadata(role, vlans)),
+		})
+	}
+	return ds
+}
+
+// edgeVlans returns the role's vlan ids (shared across devices, defined
+// by the metadata file).
+func edgeVlans(role RoleSpec) []int {
+	vlans := make([]int, role.Vlans)
+	for i := range vlans {
+		vlans[i] = 1101 + 7*i
+	}
+	return vlans
+}
+
+// edgeMetadata renders the role's network-function policy file.
+func edgeMetadata(role RoleSpec, vlans []int) string {
+	var b builder
+	b.sb.WriteString("{\n  \"nfInfos\": {\n    \"vrfs\": [\n")
+	for i, v := range vlans {
+		comma := ","
+		if i == len(vlans)-1 {
+			comma = ""
+		}
+		b.line(3, `{"vrfName": "NF-VRF-%d", "vlanId": %d}%s`, i+1, v, comma)
+	}
+	b.sb.WriteString("    ]\n  }\n}\n")
+	return b.String()
+}
+
+// edgeDevice renders one switch configuration.
+func edgeDevice(role RoleSpec, d int, vlans []int) string {
+	rng := deviceRand(role.Name, d)
+	s := site(d)
+	loopback := fmt.Sprintf("10.%d.%d.1", s, d%250)
+	mgmtNet := fmt.Sprintf("10.200.%d.0/24", d%250)
+	mgmtGW := fmt.Sprintf("10.200.%d.254", d%250)
+	asn := 65000 + d
+
+	var b builder
+	b.line(0, "hostname EDGE-SW%d", 1000+d)
+	b.bang()
+	b.line(0, "ip name-server 10.0.0.53")
+	b.line(0, "ip name-server 10.0.1.53")
+	b.line(0, "ntp server 10.0.2.123")
+	// Coincidental-uniqueness FP source: a buffer size that happens to
+	// vary per device but is not a real network resource.
+	b.line(0, "logging buffered %d", 8192+d)
+	// Coincidental-equality FP source: two unrelated knobs derived from
+	// the same sizing input.
+	b.line(0, "queue-monitor length limit %d", 5000+3*d)
+	b.line(0, "hardware counter rate %d", 5000+3*d)
+	b.bang()
+	b.line(0, "vrf instance Mgmt")
+	b.bang()
+	b.line(0, "interface Loopback0")
+	b.line(1, "description router loopback")
+	b.line(1, "ip address %s", loopback)
+	b.bang()
+	// Several subsystems reference the loopback, forming the mutual
+	// equality group that contract minimization collapses (§3.6).
+	b.line(0, "tacacs-server source-ip %s", loopback)
+	b.line(0, "sflow source %s", loopback)
+	b.line(0, "msdp originator-id %s", loopback)
+	b.bang()
+	b.line(0, "interface Management1")
+	b.line(1, "vrf Mgmt")
+	b.line(1, "ip address 10.200.%d.%d/24", d%250, 10+d%200)
+	b.bang()
+	// Uplink interfaces: the bulk of the configuration. Descriptions
+	// name the far-end address, matching the BGP neighbor plan.
+	for i := 1; i <= role.Interfaces; i++ {
+		b.line(0, "interface Ethernet%d", i)
+		b.line(1, "description uplink-10.%d.%d.%d", s, 100+d%100, 2*i+1)
+		b.line(1, "no switchport")
+		// Sparse genuine type noise: one in ~200 interfaces carries an
+		// erroneous prefix instead of an MTU (a planted real bug class).
+		if rng.Intn(200) == 0 {
+			b.line(1, "mtu 10.1.1.0/31")
+		} else {
+			b.line(1, "mtu 9214")
+		}
+		b.line(1, "ip address 10.%d.%d.%d/31", s, 100+d%100, 2*i)
+		b.bang()
+	}
+	// Port channels with EVPN ether-segments: the MAC's final segment is
+	// the channel number in hexadecimal (Figure 1 contract 1).
+	for _, off := range []int{0, 13, 41} {
+		pc := 100 + (d*7+off)%150
+		b.line(0, "interface Port-Channel%d", pc)
+		b.line(1, "evpn ether-segment")
+		b.line(2, "route-target import 00:00:0c:d3:00:%02x", pc)
+		b.bang()
+	}
+	// Prefix lists: the loopback must be permitted (Figure 1 contract
+	// 2); seq numbers are arithmetic (sequence contracts).
+	b.line(0, "ip prefix-list LOOPBACKS")
+	b.line(1, "seq 10 permit %s/32", loopback)
+	b.line(1, "seq 20 permit 0.0.0.0/0")
+	b.bang()
+	b.line(0, "ip prefix-list INTERNAL")
+	b.line(1, "seq 10 permit 10.0.0.0/8")
+	b.line(1, "seq 20 permit 172.16.0.0/12")
+	b.line(1, "seq 30 permit 192.168.0.0/16")
+	b.bang()
+	// Access lists sized by the policy vocabulary; letter-only names
+	// keep each policy a distinct pattern.
+	for p := 0; p < role.PolicyVocab; p++ {
+		b.line(0, "ip access-list EDGE-FILTER-%s", wanName(p))
+		for q := 0; q < 3; q++ {
+			b.line(1, "seq %d permit ip 10.%d.%d.0/24 any", 10*(q+1), 32+p, q)
+		}
+		b.bang()
+	}
+	// Management reachability: the static route's next hop must fall in
+	// the aggregate advertised for the management VRF (incident 1).
+	b.line(0, "ip route vrf Mgmt 0.0.0.0/0 %s", mgmtGW)
+	b.bang()
+	b.line(0, "router bgp %d", asn)
+	b.line(1, "router-id %s", loopback)
+	b.line(1, "maximum-paths 64 ecmp 64")
+	b.line(1, "neighbor SPINES peer-group")
+	for i := 1; i <= min(role.Interfaces, 4); i++ {
+		b.line(1, "neighbor 10.%d.%d.%d peer-group SPINES", s, 100+d%100, 2*i+1)
+	}
+	b.line(1, "redistribute connected")
+	b.line(1, "neighbor 10.255.%d.1 peer-group OPT-A", d%250)
+	// Vlans come from the metadata file (incident 2); the rd encodes the
+	// vlan id as its suffix (Figure 1 contract 3).
+	for _, v := range vlans {
+		b.line(1, "vlan %d", v)
+		b.line(2, "rd %s:1%d", loopback, v)
+		b.line(2, "route-target import 65000:%d", v)
+	}
+	b.line(1, "vrf Mgmt")
+	b.line(2, "aggregate-address %s", mgmtNet)
+	b.bang()
+	// Operational drift: a banner most devices carry, below the
+	// confidence threshold for contract learning.
+	if rng.Intn(10) > 0 {
+		b.line(0, "banner motd maintained by neteng")
+		b.bang()
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// edgeManifest declares the planted invariants of the edge roles.
+func edgeManifest() *Manifest {
+	return &Manifest{
+		Rules: []Rule{
+			{Category: contracts.CatRelation, Rel: "equals", P1: "router-id [ip4]", P2: "interface Loopback[num]/ip address [ip4]",
+				Describe: "the BGP router id is the loopback address"},
+			{Category: contracts.CatRelation, Rel: "equals", P1: "ip address [ip4]", P2: "source-ip [ip4]",
+				Describe: "management-plane sources use the loopback address"},
+			{Category: contracts.CatRelation, Rel: "equals", P1: "ip address [ip4]", P2: "sflow source [ip4]",
+				Describe: "management-plane sources use the loopback address"},
+			{Category: contracts.CatRelation, Rel: "equals", P1: "ip address [ip4]", P2: "originator-id [ip4]",
+				Describe: "management-plane sources use the loopback address"},
+			{Category: contracts.CatRelation, Rel: "equals", P1: "source-ip [ip4]", P2: "sflow source [ip4]",
+				Describe: "management-plane sources agree"},
+			{Category: contracts.CatRelation, Rel: "equals", P1: "source-ip [ip4]", P2: "originator-id [ip4]",
+				Describe: "management-plane sources agree"},
+			{Category: contracts.CatRelation, Rel: "equals", P1: "sflow source [ip4]", P2: "originator-id [ip4]",
+				Describe: "management-plane sources agree"},
+			{Category: contracts.CatRelation, Rel: "equals", P1: "router-id [ip4]", P2: "source-ip [ip4]",
+				Describe: "management-plane sources use the router id"},
+			{Category: contracts.CatRelation, Rel: "equals", P1: "router-id [ip4]", P2: "sflow source [ip4]",
+				Describe: "management-plane sources use the router id"},
+			{Category: contracts.CatRelation, Rel: "equals", P1: "router-id [ip4]", P2: "originator-id [ip4]",
+				Describe: "management-plane sources use the router id"},
+			{Category: contracts.CatRelation, Rel: "contains", P2: "prefix-list LOOPBACKS",
+				Describe: "loopback-plan addresses are permitted by the loopback prefix list"},
+			{Category: contracts.CatRelation, Rel: "contains", P2: "prefix-list INTERNAL",
+				Describe: "all addresses fall inside the internal address space"},
+			{Category: contracts.CatRelation, Rel: "contains", P2: "aggregate-address [pfx4]",
+				Describe: "management addresses fall inside the advertised aggregate"},
+			{Category: contracts.CatRelation, Rel: "equals", P1: "interface Port-Channel[num]", P2: "route-target import [mac]",
+				Describe: "the port-channel number in hex is the MAC's final segment"},
+			{Category: contracts.CatRelation, Rel: "endswith", P1: "vlan [num]", P2: "rd [ip4]:[num]",
+				Describe: "the route distinguisher number ends with the vlan id"},
+			{Category: contracts.CatRelation, Rel: "equals", P1: "vlan [num]", P2: "@meta",
+				Describe: "every configured vlan id is declared in the policy metadata"},
+			{Category: contracts.CatRelation, Rel: "equals", P1: "route-target import [num]:[num]", P2: "vlan [num]",
+				Describe: "the vlan route-target suffix is the vlan id"},
+			{Category: contracts.CatRelation, Rel: "equals", P1: "route-target import [num]:[num]", P2: "@meta",
+				Describe: "the vlan route-target suffix is declared in the policy metadata"},
+			{Category: contracts.CatRelation, Rel: "contains", P1: "ip route vrf Mgmt [pfx4] [ip4]", P2: "aggregate-address [pfx4]",
+				Describe: "the management next hop falls in the advertised aggregate"},
+			{Category: contracts.CatRelation, Rel: "equals", P1: "rd [ip4]:[num]", P2: "router-id [ip4]",
+				Describe: "route distinguishers are derived from the router id"},
+			{Category: contracts.CatRelation, Rel: "equals", P1: "rd [ip4]:[num]", P2: "ip address [ip4]",
+				Describe: "route distinguishers are derived from the loopback"},
+			{Category: contracts.CatRelation, Rel: "equals", P1: "rd [ip4]:[num]", P2: "source-ip [ip4]",
+				Describe: "route distinguishers are derived from the loopback"},
+			{Category: contracts.CatRelation, Rel: "equals", P1: "rd [ip4]:[num]", P2: "sflow source [ip4]",
+				Describe: "route distinguishers are derived from the loopback"},
+			{Category: contracts.CatRelation, Rel: "equals", P1: "rd [ip4]:[num]", P2: "originator-id [ip4]",
+				Describe: "route distinguishers are derived from the loopback"},
+			{Category: contracts.CatRelation, Rel: "equals", P1: "description uplink-[ip4]", P2: "neighbor [ip4] peer-group SPINES",
+				Describe: "every BGP fabric neighbor is a described uplink"},
+			{Category: contracts.CatRelation, Rel: "contains", P1: "description uplink-[ip4]", P2: "ip address [pfx4]",
+				Describe: "the described far-end address shares the interface subnet"},
+			{Category: contracts.CatRelation, Rel: "contains", P1: "neighbor [ip4] peer-group SPINES", P2: "ip address [pfx4]",
+				Describe: "each BGP session is configured over a valid interface"},
+			{Category: contracts.CatRelation, Rel: "equals", T1: "octet2", T2: "octet2",
+				Describe: "the site octet is shared across the device addressing plan"},
+			{Category: contracts.CatRelation, Rel: "equals", T1: "octet3", T2: "octet3",
+				Describe: "the device octet is shared across the device addressing plan"},
+			{Category: contracts.CatUnique, P: "hostname EDGE-SW[num]",
+				Describe: "hostnames are unique across the role"},
+			{Category: contracts.CatUnique, P: "ip address [",
+				Describe: "interface addresses are unique across the role"},
+			{Category: contracts.CatUnique, P: "router-id [ip4]",
+				Describe: "router ids are unique across the role"},
+			{Category: contracts.CatUnique, P: "source-ip [ip4]",
+				Describe: "loopback-derived sources are unique across the role"},
+			{Category: contracts.CatUnique, P: "sflow source [ip4]",
+				Describe: "loopback-derived sources are unique across the role"},
+			{Category: contracts.CatUnique, P: "originator-id [ip4]",
+				Describe: "loopback-derived sources are unique across the role"},
+			{Category: contracts.CatUnique, P: "router bgp [num]",
+				Describe: "AS numbers are unique across the role"},
+			{Category: contracts.CatUnique, P: "rd [ip4]:[num]",
+				Describe: "route distinguishers are unique across the role"},
+			{Category: contracts.CatUnique, P: "route-target import [mac]",
+				Describe: "ether-segment identifiers are unique across the role"},
+			{Category: contracts.CatUnique, P: "aggregate-address [pfx4]",
+				Describe: "management aggregates are unique across the role"},
+			{Category: contracts.CatUnique, P: "ip route vrf Mgmt [pfx4] [ip4]",
+				Describe: "management gateways are unique across the role"},
+			{Category: contracts.CatUnique, P: "description uplink-[ip4]",
+				Describe: "described far-end addresses are unique across the role"},
+			{Category: contracts.CatUnique, P: "neighbor [ip4] peer-group",
+				Describe: "BGP neighbor addresses are unique across the role"},
+			{Category: contracts.CatRelation, Rel: "equals", P1: "interface Ethernet", P2: "interface Ethernet",
+				Describe: "an interface's lines agree on its subnet plan"},
+			{Category: contracts.CatType, P: "mtu [?]", BadType: "pfx4",
+				Describe: "interface MTUs are plain numbers, never prefixes"},
+		},
+		OrderedPairs: [][2]string{
+			{"no switchport", "mtu ["},
+			{"mtu [", "ip address ["},
+			{"redistribute connected", "neighbor [ip4] peer-group OPT-A"},
+		},
+	}
+}

@@ -1,0 +1,187 @@
+package synth
+
+import (
+	"strings"
+
+	"concord/internal/contracts"
+)
+
+// Rule is one ground-truth entry: a semantic invariant the generator
+// deliberately planted (or a class of contracts it vouches for). Learned
+// contracts that match no rule are, by construction, coincidences of the
+// generated data — the synthetic analogue of the paper's
+// human-adjudicated false positives.
+type Rule struct {
+	// Category restricts the rule to one contract category.
+	Category contracts.Category
+	// Describe explains the invariant in English (Table 8 material).
+	Describe string
+	// P matches single-pattern categories: the contract's pattern must
+	// contain this substring.
+	P string
+	// P1/P2/Rel match relational contracts: substrings of the two
+	// patterns and the relation name. Equality rules match either
+	// orientation.
+	P1, P2, Rel string
+	// T1/T2 restrict relational rules to specific transforms (empty
+	// matches any).
+	T1, T2 string
+	// BadType matches type contracts.
+	BadType string
+}
+
+// Manifest is the ground truth for one generated dataset.
+type Manifest struct {
+	// Rules lists the planted invariants.
+	Rules []Rule
+	// OrderedPairs lists (first, second) substring pairs whose ordering
+	// is semantically required (beyond the block-nesting default).
+	OrderedPairs [][2]string
+}
+
+// containsAny reports whether hay contains at least one of the
+// "|"-separated alternatives in spec (an empty spec matches anything).
+func containsAny(hay, spec string) bool {
+	if spec == "" {
+		return true
+	}
+	for _, alt := range strings.Split(spec, "|") {
+		if strings.Contains(hay, alt) {
+			return true
+		}
+	}
+	return false
+}
+
+// matches reports whether a learned contract realizes this rule. P, P1,
+// and P2 accept "|"-separated alternatives.
+func (r *Rule) matches(c contracts.Contract) bool {
+	if c.Category() != r.Category {
+		return false
+	}
+	switch c := c.(type) {
+	case *contracts.Relational:
+		if r.Rel != "" && string(c.Rel) != r.Rel {
+			return false
+		}
+		fwd := containsAny(c.Pattern1, r.P1) && containsAny(c.Pattern2, r.P2) &&
+			(r.T1 == "" || c.Transform1 == r.T1) && (r.T2 == "" || c.Transform2 == r.T2)
+		if fwd {
+			return true
+		}
+		// Equality is symmetric; accept the mirrored orientation.
+		if c.Rel == "equals" {
+			return containsAny(c.Pattern1, r.P2) && containsAny(c.Pattern2, r.P1) &&
+				(r.T2 == "" || c.Transform1 == r.T2) && (r.T1 == "" || c.Transform2 == r.T1)
+		}
+		return false
+	case *contracts.TypeError:
+		return containsAny(c.Agnostic, r.P) && (r.BadType == "" || c.BadType == r.BadType)
+	case *contracts.Present:
+		return containsAny(c.Pattern, r.P)
+	case *contracts.Sequence:
+		return containsAny(c.Pattern, r.P)
+	case *contracts.Unique:
+		return containsAny(c.Pattern, r.P)
+	case *contracts.Ordering:
+		return containsAny(c.First, r.P1) && containsAny(c.Second, r.P2)
+	}
+	return false
+}
+
+// IsTrue classifies a learned contract as a true positive (it reflects a
+// planted or structural invariant) or a false positive (a coincidence of
+// the generated data). The per-category defaults mirror how the
+// generators work:
+//
+//   - present contracts are template-driven and always true;
+//   - ordering contracts are true when the second pattern is nested
+//     inside the first (a block header must be followed by its body) or
+//     the pair was declared semantically ordered — every other adjacency
+//     is fixed-format coincidence, the effect behind the paper's low
+//     ordering precision;
+//   - everything else is true only if a planted rule matches.
+func (m *Manifest) IsTrue(c contracts.Contract) bool {
+	switch c := c.(type) {
+	case *contracts.Present:
+		return true
+	case *contracts.Sequence:
+		// Within-configuration sequences in the generated data are all
+		// template-driven (seq numbers, port layouts, vlan plans); the
+		// paper likewise measures 100% sequence precision.
+		return true
+	case *contracts.Ordering:
+		if strings.HasPrefix(c.Second, c.First+"/") {
+			return true
+		}
+		for _, p := range m.OrderedPairs {
+			if strings.Contains(c.First, p[0]) && strings.Contains(c.Second, p[1]) {
+				return true
+			}
+		}
+		return false
+	}
+	for i := range m.Rules {
+		if m.Rules[i].matches(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// Describe returns the English description of the planted rule a
+// contract realizes, or "" when no described rule matches.
+func (m *Manifest) Describe(c contracts.Contract) string {
+	for i := range m.Rules {
+		if m.Rules[i].Describe != "" && m.Rules[i].matches(c) {
+			return m.Rules[i].Describe
+		}
+	}
+	return ""
+}
+
+// Precision computes the fraction of learned contracts in one category
+// that the manifest classifies as true, plus the counts. It returns
+// ok=false when the category has no learned contracts.
+func (m *Manifest) Precision(set *contracts.Set, cat contracts.Category) (precision float64, tp, total int, ok bool) {
+	for _, c := range set.Contracts {
+		if c.Category() != cat {
+			continue
+		}
+		total++
+		if m.IsTrue(c) {
+			tp++
+		}
+	}
+	if total == 0 {
+		return 0, 0, 0, false
+	}
+	return float64(tp) / float64(total), tp, total, true
+}
+
+// PrecisionByRel computes precision for relational contracts of a single
+// relation (the paper splits relational precision into equality,
+// contains, and affix columns).
+func (m *Manifest) PrecisionByRel(set *contracts.Set, rel string) (precision float64, tp, total int, ok bool) {
+	for _, c := range set.Contracts {
+		r, isRel := c.(*contracts.Relational)
+		if !isRel {
+			continue
+		}
+		if rel == "affix" {
+			if r.Rel != "startswith" && r.Rel != "endswith" {
+				continue
+			}
+		} else if string(r.Rel) != rel {
+			continue
+		}
+		total++
+		if m.IsTrue(c) {
+			tp++
+		}
+	}
+	if total == 0 {
+		return 0, 0, 0, false
+	}
+	return float64(tp) / float64(total), tp, total, true
+}

@@ -1,0 +1,176 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"regexp"
+	"strings"
+)
+
+// Mutation names a class of injected misconfiguration, chosen to map
+// onto the contract categories that should detect it.
+type Mutation string
+
+// The supported mutation kinds.
+const (
+	// MutDropLine removes one random configuration line (present,
+	// ordering, sequence, and relational contracts can catch it).
+	MutDropLine Mutation = "drop-line"
+	// MutSwapAdjacent swaps two adjacent lines (ordering contracts).
+	MutSwapAdjacent Mutation = "swap-adjacent"
+	// MutRetype turns an IPv4 address into a prefix (type contracts).
+	MutRetype Mutation = "retype"
+	// MutPerturbValue changes a numeric or address value so that a
+	// planted relationship no longer holds (relational contracts).
+	MutPerturbValue Mutation = "perturb-value"
+)
+
+// Mutations lists all generic mutation kinds.
+func Mutations() []Mutation {
+	return []Mutation{MutDropLine, MutSwapAdjacent, MutRetype, MutPerturbValue}
+}
+
+var (
+	ipRE  = regexp.MustCompile(`\b[0-9]{1,3}(?:\.[0-9]{1,3}){3}\b`)
+	numRE = regexp.MustCompile(`[0-9]+`)
+)
+
+// Mutate applies one mutation to a configuration text, returning the
+// mutated text and the 1-based line number affected. ok is false when
+// the text offers no mutation site for the kind. Mutations are
+// deterministic for a given seed.
+func Mutate(text string, kind Mutation, seed int64) (mutated string, lineNo int, ok bool) {
+	rng := rand.New(rand.NewSource(seed))
+	lines := strings.Split(text, "\n")
+	candidates := func(pred func(string) bool) []int {
+		var out []int
+		for i, l := range lines {
+			t := strings.TrimSpace(l)
+			if t == "" || t == "!" {
+				continue
+			}
+			if pred(t) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	switch kind {
+	case MutDropLine:
+		sites := candidates(func(string) bool { return true })
+		if len(sites) == 0 {
+			return text, 0, false
+		}
+		at := sites[rng.Intn(len(sites))]
+		lines = append(lines[:at], lines[at+1:]...)
+		return strings.Join(lines, "\n"), at + 1, true
+	case MutSwapAdjacent:
+		sites := candidates(func(string) bool { return true })
+		var pairs []int
+		for _, i := range sites {
+			if i+1 < len(lines) {
+				next := strings.TrimSpace(lines[i+1])
+				if next != "" && next != "!" {
+					pairs = append(pairs, i)
+				}
+			}
+		}
+		if len(pairs) == 0 {
+			return text, 0, false
+		}
+		at := pairs[rng.Intn(len(pairs))]
+		lines[at], lines[at+1] = lines[at+1], lines[at]
+		return strings.Join(lines, "\n"), at + 1, true
+	case MutRetype:
+		sites := candidates(func(t string) bool {
+			return ipRE.MatchString(t) && !strings.Contains(t, "/")
+		})
+		if len(sites) == 0 {
+			return text, 0, false
+		}
+		at := sites[rng.Intn(len(sites))]
+		lines[at] = ipRE.ReplaceAllStringFunc(lines[at], func(ip string) string {
+			return ip + "/28"
+		})
+		return strings.Join(lines, "\n"), at + 1, true
+	case MutPerturbValue:
+		sites := candidates(func(t string) bool { return numRE.MatchString(t) })
+		if len(sites) == 0 {
+			return text, 0, false
+		}
+		at := sites[rng.Intn(len(sites))]
+		done := false
+		lines[at] = numRE.ReplaceAllStringFunc(lines[at], func(n string) string {
+			if done {
+				return n
+			}
+			done = true
+			return fmt.Sprintf("%d", 700+rng.Intn(99)) // an unrelated value
+		})
+		return strings.Join(lines, "\n"), at + 1, true
+	}
+	return text, 0, false
+}
+
+// The three §5.5 incident replays. Each transforms a known-good edge
+// configuration into the post-regression configuration the paper
+// describes and reports which contract category should flag it.
+
+// InjectMissingAggregate removes the management aggregate-address line,
+// reproducing Example 1: the service omitted BGP route aggregation, and
+// the static route's next hop lost its covering aggregate.
+func InjectMissingAggregate(text string) (string, bool) {
+	lines := strings.Split(text, "\n")
+	for i, l := range lines {
+		if strings.Contains(l, "aggregate-address") {
+			lines = append(lines[:i], lines[i+1:]...)
+			return strings.Join(lines, "\n"), true
+		}
+	}
+	return text, false
+}
+
+// InjectRogueVlans appends vlan configuration blocks that are absent
+// from the policy metadata, reproducing Example 2: layer-2 configuration
+// meant for a new SKU leaked into an existing one, creating a MAC
+// broadcast loop. The metadata relation contract flags the rogue vlans.
+func InjectRogueVlans(text string, vlans []int) (string, bool) {
+	lines := strings.Split(text, "\n")
+	// Insert rogue vlans inside the router bgp block, right before its
+	// "vrf Mgmt" sub-block (the interface Management block has an
+	// identically spelled line earlier in the file).
+	inBGP := false
+	for i, l := range lines {
+		if strings.HasPrefix(strings.TrimSpace(l), "router bgp ") {
+			inBGP = true
+		}
+		if inBGP && strings.TrimSpace(l) == "vrf Mgmt" {
+			var rogue []string
+			for _, v := range vlans {
+				rogue = append(rogue,
+					fmt.Sprintf("   vlan %d", v),
+					fmt.Sprintf("      rd 10.99.99.99:1%d", v),
+					fmt.Sprintf("      route-target import 65000:%d", v))
+			}
+			out := append(append(append([]string{}, lines[:i]...), rogue...), lines[i:]...)
+			return strings.Join(out, "\n"), true
+		}
+	}
+	return text, false
+}
+
+// InjectVRFOrderBreak inserts an erroneous line between "redistribute
+// connected" and the OPT-A neighbor, reproducing Example 3: a software
+// bug pushed VRF configuration that landed between lines an ordering
+// contract ties together.
+func InjectVRFOrderBreak(text string) (string, bool) {
+	lines := strings.Split(text, "\n")
+	for i, l := range lines {
+		if strings.TrimSpace(l) == "redistribute connected" {
+			out := append(append(append([]string{}, lines[:i+1]...),
+				"   vrf CUSTOMER-LEAK"), lines[i+1:]...)
+			return strings.Join(out, "\n"), true
+		}
+	}
+	return text, false
+}

@@ -1,0 +1,131 @@
+// Package synth generates the synthetic configuration datasets used to
+// reproduce the paper's evaluation. The paper's datasets (Microsoft
+// mobile edge datacenters and a cloud WAN) are proprietary; these
+// generators produce role-templated configurations with the same
+// structural properties — repeated elements, hierarchy, ad-hoc value
+// syntax, indented and flat dialects, cross-file metadata references —
+// and a ground-truth manifest of planted invariants that substitutes for
+// the paper's human/LLM contract review (see DESIGN.md §4).
+//
+// Determinism: every device is generated from a seed derived from the
+// role name and device index, so datasets are reproducible across runs
+// and platforms.
+package synth
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+)
+
+// File is one generated input file.
+type File struct {
+	// Name is the file name (device or metadata identifier).
+	Name string
+	// Text is the file content.
+	Text []byte
+}
+
+// Dataset is one generated role's corpus.
+type Dataset struct {
+	// Role identifies the dataset (E1, E2, W1..W8).
+	Role RoleSpec
+	// Configs are the device configuration files.
+	Configs []File
+	// Meta are the metadata files shared by the role (may be empty).
+	Meta []File
+	// Truth is the ground-truth manifest of planted invariants.
+	Truth *Manifest
+}
+
+// Syntax selects the configuration dialect of a role.
+type Syntax string
+
+// The generated dialects.
+const (
+	// SyntaxIndent is an Arista/Cisco-style indented dialect with
+	// hierarchical blocks.
+	SyntaxIndent Syntax = "indent"
+	// SyntaxFlat is a Juniper-style "set" dialect whose lines carry
+	// their full context inline (so context embedding cannot help,
+	// as the paper observes for several WAN roles in Figure 7).
+	SyntaxFlat Syntax = "flat"
+)
+
+// RoleSpec describes one dataset role.
+type RoleSpec struct {
+	// Name is the dataset label (E1, W4, ...).
+	Name string
+	// Network is "edge" or "wan".
+	Network string
+	// Devices is the number of device configurations.
+	Devices int
+	// Syntax selects the dialect.
+	Syntax Syntax
+	// Interfaces is the per-device interface count (bulk lines).
+	Interfaces int
+	// Vlans is the per-device vlan count.
+	Vlans int
+	// PolicyVocab sizes the per-role policy vocabulary, which drives the
+	// number of distinct patterns.
+	PolicyVocab int
+	// WithMeta emits a JSON metadata file referenced by the configs.
+	WithMeta bool
+}
+
+// Roles returns the ten dataset roles mirroring Table 3's orders of
+// magnitude: E1 ~O(10^3) lines, E2 ~O(10^4), W1-W3/W7 ~O(10^5),
+// W4-W6 ~O(10^6), W8 ~O(10^4). The scale factor multiplies device
+// counts (use scale < 1 for tests and benchmarks, 1.0 for the full
+// experiment runs).
+func Roles(scale float64) []RoleSpec {
+	n := func(d int) int {
+		v := int(float64(d)*scale + 0.5)
+		if v < 6 {
+			v = 6
+		}
+		return v
+	}
+	return []RoleSpec{
+		{Name: "E1", Network: "edge", Devices: n(12), Syntax: SyntaxIndent, Interfaces: 8, Vlans: 4, PolicyVocab: 8, WithMeta: true},
+		{Name: "E2", Network: "edge", Devices: n(30), Syntax: SyntaxIndent, Interfaces: 36, Vlans: 10, PolicyVocab: 12, WithMeta: true},
+		{Name: "W1", Network: "wan", Devices: n(60), Syntax: SyntaxIndent, Interfaces: 70, Vlans: 0, PolicyVocab: 24, WithMeta: false},
+		{Name: "W2", Network: "wan", Devices: n(80), Syntax: SyntaxIndent, Interfaces: 90, Vlans: 0, PolicyVocab: 60, WithMeta: false},
+		{Name: "W3", Network: "wan", Devices: n(70), Syntax: SyntaxIndent, Interfaces: 72, Vlans: 0, PolicyVocab: 30, WithMeta: false},
+		{Name: "W4", Network: "wan", Devices: n(280), Syntax: SyntaxFlat, Interfaces: 130, Vlans: 0, PolicyVocab: 90, WithMeta: false},
+		{Name: "W5", Network: "wan", Devices: n(250), Syntax: SyntaxFlat, Interfaces: 140, Vlans: 0, PolicyVocab: 45, WithMeta: false},
+		{Name: "W6", Network: "wan", Devices: n(300), Syntax: SyntaxFlat, Interfaces: 260, Vlans: 0, PolicyVocab: 80, WithMeta: false},
+		{Name: "W7", Network: "wan", Devices: n(60), Syntax: SyntaxIndent, Interfaces: 90, Vlans: 0, PolicyVocab: 32, WithMeta: false},
+		{Name: "W8", Network: "wan", Devices: n(30), Syntax: SyntaxFlat, Interfaces: 34, Vlans: 0, PolicyVocab: 12, WithMeta: false},
+	}
+}
+
+// RoleByName returns the named role at the given scale.
+func RoleByName(name string, scale float64) (RoleSpec, bool) {
+	for _, r := range Roles(scale) {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return RoleSpec{}, false
+}
+
+// Generate produces the dataset for one role.
+func Generate(role RoleSpec) *Dataset {
+	switch role.Network {
+	case "edge":
+		return generateEdge(role)
+	default:
+		return generateWAN(role)
+	}
+}
+
+// deviceRand returns a deterministic PRNG for one device of a role.
+func deviceRand(role string, device int) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d", role, device)
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// site derives a stable small "site number" for a device.
+func site(d int) int { return 10 + d%40 }

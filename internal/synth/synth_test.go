@@ -1,0 +1,272 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"concord/internal/contracts"
+)
+
+func TestRolesCoverTable3(t *testing.T) {
+	roles := Roles(1.0)
+	if len(roles) != 10 {
+		t.Fatalf("roles = %d, want 10", len(roles))
+	}
+	names := map[string]bool{}
+	for _, r := range roles {
+		names[r.Name] = true
+		if r.Devices < 6 {
+			t.Errorf("%s: too few devices (%d)", r.Name, r.Devices)
+		}
+	}
+	for _, want := range []string{"E1", "E2", "W1", "W2", "W3", "W4", "W5", "W6", "W7", "W8"} {
+		if !names[want] {
+			t.Errorf("missing role %s", want)
+		}
+	}
+	// Scaling shrinks device counts but keeps a floor.
+	small := Roles(0.1)
+	for i, r := range small {
+		if r.Devices > roles[i].Devices {
+			t.Errorf("%s: scale 0.1 grew devices", r.Name)
+		}
+	}
+	if _, ok := RoleByName("W4", 1.0); !ok {
+		t.Error("RoleByName(W4) failed")
+	}
+	if _, ok := RoleByName("nope", 1.0); ok {
+		t.Error("RoleByName(nope) succeeded")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	role, _ := RoleByName("E1", 0.3)
+	a := Generate(role)
+	b := Generate(role)
+	if len(a.Configs) != len(b.Configs) {
+		t.Fatal("config counts differ")
+	}
+	for i := range a.Configs {
+		if string(a.Configs[i].Text) != string(b.Configs[i].Text) {
+			t.Fatalf("config %d differs between runs", i)
+		}
+	}
+}
+
+func TestEdgeInvariantsHold(t *testing.T) {
+	role, _ := RoleByName("E1", 0.5)
+	ds := Generate(role)
+	if len(ds.Meta) != 1 {
+		t.Fatalf("edge role should emit one metadata file, got %d", len(ds.Meta))
+	}
+	meta := string(ds.Meta[0].Text)
+	for _, f := range ds.Configs {
+		text := string(f.Text)
+		// Loopback appears as router-id too.
+		lb := extractAfter(t, text, "interface Loopback0\n   description router loopback\n   ip address ")
+		if !strings.Contains(text, "router-id "+lb) {
+			t.Errorf("%s: router-id != loopback", f.Name)
+		}
+		// Loopback is permitted by the prefix list.
+		if !strings.Contains(text, "seq 10 permit "+lb+"/32") {
+			t.Errorf("%s: loopback not permitted", f.Name)
+		}
+		// Every vlan appears in the metadata.
+		for _, l := range strings.Split(text, "\n") {
+			tr := strings.TrimSpace(l)
+			if strings.HasPrefix(tr, "vlan ") {
+				v := strings.TrimPrefix(tr, "vlan ")
+				if !strings.Contains(meta, `"vlanId": `+v) {
+					t.Errorf("%s: vlan %s missing from metadata", f.Name, v)
+				}
+			}
+		}
+	}
+}
+
+func extractAfter(t *testing.T, text, prefix string) string {
+	t.Helper()
+	i := strings.Index(text, prefix)
+	if i < 0 {
+		t.Fatalf("prefix %q not found", prefix)
+	}
+	rest := text[i+len(prefix):]
+	return rest[:strings.IndexByte(rest, '\n')]
+}
+
+func TestWanFlatAddressesUnique(t *testing.T) {
+	role, _ := RoleByName("W8", 0.5)
+	ds := Generate(role)
+	seen := map[string]string{}
+	for _, f := range ds.Configs {
+		for _, l := range strings.Split(string(f.Text), "\n") {
+			if !strings.Contains(l, "family inet address") || strings.Contains(l, "lo0") {
+				continue
+			}
+			addr := l[strings.LastIndexByte(l, ' ')+1:]
+			if prev, dup := seen[addr]; dup {
+				t.Fatalf("address %s reused in %s and %s", addr, prev, f.Name)
+			}
+			seen[addr] = f.Name
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("no interface addresses found")
+	}
+}
+
+func TestWanHostnamesUnique(t *testing.T) {
+	for _, name := range []string{"W1", "W8"} {
+		role, _ := RoleByName(name, 0.5)
+		ds := Generate(role)
+		seen := map[string]bool{}
+		for _, f := range ds.Configs {
+			first := strings.SplitN(string(f.Text), "\n", 2)[0]
+			if seen[first] {
+				t.Errorf("%s: duplicate hostname line %q", name, first)
+			}
+			seen[first] = true
+		}
+	}
+}
+
+func TestManifestClassification(t *testing.T) {
+	m := edgeManifest()
+	planted := &contracts.Relational{
+		Pattern1: "/router bgp [num]/router-id [ip4]", ParamIdx1: 0, Transform1: "id",
+		Rel:      "equals",
+		Pattern2: "/interface Loopback[num]/ip address [ip4]", ParamIdx2: 0, Transform2: "id",
+	}
+	if !m.IsTrue(planted) {
+		t.Error("planted router-id contract classified false")
+	}
+	coincidence := &contracts.Relational{
+		Pattern1: "/queue-monitor length limit [num]", Rel: "equals",
+		Pattern2: "/hardware counter rate [num]",
+	}
+	if m.IsTrue(coincidence) {
+		t.Error("coincidental contract classified true")
+	}
+	// Present and sequence default to true.
+	if !m.IsTrue(&contracts.Present{Pattern: "/anything"}) {
+		t.Error("present should default true")
+	}
+	if !m.IsTrue(&contracts.Sequence{Pattern: "/anything"}) {
+		t.Error("sequence should default true")
+	}
+	// Nested ordering is true; sibling ordering is false unless declared.
+	nested := &contracts.Ordering{First: "/interface Loopback[num]", Second: "/interface Loopback[num]/ip address [ip4]"}
+	if !m.IsTrue(nested) {
+		t.Error("nested ordering should be true")
+	}
+	sibling := &contracts.Ordering{First: "/ntp server [ip4]", Second: "/logging buffered [num]"}
+	if m.IsTrue(sibling) {
+		t.Error("sibling ordering should be false")
+	}
+	declared := &contracts.Ordering{First: "/x/no switchport", Second: "/x/mtu [num]"}
+	if !m.IsTrue(declared) {
+		t.Error("declared ordered pair should be true")
+	}
+}
+
+func TestContainsAny(t *testing.T) {
+	if !containsAny("abc", "") {
+		t.Error("empty spec should match")
+	}
+	if !containsAny("router-id [ip4]", "foo|router-id") {
+		t.Error("alternation failed")
+	}
+	if containsAny("abc", "x|y") {
+		t.Error("non-match matched")
+	}
+}
+
+func TestMutateDropLine(t *testing.T) {
+	text := "a\nb\nc\n"
+	out, line, ok := Mutate(text, MutDropLine, 1)
+	if !ok || line == 0 {
+		t.Fatalf("mutate failed: %v %d", ok, line)
+	}
+	if strings.Count(out, "\n") >= strings.Count(text, "\n") {
+		t.Error("no line removed")
+	}
+	// Deterministic.
+	out2, line2, _ := Mutate(text, MutDropLine, 1)
+	if out != out2 || line != line2 {
+		t.Error("mutation not deterministic")
+	}
+}
+
+func TestMutateSwap(t *testing.T) {
+	text := "a\nb\n"
+	out, _, ok := Mutate(text, MutSwapAdjacent, 3)
+	if !ok || out != "b\na\n" && out != "b\na" {
+		t.Errorf("swap = %q, %v", out, ok)
+	}
+}
+
+func TestMutateRetype(t *testing.T) {
+	text := "ip address 10.0.0.1\n"
+	out, _, ok := Mutate(text, MutRetype, 1)
+	if !ok || !strings.Contains(out, "10.0.0.1/28") {
+		t.Errorf("retype = %q", out)
+	}
+	if _, _, ok := Mutate("no addresses here\n", MutRetype, 1); ok {
+		t.Error("retype without a site succeeded")
+	}
+}
+
+func TestMutatePerturb(t *testing.T) {
+	text := "vlan 1101\n"
+	out, _, ok := Mutate(text, MutPerturbValue, 1)
+	if !ok || out == text {
+		t.Errorf("perturb = %q", out)
+	}
+}
+
+func TestIncidentInjections(t *testing.T) {
+	role, _ := RoleByName("E1", 0.5)
+	text := edgeDevice(role, 1, edgeVlans(role))
+
+	out, ok := InjectMissingAggregate(text)
+	if !ok || strings.Contains(out, "aggregate-address") {
+		t.Error("aggregate not removed")
+	}
+	out, ok = InjectRogueVlans(text, []int{4999})
+	if !ok || !strings.Contains(out, "vlan 4999") {
+		t.Error("rogue vlan not injected")
+	}
+	out, ok = InjectVRFOrderBreak(text)
+	if !ok || !strings.Contains(out, "vrf CUSTOMER-LEAK") {
+		t.Error("order break not injected")
+	}
+	// Injections on unrelated text report failure.
+	if _, ok := InjectMissingAggregate("nothing"); ok {
+		t.Error("injection succeeded on unrelated text")
+	}
+	if _, ok := InjectRogueVlans("nothing", []int{1}); ok {
+		t.Error("injection succeeded on unrelated text")
+	}
+	if _, ok := InjectVRFOrderBreak("nothing"); ok {
+		t.Error("injection succeeded on unrelated text")
+	}
+}
+
+func TestWanName(t *testing.T) {
+	seen := map[string]bool{}
+	for p := 0; p < 120; p++ {
+		n := wanName(p)
+		if len(n) != 2 {
+			t.Fatalf("wanName(%d) = %q", p, n)
+		}
+		if seen[n] {
+			t.Fatalf("wanName(%d) = %q collides", p, n)
+		}
+		seen[n] = true
+		for _, r := range n {
+			if r < 'A' || r > 'Z' {
+				t.Fatalf("wanName(%d) = %q contains non-letter", p, n)
+			}
+		}
+	}
+}

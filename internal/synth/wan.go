@@ -1,0 +1,338 @@
+package synth
+
+import (
+	"fmt"
+
+	"concord/internal/contracts"
+)
+
+// wanName encodes a policy-vocabulary index as a letters-only name so
+// that each policy yields a distinct pattern (digits would be lexed as
+// parameters and collapse the vocabulary into one pattern).
+func wanName(p int) string {
+	letters := "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	hi, lo := p/26, p%26
+	return string(letters[hi%26]) + string(letters[lo])
+}
+
+// generateWAN produces a wide-area network role. Indent-syntax roles
+// (W1, W2, W3, W7) use a Cisco-style hierarchical dialect; flat-syntax
+// roles (W4, W5, W6, W8) use a Juniper-style "set" dialect whose lines
+// already carry their full context, which is why context embedding does
+// not improve their coverage (Figure 7).
+func generateWAN(role RoleSpec) *Dataset {
+	ds := &Dataset{Role: role, Truth: wanManifest(role)}
+	for d := 1; d <= role.Devices; d++ {
+		var text string
+		if role.Syntax == SyntaxFlat {
+			text = wanFlatDevice(role, d)
+		} else {
+			text = wanIndentDevice(role, d)
+		}
+		ds.Configs = append(ds.Configs, File{
+			Name: fmt.Sprintf("%s-r%04d.cfg", role.Name, d),
+			Text: []byte(text),
+		})
+	}
+	return ds
+}
+
+// wanAddr allocates the i-th /31 interface address of device d so that
+// addresses are unique across the whole role (the paper's Table 8
+// uniqueness contract).
+func wanAddr(role RoleSpec, d, i int) string {
+	idx := (d-1)*role.Interfaces + i
+	return fmt.Sprintf("10.%d.%d.%d", 64+(idx>>14), (idx>>7)&127, (idx&127)*2)
+}
+
+// wanLoopback allocates device d's loopback address.
+func wanLoopback(d int) string {
+	return fmt.Sprintf("10.255.%d.%d", d/200, 1+d%200)
+}
+
+// wanFlatDevice renders a Juniper-style device.
+func wanFlatDevice(role RoleSpec, d int) string {
+	rng := deviceRand(role.Name, d)
+	lb := wanLoopback(d)
+	ntpN := 30 + d%20
+	var b builder
+	b.line(0, "set system host-name %s-R%04d", role.Name, 1000+d)
+	b.line(0, "set system name-server 10.0.0.53")
+	b.line(0, "set system ntp boot-server 10.0.%d.123", ntpN)
+	if rng.Intn(50) == 0 {
+		// Rare but legitimate IPv6 NTP server: the learned type contract
+		// flagging it is a false positive.
+		b.line(0, "set system ntp server 2001:db8:0:1::123")
+	} else {
+		b.line(0, "set system ntp server 10.0.2.123")
+	}
+	// Coincidental pairs (false-positive sources).
+	b.line(0, "set system processes limit %d", 900+3*(d%50))
+	b.line(0, "set chassis fpc queue-depth %d", 900+3*(d%50))
+	b.line(0, "set system commit-delay %d", 7000+d)
+	b.line(0, "set routing-options router-id %s", lb)
+	b.line(0, "set interfaces lo0 unit 0 family inet address %s/32", lb)
+	// Several subsystems reference the loopback, forming the mutual
+	// equality group that contract minimization collapses (§3.6).
+	b.line(0, "set system tacacs-server source-address %s", lb)
+	b.line(0, "set protocols msdp local-address %s", lb)
+	b.line(0, "set snmp trap-options source-address %s", lb)
+	b.line(0, "set system syslog source-address %s", lb)
+	b.line(0, "set protocols ldp router-id %s", lb)
+	b.line(0, "set protocols pim local-address %s", lb)
+	b.line(0, "set protocols isis lsp-interval %d", ntpN)
+
+	for i := 0; i < role.Interfaces; i++ {
+		addr := wanAddr(role, d, i)
+		b.line(0, "set interfaces et-0/0/%d description core-link-%s", i, addr)
+		if rng.Intn(400) == 0 {
+			b.line(0, "set interfaces et-0/0/%d mtu 10.1.1.0/31", i)
+		} else {
+			b.line(0, "set interfaces et-0/0/%d mtu 9100", i)
+		}
+		b.line(0, "set interfaces et-0/0/%d hold-time up 2000", i)
+		b.line(0, "set interfaces et-0/0/%d unit 0 family inet address %s/31", i, addr)
+		b.line(0, "set interfaces et-0/0/%d unit 0 family iso", i)
+		b.line(0, "set interfaces et-0/0/%d unit 0 family mpls", i)
+	}
+
+	for p := 0; p < role.PolicyVocab; p++ {
+		name := wanName(p)
+		gid := 100 + p
+		b.line(0, "set protocols bgp group PEER-%s type external", name)
+		// The peer AS encodes the group id as its suffix (affix
+		// invariant): 65100+p ends with 100+p in decimal.
+		b.line(0, "set protocols bgp group PEER-%s peer-as 65%d", name, gid)
+		b.line(0, "set protocols bgp group PEER-%s export-id %d", name, gid)
+		// IPv4 and IPv6 policies are configured in pairs.
+		b.line(0, "set protocols bgp group PEER-%s import POLICY-V4-%d", name, 200+p)
+		b.line(0, "set protocols bgp group PEER-%s import6 POLICY-V6-%d", name, 200+p)
+		b.line(0, "set protocols bgp group PEER-%s neighbor %s", name, wanAddr(role, d, p%role.Interfaces))
+	}
+
+	// Perimeter filters: inbound source filters mirror outbound
+	// destination filters (Table 8's symmetry contract), numbered in an
+	// arithmetic term sequence.
+	for j := 0; j < 6; j++ {
+		pfx := fmt.Sprintf("203.%d.%d.0/24", d%200, 8*j)
+		b.line(0, "set firewall filter PERIM-IN term %d from source-address %s", 10*(j+1), pfx)
+		b.line(0, "set firewall filter PERIM-OUT term %d from destination-address %s", 10*(j+1), pfx)
+	}
+
+	// Internal address space subsumes the bogon (RFC 1918) space.
+	for _, pfx := range []string{"10.0.0.0/8", "172.16.0.0/12", "192.168.0.0/16"} {
+		b.line(0, "set policy-options prefix-list INTERNAL %s", pfx)
+		b.line(0, "set policy-options prefix-list RFC1918 %s", pfx)
+	}
+	b.line(0, "set policy-options prefix-list INTERNAL 100.%d.0.0/16", 64+d%60)
+	return b.String()
+}
+
+// wanIndentDevice renders a Cisco-style device.
+func wanIndentDevice(role RoleSpec, d int) string {
+	rng := deviceRand(role.Name, d)
+	lb := wanLoopback(d)
+	ntpN := 30 + d%20
+	var b builder
+	b.line(0, "hostname %s-R%04d", role.Name, 1000+d)
+	b.bang()
+	b.line(0, "ntp server 10.0.2.123")
+	b.line(0, "ntp boot-server 10.0.%d.123", ntpN)
+	b.line(0, "logging buffered %d", 8192+d)
+	b.line(0, "queue-monitor length limit %d", 5000+3*(d%50))
+	b.line(0, "hardware counter rate %d", 5000+3*(d%50))
+	b.bang()
+	b.line(0, "router isis CORE")
+	b.line(1, "lsp-interval %d", ntpN)
+	b.bang()
+	b.line(0, "interface Loopback0")
+	b.line(1, "description router loopback")
+	b.line(1, "ip address %s", lb)
+	b.bang()
+	b.line(0, "tacacs-server source-ip %s", lb)
+	b.line(0, "sflow source %s", lb)
+	b.line(0, "msdp originator-id %s", lb)
+	b.bang()
+	for i := 0; i < role.Interfaces; i++ {
+		addr := wanAddr(role, d, i)
+		b.line(0, "interface HundredGigE0/0/%d", i)
+		b.line(1, "description core-link-%s", addr)
+		if rng.Intn(400) == 0 {
+			b.line(1, "mtu 10.1.1.0/31")
+		} else {
+			b.line(1, "mtu 9100")
+		}
+		b.line(1, "ip address %s/31", addr)
+		b.line(1, "isis network point-to-point")
+		b.bang()
+	}
+	b.line(0, "router bgp %d", 64512+d)
+	b.line(1, "bgp router-id %s", lb)
+	b.line(1, "maximum-paths 32")
+	for p := 0; p < min(role.PolicyVocab, 24); p++ {
+		name := wanName(p)
+		b.line(1, "neighbor %s remote-as 65%d", wanAddr(role, d, p%role.Interfaces), 100+p)
+		b.line(1, "neighbor %s route-map RM-%s-IN in", wanAddr(role, d, p%role.Interfaces), name)
+	}
+	b.line(1, "redistribute connected")
+	b.line(1, "neighbor 10.254.%d.1 peer-group OPT-A", d%200)
+	b.bang()
+	b.line(0, "ip prefix-list INTERNAL")
+	b.line(1, "seq 10 permit 10.0.0.0/8")
+	b.line(1, "seq 20 permit 172.16.0.0/12")
+	b.line(1, "seq 30 permit 192.168.0.0/16")
+	b.line(1, "seq 40 permit 100.%d.0.0/16", 64+d%60)
+	b.bang()
+	b.line(0, "ip prefix-list RFC1918")
+	b.line(1, "seq 10 permit 10.0.0.0/8")
+	b.line(1, "seq 20 permit 172.16.0.0/12")
+	b.line(1, "seq 30 permit 192.168.0.0/16")
+	b.bang()
+	for p := 0; p < role.PolicyVocab; p++ {
+		name := wanName(p)
+		b.line(0, "route-map POLICY-%s permit 10", name)
+		b.line(1, "match ip address prefix-list INTERNAL")
+		b.line(1, "set local-preference %d", 150+p)
+		b.bang()
+	}
+	// Perimeter ACL symmetry.
+	for j := 0; j < 6; j++ {
+		pfx := fmt.Sprintf("203.%d.%d.0/24", d%200, 8*j)
+		b.line(0, "ip access-list PERIM-IN")
+		b.line(1, "seq %d permit ip %s any", 10*(j+1), pfx)
+		b.line(0, "ip access-list PERIM-OUT")
+		b.line(1, "seq %d permit ip any %s", 10*(j+1), pfx)
+	}
+	b.bang()
+	if rng.Intn(10) > 0 {
+		b.line(0, "banner motd maintained by neteng")
+		b.bang()
+	}
+	return b.String()
+}
+
+// wanManifest declares the planted invariants of a WAN role.
+func wanManifest(role RoleSpec) *Manifest {
+	m := &Manifest{
+		Rules: []Rule{
+			{Category: contracts.CatRelation, Rel: "equals", P1: "router-id [ip4]", P2: "address [ip4]|ip address [ip4]",
+				Describe: "the router id is the loopback address"},
+			{Category: contracts.CatRelation, Rel: "contains", P1: "prefix-list RFC", P2: "prefix-list INTERNAL",
+				Describe: "internal address space subsumes the bogon (RFC 1918) space"},
+			{Category: contracts.CatRelation, Rel: "equals", P1: "prefix-list RFC", P2: "prefix-list INTERNAL",
+				Describe: "internal address space includes the bogon (RFC 1918) entries"},
+			{Category: contracts.CatRelation, Rel: "equals", P1: "PERIM-IN", P2: "PERIM-OUT",
+				Describe: "inbound and outbound perimeter filters are symmetric"},
+			{Category: contracts.CatRelation, Rel: "equals", P1: "import POLICY-V4-[num]", P2: "import6 POLICY-V6-[num]",
+				Describe: "IPv4 BGP policies are paired with IPv6 policies"},
+			{Category: contracts.CatRelation, Rel: "equals", P1: "isis lsp-interval [num]", P2: "ntp boot-server [ip4]",
+				Describe: "the legacy IGP timer matches the NTP server plan"},
+			{Category: contracts.CatRelation, Rel: "equals", P1: "ntp boot-server [ip4]", P2: "isis lsp-interval [num]",
+				Describe: "the legacy IGP timer matches the NTP server plan"},
+			{Category: contracts.CatRelation, Rel: "endswith", P1: "export-id [num]", P2: "peer-as [num]",
+				Describe: "the peer AS encodes the group export id as its suffix"},
+			{Category: contracts.CatRelation, Rel: "equals", P1: "peer-as 65[num]", P2: "export-id [num]",
+				Describe: "the peer AS suffix is the group export id"},
+			{Category: contracts.CatRelation, Rel: "contains", P1: "neighbor [ip4]", P2: "family inet address [pfx4]",
+				Describe: "each BGP session is configured over a valid interface"},
+			{Category: contracts.CatRelation, Rel: "contains", P1: "neighbor [ip4] remote-as [num]", P2: "ip address [pfx4]",
+				Describe: "each BGP session is configured over a valid interface"},
+			{Category: contracts.CatRelation, Rel: "contains", P2: "prefix-list INTERNAL",
+				Describe: "all addresses fall inside the internal address space"},
+			{Category: contracts.CatRelation, Rel: "contains", P2: "prefix-list RFC[num]",
+				Describe: "all addresses fall inside the private (RFC 1918) space"},
+			{Category: contracts.CatRelation, Rel: "equals", P1: "description core-link-[ip4]", P2: "family inet address [pfx4]", T2: "id",
+				Describe: "descriptions name the interface's own address"},
+			{Category: contracts.CatRelation, Rel: "contains", P1: "description core-link-[ip4]", P2: "address [pfx4]",
+				Describe: "the described address shares the interface subnet"},
+			{Category: contracts.CatRelation, Rel: "contains", P1: "description core-link-[ip4]", P2: "ip address [pfx4]",
+				Describe: "the described address shares the interface subnet"},
+			{Category: contracts.CatRelation, Rel: "equals", P1: "description core-link-[ip4]", P2: "neighbor [ip4]",
+				Describe: "BGP neighbors are described core links"},
+			{Category: contracts.CatRelation, Rel: "equals", P1: "router-id [ip4]|source-address [ip4]|local-address [ip4]|source-ip [ip4]|sflow source [ip4]|originator-id [ip4]|lo0 unit [num] family inet address [pfx4]|interface Loopback[num]/ip address [ip4]", P2: "router-id [ip4]|source-address [ip4]|local-address [ip4]|source-ip [ip4]|sflow source [ip4]|originator-id [ip4]|lo0 unit [num] family inet address [pfx4]|interface Loopback[num]/ip address [ip4]",
+				Describe: "management-plane sources, router ids, and loopbacks agree"},
+			{Category: contracts.CatRelation, Rel: "equals", T1: "octet2", T2: "octet2",
+				Describe: "the plane octet is shared across the device addressing plan"},
+			{Category: contracts.CatRelation, Rel: "equals", T1: "octet3", T2: "octet3",
+				Describe: "the device octet is shared across the device addressing plan"},
+			{Category: contracts.CatRelation, Rel: "equals", P1: "lo0 unit [num] family inet address [pfx4]", P2: "router-id [ip4]", T1: "id", T2: "str",
+				Describe: "the router id is the loopback address"},
+			{Category: contracts.CatSequence, P: "seq [num]",
+				Describe: "filter entries are numbered in arithmetic sequence"},
+			{Category: contracts.CatSequence, P: "term [num]",
+				Describe: "filter terms are numbered in arithmetic sequence"},
+			{Category: contracts.CatUnique, P: "host-name",
+				Describe: "hostnames are unique across the role"},
+			{Category: contracts.CatUnique, P: "hostname",
+				Describe: "hostnames are unique across the role"},
+			{Category: contracts.CatUnique, P: "router-id [ip4]",
+				Describe: "router ids are unique across the role"},
+			{Category: contracts.CatUnique, P: "lo0 unit [num] family inet address [pfx4]",
+				Describe: "loopback addresses are unique across the role"},
+			{Category: contracts.CatUnique, P: "interface Loopback[num]/ip address [ip4]",
+				Describe: "loopback addresses are unique across the role"},
+			{Category: contracts.CatUnique, P: "family inet address [pfx4]",
+				Describe: "interface addresses are unique across the role (Table 8)"},
+			{Category: contracts.CatUnique, P: "/ip address [pfx4]",
+				Describe: "interface addresses are unique across the role (Table 8)"},
+			{Category: contracts.CatUnique, P: "router bgp [num]",
+				Describe: "AS numbers are unique across the role"},
+			{Category: contracts.CatRelation, Rel: "equals", P1: "set interfaces et-", P2: "set interfaces et-",
+				Describe: "an interface's lines share its slot number (flat-syntax hierarchy)"},
+			{Category: contracts.CatRelation, Rel: "equals", P1: "interface HundredGigE", P2: "interface HundredGigE",
+				Describe: "an interface's lines share its slot number"},
+			{Category: contracts.CatRelation, Rel: "contains", P2: "lo0 unit [num] family inet address [pfx4]",
+				Describe: "loopback-derived addresses fall in the loopback /32"},
+			{Category: contracts.CatRelation, Rel: "contains", P1: "PERIM-IN", P2: "PERIM-OUT",
+				Describe: "inbound and outbound perimeter filters are symmetric"},
+			{Category: contracts.CatRelation, Rel: "contains", P1: "PERIM-OUT", P2: "PERIM-IN",
+				Describe: "inbound and outbound perimeter filters are symmetric"},
+			{Category: contracts.CatRelation, Rel: "equals", P1: "neighbor [ip4] route-map", P2: "neighbor [ip4] remote-as [num]",
+				Describe: "each neighbor's session lines agree on its address"},
+			{Category: contracts.CatRelation, Rel: "contains", P1: "neighbor [ip4]", P2: "ip address [pfx4]",
+				Describe: "each BGP session is configured over a valid interface"},
+			{Category: contracts.CatUnique, P: "description core-link-[ip4]",
+				Describe: "described link addresses are unique across the role"},
+			{Category: contracts.CatUnique, P: "neighbor [ip4]",
+				Describe: "BGP neighbor addresses are unique across the role"},
+			{Category: contracts.CatUnique, P: "PERIM-IN term [num] from source-address [pfx4]",
+				Describe: "perimeter blocks are allocated per device"},
+			{Category: contracts.CatUnique, P: "PERIM-OUT term [num] from destination-address [pfx4]",
+				Describe: "perimeter blocks are allocated per device"},
+			{Category: contracts.CatUnique, P: "PERIM-IN/seq [num] permit ip [pfx4] any",
+				Describe: "perimeter blocks are allocated per device"},
+			{Category: contracts.CatUnique, P: "PERIM-OUT/seq [num] permit ip any [pfx4]",
+				Describe: "perimeter blocks are allocated per device"},
+			{Category: contracts.CatUnique, P: "source-address [ip4]|local-address [ip4]|source-ip [ip4]|sflow source [ip4]|originator-id [ip4]|ldp router-id [ip4]|pim local-address [ip4]",
+				Describe: "loopback-derived sources are unique across the role"},
+			{Category: contracts.CatUnique, P: "peer-group OPT-A",
+				Describe: "option-A gateways are allocated per device"},
+			{Category: contracts.CatType, P: "mtu [?]", BadType: "pfx4",
+				Describe: "interface MTUs are plain numbers, never prefixes"},
+		},
+		OrderedPairs: [][2]string{
+			{"description core-link-[ip4]", "mtu ["},
+			{"mtu [", "ip address ["},
+			{"mtu [", "hold-time up ["},
+			{"hold-time up [", "unit [num] family inet address ["},
+			{"ip address [", "isis network"},
+			{"family inet address [", "family iso"},
+			{"family iso", "family mpls"},
+			{"redistribute connected", "neighbor [ip4] peer-group OPT-A"},
+			{"type external", "peer-as ["},
+			{"peer-as [", "export-id ["},
+			{"export-id [", "import POLICY-V4-"},
+			{"import POLICY-V4-[num]", "import6 POLICY-V6-[num]"},
+			{"import6 POLICY-V6-[num]", "neighbor ["},
+			{"neighbor [ip4] remote-as [num]", "neighbor [ip4] route-map"},
+			{"match ip address prefix-list", "set local-preference ["},
+			{"bgp router-id [", "maximum-paths ["},
+			{"PERIM-IN term [num] from source-address [", "PERIM-OUT term [num] from destination-address ["},
+			{"prefix-list INTERNAL 10.", "prefix-list RFC"},
+			{"prefix-list INTERNAL 172.", "prefix-list RFC"},
+			{"prefix-list INTERNAL 192.", "prefix-list RFC"},
+		},
+	}
+	_ = role
+	return m
+}

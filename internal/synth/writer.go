@@ -1,0 +1,27 @@
+package synth
+
+import (
+	"fmt"
+	"strings"
+)
+
+// builder accumulates configuration text with indentation helpers.
+type builder struct {
+	sb strings.Builder
+}
+
+// line emits one line at the given indent depth (three spaces per level,
+// Arista-style).
+func (b *builder) line(depth int, format string, args ...any) {
+	for i := 0; i < depth; i++ {
+		b.sb.WriteString("   ")
+	}
+	fmt.Fprintf(&b.sb, format, args...)
+	b.sb.WriteByte('\n')
+}
+
+// bang emits a block separator.
+func (b *builder) bang() { b.sb.WriteString("!\n") }
+
+// String returns the accumulated text.
+func (b *builder) String() string { return b.sb.String() }

@@ -1,0 +1,114 @@
+// Package trie provides the relation-finding search structures from
+// Concord §3.5: a binary prefix trie for IP-containment queries and a
+// byte-wise string trie for affix (startswith / endswith) queries. Both
+// reduce relational-contract candidate generation from quadratic
+// enumeration to per-value logarithmic lookups.
+package trie
+
+import "concord/internal/netdata"
+
+// prefixNode is a node of the binary prefix trie. Payloads attached to a
+// node correspond to inserted prefixes that end exactly at that node.
+type prefixNode[T any] struct {
+	children [2]*prefixNode[T]
+	payloads []T
+	terminal bool
+}
+
+// PrefixTrie indexes IP prefixes of a single family and answers
+// "which inserted prefixes contain this address / prefix?" in time
+// proportional to the query's bit length. The type parameter T is the
+// payload associated with each inserted prefix (for Concord, the
+// (pattern, parameter, transformation) source of the value).
+type PrefixTrie[T any] struct {
+	root *prefixNode[T]
+	v6   bool
+	size int
+}
+
+// NewPrefixTrie creates an empty trie for IPv4 (v6=false) or IPv6
+// (v6=true) prefixes.
+func NewPrefixTrie[T any](v6 bool) *PrefixTrie[T] {
+	return &PrefixTrie[T]{root: &prefixNode[T]{}, v6: v6}
+}
+
+// Len reports the number of inserted payloads.
+func (t *PrefixTrie[T]) Len() int { return t.size }
+
+// Insert adds a prefix with an associated payload. Prefixes of the wrong
+// family are ignored and reported as false.
+func (t *PrefixTrie[T]) Insert(p netdata.Prefix, payload T) bool {
+	if p.Addr().Is6() != t.v6 {
+		return false
+	}
+	n := t.root
+	addr := p.Addr()
+	for i := 0; i < p.Len(); i++ {
+		b := addr.Bit(i)
+		if n.children[b] == nil {
+			n.children[b] = &prefixNode[T]{}
+		}
+		n = n.children[b]
+	}
+	n.terminal = true
+	n.payloads = append(n.payloads, payload)
+	t.size++
+	return true
+}
+
+// Containing visits the payload of every inserted prefix that contains
+// the given address, most-general first. It stops early if visit returns
+// false. Addresses of the wrong family match nothing.
+func (t *PrefixTrie[T]) Containing(ip netdata.IP, visit func(payload T) bool) {
+	if ip.Is6() != t.v6 {
+		return
+	}
+	bits := 32
+	if t.v6 {
+		bits = 128
+	}
+	n := t.root
+	for i := 0; ; i++ {
+		if n.terminal {
+			for _, p := range n.payloads {
+				if !visit(p) {
+					return
+				}
+			}
+		}
+		if i >= bits {
+			return
+		}
+		n = n.children[ip.Bit(i)]
+		if n == nil {
+			return
+		}
+	}
+}
+
+// ContainingPrefix visits the payload of every inserted prefix that
+// contains (subsumes) the query prefix q: inserted prefixes on q's bit
+// path whose length is at most q's length.
+func (t *PrefixTrie[T]) ContainingPrefix(q netdata.Prefix, visit func(payload T) bool) {
+	if q.Addr().Is6() != t.v6 {
+		return
+	}
+	n := t.root
+	addr := q.Addr()
+	for i := 0; ; i++ {
+		if n.terminal {
+			for _, p := range n.payloads {
+				if !visit(p) {
+					return
+				}
+			}
+		}
+		if i >= q.Len() {
+			return
+		}
+		n = n.children[addr.Bit(i)]
+		if n == nil {
+			return
+		}
+	}
+}

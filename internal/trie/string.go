@@ -1,0 +1,141 @@
+package trie
+
+// stringNode is a node of the byte-wise string trie. Children are kept
+// in a slice sorted by byte so traversal is deterministic and cheap:
+// per-position alphabets in configuration text are small, so linear
+// scans beat map probes by a wide margin (walking with a map requires
+// hashing at every node, which dominated relational-mining profiles).
+type stringNode[T any] struct {
+	children []stringChild[T]
+	payloads []T
+	terminal bool
+}
+
+type stringChild[T any] struct {
+	b byte
+	n *stringNode[T]
+}
+
+// child returns the child for byte b, or nil.
+func (n *stringNode[T]) child(b byte) *stringNode[T] {
+	for i := range n.children {
+		if n.children[i].b == b {
+			return n.children[i].n
+		}
+	}
+	return nil
+}
+
+// ensureChild returns the child for byte b, creating it in sorted
+// position if needed.
+func (n *stringNode[T]) ensureChild(b byte) *stringNode[T] {
+	lo := 0
+	for lo < len(n.children) && n.children[lo].b < b {
+		lo++
+	}
+	if lo < len(n.children) && n.children[lo].b == b {
+		return n.children[lo].n
+	}
+	c := &stringNode[T]{}
+	n.children = append(n.children, stringChild[T]{})
+	copy(n.children[lo+1:], n.children[lo:])
+	n.children[lo] = stringChild[T]{b: b, n: c}
+	return c
+}
+
+// StringTrie indexes strings and answers affix queries: which inserted
+// strings are prefixes of a query (PrefixesOf), and which inserted
+// strings have the query as a prefix (ExtensionsOf). Concord uses one
+// forward trie for startswith relations and a second trie over reversed
+// strings for endswith relations.
+type StringTrie[T any] struct {
+	root *stringNode[T]
+	size int
+}
+
+// NewStringTrie creates an empty string trie.
+func NewStringTrie[T any]() *StringTrie[T] {
+	return &StringTrie[T]{root: &stringNode[T]{}}
+}
+
+// Len reports the number of inserted payloads.
+func (t *StringTrie[T]) Len() int { return t.size }
+
+// Insert adds a string with an associated payload. Empty strings are
+// allowed and attach to the root.
+func (t *StringTrie[T]) Insert(s string, payload T) {
+	n := t.root
+	for i := 0; i < len(s); i++ {
+		n = n.ensureChild(s[i])
+	}
+	n.terminal = true
+	n.payloads = append(n.payloads, payload)
+	t.size++
+}
+
+// PrefixesOf visits the payloads of every inserted string that is a
+// prefix of q (including q itself if inserted), shortest first. If
+// proper is true, q itself is excluded. Visiting stops early when visit
+// returns false.
+func (t *StringTrie[T]) PrefixesOf(q string, proper bool, visit func(payload T) bool) {
+	n := t.root
+	for i := 0; ; i++ {
+		atEnd := i == len(q)
+		if n.terminal && !(proper && atEnd) {
+			for _, p := range n.payloads {
+				if !visit(p) {
+					return
+				}
+			}
+		}
+		if atEnd {
+			return
+		}
+		n = n.child(q[i])
+		if n == nil {
+			return
+		}
+	}
+}
+
+// ExtensionsOf visits the payloads of every inserted string that has q as
+// a prefix (including q itself if inserted), in lexicographic order. If
+// proper is true, q itself is excluded. Visiting stops early when visit
+// returns false.
+func (t *StringTrie[T]) ExtensionsOf(q string, proper bool, visit func(payload T) bool) {
+	n := t.root
+	for i := 0; i < len(q); i++ {
+		n = n.child(q[i])
+		if n == nil {
+			return
+		}
+	}
+	t.walk(n, proper, visit)
+}
+
+// walk visits all terminal payloads under n depth-first in byte order.
+func (t *StringTrie[T]) walk(n *stringNode[T], skipRoot bool, visit func(payload T) bool) bool {
+	if n.terminal && !skipRoot {
+		for _, p := range n.payloads {
+			if !visit(p) {
+				return false
+			}
+		}
+	}
+	for i := range n.children {
+		if !t.walk(n.children[i].n, false, visit) {
+			return false
+		}
+	}
+	return true
+}
+
+// Reverse returns s with its bytes reversed; used to turn endswith
+// queries into startswith queries on a second trie.
+func Reverse(s string) string {
+	b := []byte(s)
+	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
+	return string(b)
+}

@@ -1,0 +1,327 @@
+package trie
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"concord/internal/netdata"
+)
+
+func mustPfx4(t *testing.T, s string) netdata.Prefix {
+	t.Helper()
+	p, err := netdata.ParsePrefix4(s)
+	if err != nil {
+		t.Fatalf("ParsePrefix4(%q): %v", s, err)
+	}
+	return p
+}
+
+func mustIP4(t *testing.T, s string) netdata.IP {
+	t.Helper()
+	ip, err := netdata.ParseIP4(s)
+	if err != nil {
+		t.Fatalf("ParseIP4(%q): %v", s, err)
+	}
+	return ip
+}
+
+func collectContaining(tr *PrefixTrie[string], ip netdata.IP) []string {
+	var out []string
+	tr.Containing(ip, func(p string) bool { out = append(out, p); return true })
+	return out
+}
+
+func TestPrefixTrieContaining(t *testing.T) {
+	tr := NewPrefixTrie[string](false)
+	for _, s := range []string{"0.0.0.0/0", "10.0.0.0/8", "10.14.0.0/16", "10.14.14.34/32", "192.168.0.0/16"} {
+		if !tr.Insert(mustPfx4(t, s), s) {
+			t.Fatalf("Insert(%s) rejected", s)
+		}
+	}
+	got := collectContaining(tr, mustIP4(t, "10.14.14.34"))
+	want := []string{"0.0.0.0/0", "10.0.0.0/8", "10.14.0.0/16", "10.14.14.34/32"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("Containing = %v, want %v (most-general first)", got, want)
+	}
+	got = collectContaining(tr, mustIP4(t, "172.16.0.1"))
+	if len(got) != 1 || got[0] != "0.0.0.0/0" {
+		t.Errorf("Containing(172.16.0.1) = %v", got)
+	}
+}
+
+func TestPrefixTrieContainingPrefix(t *testing.T) {
+	tr := NewPrefixTrie[string](false)
+	for _, s := range []string{"10.0.0.0/8", "10.14.0.0/16"} {
+		tr.Insert(mustPfx4(t, s), s)
+	}
+	var got []string
+	tr.ContainingPrefix(mustPfx4(t, "10.14.14.0/24"), func(p string) bool {
+		got = append(got, p)
+		return true
+	})
+	if len(got) != 2 {
+		t.Errorf("ContainingPrefix = %v, want both supernets", got)
+	}
+	got = nil
+	// A /8 query matches only the /8 itself, not the /16.
+	tr.ContainingPrefix(mustPfx4(t, "10.0.0.0/8"), func(p string) bool {
+		got = append(got, p)
+		return true
+	})
+	if len(got) != 1 || got[0] != "10.0.0.0/8" {
+		t.Errorf("ContainingPrefix(/8) = %v", got)
+	}
+}
+
+func TestPrefixTrieFamilyMismatch(t *testing.T) {
+	tr := NewPrefixTrie[string](false)
+	p6, err := netdata.ParsePrefix6("2001:db8::/32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Insert(p6, "x") {
+		t.Error("v4 trie accepted a v6 prefix")
+	}
+	ip6, _ := netdata.ParseIP6("2001:db8::1")
+	tr.Insert(mustPfx4(t, "0.0.0.0/0"), "default")
+	if got := collectContaining(tr, ip6); len(got) != 0 {
+		t.Errorf("v4 trie matched a v6 address: %v", got)
+	}
+}
+
+func TestPrefixTrieEarlyStop(t *testing.T) {
+	tr := NewPrefixTrie[string](false)
+	tr.Insert(mustPfx4(t, "0.0.0.0/0"), "a")
+	tr.Insert(mustPfx4(t, "10.0.0.0/8"), "b")
+	n := 0
+	tr.Containing(mustIP4(t, "10.1.1.1"), func(string) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early stop visited %d payloads, want 1", n)
+	}
+}
+
+// TestPrefixTrieMatchesBruteForce is the core correctness property: for
+// random prefix sets and random query addresses, trie results equal a
+// linear scan using Prefix.ContainsIP.
+func TestPrefixTrieMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		tr := NewPrefixTrie[int](false)
+		var prefixes []netdata.Prefix
+		for i := 0; i < 60; i++ {
+			addr := rng.Uint32()
+			ip4 := byteIP(addr)
+			p, err := netdata.NewPrefix(ip4, rng.Intn(33))
+			if err != nil {
+				t.Fatal(err)
+			}
+			prefixes = append(prefixes, p)
+			tr.Insert(p, i)
+		}
+		for q := 0; q < 40; q++ {
+			probe := byteIP(rng.Uint32())
+			var got []int
+			tr.Containing(probe, func(i int) bool { got = append(got, i); return true })
+			var want []int
+			for i, p := range prefixes {
+				if p.ContainsIP(probe) {
+					want = append(want, i)
+				}
+			}
+			sort.Ints(got)
+			sort.Ints(want)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: got %v want %v", trial, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d: got %v want %v", trial, got, want)
+				}
+			}
+		}
+	}
+}
+
+func byteIP(addr uint32) netdata.IP {
+	ip, _ := netdata.ParseIP4("0.0.0.0")
+	_ = ip
+	// Build via string to reuse the validated constructor.
+	s := []byte{byte(addr >> 24), byte(addr >> 16), byte(addr >> 8), byte(addr)}
+	out, _ := netdata.ParseIP4(ipString(s))
+	return out
+}
+
+func ipString(b []byte) string {
+	var sb strings.Builder
+	for i, x := range b {
+		if i > 0 {
+			sb.WriteByte('.')
+		}
+		sb.WriteString(itoa(int(x)))
+	}
+	return sb.String()
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var d []byte
+	for n > 0 {
+		d = append([]byte{byte('0' + n%10)}, d...)
+		n /= 10
+	}
+	return string(d)
+}
+
+func TestStringTriePrefixesOf(t *testing.T) {
+	tr := NewStringTrie[string]()
+	for _, s := range []string{"/etc", "/etc/bgp", "/etc/bgp/policy.conf", "/var"} {
+		tr.Insert(s, s)
+	}
+	var got []string
+	tr.PrefixesOf("/etc/bgp/policy.conf", false, func(p string) bool {
+		got = append(got, p)
+		return true
+	})
+	want := []string{"/etc", "/etc/bgp", "/etc/bgp/policy.conf"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("PrefixesOf = %v, want %v", got, want)
+	}
+	got = nil
+	tr.PrefixesOf("/etc/bgp/policy.conf", true, func(p string) bool {
+		got = append(got, p)
+		return true
+	})
+	if len(got) != 2 {
+		t.Errorf("proper PrefixesOf = %v, want 2 entries", got)
+	}
+}
+
+func TestStringTrieExtensionsOf(t *testing.T) {
+	tr := NewStringTrie[string]()
+	for _, s := range []string{"Neighbor-10", "Neighbor-11", "Neighbor-110", "Peer-10"} {
+		tr.Insert(s, s)
+	}
+	var got []string
+	tr.ExtensionsOf("Neighbor-11", false, func(p string) bool {
+		got = append(got, p)
+		return true
+	})
+	want := []string{"Neighbor-11", "Neighbor-110"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("ExtensionsOf = %v, want %v", got, want)
+	}
+	got = nil
+	tr.ExtensionsOf("Neighbor-11", true, func(p string) bool {
+		got = append(got, p)
+		return true
+	})
+	if len(got) != 1 || got[0] != "Neighbor-110" {
+		t.Errorf("proper ExtensionsOf = %v", got)
+	}
+}
+
+func TestStringTrieEmpty(t *testing.T) {
+	tr := NewStringTrie[int]()
+	tr.Insert("", 1)
+	var got []int
+	tr.PrefixesOf("anything", false, func(i int) bool { got = append(got, i); return true })
+	if len(got) != 1 {
+		t.Errorf("empty string should prefix everything: %v", got)
+	}
+}
+
+func TestStringTrieQuickAffix(t *testing.T) {
+	// Property: PrefixesOf(q) returns exactly the inserted strings s with
+	// strings.HasPrefix(q, s).
+	type corpus struct {
+		Strs  []string
+		Query string
+	}
+	f := func(c corpus) bool {
+		tr := NewStringTrie[string]()
+		for _, s := range c.Strs {
+			tr.Insert(s, s)
+		}
+		var got []string
+		tr.PrefixesOf(c.Query, false, func(p string) bool { got = append(got, p); return true })
+		var want []string
+		for _, s := range c.Strs {
+			if strings.HasPrefix(c.Query, s) {
+				want = append(want, s)
+			}
+		}
+		sort.Strings(got)
+		sort.Strings(want)
+		return strings.Join(got, "\x00") == strings.Join(want, "\x00")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReverse(t *testing.T) {
+	if Reverse("abc") != "cba" || Reverse("") != "" || Reverse("x") != "x" {
+		t.Error("Reverse broken")
+	}
+	// Endswith via reversed trie: "10251" ends with "251".
+	tr := NewStringTrie[string]()
+	tr.Insert(Reverse("251"), "251")
+	var got []string
+	tr.PrefixesOf(Reverse("10251"), false, func(p string) bool { got = append(got, p); return true })
+	if len(got) != 1 || got[0] != "251" {
+		t.Errorf("endswith via reverse = %v", got)
+	}
+}
+
+// BenchmarkPrefixTrieVsLinear demonstrates the asymptotic win behind
+// §3.5: containment lookups against N prefixes cost O(bits) in the trie
+// vs O(N) for a linear scan.
+func BenchmarkPrefixTrieVsLinear(b *testing.B) {
+	const n = 4096
+	rng := rand.New(rand.NewSource(1))
+	tr := NewPrefixTrie[int](false)
+	var prefixes []netdata.Prefix
+	for i := 0; i < n; i++ {
+		ip, _ := netdata.ParseIP4(ipString([]byte{
+			byte(10), byte(rng.Intn(256)), byte(rng.Intn(256)), 0,
+		}))
+		p, _ := netdata.NewPrefix(ip, 8+rng.Intn(25))
+		prefixes = append(prefixes, p)
+		tr.Insert(p, i)
+	}
+	probe, _ := netdata.ParseIP4("10.123.45.67")
+
+	b.Run("trie", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			count := 0
+			tr.Containing(probe, func(int) bool { count++; return true })
+		}
+	})
+	b.Run("linear", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			count := 0
+			for _, p := range prefixes {
+				if p.ContainsIP(probe) {
+					count++
+				}
+			}
+		}
+	})
+}
+
+func BenchmarkStringTrieExtensions(b *testing.B) {
+	tr := NewStringTrie[int]()
+	for i := 0; i < 4096; i++ {
+		tr.Insert(itoa(1000000+i*7), i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		tr.ExtensionsOf("100", true, func(int) bool { n++; return n < 64 })
+	}
+}
