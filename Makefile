@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: ci fmt vet build test race bench
+
+# ci is the full verification gate: formatting, static checks, build,
+# and the race-enabled test suite.
+ci: fmt vet build race
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -timeout 20m ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .

@@ -11,14 +11,22 @@
 // -no-embed (disable context embedding), -constants (constant-learning
 // mode), -no-minimize, -disable (comma-separated categories, e.g.
 // "ordering" as in the production deployment).
+//
+// Observability flags (all subcommands): -metrics-json emits a
+// per-stage telemetry report (spans with wall time and allocation
+// deltas, miner/checker counters), -cpuprofile and -memprofile write
+// pprof profiles, and -timeout aborts a run that exceeds a deadline.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -70,7 +78,13 @@ options:
   -no-embed            disable context embedding
   -constants           enable constant-learning mode
   -no-minimize         disable contract minimization
-  -disable CATS        comma-separated categories to disable (e.g. ordering)`)
+  -disable CATS        comma-separated categories to disable (e.g. ordering)
+
+observability:
+  -metrics-json FILE   write a per-stage telemetry report (spans, counters)
+  -cpuprofile FILE     write a pprof CPU profile
+  -memprofile FILE     write a pprof heap profile
+  -timeout DUR         abort the run after this duration (e.g. 30s, 5m)`)
 }
 
 // filterCategories drops contracts whose category is not enabled, for
@@ -92,8 +106,84 @@ func filterCategories(set *concord.ContractSet, enabled []concord.Category) *con
 	return out
 }
 
+// runConfig carries the shared engine flags plus the observability
+// flags (metrics report, profiles, timeout) common to every subcommand.
+type runConfig struct {
+	options func() (concord.Options, error)
+
+	metricsJSON *string
+	cpuProfile  *string
+	memProfile  *string
+	timeout     *time.Duration
+}
+
+// instrument prepares one run: it builds the (possibly deadlined)
+// context, attaches a telemetry recorder to the options when
+// --metrics-json is set, and starts CPU profiling. The returned finish
+// func writes the requested artifacts; call it only on success, after
+// the pipeline completes. The cancel func must always be deferred.
+func (rc *runConfig) instrument(opts *concord.Options) (context.Context, context.CancelFunc, func(w io.Writer) error, error) {
+	ctx, cancel := context.Background(), context.CancelFunc(func() {})
+	if *rc.timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, *rc.timeout)
+	}
+	var rec *concord.Recorder
+	if *rc.metricsJSON != "" {
+		rec = concord.NewRecorder()
+		opts.Telemetry = rec
+	}
+	var cpuFile *os.File
+	if *rc.cpuProfile != "" {
+		f, err := os.Create(*rc.cpuProfile)
+		if err != nil {
+			cancel()
+			return nil, nil, nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			cancel()
+			return nil, nil, nil, err
+		}
+		cpuFile = f
+	}
+	finish := func(w io.Writer) error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %s\n", *rc.cpuProfile)
+		}
+		if *rc.memProfile != "" {
+			f, err := os.Create(*rc.memProfile)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %s\n", *rc.memProfile)
+		}
+		if rec != nil {
+			f, err := os.Create(*rc.metricsJSON)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := rec.WriteJSON(f); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %s\n", *rc.metricsJSON)
+		}
+		return nil
+	}
+	return ctx, cancel, finish, nil
+}
+
 // sharedFlags registers the engine options on a flag set.
-func sharedFlags(fs *flag.FlagSet) func() (concord.Options, error) {
+func sharedFlags(fs *flag.FlagSet) *runConfig {
 	support := fs.Int("support", 5, "minimum configurations per pattern (S)")
 	confidence := fs.Float64("confidence", 0.96, "required contract confidence (C)")
 	threshold := fs.Float64("score-threshold", 8, "relational score threshold")
@@ -103,7 +193,13 @@ func sharedFlags(fs *flag.FlagSet) func() (concord.Options, error) {
 	noMinimize := fs.Bool("no-minimize", false, "disable contract minimization")
 	disable := fs.String("disable", "", "comma-separated categories to disable")
 	tokens := fs.String("tokens", "", "JSON file of user lexer token specs")
-	return func() (concord.Options, error) {
+	rc := &runConfig{
+		metricsJSON: fs.String("metrics-json", "", "write a per-stage telemetry report to this file"),
+		cpuProfile:  fs.String("cpuprofile", "", "write a pprof CPU profile to this file"),
+		memProfile:  fs.String("memprofile", "", "write a pprof heap profile to this file"),
+		timeout:     fs.Duration("timeout", 0, "abort the run after this duration (0 = none)"),
+	}
+	rc.options = func() (concord.Options, error) {
 		opts := concord.DefaultOptions()
 		opts.Support = *support
 		opts.Confidence = *confidence
@@ -138,6 +234,7 @@ func sharedFlags(fs *flag.FlagSet) func() (concord.Options, error) {
 		}
 		return opts, nil
 	}
+	return rc
 }
 
 // tokenFile is the on-disk form of user token specs:
@@ -188,11 +285,11 @@ func runLearn(args []string, w io.Writer) error {
 	configGlob := fs.String("configs", "", "glob of training configuration files")
 	metaGlob := fs.String("meta", "", "glob of metadata files")
 	out := fs.String("out", "contracts.json", "output contract file")
-	getOpts := sharedFlags(fs)
+	rc := sharedFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts, err := getOpts()
+	opts, err := rc.options()
 	if err != nil {
 		return err
 	}
@@ -200,8 +297,13 @@ func runLearn(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	ctx, cancel, finish, err := rc.instrument(&opts)
+	if err != nil {
+		return err
+	}
+	defer cancel()
 	start := time.Now()
-	lr, err := concord.Learn(srcs, meta, opts)
+	lr, err := concord.LearnContext(ctx, srcs, meta, opts)
 	if err != nil {
 		return err
 	}
@@ -220,7 +322,7 @@ func runLearn(args []string, w io.Writer) error {
 			lr.Minimization.Before, lr.Minimization.After, lr.Minimization.ReductionFactor())
 	}
 	fmt.Fprintf(w, "wrote %s\n", *out)
-	return nil
+	return finish(w)
 }
 
 func runCheck(args []string, w io.Writer) (int, error) {
@@ -231,11 +333,11 @@ func runCheck(args []string, w io.Writer) (int, error) {
 	jsonOut := fs.String("out", "", "write JSON report to this file")
 	htmlOut := fs.String("html", "", "write HTML report to this file")
 	suppress := fs.String("suppress", "", "JSON file of contract IDs to suppress (operator feedback)")
-	getOpts := sharedFlags(fs)
+	rc := sharedFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 0, err
 	}
-	opts, err := getOpts()
+	opts, err := rc.options()
 	if err != nil {
 		return 0, err
 	}
@@ -264,8 +366,13 @@ func runCheck(args []string, w io.Writer) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	ctx, cancel, finish, err := rc.instrument(&opts)
+	if err != nil {
+		return 0, err
+	}
+	defer cancel()
 	start := time.Now()
-	cr, err := concord.Check(set, srcs, meta, opts)
+	cr, err := concord.CheckContext(ctx, set, srcs, meta, opts)
 	if err != nil {
 		return 0, err
 	}
@@ -307,7 +414,7 @@ func runCheck(args []string, w io.Writer) (int, error) {
 	} else {
 		fmt.Fprintln(w, "no violations")
 	}
-	return len(cr.Violations), nil
+	return len(cr.Violations), finish(w)
 }
 
 // loadSuppressions reads a JSON array of contract IDs.
@@ -334,11 +441,11 @@ func runCoverage(args []string, w io.Writer) error {
 	metaGlob := fs.String("meta", "", "glob of metadata files")
 	contractsPath := fs.String("contracts", "", "contract file from concord learn")
 	uncoveredOnly := fs.Bool("uncovered", false, "print only uncovered lines")
-	getOpts := sharedFlags(fs)
+	rc := sharedFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts, err := getOpts()
+	opts, err := rc.options()
 	if err != nil {
 		return err
 	}
@@ -358,11 +465,16 @@ func runCoverage(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	ctx, cancel, finish, err := rc.instrument(&opts)
+	if err != nil {
+		return err
+	}
+	defer cancel()
 	eng, err := concord.NewEngine(opts)
 	if err != nil {
 		return err
 	}
-	lines, err := eng.CoverageLines(set, srcs, meta)
+	lines, err := eng.CoverageLinesContext(ctx, set, srcs, meta)
 	if err != nil {
 		return err
 	}
@@ -386,5 +498,5 @@ func runCoverage(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "covered %d/%d lines (%.1f%%)\n",
 			covered, len(lines), 100*float64(covered)/float64(len(lines)))
 	}
-	return nil
+	return finish(w)
 }

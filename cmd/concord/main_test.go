@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"concord"
 	"concord/internal/synth"
 )
 
@@ -112,6 +113,102 @@ func TestCheckCatchesInjectedBug(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "aggregate-address") {
 		t.Errorf("violation output does not mention the missing line:\n%s", out.String())
+	}
+}
+
+// TestMetricsJSON exercises the observability flags: learn and check
+// with -metrics-json must emit a parseable per-stage telemetry report.
+func TestMetricsJSON(t *testing.T) {
+	dir := t.TempDir()
+	writeDataset(t, dir, nil)
+	contractsPath := filepath.Join(dir, "contracts.json")
+	metricsPath := filepath.Join(dir, "metrics.json")
+
+	var out bytes.Buffer
+	if err := runLearn([]string{
+		"-configs", filepath.Join(dir, "*.cfg"),
+		"-meta", filepath.Join(dir, "*.json"),
+		"-out", contractsPath,
+		"-metrics-json", metricsPath,
+	}, &out); err != nil {
+		t.Fatalf("learn: %v", err)
+	}
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatalf("metrics file missing: %v", err)
+	}
+	rep, err := concord.ParseTelemetryReport(data)
+	if err != nil {
+		t.Fatalf("parse metrics: %v", err)
+	}
+	spans := make(map[string]bool)
+	for _, sp := range rep.Spans {
+		spans[sp.Name] = true
+	}
+	for _, want := range []string{"process", "mine", "minimize", "mine/present", "mine/relation"} {
+		if !spans[want] {
+			t.Errorf("learn metrics missing span %q", want)
+		}
+	}
+	if rep.Counters["mine.present.candidates"] == 0 {
+		t.Error("learn metrics missing miner counters")
+	}
+	if rep.Gauges["corpus.configs"] == 0 {
+		t.Error("learn metrics missing corpus gauges")
+	}
+	if rep.WallMS < 0 {
+		t.Error("negative total wall time")
+	}
+
+	// check with -metrics-json records the check span and counters.
+	metricsPath2 := filepath.Join(dir, "metrics-check.json")
+	out.Reset()
+	if _, err := runCheck([]string{
+		"-configs", filepath.Join(dir, "*.cfg"),
+		"-meta", filepath.Join(dir, "*.json"),
+		"-contracts", contractsPath,
+		"-disable", "ordering",
+		"-metrics-json", metricsPath2,
+	}, &out); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	data, err = os.ReadFile(metricsPath2)
+	if err != nil {
+		t.Fatalf("check metrics file missing: %v", err)
+	}
+	rep, err = concord.ParseTelemetryReport(data)
+	if err != nil {
+		t.Fatalf("parse check metrics: %v", err)
+	}
+	found := false
+	for _, sp := range rep.Spans {
+		if sp.Name == "check" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("check metrics missing check span")
+	}
+	if rep.Counters["check.contracts_evaluated"] == 0 {
+		t.Error("check metrics missing contracts_evaluated counter")
+	}
+}
+
+// TestTimeoutFlag verifies -timeout aborts a run with a context error.
+func TestTimeoutFlag(t *testing.T) {
+	dir := t.TempDir()
+	writeDataset(t, dir, nil)
+	var out bytes.Buffer
+	err := runLearn([]string{
+		"-configs", filepath.Join(dir, "*.cfg"),
+		"-meta", filepath.Join(dir, "*.json"),
+		"-timeout", "1ns",
+	}, &out)
+	if err == nil {
+		t.Fatal("1ns timeout did not abort the run")
+	}
+	if !strings.Contains(err.Error(), "deadline") {
+		t.Errorf("error = %v, want deadline exceeded", err)
 	}
 }
 

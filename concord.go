@@ -24,16 +24,19 @@
 package concord
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"concord/internal/contracts"
 	"concord/internal/core"
 	"concord/internal/lexer"
 	"concord/internal/netdata"
 	"concord/internal/relations"
+	"concord/internal/telemetry"
 )
 
 // Re-exported types: the engine's options and inputs, the contract
@@ -101,7 +104,40 @@ type (
 	Prefix = netdata.Prefix
 	// MAC is a hardware address value.
 	MAC = netdata.MAC
+
+	// Recorder collects pipeline telemetry: stage spans (wall time +
+	// allocation deltas), counters, and gauges. Attach one via
+	// Options.Telemetry and snapshot it after Learn/Check.
+	Recorder = telemetry.Recorder
+	// TelemetryReport is a JSON-serializable recorder snapshot (the
+	// schema behind concord's --metrics-json output).
+	TelemetryReport = telemetry.Report
+	// TelemetrySpan is one finished span in a report.
+	TelemetrySpan = telemetry.SpanReport
+	// Stage names a pipeline stage, used by Options.Progress callbacks
+	// and span names.
+	Stage = telemetry.Stage
 )
+
+// The pipeline stages reported to Options.Progress.
+const (
+	StageProcess  = telemetry.StageProcess
+	StageMine     = telemetry.StageMine
+	StageMinimize = telemetry.StageMinimize
+	StageCheck    = telemetry.StageCheck
+	StageCoverage = telemetry.StageCoverage
+)
+
+// NewRecorder returns an empty telemetry recorder. Assign it to
+// Options.Telemetry to instrument a Learn/Check run, then call
+// Snapshot or WriteJSON to extract the per-stage report.
+func NewRecorder() *Recorder { return telemetry.NewRecorder() }
+
+// ParseTelemetryReport decodes a JSON report written by
+// Recorder.WriteJSON (or the CLI's --metrics-json flag).
+func ParseTelemetryReport(data []byte) (TelemetryReport, error) {
+	return telemetry.ParseReport(data)
+}
 
 // The contract categories.
 const (
@@ -123,40 +159,75 @@ func NewEngine(opts Options) (*Engine, error) { return core.New(opts) }
 // Learn infers a contract set from training configurations plus optional
 // metadata files (concord learn).
 func Learn(training, metadata []Source, opts Options) (*LearnResult, error) {
+	return LearnContext(context.Background(), training, metadata, opts)
+}
+
+// LearnContext is Learn under a cancellable context: the pipeline
+// checks ctx cooperatively in every worker loop and per-category miner,
+// aborting within one unit of work and returning ctx.Err().
+func LearnContext(ctx context.Context, training, metadata []Source, opts Options) (*LearnResult, error) {
 	eng, err := core.New(opts)
 	if err != nil {
 		return nil, err
 	}
-	return eng.Learn(training, metadata)
+	return eng.LearnContext(ctx, training, metadata)
 }
 
 // Check evaluates a contract set against test configurations, reporting
 // violations and per-line coverage (concord check).
 func Check(set *ContractSet, test, metadata []Source, opts Options) (*CheckResult, error) {
+	return CheckContext(context.Background(), set, test, metadata, opts)
+}
+
+// CheckContext is Check under a cancellable context; see LearnContext.
+func CheckContext(ctx context.Context, set *ContractSet, test, metadata []Source, opts Options) (*CheckResult, error) {
 	eng, err := core.New(opts)
 	if err != nil {
 		return nil, err
 	}
-	return eng.Check(set, test, metadata)
+	return eng.CheckContext(ctx, set, test, metadata)
 }
 
 // LoadGlob reads every file matching the glob pattern into sources,
-// sorted by name for determinism.
+// sorted by name for determinism. Source names preserve the path
+// relative to the pattern's fixed directory prefix, so files with the
+// same base name in different directories (a/r1.cfg, b/r1.cfg) stay
+// distinguishable in violations.
 func LoadGlob(pattern string) ([]Source, error) {
 	paths, err := filepath.Glob(pattern)
 	if err != nil {
 		return nil, fmt.Errorf("concord: bad glob %q: %w", pattern, err)
 	}
 	sort.Strings(paths)
+	base := globBase(pattern)
 	var out []Source
 	for _, p := range paths {
 		data, err := os.ReadFile(p)
 		if err != nil {
 			return nil, fmt.Errorf("concord: %w", err)
 		}
-		out = append(out, Source{Name: filepath.Base(p), Text: data})
+		name := p
+		if rel, err := filepath.Rel(base, p); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		out = append(out, Source{Name: filepath.ToSlash(name), Text: data})
 	}
 	return out, nil
+}
+
+// globBase returns the longest directory prefix of a glob pattern that
+// contains no metacharacters; names of matched files are reported
+// relative to it.
+func globBase(pattern string) string {
+	dir := filepath.Dir(pattern)
+	for strings.ContainsAny(dir, `*?[\`) {
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "."
+		}
+		dir = parent
+	}
+	return dir
 }
 
 // DefaultTransforms returns the built-in data transformation registry

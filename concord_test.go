@@ -120,6 +120,34 @@ func TestLoadGlob(t *testing.T) {
 	}
 }
 
+// TestLoadGlobKeepsDirectoryPrefix is the regression test for the name
+// collision where r1.cfg in two directories collapsed to one name: the
+// loader must keep the path relative to the pattern's fixed prefix.
+func TestLoadGlobKeepsDirectoryPrefix(t *testing.T) {
+	dir := t.TempDir()
+	for _, sub := range []string{"a", "b"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, sub, "r1.cfg"), []byte("hostname "+sub+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srcs, err := LoadGlob(filepath.Join(dir, "*", "*.cfg"))
+	if err != nil {
+		t.Fatalf("LoadGlob: %v", err)
+	}
+	if len(srcs) != 2 {
+		t.Fatalf("got %d sources, want 2", len(srcs))
+	}
+	if srcs[0].Name != "a/r1.cfg" || srcs[1].Name != "b/r1.cfg" {
+		t.Errorf("names = %q, %q; want a/r1.cfg, b/r1.cfg", srcs[0].Name, srcs[1].Name)
+	}
+	if srcs[0].Name == srcs[1].Name {
+		t.Error("distinct files collapsed to one source name")
+	}
+}
+
 func TestUserTokensThroughPublicAPI(t *testing.T) {
 	opts := DefaultOptions()
 	opts.UserTokens = []TokenSpec{{Name: "iface", Pattern: `et-[0-9]+(?:/[0-9]+)*`}}

@@ -8,6 +8,7 @@ import (
 	"concord/internal/lexer"
 	"concord/internal/netdata"
 	"concord/internal/relations"
+	"concord/internal/telemetry"
 )
 
 // Violation reports one contract failure localized to a configuration
@@ -28,37 +29,76 @@ type Checker struct {
 	set        *Set
 	transforms map[string]relations.Transform
 	custom     map[relations.Rel]func(lhs, witness netdata.Value) bool
+	rec        *telemetry.Recorder
 }
 
-// NewChecker builds a checker for the given contract set using the
-// default transformation registry.
-func NewChecker(set *Set) *Checker {
-	return NewCheckerWithTransforms(set, relations.DefaultTransforms())
+// CheckerOption customizes a checker built by NewChecker.
+type CheckerOption func(*Checker)
+
+// WithTransforms selects a custom transformation registry (it must
+// include every transform named by the set's relational contracts).
+// Without this option the checker uses relations.DefaultTransforms.
+func WithTransforms(ts []relations.Transform) CheckerOption {
+	return func(ch *Checker) {
+		m := make(map[string]relations.Transform, len(ts))
+		for _, t := range ts {
+			m[t.Name] = t
+		}
+		ch.transforms = m
+	}
+}
+
+// WithRelations supplies user-defined relation definitions; they must
+// cover every non-built-in relation named by the set's contracts.
+func WithRelations(defs []relations.Definition) CheckerOption {
+	return func(ch *Checker) {
+		if len(defs) == 0 {
+			return
+		}
+		if ch.custom == nil {
+			ch.custom = make(map[relations.Rel]func(lhs, witness netdata.Value) bool, len(defs))
+		}
+		for _, d := range defs {
+			ch.custom[d.Rel] = d.Holds
+		}
+	}
+}
+
+// WithTelemetry attaches a recorder; the checker counts contracts
+// evaluated, violations found, and witness-cache hits and misses
+// (check.* counters).
+func WithTelemetry(rec *telemetry.Recorder) CheckerOption {
+	return func(ch *Checker) { ch.rec = rec }
+}
+
+// NewChecker builds a checker for the given contract set. With no
+// options it uses the default transformation registry; see
+// WithTransforms, WithRelations, and WithTelemetry.
+func NewChecker(set *Set, opts ...CheckerOption) *Checker {
+	ch := &Checker{set: set}
+	for _, o := range opts {
+		o(ch)
+	}
+	if ch.transforms == nil {
+		WithTransforms(relations.DefaultTransforms())(ch)
+	}
+	return ch
 }
 
 // NewCheckerWithTransforms builds a checker with a custom transformation
-// registry (the registry must include every transform named by the set's
-// relational contracts).
+// registry.
+//
+// Deprecated: use NewChecker(set, WithTransforms(ts)).
 func NewCheckerWithTransforms(set *Set, ts []relations.Transform) *Checker {
-	return NewCheckerWith(set, ts, nil)
+	return NewChecker(set, WithTransforms(ts))
 }
 
 // NewCheckerWith builds a checker with custom transforms and custom
-// relation definitions; the definitions must cover every non-built-in
-// relation named by the set's contracts.
+// relation definitions.
+//
+// Deprecated: use NewChecker(set, WithTransforms(ts), WithRelations(defs)).
 func NewCheckerWith(set *Set, ts []relations.Transform, defs []relations.Definition) *Checker {
-	m := make(map[string]relations.Transform, len(ts))
-	for _, t := range ts {
-		m[t.Name] = t
-	}
-	var custom map[relations.Rel]func(lhs, witness netdata.Value) bool
-	if len(defs) > 0 {
-		custom = make(map[relations.Rel]func(lhs, witness netdata.Value) bool, len(defs))
-		for _, d := range defs {
-			custom[d.Rel] = d.Holds
-		}
-	}
-	return &Checker{set: set, transforms: m, custom: custom}
+	return NewChecker(set, WithTransforms(ts), WithRelations(defs))
 }
 
 // holds evaluates a relation, consulting custom definitions for
@@ -77,6 +117,9 @@ type view struct {
 	byText    map[string][]int // exact-text index for constant contracts
 	// transformed caches witness values keyed by pattern|idx|transform.
 	transformed map[string][]witness
+	// hits/misses count witness-cache lookups, folded into the
+	// checker's recorder when the view is discarded.
+	hits, misses int64
 }
 
 type witness struct {
@@ -118,8 +161,10 @@ func (v *view) matches(c *Present) []int {
 func (v *view) values(ch *Checker, pattern string, paramIdx int, transform string) []witness {
 	key := fmt.Sprintf("%s|%d|%s", pattern, paramIdx, transform)
 	if ws, ok := v.transformed[key]; ok {
+		v.hits++
 		return ws
 	}
+	v.misses++
 	tr, trOK := ch.transforms[transform]
 	var ws []witness
 	for _, li := range v.byPattern[pattern] {
@@ -160,7 +205,19 @@ func (ch *Checker) Check(cfg *lexer.Config) []Violation {
 		}
 	}
 	sortViolations(out)
+	ch.rec.Add("check.contracts_evaluated", int64(len(ch.set.Contracts)))
+	ch.rec.Add("check.violations", int64(len(out)))
+	ch.flushCache(v)
 	return out
+}
+
+// flushCache folds a view's witness-cache statistics into the recorder.
+func (ch *Checker) flushCache(v *view) {
+	if ch.rec == nil || v.hits+v.misses == 0 {
+		return
+	}
+	ch.rec.Add("check.witness_cache.hits", v.hits)
+	ch.rec.Add("check.witness_cache.misses", v.misses)
 }
 
 // CheckAll evaluates the full set against a batch of configurations,

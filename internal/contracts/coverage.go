@@ -96,6 +96,8 @@ func (ch *Checker) Coverage(cfg *lexer.Config) *CoverageResult {
 			ch.coverRelational(v, c, mark)
 		}
 	}
+	ch.rec.Add("coverage.lines_covered", int64(len(res.Covered)))
+	ch.flushCache(v)
 	return res
 }
 

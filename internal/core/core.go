@@ -7,10 +7,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"concord/internal/contracts"
 	"concord/internal/format"
@@ -18,6 +20,7 @@ import (
 	"concord/internal/minimize"
 	"concord/internal/mining"
 	"concord/internal/relations"
+	"concord/internal/telemetry"
 )
 
 // Source is one input file: a configuration or a metadata document.
@@ -63,6 +66,35 @@ type Options struct {
 	ExtraRelations []relations.Definition
 	// MaxFanout bounds per-value candidate generation. Default 64.
 	MaxFanout int
+	// Telemetry, when non-nil, receives per-stage spans (process, mine,
+	// minimize, check), per-category miner counters, and checker
+	// counters. Telemetry off (nil) costs nothing on the hot paths.
+	Telemetry *telemetry.Recorder
+	// Progress, when non-nil, is invoked after each unit of work in a
+	// pipeline stage (one configuration processed, mined, or checked).
+	// Calls are serialized by the engine, so the callback need not be
+	// thread-safe; it must be fast, as it runs on worker goroutines.
+	Progress func(stage telemetry.Stage, done, total int)
+}
+
+// Validate rejects unusable option values: Support below 1, Confidence
+// outside (0, 1], and negative ScoreThreshold or MaxFanout. New calls
+// it after filling defaulted (zero) Support and Confidence, so only
+// explicitly nonsensical values are rejected.
+func (o Options) Validate() error {
+	if o.Support < 1 {
+		return fmt.Errorf("core: Support must be at least 1 (got %d)", o.Support)
+	}
+	if o.Confidence <= 0 || o.Confidence > 1 {
+		return fmt.Errorf("core: Confidence must be in (0, 1] (got %v)", o.Confidence)
+	}
+	if o.ScoreThreshold < 0 {
+		return fmt.Errorf("core: ScoreThreshold must be non-negative (got %v)", o.ScoreThreshold)
+	}
+	if o.MaxFanout < 0 {
+		return fmt.Errorf("core: MaxFanout must be non-negative (got %v)", o.MaxFanout)
+	}
+	return nil
 }
 
 // DefaultOptions returns the paper's defaults: S=5, C=96%, context
@@ -83,12 +115,28 @@ type Engine struct {
 	opts       Options
 	lx         *lexer.Lexer
 	transforms []relations.Transform
+	// progressMu serializes Options.Progress callbacks issued from
+	// worker goroutines.
+	progressMu sync.Mutex
 }
 
-// New builds an engine, compiling any user token specifications.
+// New builds an engine, compiling any user token specifications. Options
+// are validated: zero Support and Confidence select the defaults (so the
+// zero Options value keeps working), but explicitly out-of-range values
+// are rejected with an error rather than silently accepted.
 func New(opts Options) (*Engine, error) {
 	if opts.Parallelism <= 0 {
 		opts.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	def := DefaultOptions()
+	if opts.Support == 0 {
+		opts.Support = def.Support
+	}
+	if opts.Confidence == 0 {
+		opts.Confidence = def.Confidence
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
 	lx, err := lexer.New(opts.UserTokens...)
 	if err != nil {
@@ -141,15 +189,29 @@ type ProcessStats struct {
 
 // Process embeds and lexes every source in parallel, appending processed
 // metadata lines to each configuration (§3.7). The result order matches
-// the input order.
+// the input order. It is ProcessContext with a background context.
 func (e *Engine) Process(sources, meta []Source) ([]*lexer.Config, ProcessStats) {
+	cfgs, st, _ := e.ProcessContext(context.Background(), sources, meta)
+	return cfgs, st
+}
+
+// ProcessContext is Process with cooperative cancellation: workers stop
+// within one configuration of ctx being cancelled, and the error is
+// ctx.Err(). The stage is timed under the "process" span.
+func (e *Engine) ProcessContext(ctx context.Context, sources, meta []Source) ([]*lexer.Config, ProcessStats, error) {
+	sp := e.opts.Telemetry.StartSpan(string(telemetry.StageProcess))
 	metaLines := e.processMeta(meta)
 	cfgs := make([]*lexer.Config, len(sources))
-	e.forEach(len(sources), func(i int) {
-		cfg := format.Process(sources[i].Name, sources[i].Text, e.lx, format.Options{Embed: e.opts.ContextEmbedding})
+	err := e.forEachCtx(ctx, telemetry.StageProcess, len(sources), func(i int) {
+		cfg := format.Process(sources[i].Name, sources[i].Text, e.lx,
+			format.Options{Embed: e.opts.ContextEmbedding, Telemetry: e.opts.Telemetry})
 		cfg.Lines = append(cfg.Lines, metaLines...)
 		cfgs[i] = &cfg
 	})
+	sp.EndCount(len(sources))
+	if err != nil {
+		return nil, ProcessStats{}, err
+	}
 	st := ProcessStats{Configs: len(cfgs)}
 	patterns := make(map[string]int)
 	for _, cfg := range cfgs {
@@ -168,7 +230,10 @@ func (e *Engine) Process(sources, meta []Source) ([]*lexer.Config, ProcessStats)
 	for _, n := range patterns {
 		st.Parameters += n
 	}
-	return cfgs, st
+	e.opts.Telemetry.SetGauge("corpus.configs", float64(st.Configs))
+	e.opts.Telemetry.SetGauge("corpus.lines", float64(st.Lines))
+	e.opts.Telemetry.SetGauge("corpus.patterns", float64(st.Patterns))
+	return cfgs, st, nil
 }
 
 // processMeta embeds and lexes metadata files into lines tagged with the
@@ -190,17 +255,41 @@ func (e *Engine) processMeta(meta []Source) []lexer.Line {
 	return out
 }
 
-// forEach runs fn(0..n-1) over the engine's worker pool.
-func (e *Engine) forEach(n int, fn func(i int)) {
+// progress serializes Options.Progress callbacks.
+func (e *Engine) progress(stage telemetry.Stage, done, total int) {
+	if e.opts.Progress == nil {
+		return
+	}
+	e.progressMu.Lock()
+	e.opts.Progress(stage, done, total)
+	e.progressMu.Unlock()
+}
+
+// forEachCtx runs fn(0..n-1) over the engine's worker pool, reporting
+// per-item progress for the stage and stopping within one item of ctx
+// being cancelled. Workers never start new items after cancellation;
+// the first non-nil ctx error is returned once all workers have
+// drained.
+func (e *Engine) forEachCtx(ctx context.Context, stage telemetry.Stage, n int, fn func(i int)) error {
 	workers := e.opts.Parallelism
 	if workers > n {
 		workers = n
 	}
+	var done atomic.Int64
+	tick := func() {
+		if e.opts.Progress != nil {
+			e.progress(stage, int(done.Add(1)), n)
+		}
+	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
+			tick()
 		}
-		return
+		return nil
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -209,15 +298,25 @@ func (e *Engine) forEach(n int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if ctx.Err() != nil {
+					continue // drain the channel without starting new work
+				}
 				fn(i)
+				tick()
 			}
 		}()
 	}
+feed:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
+	return ctx.Err()
 }
 
 // LearnResult is the output of Learn.
@@ -231,15 +330,37 @@ type LearnResult struct {
 	Stats ProcessStats
 }
 
-// Learn processes the training sources and mines a contract set.
+// Learn processes the training sources and mines a contract set. It is
+// LearnContext with a background context.
 func (e *Engine) Learn(sources, meta []Source) (*LearnResult, error) {
-	cfgs, pstats := e.Process(sources, meta)
-	return e.LearnProcessed(cfgs, pstats)
+	return e.LearnContext(context.Background(), sources, meta)
+}
+
+// LearnContext runs the full learning pipeline — process, mine,
+// minimize — under ctx. Cancellation is cooperative: every worker loop
+// and per-category miner checks the context and the pipeline aborts
+// within one unit of work, returning ctx.Err(). Stage timings,
+// allocation deltas, and miner counters go to Options.Telemetry.
+func (e *Engine) LearnContext(ctx context.Context, sources, meta []Source) (*LearnResult, error) {
+	cfgs, pstats, err := e.ProcessContext(ctx, sources, meta)
+	if err != nil {
+		return nil, err
+	}
+	return e.LearnProcessedContext(ctx, cfgs, pstats)
 }
 
 // LearnProcessed mines contracts from already-processed configurations,
 // for callers that processed once and learn repeatedly (e.g. ablations).
 func (e *Engine) LearnProcessed(cfgs []*lexer.Config, pstats ProcessStats) (*LearnResult, error) {
+	return e.LearnProcessedContext(context.Background(), cfgs, pstats)
+}
+
+// LearnProcessedContext is LearnProcessed under a cancellable context.
+func (e *Engine) LearnProcessedContext(ctx context.Context, cfgs []*lexer.Config, pstats ProcessStats) (*LearnResult, error) {
+	var mineProgress func(done, total int)
+	if e.opts.Progress != nil {
+		mineProgress = func(done, total int) { e.progress(telemetry.StageMine, done, total) }
+	}
 	m := mining.New(mining.Options{
 		Support:          e.opts.Support,
 		Confidence:       e.opts.Confidence,
@@ -250,14 +371,27 @@ func (e *Engine) LearnProcessed(cfgs []*lexer.Config, pstats ProcessStats) (*Lea
 		Parallelism:      e.opts.Parallelism,
 		Transforms:       e.transforms,
 		ExtraRelations:   e.opts.ExtraRelations,
+		Telemetry:        e.opts.Telemetry,
+		Progress:         mineProgress,
 	})
-	set := m.Mine(cfgs)
+	sp := e.opts.Telemetry.StartSpan(string(telemetry.StageMine))
+	set, err := m.MineContext(ctx, cfgs)
+	sp.EndCount(len(cfgs))
+	if err != nil {
+		return nil, err
+	}
 	res := &LearnResult{Set: set, Stats: pstats}
 	if e.opts.Minimize {
-		minimized, minRes := minimize.Set(set)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		e.progress(telemetry.StageMinimize, 0, 1)
+		minimized, minRes := minimize.SetInstrumented(set, e.opts.Telemetry)
 		res.Set = minimized
 		res.Minimization = minRes
+		e.progress(telemetry.StageMinimize, 1, 1)
 	}
+	e.opts.Telemetry.SetGauge("learn.contracts", float64(res.Set.Len()))
 	return res, nil
 }
 
@@ -319,22 +453,46 @@ type CheckResult struct {
 }
 
 // Check processes the test sources and evaluates the contract set
-// against them, computing violations and coverage in parallel.
+// against them, computing violations and coverage in parallel. It is
+// CheckContext with a background context.
 func (e *Engine) Check(set *contracts.Set, sources, meta []Source) (*CheckResult, error) {
-	cfgs, pstats := e.Process(sources, meta)
-	return e.CheckProcessed(set, cfgs, pstats)
+	return e.CheckContext(context.Background(), set, sources, meta)
+}
+
+// CheckContext runs the checking pipeline under ctx, aborting within
+// one configuration of cancellation with ctx.Err(). Stage timings and
+// checker counters go to Options.Telemetry.
+func (e *Engine) CheckContext(ctx context.Context, set *contracts.Set, sources, meta []Source) (*CheckResult, error) {
+	cfgs, pstats, err := e.ProcessContext(ctx, sources, meta)
+	if err != nil {
+		return nil, err
+	}
+	return e.CheckProcessedContext(ctx, set, cfgs, pstats)
 }
 
 // CheckProcessed evaluates a contract set against already-processed
 // configurations.
 func (e *Engine) CheckProcessed(set *contracts.Set, cfgs []*lexer.Config, pstats ProcessStats) (*CheckResult, error) {
-	checker := contracts.NewCheckerWith(set, e.transforms, e.opts.ExtraRelations)
+	return e.CheckProcessedContext(context.Background(), set, cfgs, pstats)
+}
+
+// CheckProcessedContext is CheckProcessed under a cancellable context.
+func (e *Engine) CheckProcessedContext(ctx context.Context, set *contracts.Set, cfgs []*lexer.Config, pstats ProcessStats) (*CheckResult, error) {
+	checker := contracts.NewChecker(set,
+		contracts.WithTransforms(e.transforms),
+		contracts.WithRelations(e.opts.ExtraRelations),
+		contracts.WithTelemetry(e.opts.Telemetry))
 	perCfgViolations := make([][]contracts.Violation, len(cfgs))
 	perCfgCoverage := make([]*contracts.CoverageResult, len(cfgs))
-	e.forEach(len(cfgs), func(i int) {
+	sp := e.opts.Telemetry.StartSpan(string(telemetry.StageCheck))
+	err := e.forEachCtx(ctx, telemetry.StageCheck, len(cfgs), func(i int) {
 		perCfgViolations[i] = checker.Check(cfgs[i])
 		perCfgCoverage[i] = checker.Coverage(cfgs[i])
 	})
+	sp.EndCount(len(cfgs))
+	if err != nil {
+		return nil, err
+	}
 
 	res := &CheckResult{Stats: pstats}
 	for _, vs := range perCfgViolations {

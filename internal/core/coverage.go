@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"concord/internal/contracts"
+	"concord/internal/telemetry"
 )
 
 // LineCoverage reports the coverage status of one configuration line
@@ -25,12 +27,25 @@ type LineCoverage struct {
 
 // CoverageLines computes per-line coverage detail for every source
 // configuration under the given contract set. Metadata lines are
-// excluded. Results are ordered by file then line.
+// excluded. Results are ordered by file then line. It is
+// CoverageLinesContext with a background context.
 func (e *Engine) CoverageLines(set *contracts.Set, sources, meta []Source) ([]LineCoverage, error) {
-	cfgs, _ := e.Process(sources, meta)
-	checker := contracts.NewCheckerWith(set, e.transforms, e.opts.ExtraRelations)
+	return e.CoverageLinesContext(context.Background(), set, sources, meta)
+}
+
+// CoverageLinesContext is CoverageLines under a cancellable context.
+func (e *Engine) CoverageLinesContext(ctx context.Context, set *contracts.Set, sources, meta []Source) ([]LineCoverage, error) {
+	cfgs, _, err := e.ProcessContext(ctx, sources, meta)
+	if err != nil {
+		return nil, err
+	}
+	checker := contracts.NewChecker(set,
+		contracts.WithTransforms(e.transforms),
+		contracts.WithRelations(e.opts.ExtraRelations),
+		contracts.WithTelemetry(e.opts.Telemetry))
 	perCfg := make([][]LineCoverage, len(cfgs))
-	e.forEach(len(cfgs), func(i int) {
+	sp := e.opts.Telemetry.StartSpan(string(telemetry.StageCoverage))
+	err = e.forEachCtx(ctx, telemetry.StageCoverage, len(cfgs), func(i int) {
 		cov := checker.Coverage(cfgs[i])
 		var out []LineCoverage
 		for li := range cfgs[i].Lines {
@@ -54,6 +69,10 @@ func (e *Engine) CoverageLines(set *contracts.Set, sources, meta []Source) ([]Li
 		sort.Slice(out, func(a, b int) bool { return out[a].Line < out[b].Line })
 		perCfg[i] = out
 	})
+	sp.EndCount(len(cfgs))
+	if err != nil {
+		return nil, err
+	}
 	var all []LineCoverage
 	for _, lines := range perCfg {
 		all = append(all, lines...)

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"concord/internal/lexer"
+	"concord/internal/telemetry"
 )
 
 // Category is an inferred configuration data format.
@@ -100,12 +101,17 @@ type Options struct {
 	// false every format is treated as flat, which is the "Baseline"
 	// configuration of Figure 7.
 	Embed bool
+	// Telemetry, when non-nil, receives per-format detection counters
+	// (format.detect.<category>) so corpus composition shows up in the
+	// engine's metrics report.
+	Telemetry *telemetry.Recorder
 }
 
 // Process turns raw file text into a lexed configuration. It detects the
 // format, performs context embedding when enabled, and lexes every line.
 func Process(name string, text []byte, lx *lexer.Lexer, opts Options) lexer.Config {
 	cat := Detect(text)
+	opts.Telemetry.Add("format.detect."+string(cat), 1)
 	if !opts.Embed {
 		cat = Flat
 	}

@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -16,6 +17,7 @@ import (
 	"concord/internal/core"
 	"concord/internal/minimize"
 	"concord/internal/synth"
+	"concord/internal/telemetry"
 )
 
 // RoleResult is one dataset's full evaluation artifact.
@@ -28,6 +30,10 @@ type RoleResult struct {
 	Set          *contracts.Set
 	Check        *core.CheckResult
 	Minimization minimize.Result
+	// Telemetry holds the per-stage spans and counters of the learn and
+	// check runs, for experiments that attribute time within the
+	// pipeline rather than around it.
+	Telemetry *telemetry.Recorder
 }
 
 // Runner executes and caches per-role evaluations so that experiments
@@ -71,18 +77,22 @@ func (r *Runner) Role(name string) (*RoleResult, error) {
 	}
 	ds := synth.Generate(spec)
 	srcs, meta := sources(ds)
-	eng, err := core.New(r.Opts)
+	rec := telemetry.NewRecorder()
+	opts := r.Opts
+	opts.Telemetry = rec
+	eng, err := core.New(opts)
 	if err != nil {
 		return nil, err
 	}
+	ctx := context.Background()
 	start := time.Now()
-	lr, err := eng.Learn(srcs, meta)
+	lr, err := eng.LearnContext(ctx, srcs, meta)
 	if err != nil {
 		return nil, err
 	}
 	learnTime := time.Since(start)
 	start = time.Now()
-	cr, err := eng.Check(lr.Set, srcs, meta)
+	cr, err := eng.CheckContext(ctx, lr.Set, srcs, meta)
 	if err != nil {
 		return nil, err
 	}
@@ -96,6 +106,7 @@ func (r *Runner) Role(name string) (*RoleResult, error) {
 		Set:          lr.Set,
 		Check:        cr,
 		Minimization: lr.Minimization,
+		Telemetry:    rec,
 	}
 	if r.results == nil {
 		r.results = make(map[string]*RoleResult)

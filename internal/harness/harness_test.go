@@ -119,6 +119,9 @@ func TestFigure8Minimization(t *testing.T) {
 }
 
 func TestTable6SampleSizes(t *testing.T) {
+	if raceEnabled {
+		t.Skip("Table6 learns all ten roles (~90s uninstrumented); the race detector's slowdown exceeds the test timeout")
+	}
 	r := testRunner()
 	var buf bytes.Buffer
 	rows, err := r.Table6(&buf)
@@ -142,6 +145,9 @@ func TestTable6SampleSizes(t *testing.T) {
 }
 
 func TestFigure9CDFs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("Figure9 learns all ten roles; the race detector's slowdown exceeds the test timeout")
+	}
 	r := testRunner()
 	var buf bytes.Buffer
 	cdfs, err := r.Figure9(&buf)
@@ -164,6 +170,9 @@ func TestFigure9CDFs(t *testing.T) {
 }
 
 func TestTable7PrecisionShape(t *testing.T) {
+	if raceEnabled {
+		t.Skip("Table7 learns all ten roles; the race detector's slowdown exceeds the test timeout")
+	}
 	r := testRunner()
 	var buf bytes.Buffer
 	rows, err := r.Table7(&buf)

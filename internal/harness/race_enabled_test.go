@@ -1,0 +1,7 @@
+//go:build race
+
+package harness
+
+// raceEnabled reports whether the race detector instruments this build;
+// the slowest experiment tests skip themselves under its ~10x slowdown.
+const raceEnabled = true

@@ -18,6 +18,7 @@ import (
 	"concord/internal/contracts"
 	"concord/internal/graph"
 	"concord/internal/relations"
+	"concord/internal/telemetry"
 )
 
 // Result reports the effect of one minimization run.
@@ -51,6 +52,19 @@ func (n node) key() string { return fmt.Sprintf("%s|%d|%s", n.pattern, n.idx, n.
 
 // edge is a directed contract edge between node ids.
 type edge struct{ u, v int }
+
+// SetInstrumented minimizes like Set under a telemetry span, recording
+// the reduction as minimize.relational.{before,after} and
+// minimize.synthesized counters. A nil recorder degrades to plain Set.
+func SetInstrumented(set *contracts.Set, rec *telemetry.Recorder) (*contracts.Set, Result) {
+	sp := rec.StartSpan("minimize")
+	out, res := Set(set)
+	sp.EndCount(res.Before)
+	rec.Add("minimize.relational.before", int64(res.Before))
+	rec.Add("minimize.relational.after", int64(res.After))
+	rec.Add("minimize.synthesized", int64(res.Synthesized))
+	return out, res
+}
 
 // Set minimizes the relational contracts of a contract set in place,
 // returning the new set and the reduction statistics. Non-relational

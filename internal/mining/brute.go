@@ -22,7 +22,10 @@ import (
 // cancellation the partial result learned so far is returned along with
 // ctx.Err().
 func (m *Miner) MineRelationalBruteForce(ctx context.Context, cfgs []*lexer.Config) ([]contracts.Contract, error) {
-	st := collectStats(cfgs)
+	st, err := collectStats(ctx, cfgs)
+	if err != nil {
+		return nil, err
+	}
 	rels := []relations.Rel{relations.Equals, relations.Contains, relations.StartsWith, relations.EndsWith}
 
 	global := make(map[candKey]*candState)

@@ -7,6 +7,7 @@
 package mining
 
 import (
+	"context"
 	"sort"
 	"strconv"
 
@@ -14,6 +15,7 @@ import (
 	"concord/internal/lexer"
 	"concord/internal/netdata"
 	"concord/internal/relations"
+	"concord/internal/telemetry"
 )
 
 // Options controls learning. The zero value is not useful; use
@@ -50,6 +52,14 @@ type Options struct {
 	// Parallelism is the number of workers for relational mining
 	// (<= 1 means sequential).
 	Parallelism int
+	// Telemetry, when non-nil, receives per-category miner spans
+	// (mine/<category>) and candidate/accepted counters
+	// (mine.<category>.candidates, mine.<category>.accepted).
+	Telemetry *telemetry.Recorder
+	// Progress, when non-nil, is called after each configuration of the
+	// relational mining pass (the dominant cost); it must be safe for
+	// concurrent calls when Parallelism > 1.
+	Progress func(done, total int)
 }
 
 // DefaultOptions returns the paper's default parameters.
@@ -105,30 +115,80 @@ func New(opts Options) *Miner {
 // Mine learns contracts from the training configurations. The returned
 // set is deterministic for a given input.
 func (m *Miner) Mine(cfgs []*lexer.Config) *contracts.Set {
-	st := collectStats(cfgs)
+	set, _ := m.MineContext(context.Background(), cfgs)
+	return set
+}
+
+// MineContext is Mine with cooperative cancellation: it checks ctx
+// between configurations during the statistics and relational passes and
+// between category miners, returning ctx.Err() when cancelled. Per-
+// category timings and counters go to Options.Telemetry when set.
+func (m *Miner) MineContext(ctx context.Context, cfgs []*lexer.Config) (*contracts.Set, error) {
+	rec := m.opts.Telemetry
+	sp := rec.StartSpan("mine/stats")
+	st, err := collectStats(ctx, cfgs)
+	sp.EndCount(len(cfgs))
+	if err != nil {
+		return nil, err
+	}
 	set := &contracts.Set{}
-	if m.opts.enabled(contracts.CatPresent) {
-		set.Contracts = append(set.Contracts, m.minePresent(st)...)
-		if m.opts.ConstantLearning {
-			set.Contracts = append(set.Contracts, m.mineConstants(st)...)
+	mineCat := func(cat contracts.Category, name string, candidates int, fn func() []contracts.Contract) error {
+		if !m.opts.enabled(cat) {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		sp := rec.StartSpan("mine/" + name)
+		found := fn()
+		sp.EndCount(len(found))
+		rec.Add("mine."+name+".candidates", int64(candidates))
+		rec.Add("mine."+name+".accepted", int64(len(found)))
+		set.Contracts = append(set.Contracts, found...)
+		return nil
+	}
+	steps := []func() error{
+		func() error {
+			return mineCat(contracts.CatPresent, "present", len(st.patterns), func() []contracts.Contract { return m.minePresent(st) })
+		},
+		func() error {
+			if !m.opts.ConstantLearning {
+				return nil
+			}
+			return mineCat(contracts.CatPresent, "constant", len(st.constants), func() []contracts.Contract { return m.mineConstants(st) })
+		},
+		func() error {
+			return mineCat(contracts.CatOrdering, "ordering", len(st.pairs), func() []contracts.Contract { return m.mineOrdering(st) })
+		},
+		func() error {
+			return mineCat(contracts.CatType, "type", len(st.types), func() []contracts.Contract { return m.mineTypes(st) })
+		},
+		func() error {
+			return mineCat(contracts.CatSequence, "sequence", len(st.seqs), func() []contracts.Contract { return m.mineSequence(st) })
+		},
+		func() error {
+			return mineCat(contracts.CatUnique, "unique", len(st.uniqs), func() []contracts.Contract { return m.mineUnique(st) })
+		},
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			return nil, err
 		}
 	}
-	if m.opts.enabled(contracts.CatOrdering) {
-		set.Contracts = append(set.Contracts, m.mineOrdering(st)...)
-	}
-	if m.opts.enabled(contracts.CatType) {
-		set.Contracts = append(set.Contracts, m.mineTypes(st)...)
-	}
-	if m.opts.enabled(contracts.CatSequence) {
-		set.Contracts = append(set.Contracts, m.mineSequence(st)...)
-	}
-	if m.opts.enabled(contracts.CatUnique) {
-		set.Contracts = append(set.Contracts, m.mineUnique(st)...)
-	}
 	if m.opts.enabled(contracts.CatRelation) {
-		set.Contracts = append(set.Contracts, m.mineRelational(cfgs, st)...)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sp := rec.StartSpan("mine/relation")
+		found, err := m.mineRelational(ctx, cfgs, st)
+		sp.EndCount(len(found))
+		if err != nil {
+			return nil, err
+		}
+		rec.Add("mine.relation.accepted", int64(len(found)))
+		set.Contracts = append(set.Contracts, found...)
 	}
-	return set
+	return set, nil
 }
 
 // patternStats aggregates the global statistics of one pattern.
@@ -197,7 +257,7 @@ func key2(pattern string, idx int) string {
 	return pattern + "\x00" + strconv.Itoa(idx)
 }
 
-func collectStats(cfgs []*lexer.Config) *stats {
+func collectStats(ctx context.Context, cfgs []*lexer.Config) (*stats, error) {
 	st := &stats{
 		nConfigs:  len(cfgs),
 		patterns:  make(map[string]*patternStats),
@@ -211,6 +271,9 @@ func collectStats(cfgs []*lexer.Config) *stats {
 		uniqMeta:  make(map[string]patternParam),
 	}
 	for ci, cfg := range cfgs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		seenPatterns := make(map[string]bool)
 		seenConstants := make(map[string]bool)
 		// Ordering bookkeeping: per first-pattern occurrence counts and
@@ -323,7 +386,7 @@ func collectStats(cfgs []*lexer.Config) *stats {
 			}
 		}
 	}
-	return st
+	return st, nil
 }
 
 // isArithmetic reports whether the values form a nonzero arithmetic

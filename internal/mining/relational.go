@@ -1,9 +1,11 @@
 package mining
 
 import (
+	"context"
 	"math"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"concord/internal/contracts"
 	"concord/internal/lexer"
@@ -37,13 +39,26 @@ type candState struct {
 // pass B queries the indexes for every value, generating candidates only
 // where an actual relationship exists. Candidates are then filtered by
 // support, confidence, and the diversity-weighted score threshold.
-func (m *Miner) mineRelational(cfgs []*lexer.Config, st *stats) []contracts.Contract {
+//
+// Cancellation is checked between configurations: a cancelled context
+// aborts within one per-config iteration and returns ctx.Err().
+func (m *Miner) mineRelational(ctx context.Context, cfgs []*lexer.Config, st *stats) ([]contracts.Contract, error) {
 	global := make(map[candKey]*candState)
+	var done atomic.Int64
+	progress := func() {
+		if m.opts.Progress != nil {
+			m.opts.Progress(int(done.Add(1)), len(cfgs))
+		}
+	}
 
 	workers := m.opts.Parallelism
 	if workers <= 1 || len(cfgs) < 2 {
 		for _, cfg := range cfgs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			m.mineRelationalConfig(cfg, global)
+			progress()
 		}
 	} else {
 		// Each worker accumulates into a private table; tables are merged
@@ -62,15 +77,27 @@ func (m *Miner) mineRelational(cfgs []*lexer.Config, st *stats) []contracts.Cont
 			go func() {
 				defer wg.Done()
 				for ci := range next {
+					if ctx.Err() != nil {
+						continue // drain without working
+					}
 					m.mineRelationalConfig(cfgs[ci], tables[w])
+					progress()
 				}
 			}()
 		}
+	feed:
 		for ci := range cfgs {
-			next <- ci
+			select {
+			case next <- ci:
+			case <-ctx.Done():
+				break feed
+			}
 		}
 		close(next)
 		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for _, tab := range tables {
 			for k, cs := range tab {
 				g := global[k]
@@ -83,6 +110,7 @@ func (m *Miner) mineRelational(cfgs []*lexer.Config, st *stats) []contracts.Cont
 			}
 		}
 	}
+	m.opts.Telemetry.Add("mine.relation.candidates", int64(len(global)))
 
 	var out []contracts.Contract
 	for k, cs := range global {
@@ -128,7 +156,7 @@ func (m *Miner) mineRelational(cfgs []*lexer.Config, st *stats) []contracts.Cont
 		})
 	}
 	sortByID(out)
-	return out
+	return out, nil
 }
 
 // srcInfo is an interned (pattern, param, transform) triple within one

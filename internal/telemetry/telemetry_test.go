@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	sp := r.StartSpan("x")
+	sp.End()
+	sp.End() // idempotent
+	r.Add("c", 1)
+	r.SetGauge("g", 2)
+	if r.Counter("c") != 0 || r.Gauge("g") != 0 {
+		t.Error("nil recorder returned nonzero metrics")
+	}
+	rep := r.Snapshot()
+	if len(rep.Spans) != 0 || len(rep.Counters) != 0 {
+		t.Error("nil recorder produced a non-empty snapshot")
+	}
+}
+
+func TestCountersAndGauges(t *testing.T) {
+	r := NewRecorder()
+	r.Add("mine.present.accepted", 3)
+	r.Add("mine.present.accepted", 4)
+	r.SetGauge("corpus.configs", 12)
+	r.SetGauge("corpus.configs", 20)
+	if got := r.Counter("mine.present.accepted"); got != 7 {
+		t.Errorf("counter = %d, want 7", got)
+	}
+	if got := r.Gauge("corpus.configs"); got != 20 {
+		t.Errorf("gauge = %v, want 20", got)
+	}
+}
+
+func TestSpanMeasuresWallAndAlloc(t *testing.T) {
+	r := NewRecorder()
+	sp := r.StartSpan("learn/mine")
+	time.Sleep(5 * time.Millisecond)
+	sink := make([]byte, 1<<20)
+	_ = sink
+	sp.EndCount(42)
+	rep := r.Snapshot()
+	if len(rep.Spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(rep.Spans))
+	}
+	s := rep.Spans[0]
+	if s.Name != "learn/mine" {
+		t.Errorf("name = %q", s.Name)
+	}
+	if s.WallMS < 4 {
+		t.Errorf("wall = %vms, want >= 4ms", s.WallMS)
+	}
+	if s.AllocBytes < 1<<20 {
+		t.Errorf("alloc delta = %d, want >= 1MiB", s.AllocBytes)
+	}
+	if s.Items != 42 {
+		t.Errorf("items = %d, want 42", s.Items)
+	}
+}
+
+func TestSnapshotIsIsolated(t *testing.T) {
+	r := NewRecorder()
+	r.Add("c", 1)
+	rep := r.Snapshot()
+	r.Add("c", 10)
+	if rep.Counters["c"] != 1 {
+		t.Error("snapshot mutated by later recording")
+	}
+}
+
+// TestJSONRoundTrip checks the --metrics-json schema survives a
+// marshal/unmarshal cycle unchanged.
+func TestJSONRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	sp := r.StartSpan("learn/process")
+	sp.EndCount(8)
+	r.StartSpan("learn/mine/relation").End()
+	r.Add("check.violations", 5)
+	r.Add("mine.relation.candidates", 1234)
+	r.SetGauge("corpus.lines", 9000)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseReport(buf.Bytes())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	want := r.Snapshot()
+	// WallMS advances between WriteJSON and Snapshot; compare the rest.
+	want.WallMS, got.WallMS = 0, 0
+	wj, _ := json.Marshal(want)
+	gj, _ := json.Marshal(got)
+	if !bytes.Equal(wj, gj) {
+		t.Errorf("round trip mismatch:\n got %s\nwant %s", gj, wj)
+	}
+	if len(got.Spans) != 2 || got.Counters["mine.relation.candidates"] != 1234 {
+		t.Errorf("round-tripped report missing data: %+v", got)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Add("n", 1)
+				sp := r.StartSpan("s")
+				sp.End()
+				r.SetGauge("g", float64(i))
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n"); got != 800 {
+		t.Errorf("counter = %d, want 800", got)
+	}
+	if got := len(r.Snapshot().Spans); got != 800 {
+		t.Errorf("spans = %d, want 800", got)
+	}
+}
