@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench
+.PHONY: ci fmt vet build test race bench chaos vuln
 
 # ci is the full verification gate: formatting, static checks, build,
-# and the race-enabled test suite.
-ci: fmt vet build race
+# the race-enabled test suite, the fault-injection suite, and a
+# best-effort vulnerability scan.
+ci: fmt vet build race chaos vuln
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -23,6 +24,22 @@ test:
 
 race:
 	$(GO) test -race -timeout 20m ./...
+
+# chaos runs the fault-injection and pathological-input suites under
+# the race detector: panic containment, strict-mode aborts, input
+# guards, and goroutine-leak checks.
+chaos:
+	$(GO) test -race -timeout 10m -run 'Chaos|Fault|Panic|Pathological|Lenient|Diagnostics|Guard|Limits|Binary|Oversize|DepthCap|LineBudget|EmptyCorpus' ./...
+
+# vuln scans dependencies with govulncheck when it is installed; the
+# scan is best-effort and never fails the build (the tool may be
+# absent or need network access).
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./... || echo "govulncheck reported issues (non-fatal)"; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

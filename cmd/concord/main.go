@@ -21,6 +21,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -33,6 +34,11 @@ import (
 	"concord"
 	"concord/internal/report"
 )
+
+// errDiagnostics is the sentinel returned when -fail-on-diagnostics is
+// set and the run recorded at least one diagnostic; main maps it to
+// exit code 4 (distinct from exit 3, violations found).
+var errDiagnostics = errors.New("diagnostics recorded")
 
 func main() {
 	if len(os.Args) < 2 {
@@ -60,6 +66,9 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "concord:", err)
+		if errors.Is(err, errDiagnostics) {
+			os.Exit(4)
+		}
 		os.Exit(1)
 	}
 }
@@ -79,6 +88,12 @@ options:
   -constants           enable constant-learning mode
   -no-minimize         disable contract minimization
   -disable CATS        comma-separated categories to disable (e.g. ordering)
+
+robustness:
+  -lenient             skip unreadable input files with diagnostics
+  -strict              abort on the first contained fault or degraded input
+  -diagnostics-json F  write the run's diagnostics report to this file
+  -fail-on-diagnostics exit 4 if any diagnostics were recorded
 
 observability:
   -metrics-json FILE   write a per-stage telemetry report (spans, counters)
@@ -106,8 +121,9 @@ func filterCategories(set *concord.ContractSet, enabled []concord.Category) *con
 	return out
 }
 
-// runConfig carries the shared engine flags plus the observability
-// flags (metrics report, profiles, timeout) common to every subcommand.
+// runConfig carries the shared engine flags plus the robustness and
+// observability flags (diagnostics, metrics report, profiles, timeout)
+// common to every subcommand.
 type runConfig struct {
 	options func() (concord.Options, error)
 
@@ -115,6 +131,15 @@ type runConfig struct {
 	cpuProfile  *string
 	memProfile  *string
 	timeout     *time.Duration
+
+	diagnosticsJSON *string
+	lenient         *bool
+	strict          *bool
+	failOnDiag      *bool
+	// diags collects every diagnostic of the run — lenient-load skips
+	// plus the engine's contained faults — for the -diagnostics-json
+	// report and the -fail-on-diagnostics policy.
+	diags *concord.Diagnostics
 }
 
 // instrument prepares one run: it builds the (possibly deadlined)
@@ -127,6 +152,8 @@ func (rc *runConfig) instrument(opts *concord.Options) (context.Context, context
 	if *rc.timeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, *rc.timeout)
 	}
+	opts.Diagnostics = rc.diags
+	opts.Strict = *rc.strict
 	var rec *concord.Recorder
 	if *rc.metricsJSON != "" {
 		rec = concord.NewRecorder()
@@ -177,6 +204,23 @@ func (rc *runConfig) instrument(opts *concord.Options) (context.Context, context
 			}
 			fmt.Fprintf(w, "wrote %s\n", *rc.metricsJSON)
 		}
+		if *rc.diagnosticsJSON != "" {
+			f, err := os.Create(*rc.diagnosticsJSON)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := rc.diags.WriteJSON(f); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %s\n", *rc.diagnosticsJSON)
+		}
+		if n := rc.diags.Len(); n > 0 {
+			fmt.Fprintf(w, "%d diagnostic(s) recorded\n", n)
+			if *rc.failOnDiag {
+				return fmt.Errorf("%d %w", n, errDiagnostics)
+			}
+		}
 		return nil
 	}
 	return ctx, cancel, finish, nil
@@ -198,9 +242,18 @@ func sharedFlags(fs *flag.FlagSet) *runConfig {
 		cpuProfile:  fs.String("cpuprofile", "", "write a pprof CPU profile to this file"),
 		memProfile:  fs.String("memprofile", "", "write a pprof heap profile to this file"),
 		timeout:     fs.Duration("timeout", 0, "abort the run after this duration (0 = none)"),
+
+		diagnosticsJSON: fs.String("diagnostics-json", "", "write the run's diagnostics report to this file"),
+		lenient:         fs.Bool("lenient", false, "skip unreadable input files with diagnostics instead of failing"),
+		strict:          fs.Bool("strict", false, "abort on the first contained fault or degraded input"),
+		failOnDiag:      fs.Bool("fail-on-diagnostics", false, "exit with code 4 if any diagnostics were recorded"),
+		diags:           concord.NewDiagnostics(),
 	}
 	rc.options = func() (concord.Options, error) {
 		opts := concord.DefaultOptions()
+		if *rc.lenient && *rc.strict {
+			return opts, fmt.Errorf("-lenient and -strict are mutually exclusive")
+		}
 		opts.Support = *support
 		opts.Confidence = *confidence
 		opts.ScoreThreshold = *threshold
@@ -260,11 +313,24 @@ func loadTokens(path string) ([]concord.TokenSpec, error) {
 	return out, nil
 }
 
-func loadInputs(configGlob, metaGlob string) (srcs, meta []concord.Source, err error) {
+// loadInputs reads the configuration and metadata globs. With -lenient,
+// unreadable files are skipped and recorded as diagnostics instead of
+// failing the run.
+func (rc *runConfig) loadInputs(configGlob, metaGlob string) (srcs, meta []concord.Source, err error) {
 	if configGlob == "" {
 		return nil, nil, fmt.Errorf("-configs is required")
 	}
-	srcs, err = concord.LoadGlob(configGlob)
+	load := concord.LoadGlob
+	if *rc.lenient {
+		load = func(pattern string) ([]concord.Source, error) {
+			out, ds, err := concord.LoadGlobLenient(pattern)
+			for _, d := range ds {
+				rc.diags.Add(d)
+			}
+			return out, err
+		}
+	}
+	srcs, err = load(configGlob)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -272,7 +338,7 @@ func loadInputs(configGlob, metaGlob string) (srcs, meta []concord.Source, err e
 		return nil, nil, fmt.Errorf("no files match %q", configGlob)
 	}
 	if metaGlob != "" {
-		meta, err = concord.LoadGlob(metaGlob)
+		meta, err = load(metaGlob)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -293,7 +359,7 @@ func runLearn(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	srcs, meta, err := loadInputs(*configGlob, *metaGlob)
+	srcs, meta, err := rc.loadInputs(*configGlob, *metaGlob)
 	if err != nil {
 		return err
 	}
@@ -362,7 +428,7 @@ func runCheck(args []string, w io.Writer) (int, error) {
 		set, n = set.Without(ids)
 		fmt.Fprintf(w, "suppressed %d contract(s) per %s\n", n, *suppress)
 	}
-	srcs, meta, err := loadInputs(*configGlob, *metaGlob)
+	srcs, meta, err := rc.loadInputs(*configGlob, *metaGlob)
 	if err != nil {
 		return 0, err
 	}
@@ -461,7 +527,7 @@ func runCoverage(args []string, w io.Writer) error {
 		return err
 	}
 	set = filterCategories(set, opts.Categories)
-	srcs, meta, err := loadInputs(*configGlob, *metaGlob)
+	srcs, meta, err := rc.loadInputs(*configGlob, *metaGlob)
 	if err != nil {
 		return err
 	}

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -392,5 +393,203 @@ func TestSuppressionFlag(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "suppressed ") {
 		t.Error("suppression not reported")
+	}
+}
+
+// writeHostileCorpus adds an unreadable entry (a directory matching
+// the glob — reads fail with EISDIR even as root), a binary blob, and
+// a 10 MB single-line file next to a healthy dataset.
+func writeHostileCorpus(t *testing.T, dir string) {
+	t.Helper()
+	writeDataset(t, dir, nil)
+	if err := os.MkdirAll(filepath.Join(dir, "unreadable.cfg"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	binary := append([]byte("BIN\x00"), bytes.Repeat([]byte{0xff, 0x00}, 2048)...)
+	if err := os.WriteFile(filepath.Join(dir, "binary.cfg"), binary, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	huge := append([]byte("hostname "), bytes.Repeat([]byte("x"), 10<<20)...)
+	if err := os.WriteFile(filepath.Join(dir, "hugeline.cfg"), huge, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLearnLenientDiagnosticsJSON is the CLI acceptance scenario: a
+// corpus with one unreadable, one binary, and one 10 MB-line file
+// completes `concord learn -lenient` with per-file diagnostics in the
+// -diagnostics-json report; default mode fails on the unreadable file;
+// strict mode refuses the degradations.
+func TestLearnLenientDiagnosticsJSON(t *testing.T) {
+	dir := t.TempDir()
+	writeHostileCorpus(t, dir)
+	glob := filepath.Join(dir, "*.cfg")
+	contractsPath := filepath.Join(dir, "contracts.json")
+	diagPath := filepath.Join(dir, "diagnostics.json")
+
+	// Default (neither -lenient nor -strict): the unreadable entry
+	// fails the load outright.
+	var out bytes.Buffer
+	err := runLearn([]string{"-configs", glob, "-out", contractsPath}, &out)
+	if err == nil || !strings.Contains(err.Error(), "unreadable.cfg") {
+		t.Fatalf("default learn = %v, want load failure naming unreadable.cfg", err)
+	}
+
+	// Lenient: completes, learns from the healthy files, and reports
+	// each hostile file in the diagnostics JSON.
+	out.Reset()
+	err = runLearn([]string{
+		"-configs", glob, "-out", contractsPath,
+		"-lenient", "-diagnostics-json", diagPath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("lenient learn: %v\n%s", err, out.String())
+	}
+	if _, err := os.Stat(contractsPath); err != nil {
+		t.Fatalf("contracts file missing: %v", err)
+	}
+	data, err := os.ReadFile(diagPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := concord.ParseDiagnosticsReport(data)
+	if err != nil {
+		t.Fatalf("diagnostics report unparseable: %v\n%s", err, data)
+	}
+	bySource := map[string]concord.Diagnostic{}
+	for _, d := range rep.Diagnostics {
+		bySource[filepath.Base(d.Source)] = d
+	}
+	if d, ok := bySource["unreadable.cfg"]; !ok || d.Stage != "load" || d.Severity != concord.SevError {
+		t.Errorf("unreadable.cfg diagnostic = %+v (present %v)", d, ok)
+	}
+	if d, ok := bySource["binary.cfg"]; !ok || d.Severity != concord.SevError {
+		t.Errorf("binary.cfg diagnostic = %+v (present %v)", d, ok)
+	}
+	if d, ok := bySource["hugeline.cfg"]; !ok || d.Severity != concord.SevWarn ||
+		!strings.Contains(d.Message, "truncated") {
+		t.Errorf("hugeline.cfg diagnostic = %+v (present %v)", d, ok)
+	}
+	if rep.Errors < 2 || rep.Warnings < 1 {
+		t.Errorf("report counts = %+v", rep)
+	}
+	if !strings.Contains(out.String(), "diagnostic(s) recorded") {
+		t.Errorf("no diagnostics summary on stdout:\n%s", out.String())
+	}
+
+	// Strict on a readable-but-degraded corpus fails fast with the
+	// same information in the error.
+	if err := os.RemoveAll(filepath.Join(dir, "unreadable.cfg")); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	err = runLearn([]string{"-configs", glob, "-out", contractsPath, "-strict"}, &out)
+	if err == nil {
+		t.Fatal("strict learn succeeded on degraded corpus")
+	}
+	if !strings.Contains(err.Error(), "binary.cfg") && !strings.Contains(err.Error(), "hugeline.cfg") {
+		t.Errorf("strict error does not name a degraded file: %v", err)
+	}
+}
+
+// TestFailOnDiagnosticsFlag asserts the exit-policy flag converts a
+// successful-but-degraded run into the dedicated sentinel (exit 4).
+func TestFailOnDiagnosticsFlag(t *testing.T) {
+	dir := t.TempDir()
+	writeDataset(t, dir, nil)
+	binary := append([]byte("BIN\x00"), bytes.Repeat([]byte{0xff, 0x00}, 2048)...)
+	if err := os.WriteFile(filepath.Join(dir, "binary.cfg"), binary, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := runLearn([]string{
+		"-configs", filepath.Join(dir, "*.cfg"),
+		"-out", filepath.Join(dir, "contracts.json"),
+		"-fail-on-diagnostics",
+	}, &out)
+	if !errors.Is(err, errDiagnostics) {
+		t.Fatalf("err = %v, want errDiagnostics", err)
+	}
+
+	// A clean corpus with the flag still succeeds.
+	clean := t.TempDir()
+	writeDataset(t, clean, nil)
+	out.Reset()
+	if err := runLearn([]string{
+		"-configs", filepath.Join(clean, "*.cfg"),
+		"-out", filepath.Join(clean, "contracts.json"),
+		"-fail-on-diagnostics",
+	}, &out); err != nil {
+		t.Fatalf("clean corpus with -fail-on-diagnostics: %v", err)
+	}
+}
+
+// TestLenientStrictMutuallyExclusive asserts the flag combination is
+// rejected up front.
+func TestLenientStrictMutuallyExclusive(t *testing.T) {
+	dir := t.TempDir()
+	writeDataset(t, dir, nil)
+	var out bytes.Buffer
+	err := runLearn([]string{
+		"-configs", filepath.Join(dir, "*.cfg"),
+		"-out", filepath.Join(dir, "contracts.json"),
+		"-lenient", "-strict",
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("err = %v, want mutual-exclusion error", err)
+	}
+}
+
+// TestCheckLenientDiagnostics runs the check subcommand over a corpus
+// with a binary file: lenient mode checks the healthy files and
+// reports the skip.
+func TestCheckLenientDiagnostics(t *testing.T) {
+	dir := t.TempDir()
+	writeDataset(t, dir, nil)
+	contractsPath := filepath.Join(dir, "contracts.json")
+	var out bytes.Buffer
+	if err := runLearn([]string{
+		"-configs", filepath.Join(dir, "*.cfg"),
+		"-meta", filepath.Join(dir, "*.json"),
+		"-out", contractsPath,
+	}, &out); err != nil {
+		t.Fatalf("learn: %v", err)
+	}
+
+	binary := append([]byte("BIN\x00"), bytes.Repeat([]byte{0xff, 0x00}, 2048)...)
+	if err := os.WriteFile(filepath.Join(dir, "binary.cfg"), binary, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diagPath := filepath.Join(dir, "check-diagnostics.json")
+	out.Reset()
+	n, err := runCheck([]string{
+		"-configs", filepath.Join(dir, "*.cfg"),
+		"-meta", filepath.Join(dir, "*.json"),
+		"-contracts", contractsPath,
+		"-disable", "ordering",
+		"-lenient", "-diagnostics-json", diagPath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("check: %v\n%s", err, out.String())
+	}
+	if n != 0 {
+		t.Errorf("healthy files reported %d violations:\n%s", n, out.String())
+	}
+	data, err := os.ReadFile(diagPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := concord.ParseDiagnosticsReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, d := range rep.Diagnostics {
+		if filepath.Base(d.Source) == "binary.cfg" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("binary.cfg missing from check diagnostics: %+v", rep.Diagnostics)
 	}
 }

@@ -33,6 +33,7 @@ import (
 
 	"concord/internal/contracts"
 	"concord/internal/core"
+	"concord/internal/diag"
 	"concord/internal/lexer"
 	"concord/internal/netdata"
 	"concord/internal/relations"
@@ -117,6 +118,19 @@ type (
 	// Stage names a pipeline stage, used by Options.Progress callbacks
 	// and span names.
 	Stage = telemetry.Stage
+
+	// Diagnostics is a concurrency-safe collector of non-fatal pipeline
+	// faults (skipped files, truncated lines, contained panics). Attach
+	// one via Options.Diagnostics to aggregate across runs; each
+	// LearnResult/CheckResult also carries its own run's diagnostics.
+	Diagnostics = diag.Collector
+	// Diagnostic is one recorded fault or degradation.
+	Diagnostic = diag.Diagnostic
+	// Severity grades a diagnostic (info, warning, error).
+	Severity = diag.Severity
+	// DiagnosticsReport is the JSON-serializable diagnostics snapshot
+	// (the schema behind the CLI's -diagnostics-json output).
+	DiagnosticsReport = diag.Report
 )
 
 // The pipeline stages reported to Options.Progress.
@@ -137,6 +151,24 @@ func NewRecorder() *Recorder { return telemetry.NewRecorder() }
 // Recorder.WriteJSON (or the CLI's --metrics-json flag).
 func ParseTelemetryReport(data []byte) (TelemetryReport, error) {
 	return telemetry.ParseReport(data)
+}
+
+// The diagnostic severities.
+const (
+	SevInfo  = diag.SevInfo
+	SevWarn  = diag.SevWarn
+	SevError = diag.SevError
+)
+
+// NewDiagnostics returns an empty diagnostics collector. Assign it to
+// Options.Diagnostics to aggregate faults across runs, then call
+// Report or WriteJSON to extract the snapshot.
+func NewDiagnostics() *Diagnostics { return diag.New() }
+
+// ParseDiagnosticsReport decodes a JSON report written by
+// Diagnostics.WriteJSON (or the CLI's -diagnostics-json flag).
+func ParseDiagnosticsReport(data []byte) (DiagnosticsReport, error) {
+	return diag.ParseReport(data)
 }
 
 // The contract categories.
@@ -193,18 +225,50 @@ func CheckContext(ctx context.Context, set *ContractSet, test, metadata []Source
 // relative to the pattern's fixed directory prefix, so files with the
 // same base name in different directories (a/r1.cfg, b/r1.cfg) stay
 // distinguishable in violations.
+//
+// Every matched file is attempted: read failures are collected and
+// returned joined (errors.Join), so one unreadable file no longer
+// hides the others. The returned sources are nil when any read failed;
+// use LoadGlobLenient to keep the readable ones.
 func LoadGlob(pattern string) ([]Source, error) {
+	out, ds, err := loadGlob(pattern)
+	if err != nil {
+		return nil, err
+	}
+	if err := diag.Join(ds); err != nil {
+		return nil, fmt.Errorf("concord: %w", err)
+	}
+	return out, nil
+}
+
+// LoadGlobLenient is LoadGlob in degraded mode: unreadable files are
+// skipped and reported as error diagnostics (stage "load") instead of
+// failing the load. The error is non-nil only for a malformed glob
+// pattern.
+func LoadGlobLenient(pattern string) ([]Source, []Diagnostic, error) {
+	return loadGlob(pattern)
+}
+
+func loadGlob(pattern string) ([]Source, []Diagnostic, error) {
 	paths, err := filepath.Glob(pattern)
 	if err != nil {
-		return nil, fmt.Errorf("concord: bad glob %q: %w", pattern, err)
+		return nil, nil, fmt.Errorf("concord: bad glob %q: %w", pattern, err)
 	}
 	sort.Strings(paths)
 	base := globBase(pattern)
 	var out []Source
+	var ds []Diagnostic
 	for _, p := range paths {
 		data, err := os.ReadFile(p)
 		if err != nil {
-			return nil, fmt.Errorf("concord: %w", err)
+			ds = append(ds, Diagnostic{
+				Severity: SevError,
+				Stage:    "load",
+				Source:   filepath.ToSlash(p),
+				Message:  err.Error(),
+				Cause:    err,
+			})
+			continue
 		}
 		name := p
 		if rel, err := filepath.Rel(base, p); err == nil && !strings.HasPrefix(rel, "..") {
@@ -212,7 +276,7 @@ func LoadGlob(pattern string) ([]Source, error) {
 		}
 		out = append(out, Source{Name: filepath.ToSlash(name), Text: data})
 	}
-	return out, nil
+	return out, ds, nil
 }
 
 // globBase returns the longest directory prefix of a glob pattern that

@@ -325,3 +325,61 @@ func TestCustomRelationThroughPublicAPI(t *testing.T) {
 		}
 	}
 }
+
+// TestLoadGlobCollectsAllErrors asserts a failed load reports every
+// unreadable file, not just the first. Directories matching the glob
+// stand in for unreadable files (reads fail with EISDIR even as root).
+func TestLoadGlobCollectsAllErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "ok.cfg"), []byte("hostname X1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"bad1.cfg", "bad2.cfg"} {
+		if err := os.MkdirAll(filepath.Join(dir, bad), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srcs, err := LoadGlob(filepath.Join(dir, "*.cfg"))
+	if err == nil {
+		t.Fatal("LoadGlob succeeded with unreadable entries")
+	}
+	if srcs != nil {
+		t.Errorf("failed load still returned %d sources", len(srcs))
+	}
+	for _, bad := range []string{"bad1.cfg", "bad2.cfg"} {
+		if !strings.Contains(err.Error(), bad) {
+			t.Errorf("error does not mention %s: %v", bad, err)
+		}
+	}
+}
+
+// TestLoadGlobLenient asserts degraded loading keeps the readable
+// files and reports the rest as load-stage diagnostics.
+func TestLoadGlobLenient(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"a.cfg", "b.cfg"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("hostname X1\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "bad.cfg"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	srcs, ds, err := LoadGlobLenient(filepath.Join(dir, "*.cfg"))
+	if err != nil {
+		t.Fatalf("LoadGlobLenient: %v", err)
+	}
+	if len(srcs) != 2 || srcs[0].Name != "a.cfg" || srcs[1].Name != "b.cfg" {
+		t.Errorf("survivors = %+v", srcs)
+	}
+	if len(ds) != 1 {
+		t.Fatalf("diagnostics = %+v, want 1", ds)
+	}
+	d := ds[0]
+	if d.Severity != SevError || d.Stage != "load" || !strings.Contains(d.Source, "bad.cfg") || d.Cause == nil {
+		t.Errorf("diagnostic = %+v", d)
+	}
+	if _, _, err := LoadGlobLenient("[bad"); err == nil {
+		t.Error("bad glob accepted")
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"math/big"
 	"sort"
 
+	"concord/internal/diag"
+	"concord/internal/faultinject"
 	"concord/internal/lexer"
 	"concord/internal/netdata"
 	"concord/internal/relations"
@@ -30,6 +32,8 @@ type Checker struct {
 	transforms map[string]relations.Transform
 	custom     map[relations.Rel]func(lhs, witness netdata.Value) bool
 	rec        *telemetry.Recorder
+	dc         *diag.Collector
+	strict     bool
 }
 
 // CheckerOption customizes a checker built by NewChecker.
@@ -69,6 +73,22 @@ func WithRelations(defs []relations.Definition) CheckerOption {
 // (check.* counters).
 func WithTelemetry(rec *telemetry.Recorder) CheckerOption {
 	return func(ch *Checker) { ch.rec = rec }
+}
+
+// WithDiagnostics attaches a collector and enables per-contract fault
+// containment: a contract whose evaluation panics is skipped for the
+// configuration (or batch) being checked, recorded as an error
+// diagnostic and a check.contracts_skipped count. Without a collector
+// — or with WithStrict — panics propagate to the caller.
+func WithDiagnostics(dc *diag.Collector) CheckerOption {
+	return func(ch *Checker) { ch.dc = dc }
+}
+
+// WithStrict disables per-contract containment even when a diagnostics
+// collector is attached, letting panics propagate so strict callers
+// fail fast.
+func WithStrict(strict bool) CheckerOption {
+	return func(ch *Checker) { ch.strict = strict }
 }
 
 // NewChecker builds a checker for the given contract set. With no
@@ -184,31 +204,59 @@ func (v *view) values(ch *Checker, pattern string, paramIdx int, transform strin
 
 // Check evaluates every per-configuration contract against cfg and
 // returns the violations in deterministic order. Cross-configuration
-// unique contracts are evaluated by CheckAll.
+// unique contracts are evaluated by CheckAll. With WithDiagnostics
+// (and not WithStrict), a contract whose evaluation panics is skipped
+// for this configuration with a diagnostic instead of crashing the
+// check.
 func (ch *Checker) Check(cfg *lexer.Config) []Violation {
 	v := newView(cfg)
 	var out []Violation
 	for _, c := range ch.set.Contracts {
-		switch c := c.(type) {
-		case *Present:
-			out = append(out, ch.checkPresent(v, c)...)
-		case *Ordering:
-			out = append(out, ch.checkOrdering(v, c)...)
-		case *TypeError:
-			out = append(out, ch.checkType(v, c)...)
-		case *Sequence:
-			out = append(out, ch.checkSequence(v, c)...)
-		case *Unique:
-			out = append(out, ch.checkUniqueExistence(v, c)...)
-		case *Relational:
-			out = append(out, ch.checkRelational(v, c)...)
-		}
+		c := c
+		ch.contained(c, cfg.Name, func() {
+			faultinject.At("contracts.check.contract", c.ID())
+			switch c := c.(type) {
+			case *Present:
+				out = append(out, ch.checkPresent(v, c)...)
+			case *Ordering:
+				out = append(out, ch.checkOrdering(v, c)...)
+			case *TypeError:
+				out = append(out, ch.checkType(v, c)...)
+			case *Sequence:
+				out = append(out, ch.checkSequence(v, c)...)
+			case *Unique:
+				out = append(out, ch.checkUniqueExistence(v, c)...)
+			case *Relational:
+				out = append(out, ch.checkRelational(v, c)...)
+			}
+		})
 	}
 	sortViolations(out)
 	ch.rec.Add("check.contracts_evaluated", int64(len(ch.set.Contracts)))
 	ch.rec.Add("check.violations", int64(len(out)))
 	ch.flushCache(v)
 	return out
+}
+
+// contained runs one contract's evaluation with panic containment when
+// a diagnostics collector is attached and strict mode is off: a
+// recovered panic skips the contract for the current configuration (or
+// batch), recording an error diagnostic and a check.contracts_skipped
+// count. Otherwise the panic propagates unchanged.
+func (ch *Checker) contained(c Contract, source string, eval func()) {
+	if ch.dc == nil || ch.strict {
+		eval()
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			d := diag.FromPanic("check", source, r)
+			d.Message = "contract " + c.ID() + " skipped: " + d.Message
+			ch.dc.Add(d)
+			ch.rec.Add("check.contracts_skipped", 1)
+		}
+	}()
+	eval()
 }
 
 // flushCache folds a view's witness-cache statistics into the recorder.
@@ -390,27 +438,30 @@ func (ch *Checker) checkUniqueGlobal(cfgs []*lexer.Config) []Violation {
 		if !ok {
 			continue
 		}
-		type site struct {
-			file string
-			line int
-		}
-		seen := make(map[string]site)
-		for _, cfg := range cfgs {
-			for i := range cfg.Lines {
-				line := &cfg.Lines[i]
-				if line.Pattern != u.Pattern || u.ParamIdx >= len(line.Params) {
-					continue
-				}
-				key := line.Params[u.ParamIdx].Value.Key()
-				if prev, dup := seen[key]; dup {
-					out = append(out, violation(u, cfg.Name, line.Num,
-						fmt.Sprintf("value %s duplicates %s:%d",
-							line.Params[u.ParamIdx].Value, prev.file, prev.line)))
-					continue
-				}
-				seen[key] = site{file: cfg.Name, line: line.Num}
+		ch.contained(u, "", func() {
+			faultinject.At("contracts.check.unique_global", u.ID())
+			type site struct {
+				file string
+				line int
 			}
-		}
+			seen := make(map[string]site)
+			for _, cfg := range cfgs {
+				for i := range cfg.Lines {
+					line := &cfg.Lines[i]
+					if line.Pattern != u.Pattern || u.ParamIdx >= len(line.Params) {
+						continue
+					}
+					key := line.Params[u.ParamIdx].Value.Key()
+					if prev, dup := seen[key]; dup {
+						out = append(out, violation(u, cfg.Name, line.Num,
+							fmt.Sprintf("value %s duplicates %s:%d",
+								line.Params[u.ParamIdx].Value, prev.file, prev.line)))
+						continue
+					}
+					seen[key] = site{file: cfg.Name, line: line.Num}
+				}
+			}
+		})
 	}
 	return out
 }

@@ -3,6 +3,7 @@ package contracts
 import (
 	"math/big"
 
+	"concord/internal/faultinject"
 	"concord/internal/lexer"
 )
 
@@ -79,22 +80,26 @@ func (ch *Checker) Coverage(cfg *lexer.Config) *CoverageResult {
 		m[li] = true
 	}
 	for _, c := range ch.set.Contracts {
-		switch c := c.(type) {
-		case *Present:
-			if lines := v.matches(c); len(lines) == 1 {
-				mark(CatPresent, lines[0])
+		c := c
+		ch.contained(c, cfg.Name, func() {
+			faultinject.At("contracts.coverage.contract", c.ID())
+			switch c := c.(type) {
+			case *Present:
+				if lines := v.matches(c); len(lines) == 1 {
+					mark(CatPresent, lines[0])
+				}
+			case *Unique:
+				if lines := v.byPattern[c.Pattern]; len(lines) == 1 {
+					mark(CatUnique, lines[0])
+				}
+			case *Ordering:
+				ch.coverOrdering(v, c, mark)
+			case *Sequence:
+				ch.coverSequence(v, c, mark)
+			case *Relational:
+				ch.coverRelational(v, c, mark)
 			}
-		case *Unique:
-			if lines := v.byPattern[c.Pattern]; len(lines) == 1 {
-				mark(CatUnique, lines[0])
-			}
-		case *Ordering:
-			ch.coverOrdering(v, c, mark)
-		case *Sequence:
-			ch.coverSequence(v, c, mark)
-		case *Relational:
-			ch.coverRelational(v, c, mark)
-		}
+		})
 	}
 	ch.rec.Add("coverage.lines_covered", int64(len(res.Covered)))
 	ch.flushCache(v)

@@ -15,6 +15,8 @@ import (
 	"sync/atomic"
 
 	"concord/internal/contracts"
+	"concord/internal/diag"
+	"concord/internal/faultinject"
 	"concord/internal/format"
 	"concord/internal/lexer"
 	"concord/internal/minimize"
@@ -70,6 +72,22 @@ type Options struct {
 	// minimize, check), per-category miner counters, and checker
 	// counters. Telemetry off (nil) costs nothing on the hot paths.
 	Telemetry *telemetry.Recorder
+	// Diagnostics, when non-nil, accumulates every run's contained
+	// faults and input-guard degradations (skipped files, truncated
+	// lines, recovered panics, skipped contracts). Each Learn/Check run
+	// also surfaces its own diagnostics in LearnResult/CheckResult, so
+	// attaching a collector is only needed to aggregate across runs.
+	Diagnostics *diag.Collector
+	// Strict disables fault containment: the first worker panic, guard
+	// violation, or skipped input aborts the run with an error carrying
+	// the same information a lenient run would have reported as
+	// diagnostics. Lenient (false, the default) returns partial results
+	// plus diagnostics.
+	Strict bool
+	// Limits bounds input processing (max file size, line length,
+	// nesting depth, lines per config); zero fields select the
+	// defaults. See format.Limits.
+	Limits format.Limits
 	// Progress, when non-nil, is invoked after each unit of work in a
 	// pipeline stage (one configuration processed, mined, or checked).
 	// Calls are serialized by the engine, so the callback need not be
@@ -78,9 +96,10 @@ type Options struct {
 }
 
 // Validate rejects unusable option values: Support below 1, Confidence
-// outside (0, 1], and negative ScoreThreshold or MaxFanout. New calls
-// it after filling defaulted (zero) Support and Confidence, so only
-// explicitly nonsensical values are rejected.
+// outside (0, 1], negative ScoreThreshold or MaxFanout, and
+// non-positive guard limits. New calls it after filling defaulted
+// (zero) Support, Confidence, and Limits, so only explicitly
+// nonsensical values are rejected.
 func (o Options) Validate() error {
 	if o.Support < 1 {
 		return fmt.Errorf("core: Support must be at least 1 (got %d)", o.Support)
@@ -94,11 +113,14 @@ func (o Options) Validate() error {
 	if o.MaxFanout < 0 {
 		return fmt.Errorf("core: MaxFanout must be non-negative (got %v)", o.MaxFanout)
 	}
+	if err := o.Limits.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
 	return nil
 }
 
 // DefaultOptions returns the paper's defaults: S=5, C=96%, context
-// embedding and minimization on.
+// embedding and minimization on, default input-guard limits.
 func DefaultOptions() Options {
 	return Options{
 		Support:          5,
@@ -106,6 +128,7 @@ func DefaultOptions() Options {
 		ScoreThreshold:   8,
 		ContextEmbedding: true,
 		Minimize:         true,
+		Limits:           format.DefaultLimits(),
 	}
 }
 
@@ -135,6 +158,7 @@ func New(opts Options) (*Engine, error) {
 	if opts.Confidence == 0 {
 		opts.Confidence = def.Confidence
 	}
+	opts.Limits = opts.Limits.WithDefaults()
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -177,8 +201,12 @@ func MustNew(opts Options) *Engine {
 // ProcessStats summarizes a processed corpus (the per-dataset columns of
 // Table 3).
 type ProcessStats struct {
-	// Configs is the number of configuration files.
+	// Configs is the number of configuration files that survived
+	// processing.
 	Configs int
+	// Skipped counts sources dropped from the corpus by fault
+	// containment or input guards (each with a diagnostic).
+	Skipped int
 	// Lines is the total number of non-blank configuration lines.
 	Lines int
 	// Patterns is the number of distinct extracted patterns.
@@ -197,22 +225,65 @@ func (e *Engine) Process(sources, meta []Source) ([]*lexer.Config, ProcessStats)
 
 // ProcessContext is Process with cooperative cancellation: workers stop
 // within one configuration of ctx being cancelled, and the error is
-// ctx.Err(). The stage is timed under the "process" span.
+// ctx.Err(). The stage is timed under the "process" span. Sources that
+// panic a worker or violate input guards are dropped with diagnostics
+// (delivered to Options.Diagnostics); with Options.Strict the first
+// fault aborts with an error instead.
 func (e *Engine) ProcessContext(ctx context.Context, sources, meta []Source) ([]*lexer.Config, ProcessStats, error) {
+	dc := diag.New()
+	defer e.opts.Diagnostics.Merge(dc)
+	return e.processContext(ctx, dc, sources, meta)
+}
+
+// processContext is the diagnostics-threaded implementation behind
+// ProcessContext; per-run collectors let each Learn/Check surface only
+// its own diagnostics in its result.
+func (e *Engine) processContext(ctx context.Context, dc *diag.Collector, sources, meta []Source) ([]*lexer.Config, ProcessStats, error) {
 	sp := e.opts.Telemetry.StartSpan(string(telemetry.StageProcess))
-	metaLines := e.processMeta(meta)
-	cfgs := make([]*lexer.Config, len(sources))
-	err := e.forEachCtx(ctx, telemetry.StageProcess, len(sources), func(i int) {
-		cfg := format.Process(sources[i].Name, sources[i].Text, e.lx,
-			format.Options{Embed: e.opts.ContextEmbedding, Telemetry: e.opts.Telemetry})
-		cfg.Lines = append(cfg.Lines, metaLines...)
-		cfgs[i] = &cfg
-	})
-	sp.EndCount(len(sources))
+	defer sp.EndCount(len(sources))
+	lim := e.opts.Limits.WithDefaults()
+	e.opts.Telemetry.SetGauge("limits.max_file_size", float64(lim.MaxFileSize))
+	e.opts.Telemetry.SetGauge("limits.max_line_len", float64(lim.MaxLineLen))
+	e.opts.Telemetry.SetGauge("limits.max_depth", float64(lim.MaxDepth))
+	e.opts.Telemetry.SetGauge("limits.max_lines", float64(lim.MaxLines))
+	metaLines, err := e.processMeta(dc, lim, meta)
 	if err != nil {
 		return nil, ProcessStats{}, err
 	}
-	st := ProcessStats{Configs: len(cfgs)}
+	slots := make([]*lexer.Config, len(sources))
+	err = e.forEachCtx(ctx, dc, telemetry.StageProcess, len(sources),
+		func(i int) string { return sources[i].Name },
+		func(i int) {
+			faultinject.At("core.process.source", sources[i].Name)
+			cfg := format.Process(sources[i].Name, sources[i].Text, e.lx,
+				format.Options{Embed: e.opts.ContextEmbedding, Limits: lim,
+					Telemetry: e.opts.Telemetry, Diagnostics: dc})
+			if cfg.Skipped {
+				return // input guards recorded the diagnostic
+			}
+			cfg.Lines = append(cfg.Lines, metaLines...)
+			slots[i] = &cfg
+		})
+	if err != nil {
+		return nil, ProcessStats{}, err
+	}
+	// Compact: sources that panicked a worker or were rejected by input
+	// guards leave nil slots; survivors keep input order.
+	var cfgs []*lexer.Config
+	skipped := 0
+	for _, c := range slots {
+		if c != nil {
+			cfgs = append(cfgs, c)
+		} else {
+			skipped++
+		}
+	}
+	if e.opts.Strict {
+		if err := diag.Join(dc.All()); err != nil {
+			return nil, ProcessStats{}, fmt.Errorf("core: strict mode: %w", err)
+		}
+	}
+	st := ProcessStats{Configs: len(cfgs), Skipped: skipped}
 	patterns := make(map[string]int)
 	for _, cfg := range cfgs {
 		st.Lines += cfg.SourceLines
@@ -231,6 +302,7 @@ func (e *Engine) ProcessContext(ctx context.Context, sources, meta []Source) ([]
 		st.Parameters += n
 	}
 	e.opts.Telemetry.SetGauge("corpus.configs", float64(st.Configs))
+	e.opts.Telemetry.SetGauge("corpus.skipped", float64(st.Skipped))
 	e.opts.Telemetry.SetGauge("corpus.lines", float64(st.Lines))
 	e.opts.Telemetry.SetGauge("corpus.patterns", float64(st.Patterns))
 	return cfgs, st, nil
@@ -239,20 +311,48 @@ func (e *Engine) ProcessContext(ctx context.Context, sources, meta []Source) ([]
 // processMeta embeds and lexes metadata files into lines tagged with the
 // @meta prefix, so metadata patterns are distinguishable and relations
 // against them read like the paper's example
-// (@meta/nfInfos/vrfName/vlanId [a:num]).
-func (e *Engine) processMeta(meta []Source) []lexer.Line {
+// (@meta/nfInfos/vrfName/vlanId [a:num]). A metadata file that panics
+// processing or trips an input guard is skipped with a diagnostic
+// (strict: aborts with an error).
+func (e *Engine) processMeta(dc *diag.Collector, lim format.Limits, meta []Source) ([]lexer.Line, error) {
 	var out []lexer.Line
 	for _, m := range meta {
-		cfg := format.Process(m.Name, m.Text, e.lx, format.Options{Embed: e.opts.ContextEmbedding})
-		for _, line := range cfg.Lines {
-			line.Meta = true
-			line.Pattern = "@meta" + line.Pattern
-			line.Display = "@meta" + line.Display
-			line.Text = "@meta" + line.Text
-			out = append(out, line)
+		lines, err := e.processOneMeta(dc, lim, m)
+		if err != nil {
+			return nil, err
 		}
+		out = append(out, lines...)
 	}
-	return out
+	return out, nil
+}
+
+func (e *Engine) processOneMeta(dc *diag.Collector, lim format.Limits, m Source) (out []lexer.Line, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			d := diag.FromPanic(string(telemetry.StageProcess), m.Name, r)
+			if e.opts.Strict {
+				out, err = nil, fmt.Errorf("core: strict mode: %w", d.AsError())
+				return
+			}
+			dc.Add(d)
+			e.opts.Telemetry.Add("diag.panics", 1)
+			out = nil
+		}
+	}()
+	faultinject.At("core.process.meta", m.Name)
+	cfg := format.Process(m.Name, m.Text, e.lx,
+		format.Options{Embed: e.opts.ContextEmbedding, Limits: lim, Diagnostics: dc})
+	if cfg.Skipped {
+		return nil, nil
+	}
+	for _, line := range cfg.Lines {
+		line.Meta = true
+		line.Pattern = "@meta" + line.Pattern
+		line.Display = "@meta" + line.Display
+		line.Text = "@meta" + line.Text
+		out = append(out, line)
+	}
+	return out, nil
 }
 
 // progress serializes Options.Progress callbacks.
@@ -270,53 +370,96 @@ func (e *Engine) progress(stage telemetry.Stage, done, total int) {
 // being cancelled. Workers never start new items after cancellation;
 // the first non-nil ctx error is returned once all workers have
 // drained.
-func (e *Engine) forEachCtx(ctx context.Context, stage telemetry.Stage, n int, fn func(i int)) error {
+//
+// Panics inside fn are contained per item: in lenient mode (the
+// default) a recovered panic becomes an error diagnostic in dc
+// attributed to name(i) — with stack captured — and the remaining items
+// continue. With Options.Strict the first panic aborts the stage (the
+// remaining items are never started) and is returned as an error, so
+// tests and CI keep fail-fast semantics.
+func (e *Engine) forEachCtx(ctx context.Context, dc *diag.Collector, stage telemetry.Stage, n int, name func(int) string, fn func(i int)) error {
 	workers := e.opts.Parallelism
 	if workers > n {
 		workers = n
 	}
+	ictx, abort := context.WithCancel(ctx)
+	defer abort()
+	var failOnce sync.Once
+	var failErr error
 	var done atomic.Int64
 	tick := func() {
 		if e.opts.Progress != nil {
 			e.progress(stage, int(done.Add(1)), n)
 		}
 	}
+	call := func(i int) {
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			d := diag.FromPanic(string(stage), nameAt(name, i), r)
+			if e.opts.Strict {
+				failOnce.Do(func() {
+					failErr = fmt.Errorf("core: %s stage aborted (strict): %w", stage, d.AsError())
+					abort()
+				})
+				return
+			}
+			dc.Add(d)
+			e.opts.Telemetry.Add("diag.panics", 1)
+		}()
+		fn(i)
+	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := ctx.Err(); err != nil {
-				return err
+			if ictx.Err() != nil {
+				break
 			}
-			fn(i)
+			call(i)
 			tick()
 		}
-		return nil
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				if ctx.Err() != nil {
-					continue // drain the channel without starting new work
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					if ictx.Err() != nil {
+						continue // drain the channel without starting new work
+					}
+					call(i)
+					tick()
 				}
-				fn(i)
-				tick()
-			}
-		}()
-	}
-feed:
-	for i := 0; i < n; i++ {
-		select {
-		case next <- i:
-		case <-ctx.Done():
-			break feed
+			}()
 		}
+	feed:
+		for i := 0; i < n; i++ {
+			select {
+			case next <- i:
+			case <-ictx.Done():
+				break feed
+			}
+		}
+		close(next)
+		wg.Wait()
 	}
-	close(next)
-	wg.Wait()
+	// failErr is published before abort() and read after wg.Wait (or
+	// after the sequential loop), so the read is race-free.
+	if failErr != nil {
+		return failErr
+	}
 	return ctx.Err()
+}
+
+// nameAt labels item i for diagnostics; a nil name func yields "".
+func nameAt(name func(int) string, i int) string {
+	if name == nil {
+		return ""
+	}
+	return name(i)
 }
 
 // LearnResult is the output of Learn.
@@ -328,6 +471,9 @@ type LearnResult struct {
 	Minimization minimize.Result
 	// Stats summarizes the processed corpus.
 	Stats ProcessStats
+	// Diagnostics lists this run's contained faults and input-guard
+	// degradations; empty on a clean run.
+	Diagnostics []diag.Diagnostic
 }
 
 // Learn processes the training sources and mines a contract set. It is
@@ -341,12 +487,23 @@ func (e *Engine) Learn(sources, meta []Source) (*LearnResult, error) {
 // and per-category miner checks the context and the pipeline aborts
 // within one unit of work, returning ctx.Err(). Stage timings,
 // allocation deltas, and miner counters go to Options.Telemetry.
+// Faults are contained per source: a panicked or guard-rejected source
+// is dropped with a diagnostic (in the result and Options.Diagnostics)
+// and learning proceeds on the survivors; Options.Strict aborts on the
+// first fault instead.
 func (e *Engine) LearnContext(ctx context.Context, sources, meta []Source) (*LearnResult, error) {
-	cfgs, pstats, err := e.ProcessContext(ctx, sources, meta)
+	dc := diag.New()
+	defer e.opts.Diagnostics.Merge(dc)
+	cfgs, pstats, err := e.processContext(ctx, dc, sources, meta)
 	if err != nil {
 		return nil, err
 	}
-	return e.LearnProcessedContext(ctx, cfgs, pstats)
+	res, err := e.learnProcessedContext(ctx, dc, cfgs, pstats)
+	if err != nil {
+		return nil, err
+	}
+	res.Diagnostics = dc.All()
+	return res, nil
 }
 
 // LearnProcessed mines contracts from already-processed configurations,
@@ -357,6 +514,17 @@ func (e *Engine) LearnProcessed(cfgs []*lexer.Config, pstats ProcessStats) (*Lea
 
 // LearnProcessedContext is LearnProcessed under a cancellable context.
 func (e *Engine) LearnProcessedContext(ctx context.Context, cfgs []*lexer.Config, pstats ProcessStats) (*LearnResult, error) {
+	dc := diag.New()
+	defer e.opts.Diagnostics.Merge(dc)
+	res, err := e.learnProcessedContext(ctx, dc, cfgs, pstats)
+	if err != nil {
+		return nil, err
+	}
+	res.Diagnostics = dc.All()
+	return res, nil
+}
+
+func (e *Engine) learnProcessedContext(ctx context.Context, dc *diag.Collector, cfgs []*lexer.Config, pstats ProcessStats) (*LearnResult, error) {
 	var mineProgress func(done, total int)
 	if e.opts.Progress != nil {
 		mineProgress = func(done, total int) { e.progress(telemetry.StageMine, done, total) }
@@ -372,6 +540,8 @@ func (e *Engine) LearnProcessedContext(ctx context.Context, cfgs []*lexer.Config
 		Transforms:       e.transforms,
 		ExtraRelations:   e.opts.ExtraRelations,
 		Telemetry:        e.opts.Telemetry,
+		Diagnostics:      dc,
+		Strict:           e.opts.Strict,
 		Progress:         mineProgress,
 	})
 	sp := e.opts.Telemetry.StartSpan(string(telemetry.StageMine))
@@ -386,13 +556,37 @@ func (e *Engine) LearnProcessedContext(ctx context.Context, cfgs []*lexer.Config
 			return nil, err
 		}
 		e.progress(telemetry.StageMinimize, 0, 1)
-		minimized, minRes := minimize.SetInstrumented(set, e.opts.Telemetry)
+		minimized, minRes, err := e.minimizeContained(dc, set)
+		if err != nil {
+			return nil, err
+		}
 		res.Set = minimized
 		res.Minimization = minRes
 		e.progress(telemetry.StageMinimize, 1, 1)
 	}
 	e.opts.Telemetry.SetGauge("learn.contracts", float64(res.Set.Len()))
 	return res, nil
+}
+
+// minimizeContained runs contract minimization with panic containment:
+// a panic degrades to the unminimized set with a diagnostic (strict:
+// an error), so a minimizer bug never costs the whole learned set.
+func (e *Engine) minimizeContained(dc *diag.Collector, set *contracts.Set) (out *contracts.Set, res minimize.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			d := diag.FromPanic(string(telemetry.StageMinimize), "", r)
+			if e.opts.Strict {
+				out, res, err = nil, minimize.Result{}, fmt.Errorf("core: strict mode: %w", d.AsError())
+				return
+			}
+			dc.Add(d)
+			e.opts.Telemetry.Add("diag.panics", 1)
+			out, res = set, minimize.Result{}
+		}
+	}()
+	faultinject.At("core.minimize", "")
+	minimized, minRes := minimize.SetInstrumented(set, e.opts.Telemetry)
+	return minimized, minRes, nil
 }
 
 func (e *Engine) categorySet() map[contracts.Category]bool {
@@ -450,6 +644,9 @@ type CheckResult struct {
 	Coverage CoverageSummary
 	// Stats summarizes the processed corpus.
 	Stats ProcessStats
+	// Diagnostics lists this run's contained faults and input-guard
+	// degradations; empty on a clean run.
+	Diagnostics []diag.Diagnostic
 }
 
 // Check processes the test sources and evaluates the contract set
@@ -461,13 +658,22 @@ func (e *Engine) Check(set *contracts.Set, sources, meta []Source) (*CheckResult
 
 // CheckContext runs the checking pipeline under ctx, aborting within
 // one configuration of cancellation with ctx.Err(). Stage timings and
-// checker counters go to Options.Telemetry.
+// checker counters go to Options.Telemetry. Faults are contained per
+// source and per contract: a panicking contract is skipped for that
+// configuration with a diagnostic; Options.Strict aborts instead.
 func (e *Engine) CheckContext(ctx context.Context, set *contracts.Set, sources, meta []Source) (*CheckResult, error) {
-	cfgs, pstats, err := e.ProcessContext(ctx, sources, meta)
+	dc := diag.New()
+	defer e.opts.Diagnostics.Merge(dc)
+	cfgs, pstats, err := e.processContext(ctx, dc, sources, meta)
 	if err != nil {
 		return nil, err
 	}
-	return e.CheckProcessedContext(ctx, set, cfgs, pstats)
+	res, err := e.checkProcessedContext(ctx, dc, set, cfgs, pstats)
+	if err != nil {
+		return nil, err
+	}
+	res.Diagnostics = dc.All()
+	return res, nil
 }
 
 // CheckProcessed evaluates a contract set against already-processed
@@ -478,17 +684,33 @@ func (e *Engine) CheckProcessed(set *contracts.Set, cfgs []*lexer.Config, pstats
 
 // CheckProcessedContext is CheckProcessed under a cancellable context.
 func (e *Engine) CheckProcessedContext(ctx context.Context, set *contracts.Set, cfgs []*lexer.Config, pstats ProcessStats) (*CheckResult, error) {
+	dc := diag.New()
+	defer e.opts.Diagnostics.Merge(dc)
+	res, err := e.checkProcessedContext(ctx, dc, set, cfgs, pstats)
+	if err != nil {
+		return nil, err
+	}
+	res.Diagnostics = dc.All()
+	return res, nil
+}
+
+func (e *Engine) checkProcessedContext(ctx context.Context, dc *diag.Collector, set *contracts.Set, cfgs []*lexer.Config, pstats ProcessStats) (*CheckResult, error) {
 	checker := contracts.NewChecker(set,
 		contracts.WithTransforms(e.transforms),
 		contracts.WithRelations(e.opts.ExtraRelations),
-		contracts.WithTelemetry(e.opts.Telemetry))
+		contracts.WithTelemetry(e.opts.Telemetry),
+		contracts.WithDiagnostics(dc),
+		contracts.WithStrict(e.opts.Strict))
 	perCfgViolations := make([][]contracts.Violation, len(cfgs))
 	perCfgCoverage := make([]*contracts.CoverageResult, len(cfgs))
 	sp := e.opts.Telemetry.StartSpan(string(telemetry.StageCheck))
-	err := e.forEachCtx(ctx, telemetry.StageCheck, len(cfgs), func(i int) {
-		perCfgViolations[i] = checker.Check(cfgs[i])
-		perCfgCoverage[i] = checker.Coverage(cfgs[i])
-	})
+	err := e.forEachCtx(ctx, dc, telemetry.StageCheck, len(cfgs),
+		func(i int) string { return cfgs[i].Name },
+		func(i int) {
+			faultinject.At("core.check.config", cfgs[i].Name)
+			perCfgViolations[i] = checker.Check(cfgs[i])
+			perCfgCoverage[i] = checker.Coverage(cfgs[i])
+		})
 	sp.EndCount(len(cfgs))
 	if err != nil {
 		return nil, err
@@ -503,6 +725,11 @@ func (e *Engine) CheckProcessedContext(ctx context.Context, set *contracts.Set, 
 
 	res.Coverage.ByCategory = make(map[contracts.Category]int)
 	for i, cov := range perCfgCoverage {
+		if cov == nil {
+			// This configuration's check panicked and was contained;
+			// the diagnostic is already in dc.
+			continue
+		}
 		cc := ConfigCoverage{
 			Name:        cfgs[i].Name,
 			SourceLines: cov.SourceLines,

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"concord/internal/contracts"
+	"concord/internal/diag"
 	"concord/internal/telemetry"
 )
 
@@ -35,40 +36,46 @@ func (e *Engine) CoverageLines(set *contracts.Set, sources, meta []Source) ([]Li
 
 // CoverageLinesContext is CoverageLines under a cancellable context.
 func (e *Engine) CoverageLinesContext(ctx context.Context, set *contracts.Set, sources, meta []Source) ([]LineCoverage, error) {
-	cfgs, _, err := e.ProcessContext(ctx, sources, meta)
+	dc := diag.New()
+	defer e.opts.Diagnostics.Merge(dc)
+	cfgs, _, err := e.processContext(ctx, dc, sources, meta)
 	if err != nil {
 		return nil, err
 	}
 	checker := contracts.NewChecker(set,
 		contracts.WithTransforms(e.transforms),
 		contracts.WithRelations(e.opts.ExtraRelations),
-		contracts.WithTelemetry(e.opts.Telemetry))
+		contracts.WithTelemetry(e.opts.Telemetry),
+		contracts.WithDiagnostics(dc),
+		contracts.WithStrict(e.opts.Strict))
 	perCfg := make([][]LineCoverage, len(cfgs))
 	sp := e.opts.Telemetry.StartSpan(string(telemetry.StageCoverage))
-	err = e.forEachCtx(ctx, telemetry.StageCoverage, len(cfgs), func(i int) {
-		cov := checker.Coverage(cfgs[i])
-		var out []LineCoverage
-		for li := range cfgs[i].Lines {
-			line := &cfgs[i].Lines[li]
-			if line.Meta {
-				continue
-			}
-			lc := LineCoverage{
-				File:    cfgs[i].Name,
-				Line:    line.Num,
-				Raw:     line.Raw,
-				Covered: cov.Covered[li],
-			}
-			for _, cat := range contracts.Categories() {
-				if cov.ByCategory[cat][li] {
-					lc.Categories = append(lc.Categories, cat)
+	err = e.forEachCtx(ctx, dc, telemetry.StageCoverage, len(cfgs),
+		func(i int) string { return cfgs[i].Name },
+		func(i int) {
+			cov := checker.Coverage(cfgs[i])
+			var out []LineCoverage
+			for li := range cfgs[i].Lines {
+				line := &cfgs[i].Lines[li]
+				if line.Meta {
+					continue
 				}
+				lc := LineCoverage{
+					File:    cfgs[i].Name,
+					Line:    line.Num,
+					Raw:     line.Raw,
+					Covered: cov.Covered[li],
+				}
+				for _, cat := range contracts.Categories() {
+					if cov.ByCategory[cat][li] {
+						lc.Categories = append(lc.Categories, cat)
+					}
+				}
+				out = append(out, lc)
 			}
-			out = append(out, lc)
-		}
-		sort.Slice(out, func(a, b int) bool { return out[a].Line < out[b].Line })
-		perCfg[i] = out
-	})
+			sort.Slice(out, func(a, b int) bool { return out[a].Line < out[b].Line })
+			perCfg[i] = out
+		})
 	sp.EndCount(len(cfgs))
 	if err != nil {
 		return nil, err

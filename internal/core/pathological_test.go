@@ -1,0 +1,188 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"concord/internal/diag"
+)
+
+// pathologicalCases are hostile inputs the pipeline must degrade on —
+// not crash, not hang, not poison the rest of the corpus.
+func pathologicalCases() []struct {
+	name     string
+	text     []byte
+	skipped  bool // file dropped from the corpus entirely
+	severity diag.Severity
+	contains string // expected fragment of the diagnostic message
+} {
+	binary := append([]byte("ELF\x00\x00\x00\x01"), bytes.Repeat([]byte{0xff, 0x00, 0x7f}, 512)...)
+	mojibake := bytes.Repeat([]byte{0xfe, 0xfd, 0xfc}, 1024)
+	hugeLine := append([]byte("hostname "), bytes.Repeat([]byte("x"), 10<<20)...)
+	var deep bytes.Buffer
+	for i := 0; i < 1000; i++ {
+		deep.WriteString(strings.Repeat(" ", i))
+		deep.WriteString("level\n")
+	}
+	return []struct {
+		name     string
+		text     []byte
+		skipped  bool
+		severity diag.Severity
+		contains string
+	}{
+		{"binary.bin", binary, true, diag.SevError, "binary"},
+		{"mojibake.cfg", mojibake, true, diag.SevError, "binary"},
+		{"hugeline.cfg", hugeLine, false, diag.SevWarn, "truncated"},
+		{"deep.cfg", deep.Bytes(), false, diag.SevWarn, "depth capped"},
+	}
+}
+
+// TestPathologicalInputsDegrade feeds each hostile file through Learn
+// alongside a healthy corpus: learning succeeds, the healthy sources
+// are unaffected, and the degradation is reported as a diagnostic
+// naming the file.
+func TestPathologicalInputsDegrade(t *testing.T) {
+	for _, tc := range pathologicalCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			srcs := append(chaosSources(6), Source{Name: tc.name, Text: tc.text})
+			lr, err := MustNew(DefaultOptions()).Learn(srcs, nil)
+			if err != nil {
+				t.Fatalf("Learn = %v, want degraded success", err)
+			}
+			wantConfigs, wantSkipped := 7, 0
+			if tc.skipped {
+				wantConfigs, wantSkipped = 6, 1
+			}
+			if lr.Stats.Configs != wantConfigs || lr.Stats.Skipped != wantSkipped {
+				t.Errorf("stats = %d configs, %d skipped; want %d, %d",
+					lr.Stats.Configs, lr.Stats.Skipped, wantConfigs, wantSkipped)
+			}
+			var found bool
+			for _, d := range lr.Diagnostics {
+				if d.Source != tc.name {
+					t.Errorf("diagnostic for unexpected source: %+v", d)
+					continue
+				}
+				found = true
+				if d.Severity != tc.severity || !strings.Contains(d.Message, tc.contains) {
+					t.Errorf("diagnostic = %+v, want severity %v containing %q",
+						d, tc.severity, tc.contains)
+				}
+			}
+			if !found {
+				t.Errorf("no diagnostic named %s: %+v", tc.name, lr.Diagnostics)
+			}
+		})
+	}
+}
+
+// TestPathologicalInputsStrict asserts strict mode refuses to silently
+// degrade: every hostile input becomes a hard error naming the file.
+func TestPathologicalInputsStrict(t *testing.T) {
+	for _, tc := range pathologicalCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := DefaultOptions()
+			opts.Strict = true
+			srcs := append(chaosSources(6), Source{Name: tc.name, Text: tc.text})
+			_, err := MustNew(opts).Learn(srcs, nil)
+			if err == nil {
+				t.Fatal("strict Learn succeeded on pathological input")
+			}
+			if !strings.Contains(err.Error(), tc.name) {
+				t.Errorf("strict error does not name the file: %v", err)
+			}
+		})
+	}
+}
+
+// TestOversizeFileSkipped drives the MaxFileSize guard with a shrunken
+// limit so the test does not allocate 64 MiB.
+func TestOversizeFileSkipped(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Limits.MaxFileSize = 1 << 10
+	srcs := append(chaosSources(6),
+		Source{Name: "big.cfg", Text: bytes.Repeat([]byte("interface Ethernet1\n"), 200)})
+	lr, err := MustNew(opts).Learn(srcs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.Stats.Configs != 6 || lr.Stats.Skipped != 1 {
+		t.Errorf("stats = %+v, want big.cfg skipped", lr.Stats)
+	}
+	if len(lr.Diagnostics) != 1 || lr.Diagnostics[0].Source != "big.cfg" ||
+		lr.Diagnostics[0].Severity != diag.SevError {
+		t.Errorf("diagnostics = %+v", lr.Diagnostics)
+	}
+}
+
+// TestLineBudgetCapped drives the MaxLines guard with a shrunken limit.
+func TestLineBudgetCapped(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Limits.MaxLines = 4
+	srcs := append(chaosSources(6),
+		Source{Name: "many.cfg", Text: bytes.Repeat([]byte("vlan 10\n"), 50)})
+	lr, err := MustNew(opts).Learn(srcs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, d := range lr.Diagnostics {
+		if d.Source == "many.cfg" && strings.Contains(d.Message, "line budget") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no line-budget diagnostic: %+v", lr.Diagnostics)
+	}
+}
+
+// TestEmptyCorpus asserts learning and checking over zero sources
+// complete without error or contracts.
+func TestEmptyCorpus(t *testing.T) {
+	eng := MustNew(DefaultOptions())
+	lr, err := eng.Learn(nil, nil)
+	if err != nil {
+		t.Fatalf("Learn(nil) = %v", err)
+	}
+	if lr.Set.Len() != 0 || lr.Stats.Configs != 0 || len(lr.Diagnostics) != 0 {
+		t.Errorf("empty corpus learned %d contracts, stats %+v", lr.Set.Len(), lr.Stats)
+	}
+	cr, err := eng.Check(lr.Set, nil, nil)
+	if err != nil {
+		t.Fatalf("Check(empty) = %v", err)
+	}
+	if len(cr.Violations) != 0 {
+		t.Errorf("empty check reported violations: %+v", cr.Violations)
+	}
+}
+
+// TestPathologicalCheck runs Check (not just Learn) over a corpus with
+// a hostile file: the healthy configs are still checked and the binary
+// file is reported, not crashed on.
+func TestPathologicalCheck(t *testing.T) {
+	eng := MustNew(DefaultOptions())
+	lr, err := eng.Learn(chaosSources(8), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := append(chaosSources(8),
+		Source{Name: "junk.bin", Text: bytes.Repeat([]byte{0x00, 0xff}, 4096)})
+	cr, err := eng.Check(lr.Set, srcs, nil)
+	if err != nil {
+		t.Fatalf("Check = %v, want degraded success", err)
+	}
+	if len(cr.Coverage.PerConfig) != 8 {
+		t.Errorf("coverage covers %d configs, want 8", len(cr.Coverage.PerConfig))
+	}
+	var found bool
+	for _, d := range cr.Diagnostics {
+		if d.Source == "junk.bin" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no diagnostic for junk.bin: %+v", cr.Diagnostics)
+	}
+}

@@ -1,0 +1,144 @@
+package diag
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilCollectorIsSafe(t *testing.T) {
+	var c *Collector
+	c.Add(Diagnostic{Severity: SevError, Message: "x"})
+	c.Addf(SevWarn, "process", "f", 1, "y %d", 2)
+	c.Merge(New())
+	if c.Len() != 0 || c.Count(SevError) != 0 || c.All() != nil {
+		t.Error("nil collector should read as empty")
+	}
+	rep := c.Report()
+	if rep.Total != 0 || rep.Errors != 0 {
+		t.Errorf("nil collector report = %+v", rep)
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Addf(SevWarn, "process", "f", j, "w")
+				c.Add(Diagnostic{Severity: SevError, Stage: "mine", Message: "e"})
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Len() != 3200 {
+		t.Errorf("Len = %d, want 3200", c.Len())
+	}
+	if c.Count(SevError) != 1600 || c.Count(SevWarn) != 1600 {
+		t.Errorf("counts = %d err, %d warn", c.Count(SevError), c.Count(SevWarn))
+	}
+}
+
+func TestMergePreservesOrderAndCopies(t *testing.T) {
+	a, b := New(), New()
+	a.Addf(SevInfo, "load", "a", 0, "first")
+	b.Addf(SevError, "load", "b", 0, "second")
+	a.Merge(b)
+	ds := a.All()
+	if len(ds) != 2 || ds[0].Source != "a" || ds[1].Source != "b" {
+		t.Errorf("merged = %+v", ds)
+	}
+	// All returns a copy: mutating it must not affect the collector.
+	ds[0].Source = "mutated"
+	if a.All()[0].Source != "a" {
+		t.Error("All leaked internal storage")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	c := New()
+	c.Add(Diagnostic{
+		Severity: SevError, Stage: "process", Source: "r1.cfg", Line: 7,
+		Message: "boom", Cause: errors.New("underlying"), Stack: "goroutine 1 ...",
+	})
+	c.Addf(SevWarn, "process", "r2.cfg", 0, "truncated")
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Cause appears under the stable "error" key.
+	var raw map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"error": "underlying"`) {
+		t.Errorf("missing error key in:\n%s", buf.String())
+	}
+	rep, err := ParseReport(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != 2 || rep.Errors != 1 || rep.Warnings != 1 || rep.Infos != 0 {
+		t.Errorf("report counts = %+v", rep)
+	}
+	d := rep.Diagnostics[0]
+	if d.Severity != SevError || d.Stage != "process" || d.Source != "r1.cfg" || d.Line != 7 {
+		t.Errorf("round-tripped = %+v", d)
+	}
+	if d.Cause == nil || d.Cause.Error() != "underlying" {
+		t.Errorf("cause = %v", d.Cause)
+	}
+}
+
+func TestFromPanicPreservesErrorCause(t *testing.T) {
+	sentinel := errors.New("injected")
+	d := FromPanic("mine", "cfg3", sentinel)
+	if d.Severity != SevError || d.Stage != "mine" || d.Source != "cfg3" {
+		t.Errorf("diagnostic = %+v", d)
+	}
+	if !errors.Is(d.AsError(), sentinel) {
+		t.Errorf("AsError() = %v, want wrapping %v", d.AsError(), sentinel)
+	}
+	if d.Stack == "" || !strings.Contains(d.Stack, "goroutine") {
+		t.Error("stack not captured")
+	}
+	// Non-error panic values become message-only diagnostics.
+	d2 := FromPanic("check", "", "string panic")
+	if d2.Cause != nil || !strings.Contains(d2.Message, "string panic") {
+		t.Errorf("diagnostic = %+v", d2)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	if Join(nil) != nil {
+		t.Error("Join(nil) should be nil")
+	}
+	sentinel := errors.New("root cause")
+	err := Join([]Diagnostic{
+		{Severity: SevError, Stage: "process", Source: "a", Message: "m1", Cause: sentinel},
+		{Severity: SevWarn, Stage: "process", Source: "b", Message: "m2"},
+	})
+	if err == nil || !errors.Is(err, sentinel) {
+		t.Errorf("Join = %v, want wrapping sentinel", err)
+	}
+	if !strings.Contains(err.Error(), "m2") {
+		t.Errorf("joined error lost second diagnostic: %v", err)
+	}
+}
+
+func TestString(t *testing.T) {
+	d := Diagnostic{Severity: SevWarn, Stage: "process", Source: "f.cfg", Line: 3, Message: "capped"}
+	if got := d.String(); got != "warn: process: f.cfg:3: capped" {
+		t.Errorf("String = %q", got)
+	}
+	d2 := Diagnostic{Severity: SevError, Stage: "mine", Message: "corpus-wide"}
+	if got := d2.String(); got != "error: mine: corpus-wide" {
+		t.Errorf("String = %q", got)
+	}
+}

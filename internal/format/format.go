@@ -14,8 +14,10 @@ package format
 
 import (
 	"encoding/json"
+	"sort"
 	"strings"
 
+	"concord/internal/diag"
 	"concord/internal/lexer"
 	"concord/internal/telemetry"
 )
@@ -101,15 +103,40 @@ type Options struct {
 	// false every format is treated as flat, which is the "Baseline"
 	// configuration of Figure 7.
 	Embed bool
+	// Limits bounds input processing (file size, line length, nesting
+	// depth, lines per config); zero fields select the defaults.
+	Limits Limits
 	// Telemetry, when non-nil, receives per-format detection counters
 	// (format.detect.<category>) so corpus composition shows up in the
 	// engine's metrics report.
 	Telemetry *telemetry.Recorder
+	// Diagnostics, when non-nil, receives input-guard diagnostics:
+	// skipped binary or oversized files, truncated lines, capped
+	// nesting, exhausted line budgets.
+	Diagnostics *diag.Collector
 }
 
 // Process turns raw file text into a lexed configuration. It detects the
 // format, performs context embedding when enabled, and lexes every line.
+// Inputs violating Options.Limits degrade instead of exploding: files
+// that are too large or binary return an empty config with Skipped set
+// (and an error diagnostic); over-long lines are truncated, over-deep
+// nesting capped, and over-budget lines dropped, each with a warning
+// diagnostic.
 func Process(name string, text []byte, lx *lexer.Lexer, opts Options) lexer.Config {
+	lim := opts.Limits.WithDefaults()
+	if len(text) > lim.MaxFileSize {
+		opts.Diagnostics.Addf(diag.SevError, "process", name, 0,
+			"file size %d exceeds limit %d; skipped", len(text), lim.MaxFileSize)
+		opts.Telemetry.Add("guard.files_skipped", 1)
+		return lexer.Config{Name: name, Skipped: true}
+	}
+	if looksBinary(text) {
+		opts.Diagnostics.Addf(diag.SevError, "process", name, 0,
+			"binary or non-UTF-8 content; skipped")
+		opts.Telemetry.Add("guard.files_skipped", 1)
+		return lexer.Config{Name: name, Skipped: true}
+	}
 	cat := Detect(text)
 	opts.Telemetry.Add("format.detect."+string(cat), 1)
 	if !opts.Embed {
@@ -117,19 +144,19 @@ func Process(name string, text []byte, lx *lexer.Lexer, opts Options) lexer.Conf
 	}
 	switch cat {
 	case JSON:
-		if cfg, ok := processJSON(name, text, lx); ok {
+		if cfg, ok := processJSON(name, text, lx, lim, opts.Diagnostics); ok {
 			return cfg
 		}
-		return processIndent(name, text, lx, false)
+		return processIndent(name, text, lx, false, lim, opts.Diagnostics)
 	case YAML:
-		if cfg, ok := processYAML(name, text, lx); ok {
+		if cfg, ok := processYAML(name, text, lx, lim, opts.Diagnostics); ok {
 			return cfg
 		}
-		return processIndent(name, text, lx, true)
+		return processIndent(name, text, lx, true, lim, opts.Diagnostics)
 	case Indent:
-		return processIndent(name, text, lx, true)
+		return processIndent(name, text, lx, true, lim, opts.Diagnostics)
 	default:
-		return processIndent(name, text, lx, false)
+		return processIndent(name, text, lx, false, lim, opts.Diagnostics)
 	}
 }
 
@@ -142,7 +169,8 @@ type stackEntry struct {
 // processIndent handles indentation-based and flat formats. With
 // embed=false the parent stack is never populated, producing flat
 // patterns prefixed with "/".
-func processIndent(name string, text []byte, lx *lexer.Lexer, embed bool) lexer.Config {
+func processIndent(name string, text []byte, lx *lexer.Lexer, embed bool, lim Limits, dc *diag.Collector) lexer.Config {
+	g := newGuard(name, lim, dc)
 	cfg := lexer.Config{Name: name}
 	var stack []stackEntry
 	lines := strings.Split(string(text), "\n")
@@ -153,6 +181,10 @@ func processIndent(name string, text []byte, lx *lexer.Lexer, embed bool) lexer.
 			continue
 		}
 		cfg.SourceLines++
+		if g.overBudget(len(cfg.Lines)) {
+			continue
+		}
+		content = g.capLine(content)
 		indent := indentWidth(trimmedRight)
 		if embed {
 			for len(stack) > 0 && stack[len(stack)-1].indent >= indent {
@@ -176,10 +208,11 @@ func processIndent(name string, text []byte, lx *lexer.Lexer, embed bool) lexer.
 			Params:  leaf.Params,
 		}
 		cfg.Lines = append(cfg.Lines, line)
-		if embed {
+		if embed && !g.atDepthCap(len(stack)) {
 			stack = append(stack, stackEntry{indent: indent, context: leaf.Untyped})
 		}
 	}
+	g.flush()
 	return cfg
 }
 
@@ -203,26 +236,36 @@ func indentWidth(s string) int {
 // processJSON flattens a JSON document into one line per scalar leaf,
 // with the object-key path as context. Array indices are deliberately
 // omitted from paths so repeated elements share a pattern. Line numbers
-// are recovered from decoder byte offsets.
-func processJSON(name string, text []byte, lx *lexer.Lexer) (lexer.Config, bool) {
+// are recovered from decoder byte offsets. Documents nested deeper than
+// the depth limit keep their deeper keys but stop extending the context
+// path, and over-budget leaves are dropped; both degradations are
+// summarized as diagnostics.
+func processJSON(name string, text []byte, lx *lexer.Lexer, lim Limits, dc *diag.Collector) (lexer.Config, bool) {
+	g := newGuard(name, lim, dc)
 	dec := json.NewDecoder(strings.NewReader(string(text)))
 	dec.UseNumber()
 
-	// Precompute byte offset -> line number.
-	lineAt := func(off int64) int {
-		n := 1
-		for i := int64(0); i < off && i < int64(len(text)); i++ {
-			if text[i] == '\n' {
-				n++
-			}
+	// Precompute newline offsets once so offset -> line recovery is a
+	// binary search, not a rescan of the file per leaf.
+	var newlines []int
+	for i, b := range text {
+		if b == '\n' {
+			newlines = append(newlines, i)
 		}
-		return n
+	}
+	lineAt := func(off int64) int {
+		return sort.SearchInts(newlines, int(off)) + 1
 	}
 
 	cfg := lexer.Config{Name: name}
 	var path []string
 	var walk func() bool
 	emit := func(valueText string, off int64) {
+		cfg.SourceLines++
+		if g.overBudget(len(cfg.Lines)) {
+			return
+		}
+		valueText = g.capLine(valueText)
 		content := "/" + strings.Join(path, "/")
 		if len(path) > 0 {
 			content += " "
@@ -233,7 +276,6 @@ func processJSON(name string, text []byte, lx *lexer.Lexer) (lexer.Config, bool)
 		if len(path) > 0 {
 			prefix += " "
 		}
-		cfg.SourceLines++
 		cfg.Lines = append(cfg.Lines, lexer.Line{
 			File:    name,
 			Num:     lineAt(off),
@@ -259,11 +301,16 @@ func processJSON(name string, text []byte, lx *lexer.Lexer) (lexer.Config, bool)
 						return false
 					}
 					key, _ := keyTok.(string)
-					path = append(path, key)
+					pushed := !g.atDepthCap(len(path))
+					if pushed {
+						path = append(path, key)
+					}
 					if !walk() {
 						return false
 					}
-					path = path[:len(path)-1]
+					if pushed {
+						path = path[:len(path)-1]
+					}
 				}
 				_, err := dec.Token() // closing '}'
 				return err == nil
@@ -299,5 +346,6 @@ func processJSON(name string, text []byte, lx *lexer.Lexer) (lexer.Config, bool)
 	if !walk() {
 		return lexer.Config{}, false
 	}
+	g.flush()
 	return cfg, true
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"concord/internal/diag"
 	"concord/internal/lexer"
 )
 
@@ -215,9 +216,14 @@ func TestProcessEmpty(t *testing.T) {
 func TestProcessBinaryJunk(t *testing.T) {
 	lx := lexer.MustNew()
 	junk := []byte{0x00, 0xff, 0xfe, '\n', 'a', ' ', '1', '\n'}
-	cfg := Process("junk", junk, lx, Options{Embed: true})
-	if len(cfg.Lines) == 0 {
-		t.Error("junk file should still produce lines for its text part")
+	dc := diag.New()
+	cfg := Process("junk", junk, lx, Options{Embed: true, Diagnostics: dc})
+	if !cfg.Skipped || len(cfg.Lines) != 0 {
+		t.Errorf("binary junk should be skipped entirely, got Skipped=%v lines=%d",
+			cfg.Skipped, len(cfg.Lines))
+	}
+	if dc.Count(diag.SevError) != 1 {
+		t.Errorf("want one error diagnostic for the skipped file, got %v", dc.All())
 	}
 }
 
@@ -244,7 +250,7 @@ func TestYAMLProcessing(t *testing.T) {
 func TestEveryNonBlankLineSurvivesProcessing(t *testing.T) {
 	lx := lexer.MustNew()
 	f := func(raw string) bool {
-		cfg := processIndent("f", []byte(raw), lx, true)
+		cfg := processIndent("f", []byte(raw), lx, true, DefaultLimits(), nil)
 		var want []string
 		for _, l := range strings.Split(raw, "\n") {
 			if strings.TrimSpace(strings.TrimRight(l, " \t\r")) != "" {

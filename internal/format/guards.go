@@ -1,0 +1,180 @@
+package format
+
+import (
+	"bytes"
+	"fmt"
+	"unicode/utf8"
+
+	"concord/internal/diag"
+)
+
+// Limits bounds input processing so pathological files — multi-megabyte
+// single lines, thousand-deep nesting, binary blobs — degrade into
+// diagnostics instead of exploding memory or time. The zero value of
+// any field selects its default; explicit negative or zero values are
+// rejected by Validate (after defaulting, every effective limit is
+// positive).
+type Limits struct {
+	// MaxFileSize is the largest file processed, in bytes; larger files
+	// are skipped entirely with an error diagnostic. Default 64 MiB.
+	MaxFileSize int
+	// MaxLineLen is the longest line lexed, in bytes; longer lines are
+	// truncated (at a rune boundary) with a warning diagnostic.
+	// Default 64 KiB.
+	MaxLineLen int
+	// MaxDepth caps the context-embedding nesting depth for indented,
+	// YAML, and JSON formats; deeper structure is flattened onto the
+	// deepest allowed context with a warning diagnostic. Default 64.
+	MaxDepth int
+	// MaxLines caps the processed lines (patterns) per configuration;
+	// lines beyond the budget are skipped with a warning diagnostic.
+	// Default 1,048,576.
+	MaxLines int
+}
+
+// DefaultLimits returns the default guard limits.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxFileSize: 64 << 20,
+		MaxLineLen:  64 << 10,
+		MaxDepth:    64,
+		MaxLines:    1 << 20,
+	}
+}
+
+// WithDefaults returns the limits with every zero field replaced by its
+// default, so partially-specified limits keep working.
+func (l Limits) WithDefaults() Limits {
+	def := DefaultLimits()
+	if l.MaxFileSize == 0 {
+		l.MaxFileSize = def.MaxFileSize
+	}
+	if l.MaxLineLen == 0 {
+		l.MaxLineLen = def.MaxLineLen
+	}
+	if l.MaxDepth == 0 {
+		l.MaxDepth = def.MaxDepth
+	}
+	if l.MaxLines == 0 {
+		l.MaxLines = def.MaxLines
+	}
+	return l
+}
+
+// Validate rejects non-positive limits. Callers that treat zero as "use
+// the default" (core.New) apply WithDefaults first, so only explicitly
+// nonsensical values reach this error.
+func (l Limits) Validate() error {
+	check := func(name string, v int) error {
+		if v < 1 {
+			return fmt.Errorf("format: %s must be positive (got %d)", name, v)
+		}
+		return nil
+	}
+	if err := check("MaxFileSize", l.MaxFileSize); err != nil {
+		return err
+	}
+	if err := check("MaxLineLen", l.MaxLineLen); err != nil {
+		return err
+	}
+	if err := check("MaxDepth", l.MaxDepth); err != nil {
+		return err
+	}
+	return check("MaxLines", l.MaxLines)
+}
+
+// binarySampleSize bounds the content prefix examined by looksBinary.
+const binarySampleSize = 8192
+
+// looksBinary reports whether content is binary data a text pipeline
+// should skip: a NUL byte in the leading sample, or a sample that is
+// mostly invalid UTF-8.
+func looksBinary(text []byte) bool {
+	sample := text
+	if len(sample) > binarySampleSize {
+		sample = sample[:binarySampleSize]
+	}
+	if bytes.IndexByte(sample, 0) >= 0 {
+		return true
+	}
+	invalid, total := 0, 0
+	for i := 0; i < len(sample); {
+		r, size := utf8.DecodeRune(sample[i:])
+		if r == utf8.RuneError && size == 1 {
+			invalid++
+		}
+		total++
+		i += size
+	}
+	// More than 30% invalid sequences: not a text file. The threshold
+	// tolerates legacy single-byte encodings sprinkled through
+	// otherwise-ASCII configs.
+	return total > 0 && invalid*10 > total*3
+}
+
+// guard applies per-line limits during one processing attempt and
+// summarizes the degradations as diagnostics. Counters aggregate so a
+// 10 MB single-line file yields one diagnostic, not thousands.
+type guard struct {
+	lim       Limits
+	dc        *diag.Collector
+	name      string
+	truncated int
+	capped    int
+	skipped   int
+}
+
+func newGuard(name string, lim Limits, dc *diag.Collector) *guard {
+	return &guard{lim: lim, dc: dc, name: name}
+}
+
+// capLine truncates an over-long line at a rune boundary.
+func (g *guard) capLine(content string) string {
+	if len(content) <= g.lim.MaxLineLen {
+		return content
+	}
+	cut := g.lim.MaxLineLen
+	for cut > 0 && !utf8.RuneStart(content[cut]) {
+		cut--
+	}
+	g.truncated++
+	return content[:cut]
+}
+
+// overBudget reports whether the per-config line budget is exhausted,
+// counting the skipped line when it is.
+func (g *guard) overBudget(emitted int) bool {
+	if emitted < g.lim.MaxLines {
+		return false
+	}
+	g.skipped++
+	return true
+}
+
+// atDepthCap reports whether the context stack is full, counting the
+// line whose context was capped.
+func (g *guard) atDepthCap(depth int) bool {
+	if depth < g.lim.MaxDepth {
+		return false
+	}
+	g.capped++
+	return true
+}
+
+// flush emits one summary diagnostic per degradation kind. Call it only
+// on a successful processing attempt (abandoned pre-parses stay
+// silent).
+func (g *guard) flush() {
+	if g.truncated > 0 {
+		g.dc.Addf(diag.SevWarn, "process", g.name, 0,
+			"truncated %d over-long line(s) (limit %d bytes)", g.truncated, g.lim.MaxLineLen)
+	}
+	if g.capped > 0 {
+		g.dc.Addf(diag.SevWarn, "process", g.name, 0,
+			"nesting depth capped at %d on %d line(s)", g.lim.MaxDepth, g.capped)
+	}
+	if g.skipped > 0 {
+		g.dc.Addf(diag.SevWarn, "process", g.name, 0,
+			"line budget %d exhausted; skipped %d line(s)", g.lim.MaxLines, g.skipped)
+	}
+}

@@ -1,0 +1,144 @@
+package format
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"concord/internal/diag"
+	"concord/internal/lexer"
+)
+
+func TestLimitsValidate(t *testing.T) {
+	if err := DefaultLimits().Validate(); err != nil {
+		t.Errorf("defaults invalid: %v", err)
+	}
+	bad := []Limits{
+		{MaxFileSize: -1, MaxLineLen: 1, MaxDepth: 1, MaxLines: 1},
+		{MaxFileSize: 1, MaxLineLen: 0, MaxDepth: 1, MaxLines: 1},
+		{MaxFileSize: 1, MaxLineLen: 1, MaxDepth: -5, MaxLines: 1},
+		{MaxFileSize: 1, MaxLineLen: 1, MaxDepth: 1, MaxLines: 0},
+	}
+	for i, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, l)
+		}
+	}
+}
+
+func TestLimitsWithDefaults(t *testing.T) {
+	got := Limits{MaxLineLen: 128}.WithDefaults()
+	def := DefaultLimits()
+	if got.MaxLineLen != 128 {
+		t.Errorf("explicit value overridden: %+v", got)
+	}
+	if got.MaxFileSize != def.MaxFileSize || got.MaxDepth != def.MaxDepth || got.MaxLines != def.MaxLines {
+		t.Errorf("zero fields not defaulted: %+v", got)
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("defaulted limits invalid: %v", err)
+	}
+}
+
+func TestCapLineRuneBoundary(t *testing.T) {
+	g := newGuard("f", Limits{MaxLineLen: 5}.WithDefaults(), nil)
+	g.lim.MaxLineLen = 5
+	// "aaaé" is 5 bytes; cutting at byte 5 of "aaaéx" would split
+	// nothing, but cutting "aaaax" at 4+é spans the boundary.
+	in := "aaaéx" // é is 2 bytes: a a a 0xc3 0xa9 x
+	out := g.capLine(in)
+	if !utf8.ValidString(out) {
+		t.Errorf("capLine produced invalid UTF-8: %q", out)
+	}
+	if len(out) > 5 {
+		t.Errorf("capLine over limit: %d bytes", len(out))
+	}
+	if g.truncated != 1 {
+		t.Errorf("truncated counter = %d", g.truncated)
+	}
+	// In-limit lines pass through untouched and uncounted.
+	if got := g.capLine("ok"); got != "ok" || g.truncated != 1 {
+		t.Errorf("capLine(ok) = %q, truncated = %d", got, g.truncated)
+	}
+}
+
+func TestGuardFlushSummarizes(t *testing.T) {
+	dc := diag.New()
+	g := newGuard("f.cfg", DefaultLimits(), dc)
+	g.truncated, g.capped, g.skipped = 3, 2, 1
+	g.flush()
+	ds := dc.All()
+	if len(ds) != 3 {
+		t.Fatalf("flush emitted %d diagnostics, want 3", len(ds))
+	}
+	for _, d := range ds {
+		if d.Severity != diag.SevWarn || d.Source != "f.cfg" {
+			t.Errorf("diagnostic = %+v", d)
+		}
+	}
+	// Clean guards stay silent.
+	dc2 := diag.New()
+	newGuard("g.cfg", DefaultLimits(), dc2).flush()
+	if dc2.Len() != 0 {
+		t.Errorf("clean guard emitted %d diagnostics", dc2.Len())
+	}
+}
+
+func TestLooksBinary(t *testing.T) {
+	cases := []struct {
+		name string
+		text []byte
+		want bool
+	}{
+		{"ascii", []byte("hostname r1\ninterface Ethernet1\n"), false},
+		{"utf8", []byte("description café über\n"), false},
+		{"empty", nil, false},
+		{"nul", []byte("host\x00name"), true},
+		{"mostly-invalid", bytes.Repeat([]byte{0xfe, 0xfd}, 100), true},
+		{"sprinkled-latin1", append(bytes.Repeat([]byte("plain ascii line\n"), 20), 0xe9), false},
+		{"nul-past-sample", append(bytes.Repeat([]byte("a"), binarySampleSize), 0x00), false},
+	}
+	for _, tc := range cases {
+		if got := looksBinary(tc.text); got != tc.want {
+			t.Errorf("%s: looksBinary = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestProcessOversizeSkips(t *testing.T) {
+	dc := diag.New()
+	lim := DefaultLimits()
+	lim.MaxFileSize = 16
+	cfg := Process("big.cfg", []byte(strings.Repeat("x y\n", 10)), nil,
+		Options{Limits: lim, Diagnostics: dc})
+	if !cfg.Skipped || len(cfg.Lines) != 0 {
+		t.Errorf("oversize file not skipped: %+v", cfg)
+	}
+	ds := dc.All()
+	if len(ds) != 1 || ds[0].Severity != diag.SevError ||
+		!strings.Contains(ds[0].Message, "exceeds") {
+		t.Errorf("diagnostics = %+v", ds)
+	}
+}
+
+func TestProcessDepthCapJSON(t *testing.T) {
+	dc := diag.New()
+	lim := DefaultLimits()
+	lim.MaxDepth = 8
+	nested := strings.Repeat(`{"a":`, 200) + `1` + strings.Repeat(`}`, 200)
+	cfg := Process("deep.json", []byte(nested), lexer.MustNew(),
+		Options{Embed: true, Limits: lim, Diagnostics: dc})
+	if cfg.Skipped {
+		t.Fatal("deep JSON skipped entirely, want degraded processing")
+	}
+	var found bool
+	for _, d := range dc.All() {
+		if strings.Contains(d.Message, "depth capped") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no depth-cap diagnostic: %+v", dc.All())
+	}
+}

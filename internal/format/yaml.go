@@ -3,6 +3,7 @@ package format
 import (
 	"strings"
 
+	"concord/internal/diag"
 	"concord/internal/lexer"
 )
 
@@ -15,15 +16,21 @@ import (
 // flow collections, and multi-line scalars fall back to plain indent
 // embedding (the pre-parser is best-effort by design — Concord treats
 // everything as text in the end).
-func processYAML(name string, text []byte, lx *lexer.Lexer) (lexer.Config, bool) {
+func processYAML(name string, text []byte, lx *lexer.Lexer, lim Limits, dc *diag.Collector) (lexer.Config, bool) {
 	type frame struct {
 		indent int
 		key    string
 	}
+	g := newGuard(name, lim, dc)
 	cfg := lexer.Config{Name: name}
 	var stack []frame
 
 	emit := func(num int, path []string, keyPrefix, scalar string) {
+		if g.overBudget(len(cfg.Lines)) {
+			cfg.SourceLines++
+			return
+		}
+		scalar = g.capLine(scalar)
 		content := "/" + strings.Join(path, "/")
 		if keyPrefix != "" {
 			content += "/" + keyPrefix
@@ -72,7 +79,9 @@ func processYAML(name string, text []byte, lx *lexer.Lexer) (lexer.Config, bool)
 			if key, val, isMap := cutYAMLKey(item); isMap {
 				if val == "" {
 					// "- key:" opens a nested mapping within the item.
-					stack = append(stack, frame{indent: indent + 2, key: key + ":"})
+					if !g.atDepthCap(len(stack)) {
+						stack = append(stack, frame{indent: indent + 2, key: key + ":"})
+					}
 					continue
 				}
 				emit(i+1, path, key+":", unquoteYAML(val))
@@ -91,11 +100,14 @@ func processYAML(name string, text []byte, lx *lexer.Lexer) (lexer.Config, bool)
 		}
 		if val == "" {
 			// "key:" opens a nested mapping or sequence.
-			stack = append(stack, frame{indent: indent, key: key + ":"})
+			if !g.atDepthCap(len(stack)) {
+				stack = append(stack, frame{indent: indent, key: key + ":"})
+			}
 			continue
 		}
 		emit(i+1, path, key+":", unquoteYAML(val))
 	}
+	g.flush()
 	return cfg, true
 }
 

@@ -44,6 +44,10 @@ type Config struct {
 	// configuration file (excluding metadata), the denominator for
 	// coverage.
 	SourceLines int
+	// Skipped marks a configuration the input guards rejected entirely
+	// (oversized or binary content); such configs carry no lines and are
+	// dropped from the corpus with a diagnostic.
+	Skipped bool
 }
 
 // ParamIndex returns the index of the parameter with the given name, or

@@ -174,10 +174,20 @@ func varName(i int) string {
 // relational candidate space downstream.
 const MaxParamsPerLine = 64
 
+// MaxLexLine is the lexer's own backstop on line length: Lex silently
+// truncates longer inputs before matching. The format layer truncates
+// at its configurable (much smaller) limit first and records a
+// diagnostic; this constant only protects direct Lex callers from
+// pathological single-line inputs.
+const MaxLexLine = 1 << 20
+
 // Lex extracts the typed pattern and parameters from a single line of
 // text. Matching is greedy left to right; at each position the
 // highest-precedence token whose span parses successfully wins.
 func (lx *Lexer) Lex(line string) Lexed {
+	if len(line) > MaxLexLine {
+		line = line[:MaxLexLine]
+	}
 	// Collect candidate spans from every spec, then resolve overlaps by
 	// position and precedence.
 	var candidates []span

@@ -22,7 +22,7 @@ import (
 // cancellation the partial result learned so far is returned along with
 // ctx.Err().
 func (m *Miner) MineRelationalBruteForce(ctx context.Context, cfgs []*lexer.Config) ([]contracts.Contract, error) {
-	st, err := collectStats(ctx, cfgs)
+	st, err := m.collectStats(ctx, cfgs)
 	if err != nil {
 		return nil, err
 	}

@@ -8,10 +8,13 @@ package mining
 
 import (
 	"context"
+	"fmt"
 	"sort"
 	"strconv"
 
 	"concord/internal/contracts"
+	"concord/internal/diag"
+	"concord/internal/faultinject"
 	"concord/internal/lexer"
 	"concord/internal/netdata"
 	"concord/internal/relations"
@@ -56,6 +59,15 @@ type Options struct {
 	// (mine/<category>) and candidate/accepted counters
 	// (mine.<category>.candidates, mine.<category>.accepted).
 	Telemetry *telemetry.Recorder
+	// Diagnostics, when non-nil, enables fault containment: a panic in
+	// a category miner or in one configuration's statistics/relational
+	// pass is recorded as an error diagnostic and mining continues
+	// without that unit. Nil preserves fail-fast panics for direct
+	// Miner users.
+	Diagnostics *diag.Collector
+	// Strict converts the first contained panic into an error aborting
+	// MineContext, instead of a diagnostic.
+	Strict bool
 	// Progress, when non-nil, is called after each configuration of the
 	// relational mining pass (the dominant cost); it must be safe for
 	// concurrent calls when Parallelism > 1.
@@ -123,10 +135,16 @@ func (m *Miner) Mine(cfgs []*lexer.Config) *contracts.Set {
 // between configurations during the statistics and relational passes and
 // between category miners, returning ctx.Err() when cancelled. Per-
 // category timings and counters go to Options.Telemetry when set.
+//
+// With Options.Diagnostics attached, panics are contained per unit: a
+// panicking category miner contributes no contracts of that category,
+// and a panicking per-configuration pass drops only that
+// configuration's evidence, each recorded as a diagnostic.
+// Options.Strict instead aborts on the first panic with an error.
 func (m *Miner) MineContext(ctx context.Context, cfgs []*lexer.Config) (*contracts.Set, error) {
 	rec := m.opts.Telemetry
 	sp := rec.StartSpan("mine/stats")
-	st, err := collectStats(ctx, cfgs)
+	st, err := m.collectStats(ctx, cfgs)
 	sp.EndCount(len(cfgs))
 	if err != nil {
 		return nil, err
@@ -140,7 +158,10 @@ func (m *Miner) MineContext(ctx context.Context, cfgs []*lexer.Config) (*contrac
 			return err
 		}
 		sp := rec.StartSpan("mine/" + name)
-		found := fn()
+		var found []contracts.Contract
+		if err := m.contain("category:"+name, func() { found = fn() }); err != nil {
+			return err
+		}
 		sp.EndCount(len(found))
 		rec.Add("mine."+name+".candidates", int64(candidates))
 		rec.Add("mine."+name+".accepted", int64(len(found)))
@@ -257,7 +278,33 @@ func key2(pattern string, idx int) string {
 	return pattern + "\x00" + strconv.Itoa(idx)
 }
 
-func collectStats(ctx context.Context, cfgs []*lexer.Config) (*stats, error) {
+// contain runs fn with panic containment when a diagnostics collector
+// is attached: a recovered panic becomes an error diagnostic attributed
+// to unit (with Strict, an error aborting the run). Without a collector
+// the panic propagates, preserving fail-fast for direct Miner users.
+func (m *Miner) contain(unit string, fn func()) (err error) {
+	if m.opts.Diagnostics == nil && !m.opts.Strict {
+		fn()
+		return nil
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		d := diag.FromPanic("mine", unit, r)
+		if m.opts.Strict {
+			err = fmt.Errorf("mining: aborted (strict): %w", d.AsError())
+			return
+		}
+		m.opts.Diagnostics.Add(d)
+		m.opts.Telemetry.Add("diag.panics", 1)
+	}()
+	fn()
+	return nil
+}
+
+func (m *Miner) collectStats(ctx context.Context, cfgs []*lexer.Config) (*stats, error) {
 	st := &stats{
 		nConfigs:  len(cfgs),
 		patterns:  make(map[string]*patternStats),
@@ -274,6 +321,20 @@ func collectStats(ctx context.Context, cfgs []*lexer.Config) (*stats, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		if err := m.statsOneConfig(ci, cfg, st); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// statsOneConfig folds one configuration into the shared statistics.
+// Containment is best-effort: the fault-injection point fires before
+// any mutation, but a genuine mid-fold panic can leave this
+// configuration partially counted (the diagnostic says which).
+func (m *Miner) statsOneConfig(ci int, cfg *lexer.Config, st *stats) error {
+	return m.contain(cfg.Name, func() {
+		faultinject.At("mining.stats.config", cfg.Name)
 		seenPatterns := make(map[string]bool)
 		seenConstants := make(map[string]bool)
 		// Ordering bookkeeping: per first-pattern occurrence counts and
@@ -385,8 +446,7 @@ func collectStats(ctx context.Context, cfgs []*lexer.Config) (*stats, error) {
 				}
 			}
 		}
-	}
-	return st, nil
+	})
 }
 
 // isArithmetic reports whether the values form a nonzero arithmetic

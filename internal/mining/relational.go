@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"concord/internal/contracts"
+	"concord/internal/faultinject"
 	"concord/internal/lexer"
 	"concord/internal/netdata"
 	"concord/internal/relations"
@@ -57,7 +58,9 @@ func (m *Miner) mineRelational(ctx context.Context, cfgs []*lexer.Config, st *st
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			m.mineRelationalConfig(cfg, global)
+			if err := m.mineOneConfig(cfg, global); err != nil {
+				return nil, err
+			}
 			progress()
 		}
 	} else {
@@ -67,6 +70,10 @@ func (m *Miner) mineRelational(ctx context.Context, cfgs []*lexer.Config, st *st
 		if workers > len(cfgs) {
 			workers = len(cfgs)
 		}
+		ictx, abort := context.WithCancel(ctx)
+		defer abort()
+		var failOnce sync.Once
+		var failErr error
 		tables := make([]map[candKey]*candState, workers)
 		var wg sync.WaitGroup
 		next := make(chan int)
@@ -77,10 +84,16 @@ func (m *Miner) mineRelational(ctx context.Context, cfgs []*lexer.Config, st *st
 			go func() {
 				defer wg.Done()
 				for ci := range next {
-					if ctx.Err() != nil {
+					if ictx.Err() != nil {
 						continue // drain without working
 					}
-					m.mineRelationalConfig(cfgs[ci], tables[w])
+					if err := m.mineOneConfig(cfgs[ci], tables[w]); err != nil {
+						failOnce.Do(func() {
+							failErr = err
+							abort()
+						})
+						continue
+					}
 					progress()
 				}
 			}()
@@ -89,12 +102,15 @@ func (m *Miner) mineRelational(ctx context.Context, cfgs []*lexer.Config, st *st
 		for ci := range cfgs {
 			select {
 			case next <- ci:
-			case <-ctx.Done():
+			case <-ictx.Done():
 				break feed
 			}
 		}
 		close(next)
 		wg.Wait()
+		if failErr != nil {
+			return nil, failErr
+		}
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -198,6 +214,19 @@ type candLocal struct {
 type scoredInstance struct {
 	key string
 	s   float64
+}
+
+// mineOneConfig runs the per-configuration relational pass with panic
+// containment (see Miner.contain): a contained panic drops only this
+// configuration's relational evidence. Containment is best-effort: the
+// candidate table is mutated only in the final fold loop, so a panic
+// before the fold leaves the table untouched, and one during it loses
+// at most this configuration's partial evidence.
+func (m *Miner) mineOneConfig(cfg *lexer.Config, tab map[candKey]*candState) error {
+	return m.contain(cfg.Name, func() {
+		faultinject.At("mining.relational.config", cfg.Name)
+		m.mineRelationalConfig(cfg, tab)
+	})
 }
 
 // mineRelationalConfig processes one configuration into the global
