@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench chaos vuln
+.PHONY: ci fmt vet build test race bench bench-smoke chaos vuln
 
 # ci is the full verification gate: formatting, static checks, build,
-# the race-enabled test suite, the fault-injection suite, and a
-# best-effort vulnerability scan.
-ci: fmt vet build race chaos vuln
+# the race-enabled test suite, the fault-injection suite, a smoke run
+# of the benchmark harness, and a best-effort vulnerability scan.
+ci: fmt vet build race chaos bench-smoke vuln
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -41,5 +41,18 @@ vuln:
 		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
+# bench reproduces the committed BENCH_PR3.json (compiled engine vs.
+# the pre-PR linear scan) and runs the Go micro-benchmarks. Both are
+# pinned — fixed GOMAXPROCS, fixed iteration counts — so numbers are
+# comparable across machines of the same class and across runs.
+BENCH_GOMAXPROCS ?= 4
+
 bench:
-	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+	GOMAXPROCS=$(BENCH_GOMAXPROCS) $(GO) test -bench=. -benchtime=1x -count=1 -run=^$$ .
+	GOMAXPROCS=$(BENCH_GOMAXPROCS) $(GO) run ./cmd/concord bench -count 3 -out BENCH_PR3.json
+
+# bench-smoke is the ci gate: a fast, tiny-scale run of the bench
+# harness that still cross-checks compiled-vs-linear output equality
+# on every corpus (the harness fails on any divergence).
+bench-smoke:
+	GOMAXPROCS=$(BENCH_GOMAXPROCS) $(GO) run ./cmd/concord bench -scale 0.1 -count 1 -out $${TMPDIR:-/tmp}/concord_bench_smoke.json

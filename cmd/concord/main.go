@@ -57,6 +57,8 @@ func main() {
 		}
 	case "coverage":
 		err = runCoverage(os.Args[2:], os.Stdout)
+	case "bench":
+		err = runBench(os.Args[2:], os.Stdout)
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -78,6 +80,7 @@ func usage() {
   concord learn -configs GLOB [-meta GLOB] [-tokens FILE] [-out FILE] [options]
   concord check -configs GLOB -contracts FILE [-meta GLOB] [-out FILE] [-html FILE] [options]
   concord coverage -configs GLOB -contracts FILE [-meta GLOB] [-uncovered] [options]
+  concord bench [-out FILE] [-scale F] [-roles LIST] [-count N]
 
 options:
   -support N           minimum configurations per pattern (default 5)
@@ -446,11 +449,9 @@ func runCheck(args []string, w io.Writer) (int, error) {
 		cr.Stats.Configs, set.Len(), time.Since(start).Round(time.Millisecond))
 	fmt.Fprintf(w, "coverage: %.1f%% of %d lines\n", cr.Coverage.Percent(), cr.Coverage.TotalLines)
 	for _, v := range cr.Violations {
-		if v.Line > 0 {
-			fmt.Fprintf(w, "%s:%d: [%s] %s\n", v.File, v.Line, v.Category, v.Detail)
-		} else {
-			fmt.Fprintf(w, "%s: [%s] %s\n", v.File, v.Category, v.Detail)
-		}
+		// Location omits the line number for file-level violations
+		// (missing required or unique lines), so nothing prints "file:0".
+		fmt.Fprintf(w, "%s: [%s] %s\n", v.Location(), v.Category, v.Detail)
 	}
 	rep := report.New(cr, time.Now())
 	if *jsonOut != "" {

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"concord"
+	"concord/internal/contracts"
 	"concord/internal/synth"
 )
 
@@ -591,5 +592,43 @@ func TestCheckLenientDiagnostics(t *testing.T) {
 	}
 	if !found {
 		t.Errorf("binary.cfg missing from check diagnostics: %+v", rep.Diagnostics)
+	}
+}
+
+// TestCheckUniqueMissingFileLevel: a config missing a unique-existence
+// line used to render as "file:0" (line zero). The violation is now
+// file-level and prints the bare file name.
+func TestCheckUniqueMissingFileLevel(t *testing.T) {
+	dir := t.TempDir()
+	set := &contracts.Set{Contracts: []contracts.Contract{
+		&contracts.Unique{Pattern: "/hostname DEV[num]", Display: "/hostname DEV[a:num]", ParamIdx: 0},
+	}}
+	data, err := json.Marshal(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	contractsPath := filepath.Join(dir, "contracts.json")
+	if err := os.WriteFile(contractsPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "r1.cfg"), []byte("router bgp 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	n, err := runCheck([]string{
+		"-configs", filepath.Join(dir, "*.cfg"),
+		"-contracts", contractsPath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("violations = %d, want 1\n%s", n, out.String())
+	}
+	if strings.Contains(out.String(), ":0") {
+		t.Errorf("file-level violation rendered with a line number:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "r1.cfg: [unique]") {
+		t.Errorf("expected file-level unique violation for r1.cfg:\n%s", out.String())
 	}
 }

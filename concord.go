@@ -16,7 +16,7 @@
 //	result, _ := concord.Learn(training, nil, concord.DefaultOptions())
 //	report, _ := concord.Check(result.Set, changed, nil, concord.DefaultOptions())
 //	for _, v := range report.Violations {
-//	    fmt.Printf("%s:%d: %s\n", v.File, v.Line, v.Detail)
+//	    fmt.Printf("%s: %s\n", v.Location(), v.Detail)
 //	}
 //
 // See the examples directory for runnable programs and cmd/concord for

@@ -109,7 +109,7 @@ func main() {
 					continue
 				}
 				shown++
-				fmt.Printf("    %s:%d [%s] %s\n", v.File, v.Line, v.Category, v.Detail)
+				fmt.Printf("    %s [%s] %s\n", v.Location(), v.Category, v.Detail)
 			}
 		}
 		fmt.Println()

@@ -127,7 +127,7 @@ func main() {
 	fmt.Printf("violations in the broken configuration (%d total):\n", len(report.Violations))
 	for _, v := range report.Violations {
 		if strings.Contains(v.Contract, "peer31(") || strings.Contains(v.Contract, "hundreds(") {
-			fmt.Printf("   %s:%d [%s] %s\n", v.File, v.Line, v.Category, v.Detail)
+			fmt.Printf("   %s [%s] %s\n", v.Location(), v.Category, v.Detail)
 		}
 	}
 }

@@ -91,7 +91,7 @@ func main() {
 	}
 	fmt.Printf("Checking the modified configuration found %d violation(s):\n", len(report.Violations))
 	for _, v := range report.Violations {
-		fmt.Printf("   %s:%d [%s] %s\n", v.File, v.Line, v.Category, v.Detail)
+		fmt.Printf("   %s [%s] %s\n", v.Location(), v.Category, v.Detail)
 	}
 	fmt.Printf("\nCoverage: %.1f%% of the configuration's lines are protected by contracts\n",
 		report.Coverage.Percent())

@@ -94,7 +94,7 @@ func main() {
 			if i >= 3 {
 				break
 			}
-			fmt.Printf("  %s:%d [%s] %s\n", v.File, v.Line, v.Category, v.Detail)
+			fmt.Printf("  %s [%s] %s\n", v.Location(), v.Category, v.Detail)
 		}
 		fmt.Println()
 	}

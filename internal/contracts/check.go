@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/big"
 	"sort"
+	"time"
 
 	"concord/internal/diag"
 	"concord/internal/faultinject"
@@ -15,25 +16,44 @@ import (
 
 // Violation reports one contract failure localized to a configuration
 // line (Line is 1-based; 0 means the violation concerns the whole file,
-// e.g. a missing line).
+// e.g. a missing line — render those with Location, which omits the
+// line number).
 type Violation struct {
 	Category   Category `json:"category"`
 	ContractID string   `json:"contract_id"`
 	Contract   string   `json:"contract"`
 	File       string   `json:"file"`
-	Line       int      `json:"line"`
+	Line       int      `json:"line,omitempty"`
 	Detail     string   `json:"detail"`
 }
 
-// Checker evaluates a contract set against configurations (§3.8). It is
-// safe for concurrent use: per-configuration state lives on the stack.
+// FileLevel reports whether the violation concerns the whole file
+// rather than a specific line (e.g. a required line is missing).
+func (v *Violation) FileLevel() bool { return v.Line <= 0 }
+
+// Location renders the violation's position: "file:line" for line
+// violations, just "file" for file-level ones (never "file:0").
+func (v *Violation) Location() string {
+	if v.FileLevel() {
+		return v.File
+	}
+	return fmt.Sprintf("%s:%d", v.File, v.Line)
+}
+
+// Checker evaluates a contract set against configurations (§3.8). It
+// compiles the set once at construction (see CompiledSet) and is safe
+// for concurrent use: per-configuration state lives on the stack, so
+// one checker can be shared across a worker pool. The contract set must
+// not be mutated after the checker is built.
 type Checker struct {
 	set        *Set
+	cs         *CompiledSet
 	transforms map[string]relations.Transform
 	custom     map[relations.Rel]func(lhs, witness netdata.Value) bool
 	rec        *telemetry.Recorder
 	dc         *diag.Collector
 	strict     bool
+	linear     bool
 }
 
 // CheckerOption customizes a checker built by NewChecker.
@@ -69,8 +89,9 @@ func WithRelations(defs []relations.Definition) CheckerOption {
 }
 
 // WithTelemetry attaches a recorder; the checker counts contracts
-// evaluated, violations found, and witness-cache hits and misses
-// (check.* counters).
+// evaluated, contracts skipped by the pattern index, violations found,
+// index build time, and witness-cache hits and misses (check.*
+// counters).
 func WithTelemetry(rec *telemetry.Recorder) CheckerOption {
 	return func(ch *Checker) { ch.rec = rec }
 }
@@ -91,9 +112,19 @@ func WithStrict(strict bool) CheckerOption {
 	return func(ch *Checker) { ch.strict = strict }
 }
 
-// NewChecker builds a checker for the given contract set. With no
-// options it uses the default transformation registry; see
-// WithTransforms, WithRelations, and WithTelemetry.
+// WithLinearScan forces the pre-compilation check strategy: every
+// contract is evaluated against every configuration with no
+// index-based skipping. It exists for differential testing and
+// benchmarking of the compiled hot path; results are identical either
+// way.
+func WithLinearScan(linear bool) CheckerOption {
+	return func(ch *Checker) { ch.linear = linear }
+}
+
+// NewChecker builds a checker for the given contract set, compiling the
+// set into its indexed form. With no options it uses the default
+// transformation registry; see WithTransforms, WithRelations, and
+// WithTelemetry.
 func NewChecker(set *Set, opts ...CheckerOption) *Checker {
 	ch := &Checker{set: set}
 	for _, o := range opts {
@@ -102,6 +133,9 @@ func NewChecker(set *Set, opts ...CheckerOption) *Checker {
 	if ch.transforms == nil {
 		WithTransforms(relations.DefaultTransforms())(ch)
 	}
+	start := time.Now()
+	ch.cs = Compile(set)
+	ch.rec.Add("check.compile_ns", time.Since(start).Nanoseconds())
 	return ch
 }
 
@@ -121,6 +155,10 @@ func NewCheckerWith(set *Set, ts []relations.Transform, defs []relations.Definit
 	return NewChecker(set, WithTransforms(ts), WithRelations(defs))
 }
 
+// CompiledSet exposes the checker's compiled contract set (primarily
+// for inspection and tests).
+func (ch *Checker) CompiledSet() *CompiledSet { return ch.cs }
+
 // holds evaluates a relation, consulting custom definitions for
 // non-built-in names.
 func (ch *Checker) holds(rel relations.Rel, lhs, witness netdata.Value) bool {
@@ -130,16 +168,50 @@ func (ch *Checker) holds(rel relations.Rel, lhs, witness netdata.Value) bool {
 	return rel.Holds(lhs, witness)
 }
 
-// view is the per-configuration evaluation state.
+// view is the per-configuration evaluation state: the pattern index
+// (interned pattern ID -> line indexes), the agnostic-pattern index for
+// type contracts, and lazily decoded numeric and witness columns. All
+// of it is built against the checker's CompiledSet, computed once per
+// configuration and shared across every contract evaluation.
 type view struct {
-	cfg       *lexer.Config
-	byPattern map[string][]int
-	byText    map[string][]int // exact-text index for constant contracts
-	// transformed caches witness values keyed by pattern|idx|transform.
-	transformed map[string][]witness
+	cfg *lexer.Config
+	cs  *CompiledSet
+	// byID maps interned pattern IDs to line indexes.
+	byID [][]int
+	// presentIDs lists the interned pattern IDs with at least one line,
+	// in first-appearance order (deterministic per configuration).
+	presentIDs []int
+	// byAg maps agnostic patterns (with at least one type contract) to
+	// line indexes; built only when the set has type contracts.
+	byAg map[string][]int
+	// byText is the exact-text index for constant contracts, built
+	// lazily on first use.
+	byText map[string][]int
+	// numeric caches decoded big.Int columns per CompiledSet numSlot.
+	numeric []numericCol
+	// witness caches transformed witness columns (and their equality
+	// key indexes) per CompiledSet witSlot.
+	witness []witCol
 	// hits/misses count witness-cache lookups, folded into the
 	// checker's recorder when the view is discarded.
 	hits, misses int64
+}
+
+type numericCol struct {
+	done bool
+	vals []*big.Int
+	at   []int
+}
+
+// witCol is one cached witness column: the transformed values in line
+// order and, when an equals contract reads the column, a key index
+// (value key -> line indexes in column order) so equality witness
+// lookup is a hash probe instead of a scan that re-stringifies every
+// witness value per forall line.
+type witCol struct {
+	done bool
+	ws   []witness
+	eq   map[string][]int
 }
 
 type witness struct {
@@ -147,24 +219,63 @@ type witness struct {
 	value netdata.Value
 }
 
-func newView(cfg *lexer.Config) *view {
+// newView builds the per-configuration indexes in one pass over the
+// lines. Index build time accumulates under check.index_build_ns.
+func (ch *Checker) newView(cfg *lexer.Config) *view {
+	var start time.Time
+	if ch.rec != nil {
+		start = time.Now()
+	}
+	cs := ch.cs
 	v := &view{
-		cfg:         cfg,
-		byPattern:   make(map[string][]int),
-		transformed: make(map[string][]witness),
+		cfg:     cfg,
+		cs:      cs,
+		byID:    make([][]int, len(cs.patterns)),
+		numeric: make([]numericCol, len(cs.numSlots)),
+	}
+	if cs.typeN > 0 {
+		v.byAg = make(map[string][]int)
+	}
+	if len(cs.witSlots) > 0 {
+		v.witness = make([]witCol, len(cs.witSlots))
 	}
 	for i := range cfg.Lines {
 		p := cfg.Lines[i].Pattern
-		v.byPattern[p] = append(v.byPattern[p], i)
+		if id, ok := cs.ids[p]; ok {
+			if len(v.byID[id]) == 0 {
+				v.presentIDs = append(v.presentIDs, id)
+			}
+			v.byID[id] = append(v.byID[id], i)
+		}
+		if cs.typeN > 0 && len(cfg.Lines[i].Params) > 0 {
+			ag := cs.agnostic(p)
+			if _, hasContracts := cs.typesByAg[ag]; hasContracts {
+				v.byAg[ag] = append(v.byAg[ag], i)
+			}
+		}
+	}
+	if ch.rec != nil {
+		ch.rec.Add("check.index_build_ns", time.Since(start).Nanoseconds())
 	}
 	return v
+}
+
+// lines returns the line indexes whose pattern equals p. Patterns not
+// referenced by any contract have no interned ID and return nil, which
+// is correct: nothing ever asks for them.
+func (v *view) lines(p string) []int {
+	id, ok := v.cs.ids[p]
+	if !ok {
+		return nil
+	}
+	return v.byID[id]
 }
 
 // matches returns the line indexes matching a present contract,
 // consulting the exact-text index for constant contracts.
 func (v *view) matches(c *Present) []int {
 	if !c.Exact {
-		return v.byPattern[c.Pattern]
+		return v.lines(c.Pattern)
 	}
 	if v.byText == nil {
 		v.byText = make(map[string][]int)
@@ -177,17 +288,53 @@ func (v *view) matches(c *Present) []int {
 }
 
 // values returns the transformed parameter values for all lines of a
-// pattern, caching the result.
+// pattern, caching the column in its compiled witness slot so it is
+// computed once per configuration no matter how many contracts share
+// it.
 func (v *view) values(ch *Checker, pattern string, paramIdx int, transform string) []witness {
-	key := fmt.Sprintf("%s|%d|%s", pattern, paramIdx, transform)
-	if ws, ok := v.transformed[key]; ok {
+	col := v.column(ch, pattern, paramIdx, transform)
+	if col == nil {
+		// A column no relational contract registered (possible only for
+		// hand-constructed calls); compute without caching.
+		return v.computeWitnesses(ch, pattern, paramIdx, transform)
+	}
+	return col.ws
+}
+
+// column returns the cached witness column for a registered slot, or
+// nil when the (pattern, param, transform) triple has no slot.
+func (v *view) column(ch *Checker, pattern string, paramIdx int, transform string) *witCol {
+	slot, ok := v.cs.witSlots[witKey{pattern, paramIdx, transform}]
+	if !ok {
+		return nil
+	}
+	col := &v.witness[slot]
+	if col.done {
 		v.hits++
-		return ws
+		return col
 	}
 	v.misses++
+	col.ws = v.computeWitnesses(ch, pattern, paramIdx, transform)
+	col.done = true
+	return col
+}
+
+// equalsIndex returns the column's key index, building it on first use.
+func (col *witCol) equalsIndex() map[string][]int {
+	if col.eq == nil {
+		col.eq = make(map[string][]int, len(col.ws))
+		for _, w := range col.ws {
+			k := w.value.Key()
+			col.eq[k] = append(col.eq[k], w.line)
+		}
+	}
+	return col.eq
+}
+
+func (v *view) computeWitnesses(ch *Checker, pattern string, paramIdx int, transform string) []witness {
 	tr, trOK := ch.transforms[transform]
 	var ws []witness
-	for _, li := range v.byPattern[pattern] {
+	for _, li := range v.lines(pattern) {
 		line := &v.cfg.Lines[li]
 		if paramIdx >= len(line.Params) || !trOK {
 			continue
@@ -198,7 +345,6 @@ func (v *view) values(ch *Checker, pattern string, paramIdx int, transform strin
 		}
 		ws = append(ws, witness{line: li, value: tv})
 	}
-	v.transformed[key] = ws
 	return ws
 }
 
@@ -208,12 +354,35 @@ func (v *view) values(ch *Checker, pattern string, paramIdx int, transform strin
 // (and not WithStrict), a contract whose evaluation panics is skipped
 // for this configuration with a diagnostic instead of crashing the
 // check.
+//
+// The default strategy is the compiled hot path: absence contracts
+// (present, unique existence) are always evaluated, while ordering,
+// sequence, relational, and type contract groups whose anchor pattern
+// the view's index proves absent are skipped wholesale (they are
+// vacuously satisfied). WithLinearScan selects the pre-compilation
+// strategy instead; both produce identical violations.
 func (ch *Checker) Check(cfg *lexer.Config) []Violation {
-	v := newView(cfg)
+	v := ch.newView(cfg)
+	var out []Violation
+	if ch.linear {
+		out = ch.checkLinear(v)
+	} else {
+		out = ch.checkCompiled(v)
+	}
+	sortViolations(out)
+	ch.rec.Add("check.violations", int64(len(out)))
+	ch.flushCache(v)
+	return out
+}
+
+// checkLinear is the pre-compilation strategy: every contract of the
+// set is evaluated in set order. Kept for differential testing against
+// the compiled path.
+func (ch *Checker) checkLinear(v *view) []Violation {
 	var out []Violation
 	for _, c := range ch.set.Contracts {
 		c := c
-		ch.contained(c, cfg.Name, func() {
+		ch.contained(c, v.cfg.Name, func() {
 			faultinject.At("contracts.check.contract", c.ID())
 			switch c := c.(type) {
 			case *Present:
@@ -221,7 +390,7 @@ func (ch *Checker) Check(cfg *lexer.Config) []Violation {
 			case *Ordering:
 				out = append(out, ch.checkOrdering(v, c)...)
 			case *TypeError:
-				out = append(out, ch.checkType(v, c)...)
+				out = append(out, ch.checkTypeScan(v, c)...)
 			case *Sequence:
 				out = append(out, ch.checkSequence(v, c)...)
 			case *Unique:
@@ -231,10 +400,50 @@ func (ch *Checker) Check(cfg *lexer.Config) []Violation {
 			}
 		})
 	}
-	sortViolations(out)
 	ch.rec.Add("check.contracts_evaluated", int64(len(ch.set.Contracts)))
-	ch.rec.Add("check.violations", int64(len(out)))
-	ch.flushCache(v)
+	return out
+}
+
+// checkCompiled is the indexed strategy (see Check).
+func (ch *Checker) checkCompiled(v *view) []Violation {
+	cs := ch.cs
+	var out []Violation
+	evaluated := 0
+	eval := func(c Contract, fn func()) {
+		evaluated++
+		ch.contained(c, v.cfg.Name, func() {
+			faultinject.At("contracts.check.contract", c.ID())
+			fn()
+		})
+	}
+	for _, c := range cs.absence {
+		switch c := c.(type) {
+		case *Present:
+			eval(c, func() { out = append(out, ch.checkPresent(v, c)...) })
+		case *Unique:
+			eval(c, func() { out = append(out, ch.checkUniqueExistence(v, c)...) })
+		}
+	}
+	for _, id := range v.presentIDs {
+		for _, c := range cs.anchored[id] {
+			switch c := c.(type) {
+			case *Ordering:
+				eval(c, func() { out = append(out, ch.checkOrdering(v, c)...) })
+			case *Sequence:
+				eval(c, func() { out = append(out, ch.checkSequence(v, c)...) })
+			case *Relational:
+				eval(c, func() { out = append(out, ch.checkRelational(v, c)...) })
+			}
+		}
+	}
+	for ag, lines := range v.byAg {
+		for _, c := range cs.typesByAg[ag] {
+			c := c
+			eval(c, func() { out = append(out, ch.checkTypeLines(v, c, lines)...) })
+		}
+	}
+	ch.rec.Add("check.contracts_evaluated", int64(evaluated))
+	ch.rec.Add("check.contracts_skipped_by_index", int64(len(ch.set.Contracts)-evaluated))
 	return out
 }
 
@@ -270,7 +479,8 @@ func (ch *Checker) flushCache(v *view) {
 
 // CheckAll evaluates the full set against a batch of configurations,
 // including the cross-configuration uniqueness component of unique
-// contracts.
+// contracts. The compiled set is built once (at NewChecker) and shared
+// by every configuration.
 func (ch *Checker) CheckAll(cfgs []*lexer.Config) []Violation {
 	var out []Violation
 	for _, cfg := range cfgs {
@@ -324,7 +534,7 @@ func successor(cfg *lexer.Config, li int) int {
 
 func (ch *Checker) checkOrdering(v *view, c *Ordering) []Violation {
 	var out []Violation
-	for _, li := range v.byPattern[c.First] {
+	for _, li := range v.lines(c.First) {
 		next := successor(v.cfg, li)
 		if next < 0 || v.cfg.Lines[next].Pattern != c.Second {
 			line := &v.cfg.Lines[li]
@@ -335,7 +545,9 @@ func (ch *Checker) checkOrdering(v *view, c *Ordering) []Violation {
 	return out
 }
 
-func (ch *Checker) checkType(v *view, c *TypeError) []Violation {
+// checkTypeScan is the pre-compilation type check: it scans every line
+// of the configuration, recomputing the agnostic pattern per line.
+func (ch *Checker) checkTypeScan(v *view, c *TypeError) []Violation {
 	var out []Violation
 	for i := range v.cfg.Lines {
 		line := &v.cfg.Lines[i]
@@ -348,16 +560,55 @@ func (ch *Checker) checkType(v *view, c *TypeError) []Violation {
 		if lexer.TypeAgnostic(line.Pattern) != c.Agnostic {
 			continue
 		}
-		out = append(out, violation(c, v.cfg.Name, line.Num,
-			fmt.Sprintf("parameter %s has forbidden type [%s] (expected one of %v)",
-				lexer.VarName(c.ParamIdx), c.BadType, c.GoodTypes)))
+		out = append(out, typeViolation(v, c, line))
 	}
 	return out
 }
 
-// numericValues extracts the big.Int values of a numeric parameter for
-// every line of a pattern, in line order, paired with line indexes.
-func numericValues(cfg *lexer.Config, lines []int, paramIdx int) (vals []*big.Int, at []int) {
+// checkTypeLines is the indexed type check: lines is the view's
+// agnostic-index bucket for c.Agnostic, so the per-line agnostic
+// rewrite is already done.
+func (ch *Checker) checkTypeLines(v *view, c *TypeError, lines []int) []Violation {
+	var out []Violation
+	for _, i := range lines {
+		line := &v.cfg.Lines[i]
+		if c.ParamIdx >= len(line.Params) {
+			continue
+		}
+		if line.Params[c.ParamIdx].Type != c.BadType {
+			continue
+		}
+		out = append(out, typeViolation(v, c, line))
+	}
+	return out
+}
+
+func typeViolation(v *view, c *TypeError, line *lexer.Line) Violation {
+	return violation(c, v.cfg.Name, line.Num,
+		fmt.Sprintf("parameter %s has forbidden type [%s] (expected one of %v)",
+			lexer.VarName(c.ParamIdx), c.BadType, c.GoodTypes))
+}
+
+// numericValues returns the decoded big.Int column of a numeric
+// parameter for every line of a pattern, in line order, paired with
+// line indexes. The column is decoded once per configuration and
+// cached in the view's compiled slot; callers must not mutate it.
+func (v *view) numericValues(pattern string, paramIdx int) (vals []*big.Int, at []int) {
+	slot, ok := v.cs.numSlots[patternParamKey{pattern, paramIdx}]
+	if !ok {
+		return decodeNumeric(v.cfg, v.lines(pattern), paramIdx)
+	}
+	col := &v.numeric[slot]
+	if !col.done {
+		col.vals, col.at = decodeNumeric(v.cfg, v.lines(pattern), paramIdx)
+		col.done = true
+	}
+	return col.vals, col.at
+}
+
+// decodeNumeric extracts the big.Int values of a numeric parameter for
+// the given line indexes.
+func decodeNumeric(cfg *lexer.Config, lines []int, paramIdx int) (vals []*big.Int, at []int) {
 	for _, li := range lines {
 		line := &cfg.Lines[li]
 		if paramIdx >= len(line.Params) {
@@ -393,12 +644,20 @@ func equidistant(vals []*big.Int) bool {
 }
 
 func (ch *Checker) checkSequence(v *view, c *Sequence) []Violation {
-	vals, at := numericValues(v.cfg, v.byPattern[c.Pattern], c.ParamIdx)
+	vals, at := v.numericValues(c.Pattern, c.ParamIdx)
 	if len(vals) < 2 || equidistant(vals) {
 		return nil
 	}
-	// Localize to the first value that breaks the expected step.
+	// Localize to the first value that breaks the step. The step is the
+	// first consecutive difference; a zero step is itself the break, so
+	// the second value (the first duplicate) is the violation — even
+	// when later differences vary.
 	diff := new(big.Int).Sub(vals[1], vals[0])
+	if diff.Sign() == 0 {
+		line := &v.cfg.Lines[at[1]]
+		return []Violation{violation(c, v.cfg.Name, line.Num,
+			fmt.Sprintf("value %s repeats the previous value (sequence step is zero)", vals[1]))}
+	}
 	for i := 2; i < len(vals); i++ {
 		d := new(big.Int).Sub(vals[i], vals[i-1])
 		if d.Cmp(diff) != 0 {
@@ -407,14 +666,14 @@ func (ch *Checker) checkSequence(v *view, c *Sequence) []Violation {
 				fmt.Sprintf("value %s breaks the sequence step %s", vals[i], diff))}
 		}
 	}
-	line := &v.cfg.Lines[at[1]]
-	return []Violation{violation(c, v.cfg.Name, line.Num, "sequence step is zero")}
+	return nil // unreachable: a nonzero-step non-equidistant column has a break
 }
 
 // checkUniqueExistence enforces the per-configuration existence
-// component of a unique contract.
+// component of a unique contract. The violation is file-level (no
+// line): there is no line to point at when the definition is missing.
 func (ch *Checker) checkUniqueExistence(v *view, c *Unique) []Violation {
-	if len(v.byPattern[c.Pattern]) > 0 {
+	if len(v.lines(c.Pattern)) > 0 {
 		return nil
 	}
 	return []Violation{violation(c, v.cfg.Name, 0,
@@ -431,10 +690,41 @@ func (ch *Checker) CheckUniqueAcross(cfgs []*lexer.Config) []Violation {
 }
 
 // checkUniqueGlobal enforces global value uniqueness across the batch.
+// Each configuration is indexed by pattern once; every unique contract
+// then reads only the lines of its own pattern instead of scanning the
+// whole batch.
 func (ch *Checker) checkUniqueGlobal(cfgs []*lexer.Config) []Violation {
+	uniques := make([]*Unique, 0, len(ch.cs.absence))
+	for _, c := range ch.cs.absence {
+		if u, ok := c.(*Unique); ok {
+			uniques = append(uniques, u)
+		}
+	}
+	if len(uniques) == 0 {
+		return nil
+	}
+	// byCfg[ci] maps interned pattern IDs to line indexes of cfgs[ci],
+	// restricted to the patterns unique contracts anchor on.
+	wanted := make(map[string]int, len(uniques))
+	for _, u := range uniques {
+		if id, ok := ch.cs.ids[u.Pattern]; ok {
+			wanted[u.Pattern] = id
+		}
+	}
+	byCfg := make([]map[int][]int, len(cfgs))
+	for ci, cfg := range cfgs {
+		idx := make(map[int][]int)
+		for i := range cfg.Lines {
+			if id, ok := wanted[cfg.Lines[i].Pattern]; ok {
+				idx[id] = append(idx[id], i)
+			}
+		}
+		byCfg[ci] = idx
+	}
 	var out []Violation
-	for _, c := range ch.set.Contracts {
-		u, ok := c.(*Unique)
+	for _, u := range uniques {
+		u := u
+		id, ok := wanted[u.Pattern]
 		if !ok {
 			continue
 		}
@@ -445,10 +735,10 @@ func (ch *Checker) checkUniqueGlobal(cfgs []*lexer.Config) []Violation {
 				line int
 			}
 			seen := make(map[string]site)
-			for _, cfg := range cfgs {
-				for i := range cfg.Lines {
+			for ci, cfg := range cfgs {
+				for _, i := range byCfg[ci][id] {
 					line := &cfg.Lines[i]
-					if line.Pattern != u.Pattern || u.ParamIdx >= len(line.Params) {
+					if u.ParamIdx >= len(line.Params) {
 						continue
 					}
 					key := line.Params[u.ParamIdx].Value.Key()
@@ -466,8 +756,28 @@ func (ch *Checker) checkUniqueGlobal(cfgs []*lexer.Config) []Violation {
 	return out
 }
 
+// equalsFast reports whether an equals contract can use the hash-based
+// witness index: the built-in Equals semantics is exactly key equality,
+// so the index is valid unless a user definition overrides Equals.
+// Linear-scan mode keeps the pre-compilation pairwise evaluation so it
+// stays a faithful baseline.
+func (ch *Checker) equalsFast(c *Relational) bool {
+	if ch.linear || c.Rel != relations.Equals {
+		return false
+	}
+	_, overridden := ch.custom[relations.Equals]
+	return !overridden
+}
+
+// selfPair reports whether the contract's forall and witness columns
+// are the same (pattern, parameter) — the case where a parameter must
+// not witness itself.
+func selfPair(c *Relational) bool {
+	return c.Pattern2 == c.Pattern1 && c.ParamIdx2 == c.ParamIdx1
+}
+
 func (ch *Checker) checkRelational(v *view, c *Relational) []Violation {
-	l1s := v.byPattern[c.Pattern1]
+	l1s := v.lines(c.Pattern1)
 	if len(l1s) == 0 {
 		return nil // vacuously true
 	}
@@ -476,7 +786,20 @@ func (ch *Checker) checkRelational(v *view, c *Relational) []Violation {
 		return []Violation{violation(c, v.cfg.Name, 0,
 			fmt.Sprintf("unknown transform %q", c.Transform1))}
 	}
-	wits := v.values(ch, c.Pattern2, c.ParamIdx2, c.Transform2)
+	// Equality contracts use the column's key index: one key
+	// stringification per forall line instead of one per (forall,
+	// witness) pair.
+	var eq map[string][]int
+	if ch.equalsFast(c) {
+		if col := v.column(ch, c.Pattern2, c.ParamIdx2, c.Transform2); col != nil {
+			eq = col.equalsIndex()
+		}
+	}
+	var wits []witness
+	if eq == nil {
+		wits = v.values(ch, c.Pattern2, c.ParamIdx2, c.Transform2)
+	}
+	self := selfPair(c)
 	var out []Violation
 	for _, li := range l1s {
 		line := &v.cfg.Lines[li]
@@ -488,13 +811,24 @@ func (ch *Checker) checkRelational(v *view, c *Relational) []Violation {
 			continue
 		}
 		found := false
-		for _, w := range wits {
-			if w.line == li && c.Pattern2 == c.Pattern1 && c.ParamIdx2 == c.ParamIdx1 {
-				continue // a parameter is not its own witness
+		if eq != nil {
+			matches := eq[v1.Key()]
+			if self {
+				// A parameter is not its own witness: some other line
+				// must carry the matching value.
+				found = len(matches) > 1 || (len(matches) == 1 && matches[0] != li)
+			} else {
+				found = len(matches) > 0
 			}
-			if ch.holds(c.Rel, v1, w.value) {
-				found = true
-				break
+		} else {
+			for _, w := range wits {
+				if w.line == li && self {
+					continue // a parameter is not its own witness
+				}
+				if ch.holds(c.Rel, v1, w.value) {
+					found = true
+					break
+				}
 			}
 		}
 		if !found {
@@ -521,9 +855,23 @@ func (ch *Checker) findWitnesses(v *view, c *Relational, li int) []int {
 	if !ok {
 		return nil
 	}
+	self := selfPair(c)
+	if ch.equalsFast(c) {
+		if col := v.column(ch, c.Pattern2, c.ParamIdx2, c.Transform2); col != nil {
+			// The key index preserves column (line) order per bucket.
+			var out []int
+			for _, wl := range col.equalsIndex()[v1.Key()] {
+				if wl == li && self {
+					continue
+				}
+				out = append(out, wl)
+			}
+			return out
+		}
+	}
 	var out []int
 	for _, w := range v.values(ch, c.Pattern2, c.ParamIdx2, c.Transform2) {
-		if w.line == li && c.Pattern2 == c.Pattern1 && c.ParamIdx2 == c.ParamIdx1 {
+		if w.line == li && self {
 			continue
 		}
 		if ch.holds(c.Rel, v1, w.value) {

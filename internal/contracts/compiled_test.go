@@ -1,0 +1,226 @@
+package contracts
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"concord/internal/lexer"
+	"concord/internal/telemetry"
+)
+
+// TestCheckSequenceLocalization pins down which line a sequence
+// violation points at: always the first value that breaks the step,
+// including the zero-step case (where the second value — the first
+// duplicate — is the break).
+func TestCheckSequenceLocalization(t *testing.T) {
+	seqCfg := func(t *testing.T, name string, vals ...string) *lexer.Config {
+		t.Helper()
+		var b strings.Builder
+		for i, v := range vals {
+			fmt.Fprintf(&b, "seq %s permit 10.%d.0.0/16\n", v, i)
+		}
+		return cfgFromText(t, name, b.String())
+	}
+	tests := []struct {
+		name       string
+		vals       []string
+		wantLine   int // 0 = no violation
+		wantDetail string
+	}{
+		{name: "equidistant", vals: []string{"10", "20", "30"}, wantLine: 0},
+		{name: "negative step", vals: []string{"30", "20", "10"}, wantLine: 0},
+		{name: "break in middle", vals: []string{"10", "20", "40", "50"}, wantLine: 3, wantDetail: "breaks the sequence step 10"},
+		{name: "break at end", vals: []string{"10", "20", "30", "45"}, wantLine: 4, wantDetail: "breaks the sequence step 10"},
+		{name: "zero step", vals: []string{"10", "10", "10"}, wantLine: 2, wantDetail: "sequence step is zero"},
+		// Zero first step with later variation still localizes to the
+		// first duplicate, not a later line: the step itself is the break.
+		{name: "zero step then jump", vals: []string{"10", "10", "30"}, wantLine: 2, wantDetail: "sequence step is zero"},
+		{name: "single value", vals: []string{"10"}, wantLine: 0},
+		// Values beyond int64: a 20-digit decimal exceeds math.MaxInt64
+		// (9223372036854775807); equidistance must be judged in *big.Int.
+		{name: "big values equidistant", vals: []string{"18446744073709551610", "18446744073709551620", "18446744073709551630"}, wantLine: 0},
+		{name: "big values break", vals: []string{"18446744073709551610", "18446744073709551620", "18446744073709551635"}, wantLine: 3, wantDetail: "breaks the sequence step 10"},
+		// Straddling the int64 boundary: int64 arithmetic would wrap here.
+		{name: "straddle int64 max", vals: []string{"9223372036854775800", "9223372036854775810", "9223372036854775820"}, wantLine: 0},
+	}
+	set := &Set{Contracts: []Contract{
+		&Sequence{Pattern: "/seq [num] permit [pfx4]", Display: "/seq [a:num] permit [b:pfx4]", ParamIdx: 0},
+	}}
+	for _, linear := range []bool{false, true} {
+		ch := NewChecker(set, WithLinearScan(linear))
+		for _, tc := range tests {
+			t.Run(fmt.Sprintf("%s/linear=%v", tc.name, linear), func(t *testing.T) {
+				vs := ch.Check(seqCfg(t, tc.name, tc.vals...))
+				if tc.wantLine == 0 {
+					if len(vs) != 0 {
+						t.Fatalf("unexpected violations: %+v", vs)
+					}
+					return
+				}
+				if len(vs) != 1 {
+					t.Fatalf("got %d violations, want 1: %+v", len(vs), vs)
+				}
+				if vs[0].Line != tc.wantLine {
+					t.Errorf("localized to line %d, want %d (%s)", vs[0].Line, tc.wantLine, vs[0].Detail)
+				}
+				if !strings.Contains(vs[0].Detail, tc.wantDetail) {
+					t.Errorf("detail = %q, want substring %q", vs[0].Detail, tc.wantDetail)
+				}
+			})
+		}
+	}
+}
+
+// TestUniqueExistenceFileLevel verifies that a missing unique line is
+// reported as a file-level violation: no line number, and Location()
+// renders the bare file name instead of "file:0".
+func TestUniqueExistenceFileLevel(t *testing.T) {
+	set := &Set{Contracts: []Contract{
+		&Unique{Pattern: "/hostname DEV[num]", Display: "/hostname DEV[a:num]", ParamIdx: 0},
+	}}
+	ch := NewChecker(set)
+	missing := cfgFromText(t, "router1.cfg", "router bgp 1\n")
+	vs := ch.Check(missing)
+	if len(vs) != 1 {
+		t.Fatalf("got %d violations, want 1: %+v", len(vs), vs)
+	}
+	v := vs[0]
+	if !v.FileLevel() {
+		t.Errorf("FileLevel() = false for line %d", v.Line)
+	}
+	if got, want := v.Location(), "router1.cfg"; got != want {
+		t.Errorf("Location() = %q, want %q", got, want)
+	}
+	// A line-localized violation renders file:line.
+	dup := cfgFromText(t, "dup.cfg", "hostname DEV1\nhostname DEV1\n")
+	vs = ch.CheckAll([]*lexer.Config{dup})
+	if len(vs) == 0 {
+		t.Fatal("expected uniqueness violation")
+	}
+	if got := vs[0].Location(); !strings.Contains(got, ":") {
+		t.Errorf("line-level Location() = %q, want file:line", got)
+	}
+}
+
+// corpusAllCategories builds a small corpus plus a contract set hitting
+// every category, with seeded violations in the "broken" config.
+func corpusAllCategories(t *testing.T) (*Set, []*lexer.Config) {
+	t.Helper()
+	good := func(d int) string {
+		return fmt.Sprintf(`hostname DEV%d
+interface Loopback0
+   ip address 10.0.%d.1
+ip prefix-list loopback
+   seq 10 permit 10.0.0.0/8
+   seq 20 permit 0.0.0.0/0
+router bgp %d
+   maximum-paths 64
+`, d, d, 65000+d)
+	}
+	// Broken: duplicate hostname value, missing router bgp (present +
+	// ordering anchor gone), prefix in place of an address (type),
+	// broken seq step, loopback not permitted (relational).
+	broken := `hostname DEV1
+interface Loopback0
+   ip address 172.16.0.1/24
+ip prefix-list loopback
+   seq 10 permit 10.0.0.0/8
+   seq 15 permit 0.0.0.0/0
+   seq 20 permit 10.1.0.0/16
+`
+	var cfgs []*lexer.Config
+	for d := 1; d <= 4; d++ {
+		cfgs = append(cfgs, cfgFromText(t, fmt.Sprintf("dev%d", d), good(d)))
+	}
+	cfgs = append(cfgs, cfgFromText(t, "broken", broken))
+	set := &Set{Contracts: []Contract{
+		&Present{Pattern: "/router bgp [num]", Display: "/router bgp [a:num]"},
+		&Present{Pattern: "/interface Loopback[num]", Display: "/interface Loopback[a:num]"},
+		&Ordering{First: "/router bgp [num]", DisplayFirst: "/router bgp [a:num]",
+			Second: "/router bgp [num]/maximum-paths [num]", DisplaySecond: "/router bgp [num]/maximum-paths [a:num]"},
+		&TypeError{Agnostic: "/interface Loopback[?]/ip address [?]", ParamIdx: 1, BadType: "pfx4", GoodTypes: []string{"ip4"}},
+		&Sequence{Pattern: "/ip prefix-list loopback/seq [num] permit [pfx4]", Display: "/ip prefix-list loopback/seq [a:num] permit [b:pfx4]", ParamIdx: 0},
+		&Unique{Pattern: "/hostname DEV[num]", Display: "/hostname DEV[a:num]", ParamIdx: 0},
+	}}
+	return set, cfgs
+}
+
+// TestCompiledMatchesLinear is the unit-level golden comparison: the
+// compiled (indexed) check path and the linear scan must produce
+// identical violations and identical coverage on a corpus that
+// exercises every contract category, including the skip path (the
+// "broken" config has no /router bgp line, so its ordering bucket is
+// skipped entirely while the Present contract still fires).
+func TestCompiledMatchesLinear(t *testing.T) {
+	set, cfgs := corpusAllCategories(t)
+	linear := NewChecker(set, WithLinearScan(true))
+	compiled := NewChecker(set)
+	wantVs := linear.CheckAll(cfgs)
+	gotVs := compiled.CheckAll(cfgs)
+	if !reflect.DeepEqual(wantVs, gotVs) {
+		t.Errorf("violations differ:\nlinear   = %+v\ncompiled = %+v", wantVs, gotVs)
+	}
+	if len(wantVs) == 0 {
+		t.Error("corpus seeded no violations; comparison is vacuous")
+	}
+	for _, cfg := range cfgs {
+		wc := linear.Coverage(cfg)
+		gc := compiled.Coverage(cfg)
+		if !reflect.DeepEqual(wc, gc) {
+			t.Errorf("coverage differs for %s:\nlinear   = %+v\ncompiled = %+v", cfg.Name, wc, gc)
+		}
+	}
+}
+
+// TestCompiledSkipCounter verifies the index actually skips contract
+// groups whose anchor pattern is absent, and that the telemetry
+// counters account for every contract: evaluated + skipped = checked
+// configs × contracts eligible per config.
+func TestCompiledSkipCounter(t *testing.T) {
+	set, cfgs := corpusAllCategories(t)
+	rec := telemetry.NewRecorder()
+	ch := NewChecker(set, WithTelemetry(rec))
+	ch.CheckAll(cfgs)
+	skipped := rec.Counter("check.contracts_skipped_by_index")
+	evaluated := rec.Counter("check.contracts_evaluated")
+	if skipped == 0 {
+		t.Error("no contracts skipped; the broken config lacks /router bgp so its ordering contract should be skipped")
+	}
+	if got, want := evaluated+skipped, int64(len(cfgs)*set.Len()); got != want {
+		t.Errorf("evaluated(%d) + skipped(%d) = %d, want configs×contracts = %d", evaluated, skipped, got, want)
+	}
+	if rec.Counter("check.index_build_ns") <= 0 {
+		t.Error("index_build_ns not recorded")
+	}
+	// The linear scan records no skips.
+	recLin := telemetry.NewRecorder()
+	lin := NewChecker(set, WithTelemetry(recLin), WithLinearScan(true))
+	lin.CheckAll(cfgs)
+	if n := recLin.Counter("check.contracts_skipped_by_index"); n != 0 {
+		t.Errorf("linear scan skipped %d contracts, want 0", n)
+	}
+}
+
+// TestCompileBuckets sanity-checks the compiled layout directly:
+// absence-style contracts (Present, Unique) stay in the never-skipped
+// bucket, anchored contracts land under their anchor pattern's ID, and
+// type contracts bucket by agnostic pattern.
+func TestCompileBuckets(t *testing.T) {
+	set, _ := corpusAllCategories(t)
+	cs := Compile(set)
+	if got := len(cs.absence); got != 3 { // 2 Present + 1 Unique
+		t.Errorf("absence bucket has %d contracts, want 3", got)
+	}
+	id, ok := cs.ids["/router bgp [num]"]
+	if !ok {
+		t.Fatal("ordering anchor pattern not interned")
+	}
+	if got := len(cs.anchored[id]); got != 1 {
+		t.Errorf("anchored[/router bgp [num]] has %d contracts, want 1 (the ordering)", got)
+	}
+	if got := len(cs.typesByAg["/interface Loopback[?]/ip address [?]"]); got != 1 {
+		t.Errorf("typesByAg bucket has %d contracts, want 1", got)
+	}
+}

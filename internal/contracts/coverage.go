@@ -60,8 +60,14 @@ func (r *CoverageResult) CategoryPercent(cat Category) float64 {
 // embedding, which can vacuously satisfy a contract the header
 // witnessed. Exact semantics would require one full re-check per line;
 // the approximation matches exact removal for leaf lines.
+//
+// Coverage shares the compiled contract set and the per-configuration
+// pattern index with Check: anchored contract groups (ordering,
+// sequence, relational) whose anchor pattern is absent mark no lines
+// and are skipped wholesale; absence contracts (present, unique) are
+// always consulted.
 func (ch *Checker) Coverage(cfg *lexer.Config) *CoverageResult {
-	v := newView(cfg)
+	v := ch.newView(cfg)
 	res := &CoverageResult{
 		SourceLines: cfg.SourceLines,
 		Covered:     make(map[int]bool),
@@ -79,8 +85,7 @@ func (ch *Checker) Coverage(cfg *lexer.Config) *CoverageResult {
 		}
 		m[li] = true
 	}
-	for _, c := range ch.set.Contracts {
-		c := c
+	cover := func(c Contract) {
 		ch.contained(c, cfg.Name, func() {
 			faultinject.At("contracts.coverage.contract", c.ID())
 			switch c := c.(type) {
@@ -89,7 +94,7 @@ func (ch *Checker) Coverage(cfg *lexer.Config) *CoverageResult {
 					mark(CatPresent, lines[0])
 				}
 			case *Unique:
-				if lines := v.byPattern[c.Pattern]; len(lines) == 1 {
+				if lines := v.lines(c.Pattern); len(lines) == 1 {
 					mark(CatUnique, lines[0])
 				}
 			case *Ordering:
@@ -101,13 +106,27 @@ func (ch *Checker) Coverage(cfg *lexer.Config) *CoverageResult {
 			}
 		})
 	}
+	if ch.linear {
+		for _, c := range ch.set.Contracts {
+			cover(c)
+		}
+	} else {
+		for _, c := range ch.cs.absence {
+			cover(c)
+		}
+		for _, id := range v.presentIDs {
+			for _, c := range ch.cs.anchored[id] {
+				cover(c)
+			}
+		}
+	}
 	ch.rec.Add("coverage.lines_covered", int64(len(res.Covered)))
 	ch.flushCache(v)
 	return res
 }
 
 func (ch *Checker) coverOrdering(v *view, c *Ordering, mark func(Category, int)) {
-	for _, li := range v.byPattern[c.First] {
+	for _, li := range v.lines(c.First) {
 		next := successor(v.cfg, li)
 		if next < 0 {
 			continue
@@ -123,7 +142,7 @@ func (ch *Checker) coverOrdering(v *view, c *Ordering, mark func(Category, int))
 }
 
 func (ch *Checker) coverSequence(v *view, c *Sequence, mark func(Category, int)) {
-	vals, at := numericValues(v.cfg, v.byPattern[c.Pattern], c.ParamIdx)
+	vals, at := v.numericValues(c.Pattern, c.ParamIdx)
 	if len(vals) < 3 {
 		return
 	}
@@ -139,7 +158,7 @@ func (ch *Checker) coverSequence(v *view, c *Sequence, mark func(Category, int))
 }
 
 func (ch *Checker) coverRelational(v *view, c *Relational, mark func(Category, int)) {
-	for _, li := range v.byPattern[c.Pattern1] {
+	for _, li := range v.lines(c.Pattern1) {
 		ws := ch.findWitnesses(v, c, li)
 		if len(ws) == 1 {
 			mark(CatRelation, ws[0])

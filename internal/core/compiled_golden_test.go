@@ -1,0 +1,139 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"concord/internal/contracts"
+	"concord/internal/lexer"
+	"concord/internal/synth"
+)
+
+// goldenCorpus builds the acceptance corpus: a W4 wide-area role at
+// scale 0.75 (210 configs), with contracts learned from a 40-config
+// subset (~1500 contracts). Both counts exceed the PR's ≥200 floor.
+func goldenCorpus(t *testing.T) ([]*lexer.Config, ProcessStats, *LearnResult) {
+	t.Helper()
+	role, ok := synth.RoleByName("W4", 0.75)
+	if !ok {
+		t.Fatal("unknown synth role W4")
+	}
+	ds := synth.Generate(role)
+	var srcs []Source
+	for _, f := range ds.Configs {
+		srcs = append(srcs, Source{Name: f.Name, Text: f.Text})
+	}
+	eng := MustNew(DefaultOptions())
+	cfgs, pstats, err := eng.ProcessContext(context.Background(), srcs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, err := eng.LearnProcessed(cfgs[:40], pstats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) < 200 || lr.Set.Len() < 200 {
+		t.Fatalf("corpus too small for acceptance: %d configs, %d contracts (need ≥200 each)",
+			len(cfgs), lr.Set.Len())
+	}
+	return cfgs, pstats, lr
+}
+
+// TestCompiledGoldenMatchesLinear is the end-to-end golden comparison
+// behind the PR's acceptance criterion: over ≥200 configs and ≥200
+// contracts, the compiled (indexed) check path must produce output
+// identical to the pre-PR linear scan — same violations in the same
+// order, same coverage summary.
+func TestCompiledGoldenMatchesLinear(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second corpus; skipped in -short mode")
+	}
+	cfgs, pstats, lr := goldenCorpus(t)
+
+	run := func(linear bool) *CheckResult {
+		opts := DefaultOptions()
+		opts.LinearScan = linear
+		cr, err := MustNew(opts).CheckProcessed(lr.Set, cfgs, pstats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cr
+	}
+	want := run(true)
+	got := run(false)
+	if len(want.Violations) == 0 {
+		t.Fatal("golden corpus produced no violations; comparison is vacuous")
+	}
+	if !reflect.DeepEqual(want.Violations, got.Violations) {
+		t.Errorf("violations differ: linear=%d compiled=%d", len(want.Violations), len(got.Violations))
+		for i := range want.Violations {
+			if i < len(got.Violations) && !reflect.DeepEqual(want.Violations[i], got.Violations[i]) {
+				t.Errorf("first divergence at %d:\nlinear   = %+v\ncompiled = %+v",
+					i, want.Violations[i], got.Violations[i])
+				break
+			}
+		}
+	}
+	if !reflect.DeepEqual(want.Coverage, got.Coverage) {
+		t.Errorf("coverage differs:\nlinear   = %+v\ncompiled = %+v", want.Coverage, got.Coverage)
+	}
+}
+
+// TestCheckAllDeterministic asserts byte-identical JSON output across
+// repeated parallel runs: the sharded worker pool and the compiled
+// engine's map-ordered buckets must not leak scheduling order into the
+// report (ties are broken by file, line, then contract ID).
+func TestCheckAllDeterministic(t *testing.T) {
+	role, ok := synth.RoleByName("W4", 0.25)
+	if !ok {
+		t.Fatal("unknown synth role W4")
+	}
+	ds := synth.Generate(role)
+	var srcs []Source
+	for _, f := range ds.Configs {
+		srcs = append(srcs, Source{Name: f.Name, Text: f.Text})
+	}
+	eng := MustNew(DefaultOptions())
+	cfgs, pstats, err := eng.ProcessContext(context.Background(), srcs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, err := eng.LearnProcessed(cfgs[:20], pstats)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	marshal := func(cr *CheckResult) []byte {
+		data, err := json.Marshal(struct {
+			Violations []contracts.Violation `json:"violations"`
+			Coverage   CoverageSummary       `json:"coverage"`
+		}{cr.Violations, cr.Coverage})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	opts := DefaultOptions()
+	opts.Parallelism = 8
+	var first []byte
+	for run := 0; run < 3; run++ {
+		cr, err := MustNew(opts).CheckProcessed(lr.Set, cfgs, pstats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := marshal(cr)
+		if run == 0 {
+			first = data
+			if len(cr.Violations) == 0 {
+				t.Log("warning: corpus produced no violations; determinism check covers coverage only")
+			}
+			continue
+		}
+		if !bytes.Equal(first, data) {
+			t.Fatalf("run %d JSON differs from run 0 (%d vs %d bytes)", run, len(data), len(first))
+		}
+	}
+}

@@ -93,6 +93,11 @@ type Options struct {
 	// Calls are serialized by the engine, so the callback need not be
 	// thread-safe; it must be fast, as it runs on worker goroutines.
 	Progress func(stage telemetry.Stage, done, total int)
+	// LinearScan forces the pre-compilation check strategy (every
+	// contract evaluated against every configuration, no index-based
+	// skipping). It exists for differential testing and benchmarking of
+	// the compiled check engine; results are identical either way.
+	LinearScan bool
 }
 
 // Validate rejects unusable option values: Support below 1, Confidence
@@ -695,12 +700,7 @@ func (e *Engine) CheckProcessedContext(ctx context.Context, set *contracts.Set, 
 }
 
 func (e *Engine) checkProcessedContext(ctx context.Context, dc *diag.Collector, set *contracts.Set, cfgs []*lexer.Config, pstats ProcessStats) (*CheckResult, error) {
-	checker := contracts.NewChecker(set,
-		contracts.WithTransforms(e.transforms),
-		contracts.WithRelations(e.opts.ExtraRelations),
-		contracts.WithTelemetry(e.opts.Telemetry),
-		contracts.WithDiagnostics(dc),
-		contracts.WithStrict(e.opts.Strict))
+	checker := e.newChecker(set, dc)
 	perCfgViolations := make([][]contracts.Violation, len(cfgs))
 	perCfgCoverage := make([]*contracts.CoverageResult, len(cfgs))
 	sp := e.opts.Telemetry.StartSpan(string(telemetry.StageCheck))
@@ -757,6 +757,21 @@ func sortViolations(vs []contracts.Violation) {
 		}
 		return vs[i].ContractID < vs[j].ContractID
 	})
+}
+
+// newChecker builds the shared checker for a check or coverage run.
+// The contract set is compiled once here; the worker pool then shares
+// the compiled set (pattern interning, category/anchor buckets, cache
+// slot layout) across every configuration instead of re-deriving
+// per-worker state.
+func (e *Engine) newChecker(set *contracts.Set, dc *diag.Collector) *contracts.Checker {
+	return contracts.NewChecker(set,
+		contracts.WithTransforms(e.transforms),
+		contracts.WithRelations(e.opts.ExtraRelations),
+		contracts.WithTelemetry(e.opts.Telemetry),
+		contracts.WithDiagnostics(dc),
+		contracts.WithStrict(e.opts.Strict),
+		contracts.WithLinearScan(e.opts.LinearScan))
 }
 
 // Transforms exposes the default transformation registry for callers

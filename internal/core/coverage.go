@@ -42,12 +42,7 @@ func (e *Engine) CoverageLinesContext(ctx context.Context, set *contracts.Set, s
 	if err != nil {
 		return nil, err
 	}
-	checker := contracts.NewChecker(set,
-		contracts.WithTransforms(e.transforms),
-		contracts.WithRelations(e.opts.ExtraRelations),
-		contracts.WithTelemetry(e.opts.Telemetry),
-		contracts.WithDiagnostics(dc),
-		contracts.WithStrict(e.opts.Strict))
+	checker := e.newChecker(set, dc)
 	perCfg := make([][]LineCoverage, len(cfgs))
 	sp := e.opts.Telemetry.StartSpan(string(telemetry.StageCoverage))
 	err = e.forEachCtx(ctx, dc, telemetry.StageCoverage, len(cfgs),

@@ -9,6 +9,7 @@ package mining
 import (
 	"context"
 	"fmt"
+	"math/big"
 	"sort"
 	"strconv"
 
@@ -343,7 +344,7 @@ func (m *Miner) statsOneConfig(ci int, cfg *lexer.Config, st *stats) error {
 		succ := make(map[[2]string]int)
 		succDisp := make(map[[2]string][2]string)
 		// Sequence bookkeeping: values in line order.
-		seqVals := make(map[string][]int64)
+		seqVals := make(map[string][]*big.Int)
 		for i := range cfg.Lines {
 			line := &cfg.Lines[i]
 			p := line.Pattern
@@ -400,12 +401,10 @@ func (m *Miner) statsOneConfig(ci int, cfg *lexer.Config, st *stats) error {
 			for pi, prm := range line.Params {
 				k := key2(p, pi)
 				if n, ok := prm.Value.(netdata.Num); ok {
-					if v, fits := n.Int64(); fits {
-						seqVals[k] = append(seqVals[k], v)
-						if _, ok := st.seqMeta[k]; !ok {
-							st.seqMeta[k] = patternParam{pattern: p, idx: pi}
-							st.seqs[k] = &seqStats{display: line.Display}
-						}
+					seqVals[k] = append(seqVals[k], n.Big())
+					if _, ok := st.seqMeta[k]; !ok {
+						st.seqMeta[k] = patternParam{pattern: p, idx: pi}
+						st.seqs[k] = &seqStats{display: line.Display}
 					}
 				}
 				us := st.uniqs[k]
@@ -450,17 +449,22 @@ func (m *Miner) statsOneConfig(ci int, cfg *lexer.Config, st *stats) error {
 }
 
 // isArithmetic reports whether the values form a nonzero arithmetic
-// progression in order.
-func isArithmetic(vals []int64) bool {
+// progression in order. It works on *big.Int so values near or past the
+// int64 range (large hex tokens) neither wrap during subtraction nor
+// fall out of the evidence — the checker's equidistant (contracts
+// package) uses the same arithmetic, so miner and checker always agree.
+func isArithmetic(vals []*big.Int) bool {
 	if len(vals) < 2 {
 		return true
 	}
-	d := vals[1] - vals[0]
-	if d == 0 {
+	d := new(big.Int).Sub(vals[1], vals[0])
+	if d.Sign() == 0 {
 		return false
 	}
+	diff := new(big.Int)
 	for i := 2; i < len(vals); i++ {
-		if vals[i]-vals[i-1] != d {
+		diff.Sub(vals[i], vals[i-1])
+		if diff.Cmp(d) != 0 {
 			return false
 		}
 	}

@@ -2,6 +2,7 @@ package mining
 
 import (
 	"fmt"
+	"math/big"
 	"strings"
 	"testing"
 
@@ -422,5 +423,78 @@ func TestExtraRelationsAtMinerLevel(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("custom relation contract not mined")
+	}
+}
+
+// TestMineSequenceBeyondInt64 is a regression test for sequence values
+// past math.MaxInt64 (9223372036854775807). Equidistance evidence used
+// to be collected in int64, so large values were silently dropped and
+// the contract was never learned — and values straddling the boundary
+// could wrap during subtraction. Miner and checker now both judge
+// equidistance in *big.Int, so they agree on the same corpus.
+func TestMineSequenceBeyondInt64(t *testing.T) {
+	lx := lexer.MustNew()
+	// Each config carries a 3-value arithmetic progression with step 7
+	// straddling the int64 boundary: 9223372036854775800, ...807, ...814.
+	mk := func(name string, vals []string) *lexer.Config {
+		var b strings.Builder
+		fmt.Fprintf(&b, "policer-map pm\n")
+		for _, v := range vals {
+			fmt.Fprintf(&b, "   rate-counter %s\n", v)
+		}
+		cfg := format.Process(name, []byte(b.String()), lx, format.Options{Embed: true})
+		return &cfg
+	}
+	var cfgs []*lexer.Config
+	for d := 0; d < 10; d++ {
+		base, _ := new(big.Int).SetString("9223372036854775800", 10)
+		base.Add(base, big.NewInt(int64(d)))
+		vals := []string{
+			base.String(),
+			new(big.Int).Add(base, big.NewInt(7)).String(),
+			new(big.Int).Add(base, big.NewInt(14)).String(),
+		}
+		cfgs = append(cfgs, mk(fmt.Sprintf("dev%d", d), vals))
+	}
+	set := mineDefault(t, cfgs)
+	const wantID = "sequence|/policer-map pm/rate-counter [num]|0"
+	if !hasContractID(set, wantID) {
+		t.Fatalf("sequence contract with values beyond int64 not learned; got %d contracts", set.Len())
+	}
+	// Checker agreement: a clean config passes, a broken step beyond
+	// int64 is localized to the breaking line.
+	var seq *contracts.Sequence
+	for _, c := range set.Contracts {
+		if s, ok := c.(*contracts.Sequence); ok && c.ID() == wantID {
+			seq = s
+		}
+	}
+	ch := contracts.NewChecker(&contracts.Set{Contracts: []contracts.Contract{seq}})
+	if vs := ch.Check(mk("clean", []string{"18446744073709551610", "18446744073709551617", "18446744073709551624"})); len(vs) != 0 {
+		t.Errorf("clean big-valued sequence flagged: %+v", vs)
+	}
+	vs := ch.Check(mk("broken", []string{"18446744073709551610", "18446744073709551617", "18446744073709551625"}))
+	if len(vs) != 1 || vs[0].Line != 4 {
+		t.Errorf("broken big-valued sequence: violations = %+v, want 1 at line 4", vs)
+	}
+}
+
+// TestMineSequenceRejectsNonArithmeticBig: values beyond int64 that are
+// NOT equidistant must not be learned — with the old int64 evidence the
+// column was dropped entirely, and a wrapping subtraction could have
+// judged a non-arithmetic column arithmetic.
+func TestMineSequenceRejectsNonArithmeticBig(t *testing.T) {
+	lx := lexer.MustNew()
+	var cfgs []*lexer.Config
+	for d := 0; d < 10; d++ {
+		text := fmt.Sprintf("policer-map pm\n   rate-counter 9223372036854775%d00\n   rate-counter 18446744073709551%d10\n   rate-counter 18446744073709551%d27\n", d, d, d)
+		cfg := format.Process(fmt.Sprintf("dev%d", d), []byte(text), lx, format.Options{Embed: true})
+		cfgs = append(cfgs, &cfg)
+	}
+	set := mineDefault(t, cfgs)
+	for _, c := range set.Contracts {
+		if c.Category() == contracts.CatSequence {
+			t.Errorf("non-arithmetic big-valued column learned as sequence: %s", c.ID())
+		}
 	}
 }
