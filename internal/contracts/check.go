@@ -8,6 +8,7 @@ import (
 
 	"concord/internal/diag"
 	"concord/internal/faultinject"
+	"concord/internal/intern"
 	"concord/internal/lexer"
 	"concord/internal/netdata"
 	"concord/internal/relations"
@@ -54,6 +55,7 @@ type Checker struct {
 	dc         *diag.Collector
 	strict     bool
 	linear     bool
+	interns    *intern.Table
 }
 
 // CheckerOption customizes a checker built by NewChecker.
@@ -112,6 +114,17 @@ func WithStrict(strict bool) CheckerOption {
 	return func(ch *Checker) { ch.strict = strict }
 }
 
+// WithInterns attaches the run's string intern table (the one that
+// assigned PatternID values to the configurations being checked).
+// Contract-referenced patterns are interned into it at compile time, so
+// the per-line anchor lookup in the view index becomes array indexing
+// instead of string hashing. Configurations carrying a different table
+// (or none) silently fall back to the string path; results are
+// identical either way.
+func WithInterns(tab *intern.Table) CheckerOption {
+	return func(ch *Checker) { ch.interns = tab }
+}
+
 // WithLinearScan forces the pre-compilation check strategy: every
 // contract is evaluated against every configuration with no
 // index-based skipping. It exists for differential testing and
@@ -134,7 +147,7 @@ func NewChecker(set *Set, opts ...CheckerOption) *Checker {
 		WithTransforms(relations.DefaultTransforms())(ch)
 	}
 	start := time.Now()
-	ch.cs = Compile(set)
+	ch.cs = CompileWithInterns(set, ch.interns)
 	ch.rec.Add("check.compile_ns", time.Since(start).Nanoseconds())
 	return ch
 }
@@ -239,15 +252,31 @@ func (ch *Checker) newView(cfg *lexer.Config) *view {
 	if len(cs.witSlots) > 0 {
 		v.witness = make([]witCol, len(cs.witSlots))
 	}
+	// With the run's intern table attached (and matching this config's),
+	// the anchor lookup is two array loads off the line's PatternID; the
+	// string map remains the fallback for foreign or hand-built lines.
+	dense := cs.denseByTab
+	if cfg.Interns != cs.tab {
+		dense = nil
+	}
 	for i := range cfg.Lines {
-		p := cfg.Lines[i].Pattern
-		if id, ok := cs.ids[p]; ok {
+		line := &cfg.Lines[i]
+		p := line.Pattern
+		var id int
+		var ok bool
+		if tid := int(line.PatternID); dense != nil && tid > 0 && tid < len(dense) {
+			d := dense[tid]
+			id, ok = int(d)-1, d != 0
+		} else {
+			id, ok = cs.ids[p]
+		}
+		if ok {
 			if len(v.byID[id]) == 0 {
 				v.presentIDs = append(v.presentIDs, id)
 			}
 			v.byID[id] = append(v.byID[id], i)
 		}
-		if cs.typeN > 0 && len(cfg.Lines[i].Params) > 0 {
+		if cs.typeN > 0 && len(line.Params) > 0 {
 			ag := cs.agnostic(p)
 			if _, hasContracts := cs.typesByAg[ag]; hasContracts {
 				v.byAg[ag] = append(v.byAg[ag], i)

@@ -3,6 +3,7 @@ package contracts
 import (
 	"sync"
 
+	"concord/internal/intern"
 	"concord/internal/lexer"
 )
 
@@ -41,6 +42,15 @@ type CompiledSet struct {
 	// witness patterns); patterns holds the reverse mapping.
 	ids      map[string]int
 	patterns []string
+
+	// tab, when non-nil, is the run's string intern table, and
+	// denseByTab translates its IDs to this set's dense IDs plus one
+	// (0 = the pattern is referenced by no contract). Views over
+	// configurations carrying the same table then index lines into the
+	// anchor buckets with two array loads instead of hashing the full
+	// pattern string per line.
+	tab        *intern.Table
+	denseByTab []int32
 
 	// absence contracts are evaluated unconditionally (missing-line
 	// detection must see configurations where the pattern is absent).
@@ -84,7 +94,14 @@ type witKey struct {
 
 // Compile builds the check-optimized form of the set. The set must not
 // be mutated afterwards; Checker compiles its set at construction.
-func Compile(set *Set) *CompiledSet {
+func Compile(set *Set) *CompiledSet { return CompileWithInterns(set, nil) }
+
+// CompileWithInterns is Compile with the run's string intern table
+// attached: every contract-referenced pattern is also interned into tab
+// and a translation array from table IDs to the set's dense IDs is
+// built, so per-line anchor lookup during checking becomes array
+// indexing for configurations processed with the same table.
+func CompileWithInterns(set *Set, tab *intern.Table) *CompiledSet {
 	cs := &CompiledSet{
 		set:       set,
 		ids:       make(map[string]int),
@@ -138,6 +155,19 @@ func Compile(set *Set) *CompiledSet {
 	// can index it without bounds checks against len(ids).
 	for len(cs.anchored) < len(cs.patterns) {
 		cs.anchored = append(cs.anchored, nil)
+	}
+	if tab != nil {
+		cs.tab = tab
+		// Intern every referenced pattern first (growing the table),
+		// then size the translation array to the final table length.
+		tids := make([]int32, len(cs.patterns))
+		for d, p := range cs.patterns {
+			tids[d] = tab.ID(p)
+		}
+		cs.denseByTab = make([]int32, tab.Len()+1)
+		for d, tid := range tids {
+			cs.denseByTab[tid] = int32(d + 1)
+		}
 	}
 	return cs
 }

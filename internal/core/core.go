@@ -18,6 +18,7 @@ import (
 	"concord/internal/diag"
 	"concord/internal/faultinject"
 	"concord/internal/format"
+	"concord/internal/intern"
 	"concord/internal/lexer"
 	"concord/internal/minimize"
 	"concord/internal/mining"
@@ -98,6 +99,17 @@ type Options struct {
 	// skipping). It exists for differential testing and benchmarking of
 	// the compiled check engine; results are identical either way.
 	LinearScan bool
+	// LexCacheSize sizes the per-run lexer memoization cache in distinct
+	// lines: 0 selects lexer.DefaultCacheEntries, negative disables the
+	// cache entirely. The cache is created fresh for each processed
+	// corpus and shared across that run's parallel workers.
+	LexCacheSize int
+	// LearnBaseline forces the pre-optimization learn path: per-line
+	// linear lexing with no memoization cache, no pattern interning, and
+	// string-keyed mining tables. It exists for differential testing and
+	// benchmarking of the fast learn path; the learned contract set is
+	// byte-identical either way.
+	LearnBaseline bool
 }
 
 // Validate rejects unusable option values: Support below 1, Confidence
@@ -251,7 +263,18 @@ func (e *Engine) processContext(ctx context.Context, dc *diag.Collector, sources
 	e.opts.Telemetry.SetGauge("limits.max_line_len", float64(lim.MaxLineLen))
 	e.opts.Telemetry.SetGauge("limits.max_depth", float64(lim.MaxDepth))
 	e.opts.Telemetry.SetGauge("limits.max_lines", float64(lim.MaxLines))
-	metaLines, err := e.processMeta(dc, lim, meta)
+	// The lexer cache and intern table live for exactly one processed
+	// corpus: entries are only valid for this engine's lexer, and dense
+	// pattern IDs are only meaningful against this run's table.
+	var cache *lexer.Cache
+	var interns *intern.Table
+	if !e.opts.LearnBaseline {
+		if e.opts.LexCacheSize >= 0 {
+			cache = lexer.NewCache(e.opts.LexCacheSize)
+		}
+		interns = intern.NewTable()
+	}
+	metaLines, err := e.processMeta(dc, lim, meta, cache, interns)
 	if err != nil {
 		return nil, ProcessStats{}, err
 	}
@@ -262,7 +285,8 @@ func (e *Engine) processContext(ctx context.Context, dc *diag.Collector, sources
 			faultinject.At("core.process.source", sources[i].Name)
 			cfg := format.Process(sources[i].Name, sources[i].Text, e.lx,
 				format.Options{Embed: e.opts.ContextEmbedding, Limits: lim,
-					Telemetry: e.opts.Telemetry, Diagnostics: dc})
+					Telemetry: e.opts.Telemetry, Diagnostics: dc,
+					Cache: cache, Interns: interns, Baseline: e.opts.LearnBaseline})
 			if cfg.Skipped {
 				return // input guards recorded the diagnostic
 			}
@@ -271,6 +295,11 @@ func (e *Engine) processContext(ctx context.Context, dc *diag.Collector, sources
 		})
 	if err != nil {
 		return nil, ProcessStats{}, err
+	}
+	if cache != nil {
+		hits, misses := cache.Stats()
+		e.opts.Telemetry.Add("lex.cache_hits", hits)
+		e.opts.Telemetry.Add("lex.cache_misses", misses)
 	}
 	// Compact: sources that panicked a worker or were rejected by input
 	// guards leave nil slots; survivors keep input order.
@@ -319,10 +348,10 @@ func (e *Engine) processContext(ctx context.Context, dc *diag.Collector, sources
 // (@meta/nfInfos/vrfName/vlanId [a:num]). A metadata file that panics
 // processing or trips an input guard is skipped with a diagnostic
 // (strict: aborts with an error).
-func (e *Engine) processMeta(dc *diag.Collector, lim format.Limits, meta []Source) ([]lexer.Line, error) {
+func (e *Engine) processMeta(dc *diag.Collector, lim format.Limits, meta []Source, cache *lexer.Cache, interns *intern.Table) ([]lexer.Line, error) {
 	var out []lexer.Line
 	for _, m := range meta {
-		lines, err := e.processOneMeta(dc, lim, m)
+		lines, err := e.processOneMeta(dc, lim, m, cache, interns)
 		if err != nil {
 			return nil, err
 		}
@@ -331,7 +360,7 @@ func (e *Engine) processMeta(dc *diag.Collector, lim format.Limits, meta []Sourc
 	return out, nil
 }
 
-func (e *Engine) processOneMeta(dc *diag.Collector, lim format.Limits, m Source) (out []lexer.Line, err error) {
+func (e *Engine) processOneMeta(dc *diag.Collector, lim format.Limits, m Source, cache *lexer.Cache, interns *intern.Table) (out []lexer.Line, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			d := diag.FromPanic(string(telemetry.StageProcess), m.Name, r)
@@ -346,7 +375,8 @@ func (e *Engine) processOneMeta(dc *diag.Collector, lim format.Limits, m Source)
 	}()
 	faultinject.At("core.process.meta", m.Name)
 	cfg := format.Process(m.Name, m.Text, e.lx,
-		format.Options{Embed: e.opts.ContextEmbedding, Limits: lim, Diagnostics: dc})
+		format.Options{Embed: e.opts.ContextEmbedding, Limits: lim, Diagnostics: dc,
+			Cache: cache, Interns: interns, Baseline: e.opts.LearnBaseline})
 	if cfg.Skipped {
 		return nil, nil
 	}
@@ -355,6 +385,13 @@ func (e *Engine) processOneMeta(dc *diag.Collector, lim format.Limits, m Source)
 		line.Pattern = "@meta" + line.Pattern
 		line.Display = "@meta" + line.Display
 		line.Text = "@meta" + line.Text
+		// The prefixed pattern is a new string; the ID assigned during
+		// format processing refers to the unprefixed one.
+		if interns != nil {
+			line.PatternID = interns.ID(line.Pattern)
+		} else {
+			line.PatternID = 0
+		}
 		out = append(out, line)
 	}
 	return out, nil
@@ -548,6 +585,7 @@ func (e *Engine) learnProcessedContext(ctx context.Context, dc *diag.Collector, 
 		Diagnostics:      dc,
 		Strict:           e.opts.Strict,
 		Progress:         mineProgress,
+		Baseline:         e.opts.LearnBaseline,
 	})
 	sp := e.opts.Telemetry.StartSpan(string(telemetry.StageMine))
 	set, err := m.MineContext(ctx, cfgs)
@@ -700,7 +738,7 @@ func (e *Engine) CheckProcessedContext(ctx context.Context, set *contracts.Set, 
 }
 
 func (e *Engine) checkProcessedContext(ctx context.Context, dc *diag.Collector, set *contracts.Set, cfgs []*lexer.Config, pstats ProcessStats) (*CheckResult, error) {
-	checker := e.newChecker(set, dc)
+	checker := e.newChecker(set, dc, sharedInterns(cfgs))
 	perCfgViolations := make([][]contracts.Violation, len(cfgs))
 	perCfgCoverage := make([]*contracts.CoverageResult, len(cfgs))
 	sp := e.opts.Telemetry.StartSpan(string(telemetry.StageCheck))
@@ -764,14 +802,32 @@ func sortViolations(vs []contracts.Violation) {
 // the compiled set (pattern interning, category/anchor buckets, cache
 // slot layout) across every configuration instead of re-deriving
 // per-worker state.
-func (e *Engine) newChecker(set *contracts.Set, dc *diag.Collector) *contracts.Checker {
+func (e *Engine) newChecker(set *contracts.Set, dc *diag.Collector, interns *intern.Table) *contracts.Checker {
 	return contracts.NewChecker(set,
 		contracts.WithTransforms(e.transforms),
 		contracts.WithRelations(e.opts.ExtraRelations),
 		contracts.WithTelemetry(e.opts.Telemetry),
 		contracts.WithDiagnostics(dc),
 		contracts.WithStrict(e.opts.Strict),
-		contracts.WithLinearScan(e.opts.LinearScan))
+		contracts.WithLinearScan(e.opts.LinearScan),
+		contracts.WithInterns(interns))
+}
+
+// sharedInterns returns the intern table common to every configuration,
+// or nil when the corpus carries none or mixes tables from different
+// runs; only a corpus-wide table can accelerate the checker's view
+// index.
+func sharedInterns(cfgs []*lexer.Config) *intern.Table {
+	if len(cfgs) == 0 || cfgs[0].Interns == nil {
+		return nil
+	}
+	tab := cfgs[0].Interns
+	for _, cfg := range cfgs[1:] {
+		if cfg.Interns != tab {
+			return nil
+		}
+	}
+	return tab
 }
 
 // Transforms exposes the default transformation registry for callers

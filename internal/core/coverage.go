@@ -42,7 +42,7 @@ func (e *Engine) CoverageLinesContext(ctx context.Context, set *contracts.Set, s
 	if err != nil {
 		return nil, err
 	}
-	checker := e.newChecker(set, dc)
+	checker := e.newChecker(set, dc, sharedInterns(cfgs))
 	perCfg := make([][]LineCoverage, len(cfgs))
 	sp := e.opts.Telemetry.StartSpan(string(telemetry.StageCoverage))
 	err = e.forEachCtx(ctx, dc, telemetry.StageCoverage, len(cfgs),

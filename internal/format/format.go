@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"concord/internal/diag"
+	"concord/internal/intern"
 	"concord/internal/lexer"
 	"concord/internal/telemetry"
 )
@@ -114,6 +115,48 @@ type Options struct {
 	// skipped binary or oversized files, truncated lines, capped
 	// nesting, exhausted line budgets.
 	Diagnostics *diag.Collector
+	// Cache, when non-nil, memoizes lexing across repeated lines. The
+	// engine shares one cache across all files of a run; entries are
+	// only valid for the lexer they were produced with.
+	Cache *lexer.Cache
+	// Interns, when non-nil, assigns dense PatternID values to emitted
+	// lines and is recorded on the returned Config for downstream
+	// consumers (mining, contract compilation).
+	Interns *intern.Table
+	// Baseline selects the pre-optimization learn path: per-line
+	// LexLinear with no cache and no interning. Kept for differential
+	// testing and benchmarking; output is byte-identical to the fast
+	// path (minus PatternID annotations).
+	Baseline bool
+}
+
+// lexRun bundles the per-file lexing state: strategy selection, the
+// shared memoization cache and intern table, and the lexed-line count
+// (flushed to telemetry once per file to avoid per-line counter
+// traffic).
+type lexRun struct {
+	lx      *lexer.Lexer
+	cache   *lexer.Cache
+	interns *intern.Table
+	linear  bool
+	lines   int64
+}
+
+func (r *lexRun) lex(s string) lexer.Lexed {
+	r.lines++
+	if r.linear {
+		return r.lx.LexLinear(s)
+	}
+	return r.lx.LexCached(r.cache, s)
+}
+
+// patternID interns a full pattern key, or reports 0 when interning is
+// off (consumers fall back to string keys).
+func (r *lexRun) patternID(pattern string) int32 {
+	if r.interns == nil {
+		return 0
+	}
+	return r.interns.ID(pattern)
 }
 
 // Process turns raw file text into a lexed configuration. It detects the
@@ -142,22 +185,30 @@ func Process(name string, text []byte, lx *lexer.Lexer, opts Options) lexer.Conf
 	if !opts.Embed {
 		cat = Flat
 	}
+	r := &lexRun{lx: lx, cache: opts.Cache, interns: opts.Interns, linear: opts.Baseline}
+	if r.linear {
+		r.cache, r.interns = nil, nil
+	}
+	var cfg lexer.Config
 	switch cat {
 	case JSON:
-		if cfg, ok := processJSON(name, text, lx, lim, opts.Diagnostics); ok {
-			return cfg
+		var ok bool
+		if cfg, ok = processJSON(name, text, r, lim, opts.Diagnostics); !ok {
+			cfg = processIndent(name, text, r, false, lim, opts.Diagnostics)
 		}
-		return processIndent(name, text, lx, false, lim, opts.Diagnostics)
 	case YAML:
-		if cfg, ok := processYAML(name, text, lx, lim, opts.Diagnostics); ok {
-			return cfg
+		var ok bool
+		if cfg, ok = processYAML(name, text, r, lim, opts.Diagnostics); !ok {
+			cfg = processIndent(name, text, r, true, lim, opts.Diagnostics)
 		}
-		return processIndent(name, text, lx, true, lim, opts.Diagnostics)
 	case Indent:
-		return processIndent(name, text, lx, true, lim, opts.Diagnostics)
+		cfg = processIndent(name, text, r, true, lim, opts.Diagnostics)
 	default:
-		return processIndent(name, text, lx, false, lim, opts.Diagnostics)
+		cfg = processIndent(name, text, r, false, lim, opts.Diagnostics)
 	}
+	cfg.Interns = r.interns
+	opts.Telemetry.Add("lex.lines_lexed", r.lines)
+	return cfg
 }
 
 // stackEntry is a pending parent block during indent embedding.
@@ -169,10 +220,14 @@ type stackEntry struct {
 // processIndent handles indentation-based and flat formats. With
 // embed=false the parent stack is never populated, producing flat
 // patterns prefixed with "/".
-func processIndent(name string, text []byte, lx *lexer.Lexer, embed bool, lim Limits, dc *diag.Collector) lexer.Config {
+func processIndent(name string, text []byte, r *lexRun, embed bool, lim Limits, dc *diag.Collector) lexer.Config {
 	g := newGuard(name, lim, dc)
 	cfg := lexer.Config{Name: name}
 	var stack []stackEntry
+	// The joined context prefix is memoized across lines and rebuilt
+	// only when the parent stack changes; sibling runs (the common
+	// shape of network configs) share one prefix string.
+	prefix, prefixDirty := "/", false
 	lines := strings.Split(string(text), "\n")
 	for i, raw := range lines {
 		trimmedRight := strings.TrimRight(raw, " \t\r")
@@ -189,27 +244,34 @@ func processIndent(name string, text []byte, lx *lexer.Lexer, embed bool, lim Li
 		if embed {
 			for len(stack) > 0 && stack[len(stack)-1].indent >= indent {
 				stack = stack[:len(stack)-1]
+				prefixDirty = true
 			}
 		}
-		leaf := lx.Lex(content)
-		var prefix strings.Builder
-		for _, e := range stack {
-			prefix.WriteByte('/')
-			prefix.WriteString(e.context)
+		leaf := r.lex(content)
+		if prefixDirty {
+			var b strings.Builder
+			for _, e := range stack {
+				b.WriteByte('/')
+				b.WriteString(e.context)
+			}
+			b.WriteByte('/')
+			prefix = b.String()
+			prefixDirty = false
 		}
-		prefix.WriteByte('/')
 		line := lexer.Line{
 			File:    name,
 			Num:     i + 1,
 			Raw:     content,
-			Text:    prefix.String() + content,
-			Pattern: prefix.String() + leaf.Untyped,
-			Display: prefix.String() + leaf.Display,
+			Text:    prefix + content,
+			Pattern: prefix + leaf.Untyped,
+			Display: prefix + leaf.Display,
 			Params:  leaf.Params,
 		}
+		line.PatternID = r.patternID(line.Pattern)
 		cfg.Lines = append(cfg.Lines, line)
 		if embed && !g.atDepthCap(len(stack)) {
 			stack = append(stack, stackEntry{indent: indent, context: leaf.Untyped})
+			prefixDirty = true
 		}
 	}
 	g.flush()
@@ -240,7 +302,7 @@ func indentWidth(s string) int {
 // the depth limit keep their deeper keys but stop extending the context
 // path, and over-budget leaves are dropped; both degradations are
 // summarized as diagnostics.
-func processJSON(name string, text []byte, lx *lexer.Lexer, lim Limits, dc *diag.Collector) (lexer.Config, bool) {
+func processJSON(name string, text []byte, r *lexRun, lim Limits, dc *diag.Collector) (lexer.Config, bool) {
 	g := newGuard(name, lim, dc)
 	dec := json.NewDecoder(strings.NewReader(string(text)))
 	dec.UseNumber()
@@ -271,12 +333,12 @@ func processJSON(name string, text []byte, lx *lexer.Lexer, lim Limits, dc *diag
 			content += " "
 		}
 		content += valueText
-		leaf := lx.Lex(valueText)
+		leaf := r.lex(valueText)
 		prefix := "/" + strings.Join(path, "/")
 		if len(path) > 0 {
 			prefix += " "
 		}
-		cfg.Lines = append(cfg.Lines, lexer.Line{
+		line := lexer.Line{
 			File:    name,
 			Num:     lineAt(off),
 			Raw:     content,
@@ -284,7 +346,9 @@ func processJSON(name string, text []byte, lx *lexer.Lexer, lim Limits, dc *diag
 			Pattern: prefix + leaf.Untyped,
 			Display: prefix + leaf.Display,
 			Params:  leaf.Params,
-		})
+		}
+		line.PatternID = r.patternID(line.Pattern)
+		cfg.Lines = append(cfg.Lines, line)
 	}
 	walk = func() bool {
 		tok, err := dec.Token()

@@ -250,7 +250,7 @@ func TestYAMLProcessing(t *testing.T) {
 func TestEveryNonBlankLineSurvivesProcessing(t *testing.T) {
 	lx := lexer.MustNew()
 	f := func(raw string) bool {
-		cfg := processIndent("f", []byte(raw), lx, true, DefaultLimits(), nil)
+		cfg := processIndent("f", []byte(raw), &lexRun{lx: lx}, true, DefaultLimits(), nil)
 		var want []string
 		for _, l := range strings.Split(raw, "\n") {
 			if strings.TrimSpace(strings.TrimRight(l, " \t\r")) != "" {

@@ -16,7 +16,7 @@ import (
 // flow collections, and multi-line scalars fall back to plain indent
 // embedding (the pre-parser is best-effort by design — Concord treats
 // everything as text in the end).
-func processYAML(name string, text []byte, lx *lexer.Lexer, lim Limits, dc *diag.Collector) (lexer.Config, bool) {
+func processYAML(name string, text []byte, r *lexRun, lim Limits, dc *diag.Collector) (lexer.Config, bool) {
 	type frame struct {
 		indent int
 		key    string
@@ -36,13 +36,13 @@ func processYAML(name string, text []byte, lx *lexer.Lexer, lim Limits, dc *diag
 			content += "/" + keyPrefix
 		}
 		leafText := scalar
-		leaf := lx.Lex(leafText)
+		leaf := r.lex(leafText)
 		prefix := content
 		if leafText != "" {
 			prefix += " "
 		}
 		cfg.SourceLines++
-		cfg.Lines = append(cfg.Lines, lexer.Line{
+		line := lexer.Line{
 			File:    name,
 			Num:     num,
 			Raw:     strings.TrimSpace(keyPrefix + " " + scalar),
@@ -50,7 +50,9 @@ func processYAML(name string, text []byte, lx *lexer.Lexer, lim Limits, dc *diag
 			Pattern: prefix + leaf.Untyped,
 			Display: prefix + leaf.Display,
 			Params:  leaf.Params,
-		})
+		}
+		line.PatternID = r.patternID(line.Pattern)
+		cfg.Lines = append(cfg.Lines, line)
 	}
 
 	lines := strings.Split(string(text), "\n")

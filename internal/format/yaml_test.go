@@ -10,7 +10,7 @@ import (
 func yamlPatterns(t *testing.T, text string) []string {
 	t.Helper()
 	lx := lexer.MustNew()
-	cfg, ok := processYAML("y", []byte(text), lx, DefaultLimits(), nil)
+	cfg, ok := processYAML("y", []byte(text), &lexRun{lx: lx}, DefaultLimits(), nil)
 	if !ok {
 		t.Fatalf("processYAML bailed out on:\n%s", text)
 	}
@@ -98,7 +98,7 @@ func TestYAMLUnsupportedFallsBack(t *testing.T) {
 		"flow: {a: 1}\n",
 		"block: |\n  text\n",
 	} {
-		if _, ok := processYAML("y", []byte(text), lx, DefaultLimits(), nil); ok {
+		if _, ok := processYAML("y", []byte(text), &lexRun{lx: lx}, DefaultLimits(), nil); ok {
 			t.Errorf("unsupported construct accepted: %q", text)
 		}
 	}

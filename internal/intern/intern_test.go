@@ -1,0 +1,76 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestIDsDenseAndStable(t *testing.T) {
+	tab := NewTable()
+	a := tab.ID("alpha")
+	b := tab.ID("beta")
+	if a != 1 || b != 2 {
+		t.Fatalf("ids = %d, %d; want 1, 2", a, b)
+	}
+	if tab.ID("alpha") != a {
+		t.Error("re-interning changed the ID")
+	}
+	if got := tab.String(a); got != "alpha" {
+		t.Errorf("String(%d) = %q", a, got)
+	}
+	if tab.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tab.Len())
+	}
+	if id, ok := tab.Lookup("beta"); !ok || id != b {
+		t.Errorf("Lookup(beta) = %d, %v", id, ok)
+	}
+	if _, ok := tab.Lookup("gamma"); ok {
+		t.Error("Lookup of never-interned string reported ok")
+	}
+}
+
+func TestConcurrentInterning(t *testing.T) {
+	tab := NewTable()
+	const workers, perWorker = 16, 500
+	var wg sync.WaitGroup
+	ids := make([][]int32, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		ids[w] = make([]int32, perWorker)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Heavy overlap across workers: only perWorker distinct keys.
+				ids[w][i] = tab.ID(fmt.Sprintf("pattern-%d", i))
+			}
+		}()
+	}
+	wg.Wait()
+	if tab.Len() != perWorker {
+		t.Fatalf("Len = %d, want %d", tab.Len(), perWorker)
+	}
+	// Every worker must have observed the same ID per key, and IDs must
+	// be a dense permutation of 1..perWorker.
+	seen := make(map[int32]string)
+	for i := 0; i < perWorker; i++ {
+		want := ids[0][i]
+		if want < 1 || want > perWorker {
+			t.Fatalf("id %d out of dense range", want)
+		}
+		for w := 1; w < workers; w++ {
+			if ids[w][i] != want {
+				t.Fatalf("worker %d got id %d for key %d, worker 0 got %d", w, ids[w][i], i, want)
+			}
+		}
+		key := fmt.Sprintf("pattern-%d", i)
+		if prev, dup := seen[want]; dup {
+			t.Fatalf("id %d assigned to both %q and %q", want, prev, key)
+		}
+		seen[want] = key
+		if tab.String(want) != key {
+			t.Fatalf("String(%d) = %q, want %q", want, tab.String(want), key)
+		}
+	}
+}

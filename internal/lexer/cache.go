@@ -1,0 +1,106 @@
+package lexer
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultCacheEntries is the default capacity of a memoization Cache.
+// Network corpora repeat lines heavily (the same commands recur across
+// thousands of devices), so a quarter-million distinct lines covers
+// even large corpora; a Lexed entry is small (two strings aliasing
+// pattern text plus a short Param slice).
+const DefaultCacheEntries = 1 << 18
+
+// cacheShards is the shard count of the cache; a power of two so shard
+// selection is a mask. Sharding keeps the read-mostly fast path free of
+// contention when the format layer lexes files from parallel workers.
+const cacheShards = 64
+
+// Cache memoizes Lex results keyed on raw line text, so each distinct
+// line in a corpus is lexed once instead of once per occurrence. It is
+// safe for concurrent use.
+//
+// A Cache's entries are only valid for the Lexer that produced them:
+// create one cache per (lexer, run) pair and never share it across
+// lexers with different token specs. The engine creates a fresh cache
+// per processed corpus (per-run lifetime, like the intern table).
+//
+// When the cache is full it stops inserting rather than evicting; Lex
+// is a pure function of the line, so a saturated cache only costs
+// misses, never wrong results.
+type Cache struct {
+	shards      [cacheShards]cacheShard
+	perShardCap int
+	hits        atomic.Int64
+	misses      atomic.Int64
+}
+
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[string]Lexed
+}
+
+// NewCache returns a cache holding up to maxEntries distinct lines;
+// maxEntries <= 0 selects DefaultCacheEntries.
+func NewCache(maxEntries int) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultCacheEntries
+	}
+	c := &Cache{perShardCap: (maxEntries + cacheShards - 1) / cacheShards}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]Lexed)
+	}
+	return c
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// cacheHash is a 64-bit FNV-1a over the line text.
+func cacheHash(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// LexCached is Lex through the memoization cache. A nil cache degrades
+// to plain Lex. Cached results share their Params slice across callers;
+// treat returned Params as immutable (the pipeline only reads them).
+func (lx *Lexer) LexCached(c *Cache, line string) Lexed {
+	if c == nil {
+		return lx.Lex(line)
+	}
+	sh := &c.shards[cacheHash(line)&(cacheShards-1)]
+	sh.mu.RLock()
+	res, ok := sh.m[line]
+	sh.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return res
+	}
+	c.misses.Add(1)
+	res = lx.Lex(line)
+	sh.mu.Lock()
+	if len(sh.m) < c.perShardCap {
+		// Key on a clone: line usually aliases a whole file's contents,
+		// and caching the substring would pin the file in memory.
+		sh.m[cloneString(line)] = res
+	}
+	sh.mu.Unlock()
+	return res
+}
+
+// cloneString returns a copy of s that shares no backing storage.
+func cloneString(s string) string {
+	return string(append([]byte(nil), s...))
+}

@@ -1,0 +1,104 @@
+package lexer
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestLexCachedMatchesLexAndCountsStats(t *testing.T) {
+	lx := MustNew()
+	c := NewCache(1 << 10)
+	lines := []string{
+		"ip address 10.0.0.1 255.255.255.0",
+		"interface eth0",
+		"ip address 10.0.0.1 255.255.255.0", // repeat -> hit
+		"",
+	}
+	want := map[string]Lexed{}
+	for _, ln := range lines {
+		want[ln] = lx.Lex(ln)
+	}
+	for _, ln := range lines {
+		if got := lx.LexCached(c, ln); !reflect.DeepEqual(got, want[ln]) {
+			t.Fatalf("LexCached(%q) = %+v, want %+v", ln, got, want[ln])
+		}
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 3 {
+		t.Fatalf("Stats() = (%d hits, %d misses), want (1, 3)", hits, misses)
+	}
+}
+
+func TestLexCachedNilCache(t *testing.T) {
+	lx := MustNew()
+	line := "rd 10.0.0.1:65001"
+	if got, want := lx.LexCached(nil, line), lx.Lex(line); !reflect.DeepEqual(got, want) {
+		t.Fatalf("LexCached(nil) = %+v, want %+v", got, want)
+	}
+}
+
+func TestCacheCapacitySaturation(t *testing.T) {
+	lx := MustNew()
+	// Tiny cache: capacity rounds to at least one entry per shard, so
+	// flooding it far past capacity must keep lexing correct (extra
+	// entries are simply not inserted) and never grow without bound.
+	c := NewCache(cacheShards)
+	for i := 0; i < 10*cacheShards; i++ {
+		ln := fmt.Sprintf("vlan %d name seg-%d", i, i)
+		if got, want := lx.LexCached(c, ln), lx.Lex(ln); !reflect.DeepEqual(got, want) {
+			t.Fatalf("LexCached(%q) diverged after saturation", ln)
+		}
+	}
+	total := 0
+	for i := range c.shards {
+		c.shards[i].mu.RLock()
+		total += len(c.shards[i].m)
+		c.shards[i].mu.RUnlock()
+	}
+	if total > cacheShards {
+		t.Fatalf("cache holds %d entries, capacity %d", total, cacheShards)
+	}
+}
+
+func TestCacheConcurrentAgreement(t *testing.T) {
+	lx := MustNew()
+	c := NewCache(0) // 0 -> default size
+	lines := make([]string, 64)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("neighbor 10.0.%d.%d remote-as %d", i/8, i%8, 65000+i)
+	}
+	want := make([]Lexed, len(lines))
+	for i, ln := range lines {
+		want[i] = lx.Lex(ln)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				for i, ln := range lines {
+					if got := lx.LexCached(c, ln); !reflect.DeepEqual(got, want[i]) {
+						select {
+						case errs <- fmt.Sprintf("LexCached(%q) = %+v, want %+v", ln, got, want[i]):
+						default:
+						}
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+	hits, misses := c.Stats()
+	if hits+misses != 8*50*64 {
+		t.Fatalf("hits+misses = %d, want %d", hits+misses, 8*50*64)
+	}
+}

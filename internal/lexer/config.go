@@ -1,5 +1,7 @@
 package lexer
 
+import "concord/internal/intern"
+
 // Line is one processed configuration line: the original source text,
 // its context-embedded form, and the extracted typed pattern and
 // parameters. Pattern identity (the Pattern field) includes the
@@ -21,6 +23,10 @@ type Line struct {
 	// untyped leaf pattern. Lines with equal Pattern match the same
 	// contract patterns.
 	Pattern string
+	// PatternID is Pattern's dense ID in the run's intern table (see
+	// Config.Interns); 0 means "not interned" (hand-constructed lines),
+	// in which case consumers fall back to keying on the string.
+	PatternID int32
 	// Display is the context plus the named leaf pattern, e.g.
 	// ".../rd [a:ip4]:[b:num]", used when rendering contracts.
 	Display string
@@ -48,6 +54,12 @@ type Config struct {
 	// (oversized or binary content); such configs carry no lines and are
 	// dropped from the corpus with a diagnostic.
 	Skipped bool
+	// Interns is the run's string intern table that assigned the
+	// PatternID values on this config's lines. All configs of one
+	// processed corpus share one table; it travels with the configs so
+	// the miner and the check compiler can translate between IDs and
+	// pattern strings. Nil for hand-constructed configs.
+	Interns *intern.Table
 }
 
 // ParamIndex returns the index of the parameter with the given name, or

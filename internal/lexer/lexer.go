@@ -9,12 +9,23 @@
 // addresses and prefixes). Users extend the lexer with custom regular
 // expressions for domain objects such as interface names; user tokens
 // take precedence over built-ins.
+//
+// Two matching strategies produce identical results. Lex is the default
+// single left-to-right scan: each spec carries a byte-class prefilter
+// (the conservative set of bytes a match can start with) and an
+// anchored form of its regex, so at most positions most specs are
+// dismissed with a bitmap test and no regex runs at all. LexLinear is
+// the pre-optimization strategy — every spec's FindAllStringIndex over
+// the whole line followed by a global sort — kept as the differential
+// baseline. The memoization Cache (see LexCached) sits above either.
 package lexer
 
 import (
 	"fmt"
 	"regexp"
-	"sort"
+	"slices"
+	"sync"
+	"unicode/utf8"
 
 	"concord/internal/netdata"
 )
@@ -44,6 +55,12 @@ type TokenSpec struct {
 type compiledSpec struct {
 	TokenSpec
 	re *regexp.Regexp
+	// anchored is the pattern wrapped in \A(?:...), used by the scan's
+	// per-position probes; a probe at offset p answers "does a match
+	// start exactly here" without letting the engine retry later
+	// positions the prefilter already dismissed.
+	anchored *regexp.Regexp
+	pf       prefilter
 }
 
 // Lexer extracts typed patterns and parameter values from configuration
@@ -118,7 +135,18 @@ func New(user ...TokenSpec) (*Lexer, error) {
 		if err != nil {
 			return nil, fmt.Errorf("lexer: token %s: %w", spec.Name, err)
 		}
-		lx.specs = append(lx.specs, compiledSpec{TokenSpec: spec, re: re})
+		anchored, err := regexp.Compile(`\A(?:` + spec.Pattern + `)`)
+		if err != nil {
+			// A pattern that compiles alone but not inside a group (never
+			// the case for valid RE2) falls back to the pre-scan strategy.
+			anchored = nil
+		}
+		cs := compiledSpec{TokenSpec: spec, re: re, anchored: anchored, pf: buildPrefilter(spec.Pattern)}
+		if cs.anchored == nil {
+			cs.pf.usable = false
+			cs.pf.sliceSafe = false
+		}
+		lx.specs = append(lx.specs, cs)
 	}
 	return lx, nil
 }
@@ -151,6 +179,8 @@ type Lexed struct {
 	// Display carries parameter names, e.g. "rd [a:ip4]:[b:num]".
 	Display string
 	// Params lists the extracted parameters in order of appearance.
+	// Results returned through a Cache share this slice across callers;
+	// treat it as immutable.
 	Params []Param
 }
 
@@ -181,16 +211,202 @@ const MaxParamsPerLine = 64
 // pathological single-line inputs.
 const MaxLexLine = 1 << 20
 
+// scratch is the pooled per-call working state shared by both matching
+// strategies; nothing in it escapes a Lex call (output strings and the
+// Params slice are freshly built).
+type scratch struct {
+	cursors []cursor
+	cands   []span
+	spans   []span
+	untyped []byte
+	display []byte
+}
+
+var scratchPool = sync.Pool{New: func() any { return &scratch{} }}
+
+// cursor is one spec's lazy match iterator over the line: it yields the
+// spec's guard-passing, parse-passing spans in exactly the order the
+// pre-scan FindAllStringIndex pass produced them, computing each on
+// demand.
+type cursor struct {
+	start, end int
+	value      netdata.Value
+	done       bool
+	searchFrom int
+	// Specs whose pattern carries position anchors (^, \b, ...) cannot
+	// be matched against line suffixes; they precompute the full match
+	// list instead.
+	eagerInit bool
+	eager     [][]int
+	eagerAt   int
+}
+
 // Lex extracts the typed pattern and parameters from a single line of
 // text. Matching is greedy left to right; at each position the
 // highest-precedence token whose span parses successfully wins.
+//
+// Lex is the optimized single-pass scan; LexLinear is the equivalent
+// baseline. Both resolve overlaps identically: earliest start first,
+// then highest precedence (lowest spec index).
 func (lx *Lexer) Lex(line string) Lexed {
 	if len(line) > MaxLexLine {
 		line = line[:MaxLexLine]
 	}
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	ns := len(lx.specs)
+	if cap(sc.cursors) < ns {
+		sc.cursors = make([]cursor, ns)
+	}
+	cursors := sc.cursors[:ns]
+	for si := range cursors {
+		cursors[si] = cursor{}
+		lx.advanceCursor(&cursors[si], si, line)
+	}
+	chosen := sc.spans[:0]
+	pos := 0
+	for len(chosen) < MaxParamsPerLine {
+		best := -1
+		for si := range cursors {
+			c := &cursors[si]
+			// Candidates overlapping already-chosen text are discarded
+			// per spec, preserving each spec's own non-overlapping match
+			// sequence (a skipped span still consumes its text for that
+			// spec, exactly as in the pre-scan strategy).
+			for !c.done && c.start < pos {
+				lx.advanceCursor(c, si, line)
+			}
+			if c.done {
+				continue
+			}
+			if best < 0 || c.start < cursors[best].start {
+				best = si
+			}
+		}
+		if best < 0 {
+			break
+		}
+		c := &cursors[best]
+		chosen = append(chosen, span{start: c.start, end: c.end, spec: best, value: c.value})
+		pos = c.end
+		lx.advanceCursor(c, best, line)
+	}
+	res := lx.render(line, chosen, sc)
+	sc.spans = chosen[:0]
+	return res
+}
+
+// advanceCursor moves a cursor to its spec's next accepted span, or
+// marks it done. Guard or parse failures discard the span but consume
+// its text (search resumes at the span's end), mirroring how the
+// baseline's FindAllStringIndex never revisits a matched region.
+func (lx *Lexer) advanceCursor(c *cursor, si int, line string) {
+	spec := &lx.specs[si]
+	if !spec.pf.sliceSafe {
+		lx.advanceEager(c, spec, line)
+		return
+	}
+	from := c.searchFrom
+	for from < len(line) {
+		var start, end int
+		if spec.pf.usable {
+			for from < len(line) && !spec.pf.first.has(line[from]) {
+				from++
+			}
+			if from >= len(line) {
+				break
+			}
+			loc := spec.anchored.FindStringIndex(line[from:])
+			if loc == nil {
+				from++
+				continue
+			}
+			start, end = from, from+loc[1]
+		} else {
+			loc := spec.re.FindStringIndex(line[from:])
+			if loc == nil {
+				break
+			}
+			start, end = from+loc[0], from+loc[1]
+		}
+		if start == end {
+			// Empty match: never a candidate; advance one rune like the
+			// baseline's FindAll does.
+			_, w := utf8.DecodeRuneInString(line[start:])
+			if w == 0 {
+				w = 1
+			}
+			from = start + w
+			continue
+		}
+		if v, ok := lx.accept(spec, line, start, end); ok {
+			c.start, c.end, c.value = start, end, v
+			c.searchFrom = end
+			return
+		}
+		from = end
+	}
+	c.done = true
+}
+
+// advanceEager drives a cursor for anchor-carrying specs from a
+// precomputed FindAllStringIndex match list.
+func (lx *Lexer) advanceEager(c *cursor, spec *compiledSpec, line string) {
+	if !c.eagerInit {
+		c.eagerInit = true
+		c.eager = spec.re.FindAllStringIndex(line, -1)
+	}
+	for c.eagerAt < len(c.eager) {
+		loc := c.eager[c.eagerAt]
+		c.eagerAt++
+		if loc[0] == loc[1] {
+			continue
+		}
+		if v, ok := lx.accept(spec, line, loc[0], loc[1]); ok {
+			c.start, c.end, c.value = loc[0], loc[1], v
+			return
+		}
+	}
+	c.done = true
+}
+
+// accept applies a spec's span guards and parser.
+func (lx *Lexer) accept(spec *compiledSpec, line string, start, end int) (netdata.Value, bool) {
+	if spec.NoDigitBefore && start > 0 && isDigit(line[start-1]) {
+		return nil, false
+	}
+	if spec.WordBoundary {
+		if start > 0 && isWordByte(line[start-1]) {
+			return nil, false
+		}
+		if end < len(line) && isWordByte(line[end]) {
+			return nil, false
+		}
+	}
+	if spec.Parse != nil {
+		v, err := spec.Parse(line[start:end])
+		if err != nil {
+			return nil, false
+		}
+		return v, true
+	}
+	return netdata.Str(line[start:end]), true
+}
+
+// LexLinear is the pre-optimization matching strategy: every spec's
+// matches are collected over the whole line, globally sorted, and
+// resolved by position and precedence. It produces output identical to
+// Lex and is kept as the differential baseline (see FuzzLex and the
+// learn-path golden tests).
+func (lx *Lexer) LexLinear(line string) Lexed {
+	if len(line) > MaxLexLine {
+		line = line[:MaxLexLine]
+	}
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
 	// Collect candidate spans from every spec, then resolve overlaps by
 	// position and precedence.
-	var candidates []span
+	candidates := sc.cands[:0]
 	for si := range lx.specs {
 		spec := &lx.specs[si]
 		for _, loc := range spec.re.FindAllStringIndex(line, -1) {
@@ -198,44 +414,26 @@ func (lx *Lexer) Lex(line string) Lexed {
 			if start == end {
 				continue
 			}
-			if spec.NoDigitBefore && start > 0 && isDigit(line[start-1]) {
+			v, ok := lx.accept(spec, line, start, end)
+			if !ok {
 				continue
-			}
-			if spec.WordBoundary {
-				if start > 0 && isWordByte(line[start-1]) {
-					continue
-				}
-				if end < len(line) && isWordByte(line[end]) {
-					continue
-				}
-			}
-			var v netdata.Value
-			if spec.Parse != nil {
-				parsed, err := spec.Parse(line[start:end])
-				if err != nil {
-					continue
-				}
-				v = parsed
-			} else {
-				v = netdata.Str(line[start:end])
 			}
 			candidates = append(candidates, span{start: start, end: end, spec: si, value: v})
 		}
 	}
 	// Stable resolution: earlier start first; at equal start, higher
 	// precedence (lower spec index) first; ties broken by longer span.
-	sort.Slice(candidates, func(i, j int) bool {
-		a, b := candidates[i], candidates[j]
+	slices.SortFunc(candidates, func(a, b span) int {
 		if a.start != b.start {
-			return a.start < b.start
+			return a.start - b.start
 		}
 		if a.spec != b.spec {
-			return a.spec < b.spec
+			return a.spec - b.spec
 		}
-		return a.end > b.end
+		return b.end - a.end
 	})
 
-	var chosen []span
+	chosen := sc.spans[:0]
 	pos := 0
 	for _, c := range candidates {
 		if c.start < pos {
@@ -247,8 +445,20 @@ func (lx *Lexer) Lex(line string) Lexed {
 		chosen = append(chosen, c)
 		pos = c.end
 	}
+	res := lx.render(line, chosen, sc)
+	sc.cands = candidates[:0]
+	sc.spans = chosen[:0]
+	return res
+}
 
-	var untyped, display []byte
+// render builds the Lexed result from resolved spans, writing the
+// pattern strings through the pooled byte buffers.
+func (lx *Lexer) render(line string, chosen []span, sc *scratch) Lexed {
+	if len(chosen) == 0 {
+		return Lexed{Untyped: line, Display: line}
+	}
+	untyped := sc.untyped[:0]
+	display := sc.display[:0]
 	params := make([]Param, 0, len(chosen))
 	prev := 0
 	for _, c := range chosen {
@@ -269,6 +479,8 @@ func (lx *Lexer) Lex(line string) Lexed {
 	}
 	untyped = append(untyped, line[prev:]...)
 	display = append(display, line[prev:]...)
+	sc.untyped = untyped[:0]
+	sc.display = display[:0]
 	return Lexed{Untyped: string(untyped), Display: string(display), Params: params}
 }
 

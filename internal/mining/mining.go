@@ -69,6 +69,11 @@ type Options struct {
 	// Strict converts the first contained panic into an error aborting
 	// MineContext, instead of a diagnostic.
 	Strict bool
+	// Baseline forces the pre-interning learn path: statistics and
+	// relational candidate tables keyed by pattern strings even when the
+	// configs carry an intern table. Kept for differential testing and
+	// benchmarking; the mined contract set is byte-identical either way.
+	Baseline bool
 	// Progress, when non-nil, is called after each configuration of the
 	// relational mining pass (the dominant cost); it must be safe for
 	// concurrent calls when Parallelism > 1.
@@ -210,6 +215,9 @@ func (m *Miner) MineContext(ctx context.Context, cfgs []*lexer.Config) (*contrac
 		rec.Add("mine.relation.accepted", int64(len(found)))
 		set.Contracts = append(set.Contracts, found...)
 	}
+	if tab := commonInterns(cfgs); tab != nil && !m.opts.Baseline {
+		rec.Add("mine.interned_strings", int64(tab.Len()))
+	}
 	return set, nil
 }
 
@@ -306,6 +314,18 @@ func (m *Miner) contain(unit string, fn func()) (err error) {
 }
 
 func (m *Miner) collectStats(ctx context.Context, cfgs []*lexer.Config) (*stats, error) {
+	if tab := commonInterns(cfgs); tab != nil && !m.opts.Baseline {
+		sti := newStatsI(len(cfgs), tab)
+		for ci, cfg := range cfgs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if err := m.statsOneConfigFast(ci, cfg, sti); err != nil {
+				return nil, err
+			}
+		}
+		return sti.finalize(), nil
+	}
 	st := &stats{
 		nConfigs:  len(cfgs),
 		patterns:  make(map[string]*patternStats),
