@@ -29,7 +29,7 @@ race:
 # the race detector: panic containment, strict-mode aborts, input
 # guards, and goroutine-leak checks.
 chaos:
-	$(GO) test -race -timeout 10m -run 'Chaos|Fault|Panic|Pathological|Lenient|Diagnostics|Guard|Limits|Binary|Oversize|DepthCap|LineBudget|EmptyCorpus' ./...
+	$(GO) test -race -timeout 10m -run 'Chaos|Fault|Panic|Pathological|Lenient|Diagnostics|Guard|Limits|Binary|Oversize|DepthCap|LineBudget|EmptyCorpus|Poison|Warm|Artifact|Incremental|Corrupt|Concurrent' ./...
 
 # vuln scans dependencies with govulncheck when it is installed; the
 # scan is best-effort and never fails the build (the tool may be
@@ -41,23 +41,25 @@ vuln:
 		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
-# bench reproduces the committed BENCH_PR4.json — the learn phase
-# (fast lex/intern/mining path vs. the string-keyed baseline) and the
-# check phase (compiled engine vs. the pre-PR linear scan) — and runs
-# the Go micro-benchmarks. Both are pinned — fixed GOMAXPROCS, fixed
-# iteration counts — so numbers are comparable across machines of the
-# same class and across runs.
+# bench reproduces the committed BENCH_PR5.json — the learn phase
+# (fast lex/intern/mining path vs. the string-keyed baseline), the
+# check phase (compiled engine vs. the pre-PR linear scan), and the
+# warm phase (incremental run over a populated artifact cache vs. the
+# cold path) — and runs the Go micro-benchmarks. Both are pinned —
+# fixed GOMAXPROCS, fixed iteration counts — so numbers are
+# comparable across machines of the same class and across runs.
 BENCH_GOMAXPROCS ?= 4
 
 bench:
 	GOMAXPROCS=$(BENCH_GOMAXPROCS) $(GO) test -bench=. -benchtime=1x -count=1 -run=^$$ .
-	GOMAXPROCS=$(BENCH_GOMAXPROCS) $(GO) run ./cmd/concord bench -count 3 -out BENCH_PR4.json
+	GOMAXPROCS=$(BENCH_GOMAXPROCS) $(GO) run ./cmd/concord bench -count 3 -out BENCH_PR5.json
 
 # bench-smoke is the ci gate: a fast, tiny-scale run of the bench
 # harness that still cross-checks output equality on every corpus in
-# both phases — the mined contract set must be byte-identical between
-# the fast and baseline learn paths, and check violations identical
-# between the compiled and linear engines (the harness fails on any
-# divergence).
+# all three phases — the mined contract set must be byte-identical
+# between the fast and baseline learn paths, check violations
+# identical between the compiled and linear engines, and the warm
+# (incremental, cache-replayed) run identical to both cold paths
+# (the harness fails on any divergence).
 bench-smoke:
 	GOMAXPROCS=$(BENCH_GOMAXPROCS) $(GO) run ./cmd/concord bench -scale 0.1 -count 1 -out $${TMPDIR:-/tmp}/concord_bench_smoke.json

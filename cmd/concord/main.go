@@ -92,6 +92,13 @@ options:
   -no-minimize         disable contract minimization
   -disable CATS        comma-separated categories to disable (e.g. ordering)
 
+warm runs:
+  -cache-dir DIR       content-addressed artifact cache (lexed configs +
+                       check results); corrupt entries degrade to the cold
+                       path, results are identical with or without a cache
+  -incremental         replay cached per-config check results for unchanged
+                       configs (requires -cache-dir)
+
 robustness:
   -lenient             skip unreadable input files with diagnostics
   -strict              abort on the first contained fault or degraded input
@@ -240,6 +247,8 @@ func sharedFlags(fs *flag.FlagSet) *runConfig {
 	noMinimize := fs.Bool("no-minimize", false, "disable contract minimization")
 	disable := fs.String("disable", "", "comma-separated categories to disable")
 	tokens := fs.String("tokens", "", "JSON file of user lexer token specs")
+	cacheDir := fs.String("cache-dir", "", "content-addressed artifact cache directory for warm runs")
+	incremental := fs.Bool("incremental", false, "replay cached check results for unchanged configs (requires -cache-dir)")
 	rc := &runConfig{
 		metricsJSON: fs.String("metrics-json", "", "write a per-stage telemetry report to this file"),
 		cpuProfile:  fs.String("cpuprofile", "", "write a pprof CPU profile to this file"),
@@ -287,6 +296,17 @@ func sharedFlags(fs *flag.FlagSet) *runConfig {
 				return opts, err
 			}
 			opts.UserTokens = specs
+		}
+		if *incremental && *cacheDir == "" {
+			return opts, fmt.Errorf("-incremental requires -cache-dir")
+		}
+		if *cacheDir != "" {
+			cache, err := concord.OpenArtifactCache(*cacheDir)
+			if err != nil {
+				return opts, err
+			}
+			opts.Artifacts = cache
+			opts.Incremental = *incremental
 		}
 		return opts, nil
 	}

@@ -28,9 +28,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
+	"concord/internal/artifact"
 	"concord/internal/contracts"
 	"concord/internal/core"
 	"concord/internal/diag"
@@ -131,6 +135,13 @@ type (
 	// DiagnosticsReport is the JSON-serializable diagnostics snapshot
 	// (the schema behind the CLI's -diagnostics-json output).
 	DiagnosticsReport = diag.Report
+
+	// ArtifactCache is a versioned, content-addressed on-disk cache of
+	// lexed configurations and per-configuration check results. Attach
+	// one via Options.Artifacts (and set Options.Incremental) to make
+	// warm runs skip re-lexing and re-checking unchanged inputs; see
+	// OpenArtifactCache.
+	ArtifactCache = artifact.Cache
 )
 
 // The pipeline stages reported to Options.Progress.
@@ -249,6 +260,22 @@ func LoadGlobLenient(pattern string) ([]Source, []Diagnostic, error) {
 	return loadGlob(pattern)
 }
 
+// loadWorkers bounds the file-read worker pool: enough to overlap I/O,
+// capped so a huge glob doesn't open hundreds of files at once.
+func loadWorkers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 func loadGlob(pattern string) ([]Source, []Diagnostic, error) {
 	paths, err := filepath.Glob(pattern)
 	if err != nil {
@@ -256,25 +283,54 @@ func loadGlob(pattern string) ([]Source, []Diagnostic, error) {
 	}
 	sort.Strings(paths)
 	base := globBase(pattern)
+	// Reads run on a bounded worker pool; results land in slots indexed
+	// by the sorted path order, so the assembled output (and therefore
+	// diagnostics order) is deterministic regardless of scheduling.
+	type slot struct {
+		src Source
+		d   *Diagnostic
+	}
+	slots := make([]slot, len(paths))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < loadWorkers(len(paths)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(paths) {
+					return
+				}
+				p := paths[i]
+				data, err := os.ReadFile(p)
+				if err != nil {
+					slots[i].d = &Diagnostic{
+						Severity: SevError,
+						Stage:    "load",
+						Source:   filepath.ToSlash(p),
+						Message:  err.Error(),
+						Cause:    err,
+					}
+					continue
+				}
+				name := p
+				if rel, err := filepath.Rel(base, p); err == nil && !strings.HasPrefix(rel, "..") {
+					name = rel
+				}
+				slots[i].src = Source{Name: filepath.ToSlash(name), Text: data}
+			}
+		}()
+	}
+	wg.Wait()
 	var out []Source
 	var ds []Diagnostic
-	for _, p := range paths {
-		data, err := os.ReadFile(p)
-		if err != nil {
-			ds = append(ds, Diagnostic{
-				Severity: SevError,
-				Stage:    "load",
-				Source:   filepath.ToSlash(p),
-				Message:  err.Error(),
-				Cause:    err,
-			})
+	for i := range slots {
+		if slots[i].d != nil {
+			ds = append(ds, *slots[i].d)
 			continue
 		}
-		name := p
-		if rel, err := filepath.Rel(base, p); err == nil && !strings.HasPrefix(rel, "..") {
-			name = rel
-		}
-		out = append(out, Source{Name: filepath.ToSlash(name), Text: data})
+		out = append(out, slots[i].src)
 	}
 	return out, ds, nil
 }
@@ -292,6 +348,16 @@ func globBase(pattern string) string {
 		dir = parent
 	}
 	return dir
+}
+
+// OpenArtifactCache opens (creating if necessary) the artifact cache
+// rooted at dir, for use as Options.Artifacts. Entries are
+// content-addressed and versioned: any input, option, or contract-set
+// change misses naturally, corrupt entries degrade to the cold path
+// with a warning diagnostic, and results are identical with or without
+// a cache (the CLI's -cache-dir / -incremental flags).
+func OpenArtifactCache(dir string) (*ArtifactCache, error) {
+	return artifact.Open(dir)
 }
 
 // DefaultTransforms returns the built-in data transformation registry

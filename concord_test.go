@@ -2,6 +2,7 @@ package concord
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -381,5 +382,54 @@ func TestLoadGlobLenient(t *testing.T) {
 	}
 	if _, _, err := LoadGlobLenient("[bad"); err == nil {
 		t.Error("bad glob accepted")
+	}
+}
+
+// TestLoadGlobParallelDeterministic asserts the worker-pool loader
+// preserves the sequential contract at scale: sources sorted by path,
+// contents matched to names, and lenient diagnostics in path order
+// regardless of scheduling.
+func TestLoadGlobParallelDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	const n = 200
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("r%03d.cfg", i)
+		text := fmt.Sprintf("hostname R%03d\n", i)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Interleave unreadable entries (directories read as EISDIR).
+	for _, bad := range []string{"r050x.cfg", "r150x.cfg"} {
+		if err := os.MkdirAll(filepath.Join(dir, bad), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round := 0; round < 3; round++ {
+		srcs, ds, err := LoadGlobLenient(filepath.Join(dir, "*.cfg"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(srcs) != n {
+			t.Fatalf("round %d: %d sources, want %d", round, len(srcs), n)
+		}
+		for i, s := range srcs {
+			wantName := fmt.Sprintf("r%03d.cfg", i)
+			// The two bad entries sort inside the sequence but carry no
+			// sources; survivors must still be in sorted order with the
+			// right content for their name.
+			if s.Name != wantName {
+				t.Fatalf("round %d: source %d is %q, want %q", round, i, s.Name, wantName)
+			}
+			if want := fmt.Sprintf("hostname R%03d\n", i); string(s.Text) != want {
+				t.Fatalf("round %d: %s has content %q, want %q", round, s.Name, s.Text, want)
+			}
+		}
+		if len(ds) != 2 {
+			t.Fatalf("round %d: diagnostics = %+v, want 2", round, ds)
+		}
+		if !strings.Contains(ds[0].Source, "r050x.cfg") || !strings.Contains(ds[1].Source, "r150x.cfg") {
+			t.Errorf("round %d: diagnostics out of path order: %+v", round, ds)
+		}
 	}
 }

@@ -1,0 +1,422 @@
+package artifact
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"concord/internal/contracts"
+	"concord/internal/intern"
+	"concord/internal/lexer"
+	"concord/internal/netdata"
+)
+
+// The binary encodings below are deliberately simple: uvarint lengths
+// and counts, length-prefixed strings, and a per-artifact string table
+// deduplicating the heavily repeated fields (patterns, displays, token
+// type names). Decoding allocates one string per distinct table entry
+// plus the per-line Raw/Text, which is what makes replay cheap
+// relative to re-lexing.
+
+// writer accumulates an encoding.
+type writer struct {
+	b []byte
+}
+
+func (w *writer) uvarint(u uint64) { w.b = binary.AppendUvarint(w.b, u) }
+
+func (w *writer) str(s string) {
+	w.uvarint(uint64(len(s)))
+	w.b = append(w.b, s...)
+}
+
+// reader decodes with a sticky error, so call sites stay linear and the
+// final err check catches any malformed field.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	u, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("artifact: bad uvarint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return u
+}
+
+// count reads a uvarint bounded by the remaining input, so a corrupt
+// length can never drive a huge allocation.
+func (r *reader) count() int {
+	u := r.uvarint()
+	if r.err == nil && u > uint64(len(r.b)-r.off) {
+		r.fail("artifact: count %d exceeds remaining input %d", u, len(r.b)-r.off)
+		return 0
+	}
+	return int(u)
+}
+
+func (r *reader) str() string {
+	n := r.count()
+	if r.err != nil {
+		return ""
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("artifact: %d trailing bytes", len(r.b)-r.off)
+	}
+	return nil
+}
+
+// stringTable deduplicates strings during encoding.
+type stringTable struct {
+	idx  map[string]uint64
+	strs []string
+}
+
+func (t *stringTable) ref(s string) uint64 {
+	if t.idx == nil {
+		t.idx = make(map[string]uint64)
+	}
+	if i, ok := t.idx[s]; ok {
+		return i
+	}
+	i := uint64(len(t.strs))
+	t.idx[s] = i
+	t.strs = append(t.strs, s)
+	return i
+}
+
+// EncodeConfig serializes a processed configuration (before metadata
+// lines are appended). The encoding is name-independent: File fields
+// are substituted at decode time, so renaming a file never invalidates
+// its lex artifact. The second result is false when the configuration
+// cannot round-trip — a parameter value of a kind the decoder cannot
+// reconstruct (a custom netdata.Value implementation from a user token
+// Parse func) — in which case the caller must not cache it.
+func EncodeConfig(cfg *lexer.Config) ([]byte, bool) {
+	var tab stringTable
+	type lineEnc struct {
+		pattern, display uint64
+		params           [][2]uint64 // typeRef, kind; value string follows
+	}
+	// First pass: validate values and build the string table in a
+	// deterministic first-use order.
+	for i := range cfg.Lines {
+		line := &cfg.Lines[i]
+		if line.Meta {
+			return nil, false // lex artifacts are pre-metadata by contract
+		}
+		tab.ref(line.Pattern)
+		tab.ref(line.Display)
+		for pi := range line.Params {
+			if !encodableValue(line.Params[pi].Value) {
+				return nil, false
+			}
+			tab.ref(line.Params[pi].Type)
+		}
+	}
+	w := &writer{b: make([]byte, 0, 64*len(cfg.Lines))}
+	w.uvarint(uint64(cfg.SourceLines))
+	w.uvarint(uint64(len(tab.strs)))
+	for _, s := range tab.strs {
+		w.str(s)
+	}
+	w.uvarint(uint64(len(cfg.Lines)))
+	for i := range cfg.Lines {
+		line := &cfg.Lines[i]
+		w.uvarint(uint64(line.Num))
+		w.str(line.Raw)
+		w.str(line.Text)
+		w.uvarint(tab.ref(line.Pattern))
+		w.uvarint(tab.ref(line.Display))
+		w.uvarint(uint64(len(line.Params)))
+		for pi := range line.Params {
+			p := &line.Params[pi]
+			w.uvarint(tab.ref(p.Type))
+			w.b = append(w.b, byte(p.Value.Kind()))
+			w.str(p.Value.String())
+		}
+	}
+	return w.b, true
+}
+
+// encodableValue reports whether a value is one of the built-in
+// netdata kinds, whose canonical String() round-trips through the
+// corresponding Parse function.
+func encodableValue(v netdata.Value) bool {
+	switch v.(type) {
+	case netdata.Num, netdata.Hex, netdata.Bool, netdata.MAC, netdata.IP, netdata.Prefix, netdata.Str:
+		return v.Kind() != netdata.KindInvalid
+	default:
+		return false
+	}
+}
+
+// DecodeConfig reconstructs a configuration from EncodeConfig output,
+// substituting the current run's source name and interning every
+// pattern into the run's table so the compiled checker's dense-ID fast
+// path works on replayed configs exactly as on freshly lexed ones.
+func DecodeConfig(data []byte, name string, interns *intern.Table) (*lexer.Config, error) {
+	r := &reader{b: data}
+	cfg := &lexer.Config{Name: name, Interns: interns}
+	cfg.SourceLines = int(r.uvarint())
+	nStrs := r.count()
+	if r.err != nil {
+		return nil, r.err
+	}
+	strs := make([]string, nStrs)
+	for i := range strs {
+		strs[i] = r.str()
+	}
+	// Pattern IDs are interned once per distinct table entry, not once
+	// per line.
+	ids := make([]int32, nStrs)
+	internID := func(ref uint64) (string, int32, error) {
+		if ref >= uint64(nStrs) {
+			return "", 0, fmt.Errorf("artifact: string ref %d out of range %d", ref, nStrs)
+		}
+		if ids[ref] == 0 && interns != nil {
+			ids[ref] = interns.ID(strs[ref])
+		}
+		return strs[ref], ids[ref], nil
+	}
+	nLines := r.count()
+	if r.err != nil {
+		return nil, r.err
+	}
+	cfg.Lines = make([]lexer.Line, 0, nLines)
+	for i := 0; i < nLines; i++ {
+		var line lexer.Line
+		line.File = name
+		line.Num = int(r.uvarint())
+		line.Raw = r.str()
+		line.Text = r.str()
+		pRef := r.uvarint()
+		dRef := r.uvarint()
+		nParams := r.count()
+		if r.err != nil {
+			return nil, r.err
+		}
+		var err error
+		if line.Pattern, line.PatternID, err = internID(pRef); err != nil {
+			return nil, err
+		}
+		if dRef >= uint64(nStrs) {
+			return nil, fmt.Errorf("artifact: string ref %d out of range %d", dRef, nStrs)
+		}
+		line.Display = strs[dRef]
+		if nParams > 0 {
+			line.Params = make([]lexer.Param, nParams)
+			for pi := 0; pi < nParams; pi++ {
+				tRef := r.uvarint()
+				if r.err != nil {
+					return nil, r.err
+				}
+				if r.off >= len(r.b) {
+					return nil, fmt.Errorf("artifact: truncated param kind")
+				}
+				kind := netdata.Kind(r.b[r.off])
+				r.off++
+				raw := r.str()
+				if r.err != nil {
+					return nil, r.err
+				}
+				if tRef >= uint64(nStrs) {
+					return nil, fmt.Errorf("artifact: string ref %d out of range %d", tRef, nStrs)
+				}
+				val, err := decodeValue(kind, raw)
+				if err != nil {
+					return nil, err
+				}
+				line.Params[pi] = lexer.Param{Name: lexer.VarName(pi), Type: strs[tRef], Value: val}
+			}
+		}
+		cfg.Lines = append(cfg.Lines, line)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// decodeValue re-parses a value from its kind and canonical string.
+func decodeValue(kind netdata.Kind, raw string) (netdata.Value, error) {
+	switch kind {
+	case netdata.KindNum:
+		return netdata.ParseNum(raw)
+	case netdata.KindHex:
+		return netdata.ParseHex(raw)
+	case netdata.KindBool:
+		return netdata.ParseBool(raw)
+	case netdata.KindMAC:
+		return netdata.ParseMAC(raw)
+	case netdata.KindIP4, netdata.KindIP6:
+		if kind == netdata.KindIP4 {
+			return netdata.ParseIP4(raw)
+		}
+		return netdata.ParseIP6(raw)
+	case netdata.KindPfx4:
+		return netdata.ParsePrefix4(raw)
+	case netdata.KindPfx6:
+		return netdata.ParsePrefix6(raw)
+	case netdata.KindString:
+		return netdata.Str(raw), nil
+	default:
+		return nil, fmt.Errorf("artifact: unknown value kind %d", kind)
+	}
+}
+
+// CheckEntry is one configuration's cached check outcome: its sorted
+// violations, the coverage counts the engine aggregates, and — for
+// each unique contract — the ordered value sites the cross-config
+// uniqueness merge needs, so a replayed config contributes to global
+// uniqueness exactly as if it had been rescanned.
+type CheckEntry struct {
+	Violations  []contracts.Violation
+	SourceLines int
+	Covered     int
+	ByCategory  map[contracts.Category]int
+	// Unique maps unique-contract IDs to the config's value sites in
+	// line order.
+	Unique map[string][]contracts.UniqueSite
+}
+
+// EncodeCheckEntry serializes a check entry. Map fields are written in
+// sorted key order so the encoding is deterministic.
+func EncodeCheckEntry(e *CheckEntry) []byte {
+	w := &writer{b: make([]byte, 0, 256)}
+	w.uvarint(uint64(e.SourceLines))
+	w.uvarint(uint64(e.Covered))
+	cats := make([]string, 0, len(e.ByCategory))
+	for c := range e.ByCategory {
+		cats = append(cats, string(c))
+	}
+	sort.Strings(cats)
+	w.uvarint(uint64(len(cats)))
+	for _, c := range cats {
+		w.str(c)
+		w.uvarint(uint64(e.ByCategory[contracts.Category(c)]))
+	}
+	w.uvarint(uint64(len(e.Violations)))
+	for i := range e.Violations {
+		v := &e.Violations[i]
+		w.str(string(v.Category))
+		w.str(v.ContractID)
+		w.str(v.Contract)
+		w.str(v.File)
+		w.uvarint(uint64(v.Line))
+		w.str(v.Detail)
+	}
+	ids := make([]string, 0, len(e.Unique))
+	for id := range e.Unique {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	w.uvarint(uint64(len(ids)))
+	for _, id := range ids {
+		sites := e.Unique[id]
+		w.str(id)
+		w.uvarint(uint64(len(sites)))
+		for _, s := range sites {
+			w.str(s.Key)
+			w.str(s.Display)
+			w.uvarint(uint64(s.Line))
+		}
+	}
+	return w.b
+}
+
+// DecodeCheckEntry reconstructs a check entry. ByCategory and Unique
+// are always non-nil (possibly empty) maps, matching what a cold check
+// produces.
+func DecodeCheckEntry(data []byte) (*CheckEntry, error) {
+	r := &reader{b: data}
+	e := &CheckEntry{
+		ByCategory: make(map[contracts.Category]int),
+		Unique:     make(map[string][]contracts.UniqueSite),
+	}
+	e.SourceLines = int(r.uvarint())
+	e.Covered = int(r.uvarint())
+	nCats := r.count()
+	for i := 0; i < nCats && r.err == nil; i++ {
+		c := r.str()
+		n := r.uvarint()
+		if r.err == nil {
+			e.ByCategory[contracts.Category(c)] = int(n)
+		}
+	}
+	nViol := r.count()
+	if r.err != nil {
+		return nil, r.err
+	}
+	for i := 0; i < nViol; i++ {
+		var v contracts.Violation
+		v.Category = contracts.Category(r.str())
+		v.ContractID = r.str()
+		v.Contract = r.str()
+		v.File = r.str()
+		line := r.uvarint()
+		v.Detail = r.str()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if line > math.MaxInt32 {
+			return nil, fmt.Errorf("artifact: implausible violation line %d", line)
+		}
+		v.Line = int(line)
+		e.Violations = append(e.Violations, v)
+	}
+	nUniq := r.count()
+	if r.err != nil {
+		return nil, r.err
+	}
+	for i := 0; i < nUniq; i++ {
+		id := r.str()
+		nSites := r.count()
+		if r.err != nil {
+			return nil, r.err
+		}
+		sites := make([]contracts.UniqueSite, 0, nSites)
+		for j := 0; j < nSites; j++ {
+			var s contracts.UniqueSite
+			s.Key = r.str()
+			s.Display = r.str()
+			line := r.uvarint()
+			if r.err != nil {
+				return nil, r.err
+			}
+			if line > math.MaxInt32 {
+				return nil, fmt.Errorf("artifact: implausible site line %d", line)
+			}
+			s.Line = int(line)
+			sites = append(sites, s)
+		}
+		e.Unique[id] = sites
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}

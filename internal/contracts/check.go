@@ -785,6 +785,93 @@ func (ch *Checker) checkUniqueGlobal(cfgs []*lexer.Config) []Violation {
 	return out
 }
 
+// UniqueSite is one occurrence of a unique contract's parameter within
+// a configuration: the value's canonical key (the uniqueness identity),
+// its display rendering (for violation details), and the 1-based line
+// number. Sites are always listed in line order, so a merge over
+// per-config site lists reproduces the first-seen-wins semantics of a
+// direct scan.
+type UniqueSite struct {
+	Key     string
+	Display string
+	Line    int
+}
+
+// uniqueContracts returns the set's unique contracts in compiled
+// (deterministic) order.
+func (ch *Checker) uniqueContracts() []*Unique {
+	uniques := make([]*Unique, 0, len(ch.cs.absence))
+	for _, c := range ch.cs.absence {
+		if u, ok := c.(*Unique); ok {
+			uniques = append(uniques, u)
+		}
+	}
+	return uniques
+}
+
+// UniqueContributions extracts, for every unique contract of the set,
+// the ordered value sites of one configuration. The result is what an
+// incremental caller caches: replaying it through
+// CheckUniqueFromContributions yields exactly the violations a direct
+// checkUniqueGlobal scan over the same configuration would contribute.
+func (ch *Checker) UniqueContributions(cfg *lexer.Config) map[string][]UniqueSite {
+	uniques := ch.uniqueContracts()
+	out := make(map[string][]UniqueSite, len(uniques))
+	if len(uniques) == 0 {
+		return out
+	}
+	wanted := make(map[string][]*Unique, len(uniques))
+	for _, u := range uniques {
+		wanted[u.Pattern] = append(wanted[u.Pattern], u)
+	}
+	for i := range cfg.Lines {
+		line := &cfg.Lines[i]
+		for _, u := range wanted[line.Pattern] {
+			if u.ParamIdx >= len(line.Params) {
+				continue
+			}
+			v := line.Params[u.ParamIdx].Value
+			out[u.ID()] = append(out[u.ID()], UniqueSite{
+				Key: v.Key(), Display: v.String(), Line: line.Num,
+			})
+		}
+	}
+	return out
+}
+
+// CheckUniqueFromContributions evaluates the cross-configuration
+// uniqueness component from per-configuration site contributions
+// (cached or freshly extracted), merged in configuration order.
+// names[i] labels contribs[i]'s configuration in violations. The
+// result is identical to CheckUniqueAcross over the same corpus: the
+// first site of a value is the witness, every later site a violation.
+func (ch *Checker) CheckUniqueFromContributions(names []string, contribs []map[string][]UniqueSite) []Violation {
+	var out []Violation
+	for _, u := range ch.uniqueContracts() {
+		u := u
+		ch.contained(u, "", func() {
+			faultinject.At("contracts.check.unique_global", u.ID())
+			type site struct {
+				file string
+				line int
+			}
+			seen := make(map[string]site)
+			for ci := range contribs {
+				for _, s := range contribs[ci][u.ID()] {
+					if prev, dup := seen[s.Key]; dup {
+						out = append(out, violation(u, names[ci], s.Line,
+							fmt.Sprintf("value %s duplicates %s:%d", s.Display, prev.file, prev.line)))
+						continue
+					}
+					seen[s.Key] = site{file: names[ci], line: s.Line}
+				}
+			}
+		})
+	}
+	sortViolations(out)
+	return out
+}
+
 // equalsFast reports whether an equals contract can use the hash-based
 // witness index: the built-in Equals semantics is exactly key equality,
 // so the index is valid unless a user definition overrides Equals.

@@ -8,12 +8,15 @@ package core
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"concord/internal/artifact"
 	"concord/internal/contracts"
 	"concord/internal/diag"
 	"concord/internal/faultinject"
@@ -110,6 +113,26 @@ type Options struct {
 	// benchmarking of the fast learn path; the learned contract set is
 	// byte-identical either way.
 	LearnBaseline bool
+	// Artifacts, when non-nil, is a content-addressed on-disk artifact
+	// cache (see internal/artifact). Processing then persists each
+	// cleanly lexed source as a binary artifact keyed by its content
+	// hash plus a fingerprint of every option affecting lexing, and
+	// replays it on later runs instead of re-lexing. Corrupt or stale
+	// entries degrade to the cold path with a warning diagnostic —
+	// results are identical with or without a cache. Ignored in
+	// LearnBaseline mode. Note that user token specs with custom Parse
+	// funcs are fingerprinted by name, pattern, and flags only: changing
+	// a Parse func's behavior without changing the spec requires a fresh
+	// cache directory.
+	Artifacts *artifact.Cache
+	// Incremental additionally replays cached per-configuration check
+	// results in Check/CheckContext: configurations whose content hash,
+	// processing options, metadata corpus, and contract-set fingerprint
+	// are unchanged skip re-checking entirely, contributing their cached
+	// violations, coverage counts, and unique-contract value multisets
+	// (so cross-configuration uniqueness stays exact over a mix of
+	// cached and fresh configs). Requires Artifacts.
+	Incremental bool
 }
 
 // Validate rejects unusable option values: Support below 1, Confidence
@@ -133,6 +156,9 @@ func (o Options) Validate() error {
 	if err := o.Limits.Validate(); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
+	if o.Incremental && o.Artifacts == nil {
+		return fmt.Errorf("core: Incremental requires an Artifacts cache")
+	}
 	return nil
 }
 
@@ -155,6 +181,10 @@ type Engine struct {
 	opts       Options
 	lx         *lexer.Lexer
 	transforms []relations.Transform
+	// procFP fingerprints every option that affects processing output
+	// (context embedding, input limits, user token specs). It is folded
+	// into all artifact cache keys so an option change misses naturally.
+	procFP artifact.Key
 	// progressMu serializes Options.Progress callbacks issued from
 	// worker goroutines.
 	progressMu sync.Mutex
@@ -203,7 +233,27 @@ func New(opts Options) (*Engine, error) {
 			return nil, fmt.Errorf("core: %w", err)
 		}
 	}
-	return &Engine{opts: opts, lx: lx, transforms: transforms}, nil
+	e := &Engine{opts: opts, lx: lx, transforms: transforms}
+	e.procFP = e.procFingerprint()
+	return e, nil
+}
+
+// procFingerprint hashes every option that changes what processing
+// produces for a given source. Custom Parse funcs cannot be hashed;
+// their specs contribute name, pattern, and flags (documented on
+// Options.Artifacts).
+func (e *Engine) procFingerprint() artifact.Key {
+	lim := e.opts.Limits.WithDefaults()
+	h := artifact.NewHasher("concord/proc/v1")
+	h.Int(artifact.SchemaVersion)
+	h.Bool(e.opts.ContextEmbedding)
+	h.Int(lim.MaxFileSize).Int(lim.MaxLineLen).Int(lim.MaxDepth).Int(lim.MaxLines)
+	h.Int(len(e.opts.UserTokens))
+	for _, t := range e.opts.UserTokens {
+		h.Str(t.Name).Str(t.Pattern)
+		h.Bool(t.Parse != nil).Bool(t.NoDigitBefore).Bool(t.WordBoundary)
+	}
+	return h.Sum()
 }
 
 // MustNew is New for known-good options; it panics on error.
@@ -249,13 +299,40 @@ func (e *Engine) Process(sources, meta []Source) ([]*lexer.Config, ProcessStats)
 func (e *Engine) ProcessContext(ctx context.Context, sources, meta []Source) ([]*lexer.Config, ProcessStats, error) {
 	dc := diag.New()
 	defer e.opts.Diagnostics.Merge(dc)
-	return e.processContext(ctx, dc, sources, meta)
+	cfgs, _, st, err := e.processContext(ctx, dc, sources, meta)
+	return cfgs, st, err
+}
+
+// sourceArt is one surviving configuration's artifact-cache state,
+// aligned with the compacted config slice.
+type sourceArt struct {
+	// hash is the content hash of the raw source bytes; zero when the
+	// config cannot participate in artifact caching.
+	hash artifact.Key
+	// lexKey is hash ⊕ procFP: the lex artifact's cache address.
+	lexKey artifact.Key
+	// lexHit reports the config was replayed from a lex artifact.
+	lexHit bool
+	// clean reports processing produced no diagnostics for this source,
+	// making its downstream check result safe to persist.
+	clean bool
+}
+
+// artState carries per-corpus artifact bookkeeping from processing to
+// checking. Nil when no cache is attached or the run is LearnBaseline.
+type artState struct {
+	cache  *artifact.Cache
+	per    []sourceArt
+	metaFP artifact.Key
 }
 
 // processContext is the diagnostics-threaded implementation behind
 // ProcessContext; per-run collectors let each Learn/Check surface only
-// its own diagnostics in its result.
-func (e *Engine) processContext(ctx context.Context, dc *diag.Collector, sources, meta []Source) ([]*lexer.Config, ProcessStats, error) {
+// its own diagnostics in its result. When an artifact cache is
+// attached, cleanly lexed sources are persisted and replayed by
+// content hash, and the returned artState lets checkProcessedContext
+// extend the warm path to per-config check results.
+func (e *Engine) processContext(ctx context.Context, dc *diag.Collector, sources, meta []Source) ([]*lexer.Config, *artState, ProcessStats, error) {
 	sp := e.opts.Telemetry.StartSpan(string(telemetry.StageProcess))
 	defer sp.EndCount(len(sources))
 	lim := e.opts.Limits.WithDefaults()
@@ -276,25 +353,73 @@ func (e *Engine) processContext(ctx context.Context, dc *diag.Collector, sources
 	}
 	metaLines, err := e.processMeta(dc, lim, meta, cache, interns)
 	if err != nil {
-		return nil, ProcessStats{}, err
+		return nil, nil, ProcessStats{}, err
+	}
+	// The artifact cache needs the interned-pattern pipeline; the
+	// baseline path exists precisely to bypass it.
+	artOn := e.opts.Artifacts != nil && !e.opts.LearnBaseline
+	var artSlots []sourceArt
+	var metaFP artifact.Key
+	if artOn {
+		artSlots = make([]sourceArt, len(sources))
+		mh := artifact.NewHasher("concord/meta/v1")
+		for _, m := range meta {
+			mh.Str(m.Name).Bytes(m.Text)
+		}
+		metaFP = mh.Sum()
 	}
 	slots := make([]*lexer.Config, len(sources))
 	err = e.forEachCtx(ctx, dc, telemetry.StageProcess, len(sources),
 		func(i int) string { return sources[i].Name },
 		func(i int) {
 			faultinject.At("core.process.source", sources[i].Name)
+			if artOn {
+				if cfg, sa, ok := e.loadLexArtifact(dc, sources[i], interns); ok {
+					cfg.Lines = append(cfg.Lines, metaLines...)
+					slots[i] = cfg
+					artSlots[i] = sa
+					return
+				} else {
+					artSlots[i] = sa
+				}
+			}
+			// A per-source collector distinguishes "this source degraded"
+			// from the shared run state: only sources that process without
+			// any diagnostic are persisted to the cache.
+			sdc := dc
+			if artOn {
+				sdc = diag.New()
+			}
 			cfg := format.Process(sources[i].Name, sources[i].Text, e.lx,
 				format.Options{Embed: e.opts.ContextEmbedding, Limits: lim,
-					Telemetry: e.opts.Telemetry, Diagnostics: dc,
+					Telemetry: e.opts.Telemetry, Diagnostics: sdc,
 					Cache: cache, Interns: interns, Baseline: e.opts.LearnBaseline})
+			if artOn {
+				dc.Merge(sdc)
+			}
 			if cfg.Skipped {
 				return // input guards recorded the diagnostic
+			}
+			if artOn {
+				artSlots[i].clean = sdc.Len() == 0
+				if artSlots[i].clean {
+					// Encode before meta lines are appended: metadata is
+					// corpus state, not source content, and is re-applied
+					// (and fingerprinted) on every run.
+					if payload, ok := artifact.EncodeConfig(&cfg); ok {
+						if serr := e.opts.Artifacts.Store(artifact.KindLex, artSlots[i].lexKey, payload); serr != nil {
+							e.opts.Telemetry.Add("artifact.store_errors", 1)
+						} else {
+							e.opts.Telemetry.Add("artifact.bytes_written", int64(len(payload)))
+						}
+					}
+				}
 			}
 			cfg.Lines = append(cfg.Lines, metaLines...)
 			slots[i] = &cfg
 		})
 	if err != nil {
-		return nil, ProcessStats{}, err
+		return nil, nil, ProcessStats{}, err
 	}
 	if cache != nil {
 		hits, misses := cache.Stats()
@@ -302,19 +427,28 @@ func (e *Engine) processContext(ctx context.Context, dc *diag.Collector, sources
 		e.opts.Telemetry.Add("lex.cache_misses", misses)
 	}
 	// Compact: sources that panicked a worker or were rejected by input
-	// guards leave nil slots; survivors keep input order.
+	// guards leave nil slots; survivors keep input order (and their
+	// artifact state stays aligned with them).
 	var cfgs []*lexer.Config
+	var per []sourceArt
 	skipped := 0
-	for _, c := range slots {
+	for i, c := range slots {
 		if c != nil {
 			cfgs = append(cfgs, c)
+			if artOn {
+				per = append(per, artSlots[i])
+			}
 		} else {
 			skipped++
 		}
 	}
+	var arts *artState
+	if artOn {
+		arts = &artState{cache: e.opts.Artifacts, per: per, metaFP: metaFP}
+	}
 	if e.opts.Strict {
 		if err := diag.Join(dc.All()); err != nil {
-			return nil, ProcessStats{}, fmt.Errorf("core: strict mode: %w", err)
+			return nil, nil, ProcessStats{}, fmt.Errorf("core: strict mode: %w", err)
 		}
 	}
 	st := ProcessStats{Configs: len(cfgs), Skipped: skipped}
@@ -339,7 +473,48 @@ func (e *Engine) processContext(ctx context.Context, dc *diag.Collector, sources
 	e.opts.Telemetry.SetGauge("corpus.skipped", float64(st.Skipped))
 	e.opts.Telemetry.SetGauge("corpus.lines", float64(st.Lines))
 	e.opts.Telemetry.SetGauge("corpus.patterns", float64(st.Patterns))
-	return cfgs, st, nil
+	return cfgs, arts, st, nil
+}
+
+// loadLexArtifact attempts to replay one source from the lex artifact
+// cache. It always returns the source's artifact state (content hash
+// and lex key) so the cold path can persist what it produces; ok
+// reports whether a usable cached config was returned. A corrupt entry
+// degrades to a miss with a warning diagnostic.
+func (e *Engine) loadLexArtifact(dc *diag.Collector, src Source, interns *intern.Table) (*lexer.Config, sourceArt, bool) {
+	sa := sourceArt{hash: artifact.HashBytes("concord/src/v1", src.Text)}
+	sa.lexKey = artifact.NewHasher("concord/lex/v1").Key(sa.hash).Key(e.procFP).Sum()
+	payload, err := e.opts.Artifacts.Load(artifact.KindLex, sa.lexKey)
+	if err != nil {
+		if errors.Is(err, artifact.ErrMiss) {
+			e.opts.Telemetry.Add("artifact.cache_misses", 1)
+		} else {
+			e.invalidateArtifact(dc, src.Name, err)
+		}
+		return nil, sa, false
+	}
+	cfg, derr := artifact.DecodeConfig(payload, src.Name, interns)
+	if derr != nil {
+		e.invalidateArtifact(dc, src.Name, derr)
+		return nil, sa, false
+	}
+	e.opts.Telemetry.Add("artifact.cache_hits", 1)
+	e.opts.Telemetry.Add("artifact.bytes_read", int64(len(payload)))
+	sa.lexHit = true
+	// An artifact exists only for sources that processed cleanly, so a
+	// replayed config is clean by construction.
+	sa.clean = true
+	return cfg, sa, true
+}
+
+// invalidateArtifact records a corrupt or undecodable cache entry: one
+// warning diagnostic, an invalidation counter tick, and a miss (the
+// caller falls back to the cold path, which overwrites the bad entry).
+func (e *Engine) invalidateArtifact(dc *diag.Collector, source string, err error) {
+	e.opts.Telemetry.Add("artifact.invalidations", 1)
+	e.opts.Telemetry.Add("artifact.cache_misses", 1)
+	dc.Addf(diag.SevWarn, "artifact", source, 0,
+		"cache entry unusable, falling back to cold path: %v", err)
 }
 
 // processMeta embeds and lexes metadata files into lines tagged with the
@@ -536,7 +711,7 @@ func (e *Engine) Learn(sources, meta []Source) (*LearnResult, error) {
 func (e *Engine) LearnContext(ctx context.Context, sources, meta []Source) (*LearnResult, error) {
 	dc := diag.New()
 	defer e.opts.Diagnostics.Merge(dc)
-	cfgs, pstats, err := e.processContext(ctx, dc, sources, meta)
+	cfgs, _, pstats, err := e.processContext(ctx, dc, sources, meta)
 	if err != nil {
 		return nil, err
 	}
@@ -707,11 +882,11 @@ func (e *Engine) Check(set *contracts.Set, sources, meta []Source) (*CheckResult
 func (e *Engine) CheckContext(ctx context.Context, set *contracts.Set, sources, meta []Source) (*CheckResult, error) {
 	dc := diag.New()
 	defer e.opts.Diagnostics.Merge(dc)
-	cfgs, pstats, err := e.processContext(ctx, dc, sources, meta)
+	cfgs, arts, pstats, err := e.processContext(ctx, dc, sources, meta)
 	if err != nil {
 		return nil, err
 	}
-	res, err := e.checkProcessedContext(ctx, dc, set, cfgs, pstats)
+	res, err := e.checkProcessedContext(ctx, dc, set, cfgs, pstats, arts)
 	if err != nil {
 		return nil, err
 	}
@@ -729,7 +904,7 @@ func (e *Engine) CheckProcessed(set *contracts.Set, cfgs []*lexer.Config, pstats
 func (e *Engine) CheckProcessedContext(ctx context.Context, set *contracts.Set, cfgs []*lexer.Config, pstats ProcessStats) (*CheckResult, error) {
 	dc := diag.New()
 	defer e.opts.Diagnostics.Merge(dc)
-	res, err := e.checkProcessedContext(ctx, dc, set, cfgs, pstats)
+	res, err := e.checkProcessedContext(ctx, dc, set, cfgs, pstats, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -737,17 +912,123 @@ func (e *Engine) CheckProcessedContext(ctx context.Context, set *contracts.Set, 
 	return res, nil
 }
 
-func (e *Engine) checkProcessedContext(ctx context.Context, dc *diag.Collector, set *contracts.Set, cfgs []*lexer.Config, pstats ProcessStats) (*CheckResult, error) {
+// covCount is one configuration's coverage reduced to counts — the
+// form both the cold path and a replayed check artifact can produce
+// identically.
+type covCount struct {
+	sourceLines int
+	covered     int
+	byCategory  map[contracts.Category]int
+}
+
+// checkFingerprint hashes everything besides a config's own content
+// that determines its check result: the processing options, the
+// metadata corpus, the contract set (via its canonical JSON), and the
+// checker's transform and relation registries. Any mismatch makes
+// every check-artifact lookup miss, so replay is only ever exact.
+func (e *Engine) checkFingerprint(set *contracts.Set, metaFP artifact.Key) (artifact.Key, bool) {
+	setJSON, err := json.Marshal(set)
+	if err != nil {
+		return artifact.Key{}, false
+	}
+	h := artifact.NewHasher("concord/check/v1")
+	h.Key(e.procFP).Key(metaFP).Bytes(setJSON)
+	h.Bool(e.opts.LinearScan)
+	h.Int(len(e.transforms))
+	for _, t := range e.transforms {
+		h.Str(t.Name)
+	}
+	h.Int(len(e.opts.ExtraRelations))
+	for _, d := range e.opts.ExtraRelations {
+		h.Str(string(d.Rel))
+	}
+	return h.Sum(), true
+}
+
+func (e *Engine) checkProcessedContext(ctx context.Context, dc *diag.Collector, set *contracts.Set, cfgs []*lexer.Config, pstats ProcessStats, arts *artState) (*CheckResult, error) {
 	checker := e.newChecker(set, dc, sharedInterns(cfgs))
 	perCfgViolations := make([][]contracts.Violation, len(cfgs))
-	perCfgCoverage := make([]*contracts.CoverageResult, len(cfgs))
+	perCfgCov := make([]*covCount, len(cfgs))
+	warm := arts != nil && e.opts.Incremental
+	var checkFP artifact.Key
+	var contribs []map[string][]contracts.UniqueSite
+	var checkKeys []artifact.Key
+	var checkHits []bool
+	if warm {
+		checkFP, warm = e.checkFingerprint(set, arts.metaFP)
+	}
+	if warm {
+		contribs = make([]map[string][]contracts.UniqueSite, len(cfgs))
+		checkKeys = make([]artifact.Key, len(cfgs))
+		checkHits = make([]bool, len(cfgs))
+		for i := range cfgs {
+			if !arts.per[i].hash.IsZero() {
+				checkKeys[i] = artifact.NewHasher("concord/checkkey/v1").
+					Key(arts.per[i].hash).Key(checkFP).Str(cfgs[i].Name).Sum()
+			}
+		}
+	}
 	sp := e.opts.Telemetry.StartSpan(string(telemetry.StageCheck))
 	err := e.forEachCtx(ctx, dc, telemetry.StageCheck, len(cfgs),
 		func(i int) string { return cfgs[i].Name },
 		func(i int) {
 			faultinject.At("core.check.config", cfgs[i].Name)
-			perCfgViolations[i] = checker.Check(cfgs[i])
-			perCfgCoverage[i] = checker.Coverage(cfgs[i])
+			if warm && !checkKeys[i].IsZero() {
+				payload, lerr := arts.cache.Load(artifact.KindCheck, checkKeys[i])
+				switch {
+				case lerr == nil:
+					entry, derr := artifact.DecodeCheckEntry(payload)
+					if derr == nil {
+						e.opts.Telemetry.Add("artifact.cache_hits", 1)
+						e.opts.Telemetry.Add("artifact.bytes_read", int64(len(payload)))
+						perCfgViolations[i] = entry.Violations
+						perCfgCov[i] = &covCount{entry.SourceLines, entry.Covered, entry.ByCategory}
+						contribs[i] = entry.Unique
+						checkHits[i] = true
+						return
+					}
+					e.invalidateArtifact(dc, cfgs[i].Name, derr)
+				case errors.Is(lerr, artifact.ErrMiss):
+					e.opts.Telemetry.Add("artifact.cache_misses", 1)
+				default:
+					e.invalidateArtifact(dc, cfgs[i].Name, lerr)
+				}
+			}
+			before := dc.Len()
+			vs := checker.Check(cfgs[i])
+			cov := checker.Coverage(cfgs[i])
+			perCfgViolations[i] = vs
+			var cc *covCount
+			if cov != nil {
+				cc = &covCount{cov.SourceLines, len(cov.Covered), make(map[contracts.Category]int, len(cov.ByCategory))}
+				for cat, lines := range cov.ByCategory {
+					cc.byCategory[cat] = len(lines)
+				}
+				perCfgCov[i] = cc
+			}
+			if warm {
+				contribs[i] = checker.UniqueContributions(cfgs[i])
+				// Persist only results that are certainly complete: the
+				// config processed cleanly, coverage succeeded, and the
+				// check added no diagnostics (the Len comparison is
+				// conservative under concurrent workers — a skipped store
+				// costs speed, never correctness).
+				if !checkKeys[i].IsZero() && arts.per[i].clean && cc != nil && dc.Len() == before {
+					entry := &artifact.CheckEntry{
+						Violations:  vs,
+						SourceLines: cc.sourceLines,
+						Covered:     cc.covered,
+						ByCategory:  cc.byCategory,
+						Unique:      contribs[i],
+					}
+					payload := artifact.EncodeCheckEntry(entry)
+					if serr := arts.cache.Store(artifact.KindCheck, checkKeys[i], payload); serr != nil {
+						e.opts.Telemetry.Add("artifact.store_errors", 1)
+					} else {
+						e.opts.Telemetry.Add("artifact.bytes_written", int64(len(payload)))
+					}
+				}
+			}
 		})
 	sp.EndCount(len(cfgs))
 	if err != nil {
@@ -758,29 +1039,65 @@ func (e *Engine) checkProcessedContext(ctx context.Context, dc *diag.Collector, 
 	for _, vs := range perCfgViolations {
 		res.Violations = append(res.Violations, vs...)
 	}
-	res.Violations = append(res.Violations, checker.CheckUniqueAcross(cfgs)...)
+	if warm {
+		// The incremental global-uniqueness pass: cached configs
+		// contribute their persisted value multisets, fresh ones the
+		// multisets extracted above, and the merge reproduces
+		// CheckUniqueAcross exactly.
+		names := make([]string, len(cfgs))
+		for i := range cfgs {
+			names[i] = cfgs[i].Name
+			if contribs[i] == nil {
+				// The worker panicked before extracting; recover the
+				// contribution so cross-config uniqueness matches the
+				// cold path, which always scans every surviving config.
+				contribs[i] = checker.UniqueContributions(cfgs[i])
+			}
+		}
+		res.Violations = append(res.Violations, checker.CheckUniqueFromContributions(names, contribs)...)
+	} else {
+		res.Violations = append(res.Violations, checker.CheckUniqueAcross(cfgs)...)
+	}
 	sortViolations(res.Violations)
 
 	res.Coverage.ByCategory = make(map[contracts.Category]int)
-	for i, cov := range perCfgCoverage {
-		if cov == nil {
+	for i, cc := range perCfgCov {
+		if cc == nil {
 			// This configuration's check panicked and was contained;
 			// the diagnostic is already in dc.
 			continue
 		}
-		cc := ConfigCoverage{
+		out := ConfigCoverage{
 			Name:        cfgs[i].Name,
-			SourceLines: cov.SourceLines,
-			Covered:     len(cov.Covered),
-			ByCategory:  make(map[contracts.Category]int),
+			SourceLines: cc.sourceLines,
+			Covered:     cc.covered,
+			ByCategory:  make(map[contracts.Category]int, len(cc.byCategory)),
 		}
-		for cat, lines := range cov.ByCategory {
-			cc.ByCategory[cat] = len(lines)
-			res.Coverage.ByCategory[cat] += len(lines)
+		for cat, n := range cc.byCategory {
+			out.ByCategory[cat] = n
+			res.Coverage.ByCategory[cat] += n
 		}
-		res.Coverage.TotalLines += cov.SourceLines
-		res.Coverage.CoveredLines += len(cov.Covered)
-		res.Coverage.PerConfig = append(res.Coverage.PerConfig, cc)
+		res.Coverage.TotalLines += cc.sourceLines
+		res.Coverage.CoveredLines += cc.covered
+		res.Coverage.PerConfig = append(res.Coverage.PerConfig, out)
+	}
+	if warm {
+		m := &artifact.Manifest{
+			Schema:     artifact.SchemaVersion,
+			OptionsFP:  e.procFP.Hex(),
+			ContractFP: checkFP.Hex(),
+		}
+		for i := range cfgs {
+			m.Configs = append(m.Configs, artifact.ManifestEntry{
+				Name:        cfgs[i].Name,
+				ContentHash: arts.per[i].hash.Hex(),
+				LexHit:      arts.per[i].lexHit,
+				CheckHit:    checkHits[i],
+			})
+		}
+		if merr := arts.cache.WriteManifest(m); merr != nil {
+			e.opts.Telemetry.Add("artifact.store_errors", 1)
+		}
 	}
 	return res, nil
 }

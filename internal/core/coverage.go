@@ -38,7 +38,7 @@ func (e *Engine) CoverageLines(set *contracts.Set, sources, meta []Source) ([]Li
 func (e *Engine) CoverageLinesContext(ctx context.Context, set *contracts.Set, sources, meta []Source) ([]LineCoverage, error) {
 	dc := diag.New()
 	defer e.opts.Diagnostics.Merge(dc)
-	cfgs, _, err := e.processContext(ctx, dc, sources, meta)
+	cfgs, _, _, err := e.processContext(ctx, dc, sources, meta)
 	if err != nil {
 		return nil, err
 	}

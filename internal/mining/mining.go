@@ -12,6 +12,7 @@ import (
 	"math/big"
 	"sort"
 	"strconv"
+	"sync"
 
 	"concord/internal/contracts"
 	"concord/internal/diag"
@@ -156,51 +157,86 @@ func (m *Miner) MineContext(ctx context.Context, cfgs []*lexer.Config) (*contrac
 		return nil, err
 	}
 	set := &contracts.Set{}
-	mineCat := func(cat contracts.Category, name string, candidates int, fn func() []contracts.Contract) error {
+	mineCat := func(cat contracts.Category, name string, candidates int, fn func() []contracts.Contract) ([]contracts.Contract, error) {
 		if !m.opts.enabled(cat) {
-			return nil
+			return nil, nil
 		}
 		if err := ctx.Err(); err != nil {
-			return err
+			return nil, err
 		}
 		sp := rec.StartSpan("mine/" + name)
 		var found []contracts.Contract
-		if err := m.contain("category:"+name, func() { found = fn() }); err != nil {
-			return err
+		if err := m.contain("category:"+name, func() {
+			faultinject.At("mining.category", name)
+			found = fn()
+		}); err != nil {
+			return nil, err
 		}
 		sp.EndCount(len(found))
 		rec.Add("mine."+name+".candidates", int64(candidates))
 		rec.Add("mine."+name+".accepted", int64(len(found)))
-		set.Contracts = append(set.Contracts, found...)
-		return nil
+		return found, nil
 	}
-	steps := []func() error{
-		func() error {
+	// The cheap per-category miners share the immutable stats pass, so
+	// they run concurrently; each miner sorts its own output with
+	// sortByID and results are appended in fixed step order, keeping the
+	// learned set byte-identical to a sequential run.
+	steps := []func() ([]contracts.Contract, error){
+		func() ([]contracts.Contract, error) {
 			return mineCat(contracts.CatPresent, "present", len(st.patterns), func() []contracts.Contract { return m.minePresent(st) })
 		},
-		func() error {
+		func() ([]contracts.Contract, error) {
 			if !m.opts.ConstantLearning {
-				return nil
+				return nil, nil
 			}
 			return mineCat(contracts.CatPresent, "constant", len(st.constants), func() []contracts.Contract { return m.mineConstants(st) })
 		},
-		func() error {
+		func() ([]contracts.Contract, error) {
 			return mineCat(contracts.CatOrdering, "ordering", len(st.pairs), func() []contracts.Contract { return m.mineOrdering(st) })
 		},
-		func() error {
+		func() ([]contracts.Contract, error) {
 			return mineCat(contracts.CatType, "type", len(st.types), func() []contracts.Contract { return m.mineTypes(st) })
 		},
-		func() error {
+		func() ([]contracts.Contract, error) {
 			return mineCat(contracts.CatSequence, "sequence", len(st.seqs), func() []contracts.Contract { return m.mineSequence(st) })
 		},
-		func() error {
+		func() ([]contracts.Contract, error) {
 			return mineCat(contracts.CatUnique, "unique", len(st.uniqs), func() []contracts.Contract { return m.mineUnique(st) })
 		},
 	}
-	for _, step := range steps {
-		if err := step(); err != nil {
+	found := make([][]contracts.Contract, len(steps))
+	stepErrs := make([]error, len(steps))
+	stepPanics := make([]any, len(steps))
+	var wg sync.WaitGroup
+	for i, step := range steps {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// With containment off (no diagnostics, not strict), contain()
+			// lets miner panics propagate; capture them here and re-panic
+			// on the caller goroutine so fail-fast semantics survive the
+			// concurrency.
+			defer func() {
+				if r := recover(); r != nil {
+					stepPanics[i] = r
+				}
+			}()
+			found[i], stepErrs[i] = step()
+		}()
+	}
+	wg.Wait()
+	for _, r := range stepPanics {
+		if r != nil {
+			panic(r)
+		}
+	}
+	for _, err := range stepErrs {
+		if err != nil {
 			return nil, err
 		}
+	}
+	for _, fs := range found {
+		set.Contracts = append(set.Contracts, fs...)
 	}
 	if m.opts.enabled(contracts.CatRelation) {
 		if err := ctx.Err(); err != nil {

@@ -1,12 +1,15 @@
 package mining
 
 import (
+	"errors"
 	"fmt"
 	"math/big"
 	"strings"
 	"testing"
 
 	"concord/internal/contracts"
+	"concord/internal/diag"
+	"concord/internal/faultinject"
 	"concord/internal/format"
 	"concord/internal/lexer"
 	"concord/internal/netdata"
@@ -496,5 +499,80 @@ func TestMineSequenceRejectsNonArithmeticBig(t *testing.T) {
 		if c.Category() == contracts.CatSequence {
 			t.Errorf("non-arithmetic big-valued column learned as sequence: %s", c.ID())
 		}
+	}
+}
+
+// TestMineConcurrentCategoryDeterminism asserts the concurrent
+// per-category miners produce the same contract set, in the same
+// order, as repeated runs — the fixed step-order append must hide the
+// goroutine scheduling entirely.
+func TestMineConcurrentCategoryDeterminism(t *testing.T) {
+	cfgs := figure1Corpus(t, 12)
+	opts := DefaultOptions()
+	opts.ConstantLearning = true
+	ref := New(opts).Mine(cfgs)
+	if ref.Len() == 0 {
+		t.Fatal("corpus mined no contracts")
+	}
+	refIDs := make([]string, 0, ref.Len())
+	for _, c := range ref.Contracts {
+		refIDs = append(refIDs, c.ID())
+	}
+	for round := 0; round < 5; round++ {
+		set := New(opts).Mine(cfgs)
+		if set.Len() != ref.Len() {
+			t.Fatalf("round %d: %d contracts, want %d", round, set.Len(), ref.Len())
+		}
+		for i, c := range set.Contracts {
+			if c.ID() != refIDs[i] {
+				t.Fatalf("round %d: contract %d is %s, want %s", round, i, c.ID(), refIDs[i])
+			}
+		}
+	}
+}
+
+// TestMineConcurrentCategoryPanicPropagates asserts a panicking
+// category miner still fails fast — the panic is re-raised on the
+// caller goroutine — when containment is off (no diagnostics
+// collector, not strict), even though miners run concurrently.
+func TestMineConcurrentCategoryPanicPropagates(t *testing.T) {
+	defer faultinject.Reset()
+	cfgs := figure1Corpus(t, 12)
+	injected := errors.New("injected miner fault")
+	faultinject.Set("mining.category", faultinject.PanicOn(injected, "unique"))
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic was swallowed by the concurrent miners")
+		}
+		if err, ok := r.(error); !ok || !errors.Is(err, injected) {
+			t.Fatalf("recovered %v, want the injected fault", r)
+		}
+	}()
+	New(DefaultOptions()).Mine(cfgs)
+}
+
+// TestMineConcurrentCategoryContainment asserts a panicking category
+// miner is contained with a diagnostic when a collector is attached:
+// the other categories still mine, only the faulty one is empty.
+func TestMineConcurrentCategoryContainment(t *testing.T) {
+	defer faultinject.Reset()
+	cfgs := figure1Corpus(t, 12)
+	injected := errors.New("injected miner fault")
+	faultinject.Set("mining.category", faultinject.PanicOn(injected, "unique"))
+	opts := DefaultOptions()
+	dc := diag.New()
+	opts.Diagnostics = dc
+	set := New(opts).Mine(cfgs)
+	if set.Len() == 0 {
+		t.Fatal("containment lost every contract")
+	}
+	for _, c := range set.Contracts {
+		if c.Category() == contracts.CatUnique {
+			t.Fatalf("faulty category still produced %s", c.ID())
+		}
+	}
+	if dc.Len() != 1 {
+		t.Fatalf("diagnostics = %d, want 1", dc.Len())
 	}
 }
