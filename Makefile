@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-smoke chaos vuln
+.PHONY: ci fmt vet build test race bench bench-smoke chaos serve-smoke vuln
 
 # ci is the full verification gate: formatting, static checks, build,
 # the race-enabled test suite, the fault-injection suite, a smoke run
-# of the benchmark harness, and a best-effort vulnerability scan.
-ci: fmt vet build race chaos bench-smoke vuln
+# of the benchmark harness, a smoke run of the HTTP service, and a
+# best-effort vulnerability scan.
+ci: fmt vet build race chaos bench-smoke serve-smoke vuln
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -29,7 +30,14 @@ race:
 # the race detector: panic containment, strict-mode aborts, input
 # guards, and goroutine-leak checks.
 chaos:
-	$(GO) test -race -timeout 10m -run 'Chaos|Fault|Panic|Pathological|Lenient|Diagnostics|Guard|Limits|Binary|Oversize|DepthCap|LineBudget|EmptyCorpus|Poison|Warm|Artifact|Incremental|Corrupt|Concurrent' ./...
+	$(GO) test -race -timeout 10m -run 'Chaos|Fault|Panic|Pathological|Lenient|Diagnostics|Guard|Limits|Binary|Oversize|DepthCap|LineBudget|EmptyCorpus|Poison|Warm|Artifact|Incremental|Corrupt|Concurrent|Registry|Singleflight|Eviction' ./...
+
+# serve-smoke boots the resident HTTP service under the race detector
+# and drives it over real sockets: one-shot/served output identity, the
+# 64-client singleflight compile gate, and the CLI serve command's
+# full start-request-drain lifecycle.
+serve-smoke:
+	$(GO) test -race -timeout 5m -count=1 -run 'TestServeSmoke|TestServeConcurrentBurstCompilesOnce|TestServeCommand' ./internal/server ./cmd/concord
 
 # vuln scans dependencies with govulncheck when it is installed; the
 # scan is best-effort and never fails the build (the tool may be
@@ -41,25 +49,29 @@ vuln:
 		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
-# bench reproduces the committed BENCH_PR5.json — the learn phase
+# bench reproduces the committed BENCH_PR6.json — the learn phase
 # (fast lex/intern/mining path vs. the string-keyed baseline), the
-# check phase (compiled engine vs. the pre-PR linear scan), and the
-# warm phase (incremental run over a populated artifact cache vs. the
-# cold path) — and runs the Go micro-benchmarks. Both are pinned —
-# fixed GOMAXPROCS, fixed iteration counts — so numbers are
-# comparable across machines of the same class and across runs.
+# check phase (compiled engine vs. the pre-PR linear scan), the warm
+# phase (incremental run over a populated artifact cache vs. the cold
+# path), and the serve phase (concurrent HTTP clients against the
+# resident service, with compile-once and output-identity gates) —
+# and runs the Go micro-benchmarks. Both are pinned — fixed
+# GOMAXPROCS, fixed iteration counts — so numbers are comparable
+# across machines of the same class and across runs.
 BENCH_GOMAXPROCS ?= 4
 
 bench:
 	GOMAXPROCS=$(BENCH_GOMAXPROCS) $(GO) test -bench=. -benchtime=1x -count=1 -run=^$$ .
-	GOMAXPROCS=$(BENCH_GOMAXPROCS) $(GO) run ./cmd/concord bench -count 3 -out BENCH_PR5.json
+	GOMAXPROCS=$(BENCH_GOMAXPROCS) $(GO) run ./cmd/concord bench -count 3 -out BENCH_PR6.json
 
 # bench-smoke is the ci gate: a fast, tiny-scale run of the bench
 # harness that still cross-checks output equality on every corpus in
-# all three phases — the mined contract set must be byte-identical
+# all four phases — the mined contract set must be byte-identical
 # between the fast and baseline learn paths, check violations
-# identical between the compiled and linear engines, and the warm
-# (incremental, cache-replayed) run identical to both cold paths
-# (the harness fails on any divergence).
+# identical between the compiled and linear engines, the warm
+# (incremental, cache-replayed) run identical to both cold paths,
+# and the served responses identical to the one-shot engine with
+# exactly one compile across the client burst (the harness fails on
+# any divergence).
 bench-smoke:
 	GOMAXPROCS=$(BENCH_GOMAXPROCS) $(GO) run ./cmd/concord bench -scale 0.1 -count 1 -out $${TMPDIR:-/tmp}/concord_bench_smoke.json

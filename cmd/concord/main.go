@@ -57,6 +57,8 @@ func main() {
 		}
 	case "coverage":
 		err = runCoverage(os.Args[2:], os.Stdout)
+	case "serve":
+		err = runServe(os.Args[2:], os.Stdout)
 	case "bench":
 		err = runBench(os.Args[2:], os.Stdout)
 	case "-h", "--help", "help":
@@ -80,7 +82,20 @@ func usage() {
   concord learn -configs GLOB [-meta GLOB] [-tokens FILE] [-out FILE] [options]
   concord check -configs GLOB -contracts FILE [-meta GLOB] [-out FILE] [-html FILE] [options]
   concord coverage -configs GLOB -contracts FILE [-meta GLOB] [-uncovered] [options]
+  concord serve [-addr HOST:PORT] [-contracts FILE] [-registry-size N] [options]
   concord bench [-out FILE] [-scale F] [-roles LIST] [-count N]
+
+serve (resident HTTP service; POST /v1/check, GET /v1/coverage,
+POST /v1/learn + GET /v1/jobs/{id}, GET /healthz, GET /metrics):
+  -addr HOST:PORT      listen address (default 127.0.0.1:8344)
+  -contracts FILE      default contract set (requests may embed their own
+                       or reference any resident set by fingerprint)
+  -registry-size N     resident contract sets kept hot (LRU bound)
+  -read-timeout DUR    HTTP read timeout
+  -write-timeout DUR   HTTP write timeout
+  -request-timeout DUR per-request pipeline deadline (504 on expiry)
+  -max-body-bytes N    request body cap (413 on excess)
+  -drain-timeout DUR   graceful shutdown budget after SIGINT/SIGTERM
 
 options:
   -support N           minimum configurations per pattern (default 5)
@@ -362,7 +377,9 @@ func (rc *runConfig) loadInputs(configGlob, metaGlob string) (srcs, meta []conco
 	}
 	if metaGlob != "" {
 		meta, err = load(metaGlob)
-		if err != nil {
+		// A metadata glob matching nothing is not an error: metadata is
+		// optional context, unlike the configuration corpus.
+		if err != nil && !errors.Is(err, concord.ErrNoSources) {
 			return nil, nil, err
 		}
 	}

@@ -1,0 +1,133 @@
+package main
+
+// The serve subcommand: run Concord as a resident HTTP service. Where
+// `concord check` compiles the contract set, checks one corpus, and
+// exits, `concord serve` keeps compiled contract sets resident in a
+// fingerprint-keyed registry and answers check/coverage/learn requests
+// over HTTP until SIGINT/SIGTERM, then drains gracefully.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"concord"
+	"concord/internal/report"
+)
+
+// runServe is the `concord serve` entry point: serveRun under a
+// signal-cancelled context (SIGINT/SIGTERM start the graceful drain).
+func runServe(args []string, w io.Writer) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return serveRun(ctx, args, w)
+}
+
+// serveRun builds and runs the daemon until ctx is cancelled. Split
+// from runServe so tests drive it with their own context instead of
+// process signals.
+func serveRun(ctx context.Context, args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8344", "listen address (host:port; port 0 picks a free port)")
+	contractsPath := fs.String("contracts", "", "contract file served as the default set (optional; requests may embed their own)")
+	registrySize := fs.Int("registry-size", 0, "resident contract sets kept hot (0 = default)")
+	readTimeout := fs.Duration("read-timeout", 0, "HTTP read timeout (0 = default)")
+	writeTimeout := fs.Duration("write-timeout", 0, "HTTP write timeout (0 = default)")
+	requestTimeout := fs.Duration("request-timeout", 0, "per-request pipeline deadline (0 = default)")
+	maxBodyBytes := fs.Int64("max-body-bytes", 0, "request body size cap in bytes (0 = default)")
+	drainTimeout := fs.Duration("drain-timeout", 0, "graceful shutdown budget (0 = default)")
+	rc := sharedFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts, err := rc.options()
+	if err != nil {
+		return err
+	}
+	opts.Diagnostics = rc.diags
+	opts.Strict = *rc.strict
+
+	sopts := concord.DefaultServerOptions()
+	sopts.Addr = *addr
+	if *readTimeout > 0 {
+		sopts.ReadTimeout = *readTimeout
+	}
+	if *writeTimeout > 0 {
+		sopts.WriteTimeout = *writeTimeout
+	}
+	if *requestTimeout > 0 {
+		sopts.RequestTimeout = *requestTimeout
+	}
+	if *maxBodyBytes > 0 {
+		sopts.MaxBodyBytes = *maxBodyBytes
+	}
+	if *registrySize > 0 {
+		sopts.RegistryMaxEntries = *registrySize
+	}
+	if *drainTimeout > 0 {
+		sopts.DrainTimeout = *drainTimeout
+	}
+
+	srv, err := concord.NewServer(opts, sopts)
+	if err != nil {
+		return err
+	}
+	if *contractsPath != "" {
+		data, err := os.ReadFile(*contractsPath)
+		if err != nil {
+			return err
+		}
+		set, err := report.ParseContractsJSON(data)
+		if err != nil {
+			return err
+		}
+		fp, err := srv.SetDefaultContracts(ctx, set)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "default contract set: %d contract(s), fingerprint %s\n", set.Len(), fp)
+	}
+
+	l, err := net.Listen("tcp", sopts.Addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "listening on http://%s\n", l.Addr())
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(w, "draining (up to %s)\n", srv.DrainTimeout())
+	sctx, cancel := context.WithTimeout(context.Background(), srv.DrainTimeout())
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return err
+	}
+	<-errc // http.ErrServerClosed after a clean shutdown
+	fmt.Fprintln(w, "stopped")
+	return nil
+}
+
+// serveAddrOf extracts the bound address from serveRun's "listening on"
+// output line; tests use it to reach an -addr :0 daemon.
+func serveAddrOf(out string) (string, bool) {
+	const prefix = "http://"
+	i := strings.Index(out, prefix)
+	if i < 0 {
+		return "", false
+	}
+	addr := out[i+len(prefix):]
+	if j := strings.IndexAny(addr, "\n "); j >= 0 {
+		addr = addr[:j]
+	}
+	return addr, addr != ""
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer: serveRun writes to it
+// from the command goroutine while the test polls it for the bound
+// address.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestServeCommand exercises the CLI layer end to end: learn a contract
+// file, start `concord serve` on a free port, round-trip one check over
+// HTTP, and shut down cleanly via context cancellation (the SIGTERM
+// path).
+func TestServeCommand(t *testing.T) {
+	dir := t.TempDir()
+	writeDataset(t, dir, nil)
+	contractsPath := filepath.Join(dir, "contracts.json")
+	var learnOut bytes.Buffer
+	if err := runLearn([]string{
+		"-configs", filepath.Join(dir, "*.cfg"),
+		"-out", contractsPath,
+	}, &learnOut); err != nil {
+		t.Fatalf("learn: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- serveRun(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-contracts", contractsPath,
+			"-drain-timeout", "15s",
+		}, &out)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if a, ok := serveAddrOf(out.String()); ok {
+			addr = a
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("serve exited early: %v\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no listen address in output: %q", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz = %d", resp.StatusCode)
+	}
+
+	// One check against the default set loaded from -contracts.
+	body, _ := json.Marshal(map[string]any{
+		"configs": []map[string]string{{"name": "probe.cfg", "text": "hostname probe\n"}},
+	})
+	resp, err = http.Post(base+"/v1/check", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/check = %d: %s", resp.StatusCode, data)
+	}
+	var cr struct {
+		Fingerprint string `json:"fingerprint"`
+	}
+	if err := json.Unmarshal(data, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Fingerprint == "" {
+		t.Errorf("check response carries no fingerprint: %s", data)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve = %v\n%s", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("serve did not stop after cancellation\n%s", out.String())
+	}
+	if got := out.String(); !strings.Contains(got, "stopped") || !strings.Contains(got, "default contract set") {
+		t.Errorf("serve output missing lifecycle lines:\n%s", got)
+	}
+}

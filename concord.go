@@ -41,6 +41,7 @@ import (
 	"concord/internal/lexer"
 	"concord/internal/netdata"
 	"concord/internal/relations"
+	"concord/internal/server"
 	"concord/internal/telemetry"
 )
 
@@ -142,7 +143,87 @@ type (
 	// warm runs skip re-lexing and re-checking unchanged inputs; see
 	// OpenArtifactCache.
 	ArtifactCache = artifact.Cache
+
+	// EngineRegistry is a concurrency-safe registry of resident engines
+	// keyed by contract-set fingerprint: the compile-once-serve-many
+	// core of the service mode. Concurrent acquisitions of one set
+	// share a single compiled checker, intern table, and lexer cache
+	// (singleflighted, LRU-bounded); see NewEngineRegistry.
+	EngineRegistry = core.EngineRegistry
+	// RegistryEntry is one resident contract set: its fingerprint plus
+	// shared compiled state, with per-request check/coverage methods.
+	RegistryEntry = core.RegistryEntry
+	// RegistryStats snapshots a registry's counters (entries, compiles,
+	// evictions, hits, misses).
+	RegistryStats = core.RegistryStats
+
+	// Server is the resident contract service behind `concord serve`:
+	// an HTTP daemon answering check, coverage, and learn requests over
+	// an EngineRegistry; see NewServer and Serve.
+	Server = server.Server
+	// ServerOptions configures the daemon (address, timeouts, body
+	// limit, registry size, drain budget); zero fields select defaults
+	// and Validate rejects nonsense, mirroring Options.
+	ServerOptions = server.Options
 )
+
+// ErrNoSources reports an operation given zero configuration sources —
+// a glob matching no files (LoadGlob) or a service request with an
+// empty corpus. Test with errors.Is.
+var ErrNoSources = core.ErrNoSources
+
+// NewEngineRegistry builds an engine registry whose entries all use the
+// given engine options. maxEntries bounds the resident contract sets
+// (0 selects the default); the least recently used entry is evicted at
+// the bound, while in-flight holders of an evicted entry finish
+// unharmed.
+func NewEngineRegistry(opts Options, maxEntries int) (*EngineRegistry, error) {
+	return core.NewEngineRegistry(opts, maxEntries)
+}
+
+// DefaultServerOptions returns the serve-mode defaults (loopback
+// address, minute-scale timeouts, 64 MiB body cap, default registry
+// size, 10s drain).
+func DefaultServerOptions() ServerOptions { return server.DefaultOptions() }
+
+// NewServer builds (without starting) a resident contract service.
+// engineOpts configures every resident engine; opts configures the
+// daemon. Call SetDefaultContracts to install a default set, then
+// ListenAndServe, and Shutdown to drain.
+func NewServer(engineOpts Options, opts ServerOptions) (*Server, error) {
+	return server.New(engineOpts, opts)
+}
+
+// Serve runs the resident contract service until ctx is cancelled,
+// then drains it gracefully within opts.DrainTimeout. set, when
+// non-nil, becomes the server's default contract set (compiled before
+// the listener opens, so the first request is warm). This is the
+// blocking convenience behind `concord serve`.
+func Serve(ctx context.Context, set *ContractSet, engineOpts Options, opts ServerOptions) error {
+	srv, err := server.New(engineOpts, opts)
+	if err != nil {
+		return err
+	}
+	if set != nil {
+		if _, err := srv.SetDefaultContracts(ctx, set); err != nil {
+			return err
+		}
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), srv.DrainTimeout())
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return err
+	}
+	<-errc // http.ErrServerClosed after a clean shutdown
+	return nil
+}
 
 // The pipeline stages reported to Options.Progress.
 const (
@@ -240,7 +321,10 @@ func CheckContext(ctx context.Context, set *ContractSet, test, metadata []Source
 // Every matched file is attempted: read failures are collected and
 // returned joined (errors.Join), so one unreadable file no longer
 // hides the others. The returned sources are nil when any read failed;
-// use LoadGlobLenient to keep the readable ones.
+// use LoadGlobLenient to keep the readable ones. A pattern matching
+// zero files returns an error wrapping ErrNoSources (it used to return
+// nil, nil, silently producing empty corpora downstream); test with
+// errors.Is(err, ErrNoSources) to treat it as empty instead.
 func LoadGlob(pattern string) ([]Source, error) {
 	out, ds, err := loadGlob(pattern)
 	if err != nil {
@@ -255,7 +339,7 @@ func LoadGlob(pattern string) ([]Source, error) {
 // LoadGlobLenient is LoadGlob in degraded mode: unreadable files are
 // skipped and reported as error diagnostics (stage "load") instead of
 // failing the load. The error is non-nil only for a malformed glob
-// pattern.
+// pattern or one matching zero files (wrapping ErrNoSources).
 func LoadGlobLenient(pattern string) ([]Source, []Diagnostic, error) {
 	return loadGlob(pattern)
 }
@@ -280,6 +364,9 @@ func loadGlob(pattern string) ([]Source, []Diagnostic, error) {
 	paths, err := filepath.Glob(pattern)
 	if err != nil {
 		return nil, nil, fmt.Errorf("concord: bad glob %q: %w", pattern, err)
+	}
+	if len(paths) == 0 {
+		return nil, nil, fmt.Errorf("concord: %w: no files match %q", core.ErrNoSources, pattern)
 	}
 	sort.Strings(paths)
 	base := globBase(pattern)

@@ -2,6 +2,7 @@ package concord
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -118,6 +119,13 @@ func TestLoadGlob(t *testing.T) {
 	}
 	if _, err := LoadGlob("[bad"); err == nil {
 		t.Error("bad glob accepted")
+	}
+	// A pattern matching nothing is an error, not a silent empty corpus.
+	if _, err := LoadGlob(filepath.Join(dir, "*.nope")); !errors.Is(err, ErrNoSources) {
+		t.Errorf("LoadGlob(no match) = %v, want ErrNoSources", err)
+	}
+	if _, _, err := LoadGlobLenient(filepath.Join(dir, "*.nope")); !errors.Is(err, ErrNoSources) {
+		t.Errorf("LoadGlobLenient(no match) = %v, want ErrNoSources", err)
 	}
 }
 

@@ -40,6 +40,20 @@ type Key [sha256.Size]byte
 // Hex renders the key as lowercase hexadecimal.
 func (k Key) Hex() string { return hex.EncodeToString(k[:]) }
 
+// ParseHex sets the key from its Hex rendering; the string must be
+// exactly 64 hexadecimal digits.
+func (k *Key) ParseHex(s string) error {
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return fmt.Errorf("artifact: bad key %q: %w", s, err)
+	}
+	if len(b) != len(k) {
+		return fmt.Errorf("artifact: bad key %q: want %d hex digits, got %d", s, 2*len(k), len(s))
+	}
+	copy(k[:], b)
+	return nil
+}
+
 // IsZero reports whether the key is the zero value (no key computed).
 func (k Key) IsZero() bool { return k == Key{} }
 

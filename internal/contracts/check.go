@@ -152,20 +152,17 @@ func NewChecker(set *Set, opts ...CheckerOption) *Checker {
 	return ch
 }
 
-// NewCheckerWithTransforms builds a checker with a custom transformation
-// registry.
-//
-// Deprecated: use NewChecker(set, WithTransforms(ts)).
-func NewCheckerWithTransforms(set *Set, ts []relations.Transform) *Checker {
-	return NewChecker(set, WithTransforms(ts))
-}
-
-// NewCheckerWith builds a checker with custom transforms and custom
-// relation definitions.
-//
-// Deprecated: use NewChecker(set, WithTransforms(ts), WithRelations(defs)).
-func NewCheckerWith(set *Set, ts []relations.Transform, defs []relations.Definition) *Checker {
-	return NewChecker(set, WithTransforms(ts), WithRelations(defs))
+// ForRequest returns a checker that shares the receiver's compiled set
+// — no recompilation, no new indexes — but routes telemetry and
+// contained-fault diagnostics to request-scoped sinks (either may be
+// nil). A resident server compiles one checker per contract set and
+// forks it per request, so concurrent requests share the compiled
+// state while keeping their own spans and diagnostics.
+func (ch *Checker) ForRequest(rec *telemetry.Recorder, dc *diag.Collector) *Checker {
+	fork := *ch
+	fork.rec = rec
+	fork.dc = dc
+	return &fork
 }
 
 // CompiledSet exposes the checker's compiled contract set (primarily

@@ -185,6 +185,11 @@ type Engine struct {
 	// (context embedding, input limits, user token specs). It is folded
 	// into all artifact cache keys so an option change misses naturally.
 	procFP artifact.Key
+	// resident, when non-nil, holds the lexer cache and intern table
+	// this engine keeps hot across runs instead of creating per corpus.
+	// Registry entries set it so concurrent service requests share one
+	// warm cache and one ID space (see EngineRegistry).
+	resident *residentState
 	// progressMu serializes Options.Progress callbacks issued from
 	// worker goroutines.
 	progressMu sync.Mutex
@@ -340,12 +345,18 @@ func (e *Engine) processContext(ctx context.Context, dc *diag.Collector, sources
 	e.opts.Telemetry.SetGauge("limits.max_line_len", float64(lim.MaxLineLen))
 	e.opts.Telemetry.SetGauge("limits.max_depth", float64(lim.MaxDepth))
 	e.opts.Telemetry.SetGauge("limits.max_lines", float64(lim.MaxLines))
-	// The lexer cache and intern table live for exactly one processed
-	// corpus: entries are only valid for this engine's lexer, and dense
-	// pattern IDs are only meaningful against this run's table.
+	// The lexer cache and intern table normally live for exactly one
+	// processed corpus: entries are only valid for this engine's lexer,
+	// and dense pattern IDs are only meaningful against this run's
+	// table. A resident engine (service mode) instead supplies
+	// long-lived instances shared across requests: both structures are
+	// concurrency-safe and append-only, so later corpora simply start
+	// warm, with identical results.
 	var cache *lexer.Cache
 	var interns *intern.Table
-	if !e.opts.LearnBaseline {
+	if e.resident != nil {
+		cache, interns = e.resident.cache, e.resident.interns
+	} else if !e.opts.LearnBaseline {
 		if e.opts.LexCacheSize >= 0 {
 			cache = lexer.NewCache(e.opts.LexCacheSize)
 		}
@@ -886,7 +897,7 @@ func (e *Engine) CheckContext(ctx context.Context, set *contracts.Set, sources, 
 	if err != nil {
 		return nil, err
 	}
-	res, err := e.checkProcessedContext(ctx, dc, set, cfgs, pstats, arts)
+	res, err := e.checkProcessedContext(ctx, dc, set, cfgs, pstats, arts, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -904,7 +915,7 @@ func (e *Engine) CheckProcessed(set *contracts.Set, cfgs []*lexer.Config, pstats
 func (e *Engine) CheckProcessedContext(ctx context.Context, set *contracts.Set, cfgs []*lexer.Config, pstats ProcessStats) (*CheckResult, error) {
 	dc := diag.New()
 	defer e.opts.Diagnostics.Merge(dc)
-	res, err := e.checkProcessedContext(ctx, dc, set, cfgs, pstats, nil)
+	res, err := e.checkProcessedContext(ctx, dc, set, cfgs, pstats, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -945,8 +956,14 @@ func (e *Engine) checkFingerprint(set *contracts.Set, metaFP artifact.Key) (arti
 	return h.Sum(), true
 }
 
-func (e *Engine) checkProcessedContext(ctx context.Context, dc *diag.Collector, set *contracts.Set, cfgs []*lexer.Config, pstats ProcessStats, arts *artState) (*CheckResult, error) {
-	checker := e.newChecker(set, dc, sharedInterns(cfgs))
+// checkProcessedContext evaluates the set against the processed
+// configurations. checker, when non-nil, is a pre-compiled checker to
+// reuse (the registry's compile-once-serve-many path); nil builds one
+// for this run.
+func (e *Engine) checkProcessedContext(ctx context.Context, dc *diag.Collector, set *contracts.Set, cfgs []*lexer.Config, pstats ProcessStats, arts *artState, checker *contracts.Checker) (*CheckResult, error) {
+	if checker == nil {
+		checker = e.newChecker(set, dc, sharedInterns(cfgs))
+	}
 	perCfgViolations := make([][]contracts.Violation, len(cfgs))
 	perCfgCov := make([]*covCount, len(cfgs))
 	warm := arts != nil && e.opts.Incremental

@@ -6,6 +6,7 @@ import (
 
 	"concord/internal/contracts"
 	"concord/internal/diag"
+	"concord/internal/lexer"
 	"concord/internal/telemetry"
 )
 
@@ -42,10 +43,16 @@ func (e *Engine) CoverageLinesContext(ctx context.Context, set *contracts.Set, s
 	if err != nil {
 		return nil, err
 	}
-	checker := e.newChecker(set, dc, sharedInterns(cfgs))
+	return e.coverageLinesWith(ctx, dc, e.newChecker(set, dc, sharedInterns(cfgs)), cfgs)
+}
+
+// coverageLinesWith is the checker-parameterized implementation behind
+// CoverageLinesContext; registry entries pass their shared compiled
+// checker (forked with request-scoped sinks) instead of compiling anew.
+func (e *Engine) coverageLinesWith(ctx context.Context, dc *diag.Collector, checker *contracts.Checker, cfgs []*lexer.Config) ([]LineCoverage, error) {
 	perCfg := make([][]LineCoverage, len(cfgs))
 	sp := e.opts.Telemetry.StartSpan(string(telemetry.StageCoverage))
-	err = e.forEachCtx(ctx, dc, telemetry.StageCoverage, len(cfgs),
+	err := e.forEachCtx(ctx, dc, telemetry.StageCoverage, len(cfgs),
 		func(i int) string { return cfgs[i].Name },
 		func(i int) {
 			cov := checker.Coverage(cfgs[i])

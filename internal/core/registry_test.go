@@ -1,0 +1,318 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"os"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"concord/internal/contracts"
+	"concord/internal/diag"
+)
+
+// registryFixture learns a contract set from the chaos corpus and
+// returns it with a test corpus and the baseline one-shot check result.
+func registryFixture(t *testing.T) (*contracts.Set, []Source, *CheckResult) {
+	t.Helper()
+	train := chaosSources(20)
+	test := chaosSources(6)
+	lr, err := MustNew(DefaultOptions()).Learn(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := MustNew(DefaultOptions()).Check(lr.Set, test, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lr.Set, test, cold
+}
+
+// TestRegistrySingleflight is the compile-once-serve-many gate: 64
+// goroutines acquire one not-yet-resident contract set concurrently
+// and each runs a check; the registry must compile exactly once, hand
+// every caller the same entry, and every check must match the one-shot
+// engine byte for byte. Run under -race, this also proves the shared
+// compiled state is data-race free.
+func TestRegistrySingleflight(t *testing.T) {
+	set, test, cold := registryFixture(t)
+	reg, err := NewEngineRegistry(DefaultOptions(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients = 64
+	entries := make([]*RegistryEntry, clients)
+	results := make([]*CheckResult, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			en, err := reg.Acquire(context.Background(), set)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			entries[i] = en
+			results[i], errs[i] = en.CheckContext(context.Background(), test, nil, nil)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < clients; i++ {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		if entries[i] != entries[0] {
+			t.Fatalf("client %d got a different entry than client 0", i)
+		}
+		assertSameCheck(t, "singleflight", results[i], cold)
+	}
+	st := reg.Stats()
+	if st.Compiles != 1 {
+		t.Errorf("compiles = %d, want 1 (singleflight)", st.Compiles)
+	}
+	if st.Entries != 1 {
+		t.Errorf("entries = %d, want 1", st.Entries)
+	}
+	if st.Misses != 1 || st.Hits != clients-1 {
+		t.Errorf("hits/misses = %d/%d, want %d/1", st.Hits, st.Misses, clients-1)
+	}
+}
+
+// TestRegistryFingerprintStability: the same set always keys the same
+// entry, and a changed set keys a different one.
+func TestRegistryFingerprintStability(t *testing.T) {
+	set, _, _ := registryFixture(t)
+	reg, err := NewEngineRegistry(DefaultOptions(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp1, err := reg.Fingerprint(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := reg.Fingerprint(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != fp2 {
+		t.Errorf("fingerprint unstable: %s != %s", fp1, fp2)
+	}
+	if set.Len() < 2 {
+		t.Fatalf("learned set too small (%d) to derive a second set", set.Len())
+	}
+	smaller := &contracts.Set{Contracts: set.Contracts[:set.Len()-1]}
+	fp3, err := reg.Fingerprint(smaller)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp3 == fp1 {
+		t.Error("distinct contract sets share a fingerprint")
+	}
+
+	en, err := reg.Acquire(context.Background(), set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if en.Fingerprint() != fp1 {
+		t.Errorf("entry fingerprint = %s, want %s", en.Fingerprint(), fp1)
+	}
+	byFP, err := reg.AcquireByFingerprint(context.Background(), fp1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byFP != en {
+		t.Error("AcquireByFingerprint returned a different entry")
+	}
+	if _, err := reg.AcquireByFingerprint(context.Background(), fp3); !errors.Is(err, ErrUnknownFingerprint) {
+		t.Errorf("AcquireByFingerprint(non-resident) = %v, want ErrUnknownFingerprint", err)
+	}
+	if _, err := reg.AcquireByFingerprint(context.Background(), "zz"); !errors.Is(err, ErrUnknownFingerprint) {
+		t.Errorf("AcquireByFingerprint(malformed) = %v, want ErrUnknownFingerprint", err)
+	}
+}
+
+// TestRegistryLRUEvictionMidRequest bounds the registry at one entry,
+// acquires a second set to evict the first, and proves the evicted
+// entry's in-flight holder still completes correctly: eviction drops
+// only the registry's reference, never live state.
+func TestRegistryLRUEvictionMidRequest(t *testing.T) {
+	set, test, cold := registryFixture(t)
+	if set.Len() < 2 {
+		t.Fatalf("learned set too small (%d) to derive a second set", set.Len())
+	}
+	other := &contracts.Set{Contracts: set.Contracts[:set.Len()-1]}
+
+	reg, err := NewEngineRegistry(DefaultOptions(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := reg.Acquire(context.Background(), set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Acquire(context.Background(), other); err != nil {
+		t.Fatal(err)
+	}
+	st := reg.Stats()
+	if st.Evictions != 1 || st.Entries != 1 {
+		t.Fatalf("after second acquire: %+v, want 1 eviction and 1 entry", st)
+	}
+	// The first entry is gone from the registry...
+	if _, err := reg.AcquireByFingerprint(context.Background(), first.Fingerprint()); !errors.Is(err, ErrUnknownFingerprint) {
+		t.Errorf("evicted fingerprint still resident: %v", err)
+	}
+	// ...but the holder's reference still serves correct results.
+	got, err := first.CheckContext(context.Background(), test, nil, nil)
+	if err != nil {
+		t.Fatalf("CheckContext on evicted entry = %v", err)
+	}
+	assertSameCheck(t, "evicted-entry", got, cold)
+
+	// Re-acquiring the evicted set compiles it anew.
+	again, err := reg.Acquire(context.Background(), set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again == first {
+		t.Error("re-acquire after eviction returned the stale entry")
+	}
+	if c := reg.Stats().Compiles; c != 3 {
+		t.Errorf("compiles = %d, want 3 (set, other, set again)", c)
+	}
+}
+
+// TestRegistryResidentStateStaysWarm: a second request through the same
+// entry reuses the resident lexer cache and intern table rather than
+// rebuilding them, and still matches the one-shot engine.
+func TestRegistryResidentStateStaysWarm(t *testing.T) {
+	set, test, cold := registryFixture(t)
+	reg, err := NewEngineRegistry(DefaultOptions(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, err := reg.Acquire(context.Background(), set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		got, err := en.CheckContext(context.Background(), test, nil, nil)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		assertSameCheck(t, "warm-request", got, cold)
+	}
+	if c := reg.Stats().Compiles; c != 1 {
+		t.Errorf("compiles = %d after 3 requests, want 1", c)
+	}
+	lines, err := en.CoverageLinesContext(context.Background(), test, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := MustNew(DefaultOptions()).CoverageLines(set, test, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(lines, want) {
+		t.Fatalf("resident coverage diverges from one-shot:\n got %+v\nwant %+v", lines, want)
+	}
+}
+
+// TestRegistryCancelledAcquire: a caller whose context is already
+// cancelled gets ctx.Err back instead of blocking on the compile.
+func TestRegistryCancelledAcquire(t *testing.T) {
+	set, _, _ := registryFixture(t)
+	reg, err := NewEngineRegistry(DefaultOptions(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := reg.Acquire(ctx, set); !errors.Is(err, context.Canceled) {
+		t.Errorf("Acquire(cancelled) = %v, want context.Canceled", err)
+	}
+}
+
+// TestChaosRegistryPoisonedCacheStaysCorrect extends the cache
+// poisoning chaos suite to the resident path: registry entries sharing
+// a poisoned artifact cache must fall back cold, answer byte-identical
+// results, and surface the corruption as warning diagnostics in the
+// per-request result — a damaged cache degrades a resident server's
+// speed, never its answers.
+func TestChaosRegistryPoisonedCacheStaysCorrect(t *testing.T) {
+	set, test, cold := registryFixture(t)
+	cache := openTestCache(t)
+	opts := DefaultOptions()
+	opts.Parallelism = 4
+	opts.Artifacts = cache
+	opts.Incremental = true
+
+	reg, err := NewEngineRegistry(opts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, err := reg.Acquire(context.Background(), set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Populate the cache through the resident path, then poison every
+	// entry on disk.
+	if _, err := en.CheckContext(context.Background(), test, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	files := cacheEntryFiles(t, cache)
+	if len(files) == 0 {
+		t.Fatal("populate run wrote no cache entries")
+	}
+	for _, f := range files {
+		if err := os.WriteFile(f, []byte("poisoned"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	before := runtime.NumGoroutine()
+	got, err := en.CheckContext(context.Background(), test, nil, nil)
+	if err != nil {
+		t.Fatalf("CheckContext with poisoned cache = %v, want fallback", err)
+	}
+	assertNoLeak(t, before)
+	assertSameCheck(t, "registry-poisoned", got, cold)
+	var warns int
+	for _, d := range got.Diagnostics {
+		if d.Stage != "artifact" || d.Severity != diag.SevWarn {
+			t.Errorf("unexpected diagnostic: %+v", d)
+			continue
+		}
+		warns++
+	}
+	if warns == 0 {
+		t.Error("poisoned cache produced no artifact diagnostics")
+	}
+
+	// The fallback repaired the entries: the next request is clean.
+	again, err := en.CheckContext(context.Background(), test, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameCheck(t, "registry-repaired", again, cold)
+	if len(again.Diagnostics) != 0 {
+		t.Errorf("post-repair diagnostics: %+v", again.Diagnostics)
+	}
+}
+
+// TestRegistryRejectsNegativeSize covers the constructor's validation.
+func TestRegistryRejectsNegativeSize(t *testing.T) {
+	if _, err := NewEngineRegistry(DefaultOptions(), -1); err == nil {
+		t.Fatal("NewEngineRegistry accepted a negative size")
+	}
+	reg, err := NewEngineRegistry(DefaultOptions(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.max != DefaultRegistryEntries {
+		t.Errorf("default size = %d, want %d", reg.max, DefaultRegistryEntries)
+	}
+}

@@ -1,0 +1,253 @@
+package server
+
+// Asynchronous learn jobs. Learning a contract set from a corpus takes
+// orders of magnitude longer than checking against a compiled one, so
+// POST /v1/learn does not hold the connection open: it enqueues a job,
+// answers 202 with a job ID immediately, and the client polls
+// GET /v1/jobs/{id}. A finished job's learned set is registered in the
+// engine registry, so its fingerprint is immediately usable in
+// /v1/check requests without resending the contracts.
+//
+// Jobs run under the server's base context: graceful drain waits for
+// running jobs up to the drain deadline, then cancels them
+// cooperatively through the engine's context plumbing.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"concord/internal/core"
+	"concord/internal/diag"
+	"concord/internal/minimize"
+	"concord/internal/telemetry"
+)
+
+// Job states.
+const (
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// LearnRequest is the body of POST /v1/learn.
+type LearnRequest struct {
+	// Configs is the training corpus.
+	Configs []SourceJSON `json:"configs"`
+	// Metadata optionally supplies metadata/outside-information files.
+	Metadata []SourceJSON `json:"metadata,omitempty"`
+	// Telemetry requests the learn run's stage spans in the job result.
+	Telemetry bool `json:"telemetry,omitempty"`
+}
+
+// LearnResult is the payload of a finished learn job.
+type LearnResult struct {
+	// Fingerprint is the learned set's registry fingerprint; the set is
+	// resident and ready for fingerprint-referencing check requests.
+	Fingerprint string `json:"fingerprint"`
+	// Contracts counts the learned contracts.
+	Contracts int `json:"contracts"`
+	// Stats summarizes the processed corpus.
+	Stats core.ProcessStats `json:"stats"`
+	// Minimization reports the contract reduction.
+	Minimization minimize.Result `json:"minimization"`
+	// Diagnostics lists contained faults from the learn run.
+	Diagnostics []diag.Diagnostic `json:"diagnostics,omitempty"`
+	// Telemetry is the job-scoped recorder snapshot, when requested.
+	Telemetry *telemetry.Report `json:"telemetry,omitempty"`
+	// DurationMS is the learn run's wall time.
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// JobStatus is the body of GET /v1/jobs/{id} (and the 202 from
+// POST /v1/learn, with only ID and State set).
+type JobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Error explains a failed job.
+	Error string `json:"error,omitempty"`
+	// Result carries a done job's payload.
+	Result *LearnResult `json:"result,omitempty"`
+}
+
+// job is one tracked learn job.
+type job struct {
+	id string
+
+	mu     sync.Mutex
+	state  string
+	err    error
+	result *LearnResult
+}
+
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{ID: j.id, State: j.state, Result: j.result}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+func (j *job) finish(res *LearnResult, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err != nil {
+		j.state, j.err = JobFailed, err
+		return
+	}
+	j.state, j.result = JobDone, res
+}
+
+// jobStats summarizes the store for /healthz.
+type jobStats struct {
+	Running int `json:"running"`
+	Done    int `json:"done"`
+	Failed  int `json:"failed"`
+}
+
+// jobStore tracks learn jobs by ID. Finished jobs stay queryable for
+// the life of the daemon (job payloads are small: a fingerprint and
+// summary counts, not the contract set itself).
+type jobStore struct {
+	mu   sync.Mutex
+	seq  int
+	jobs map[string]*job
+	wg   sync.WaitGroup
+}
+
+func newJobStore() *jobStore {
+	return &jobStore{jobs: make(map[string]*job)}
+}
+
+// create registers a new running job.
+func (s *jobStore) create() *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	j := &job{id: fmt.Sprintf("learn-%d", s.seq), state: JobRunning}
+	s.jobs[j.id] = j
+	s.wg.Add(1)
+	return j
+}
+
+// get returns a job by ID.
+func (s *jobStore) get(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// wait blocks until every running job has finished.
+func (s *jobStore) wait() { s.wg.Wait() }
+
+func (s *jobStore) stats() jobStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var st jobStats
+	for _, j := range s.jobs {
+		switch j.status().State {
+		case JobRunning:
+			st.Running++
+		case JobDone:
+			st.Done++
+		case JobFailed:
+			st.Failed++
+		}
+	}
+	return st
+}
+
+// handleLearn answers POST /v1/learn: start an asynchronous learn job
+// over the request's corpus and answer 202 with its ID.
+func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
+	var req LearnRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Configs) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: learn request carries no configs", core.ErrNoSources))
+		return
+	}
+	j := s.jobs.create()
+	s.rec.Add("server.learn_jobs", 1)
+	go s.runLearnJob(j, req)
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, JobStatus{ID: j.id, State: JobRunning})
+}
+
+// runLearnJob executes one learn job under the server's base context,
+// with the same panic containment as a request handler.
+func (s *Server) runLearnJob(j *job, req LearnRequest) {
+	defer s.jobs.wg.Done()
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.rec.Add("server.panics", 1)
+			s.diags.Add(diag.FromPanic("server", "/v1/learn/"+j.id, rec))
+			j.finish(nil, fmt.Errorf("learn job panicked: %v", rec))
+		}
+	}()
+	start := time.Now()
+	rec := requestRecorder()
+
+	// Learning mutates mining state, so each job gets its own cold
+	// engine rather than a shared resident one; only the learned set's
+	// compiled entry is shared afterwards, via the registry.
+	opts := s.engineOpts
+	opts.Telemetry = rec
+	opts.Diagnostics = nil
+	opts.Progress = nil
+	eng, err := core.New(opts)
+	if err != nil {
+		j.finish(nil, err)
+		return
+	}
+	ctx := s.baseCtx
+	if s.opts.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.RequestTimeout)
+		defer cancel()
+	}
+	lr, err := eng.LearnContext(ctx, toSources(req.Configs), toSources(req.Metadata))
+	if err != nil {
+		j.finish(nil, err)
+		return
+	}
+	// Register the learned set so fingerprint-referencing checks start
+	// warm; a registration failure fails the job (the fingerprint is
+	// the job's whole point).
+	en, err := s.reg.Acquire(ctx, lr.Set)
+	if err != nil {
+		j.finish(nil, fmt.Errorf("registering learned set: %w", err))
+		return
+	}
+	rep := rec.Snapshot()
+	s.rec.Merge(rep)
+	res := &LearnResult{
+		Fingerprint:  en.Fingerprint(),
+		Contracts:    lr.Set.Len(),
+		Stats:        lr.Stats,
+		Minimization: lr.Minimization,
+		Diagnostics:  lr.Diagnostics,
+		DurationMS:   float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	if req.Telemetry {
+		res.Telemetry = &rep
+	}
+	j.finish(res, nil)
+}
+
+// handleJob answers GET /v1/jobs/{id}.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}

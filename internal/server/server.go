@@ -1,0 +1,430 @@
+// Package server implements Concord's resident service mode: a
+// long-running HTTP daemon that keeps compiled contract sets, intern
+// tables, and the artifact cache hot in memory across requests. It is
+// the `concord serve` subcommand's engine room.
+//
+// Endpoints:
+//
+//	POST /v1/check     — check a batch of configurations against a
+//	                     contract set (embedded, by fingerprint, or the
+//	                     server's default set)
+//	GET  /v1/coverage  — per-line coverage under the same inputs (POST
+//	                     also accepted, for clients that cannot send a
+//	                     GET body)
+//	POST /v1/learn     — start an asynchronous learn job; poll it at
+//	GET  /v1/jobs/{id}
+//	GET  /healthz      — liveness plus registry and job statistics
+//	GET  /metrics      — the resident telemetry recorder as JSON
+//
+// Contract sets are multi-tenant: every request may carry its own set,
+// and the fingerprint-keyed core.EngineRegistry shares one compiled
+// checker, intern table, and lexer cache among all concurrent requests
+// naming the same set — a thundering herd compiles exactly once.
+// Requests run under per-request timeouts and cancellation, get
+// request-scoped telemetry spans and diagnostics in their responses,
+// and are individually panic-contained: one poisoned request returns a
+// 500 without taking the daemon down.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"concord/internal/contracts"
+	"concord/internal/core"
+	"concord/internal/diag"
+	"concord/internal/faultinject"
+	"concord/internal/telemetry"
+)
+
+// Options configures the HTTP daemon, mirroring core.Options'
+// fill-defaults-then-Validate contract: zero fields select defaults,
+// explicitly nonsensical values are rejected by Validate.
+type Options struct {
+	// Addr is the listen address. Default "127.0.0.1:8344".
+	Addr string
+	// ReadTimeout bounds reading one request (headers + body).
+	// Default 1m.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing one response. Default 5m (batch
+	// checks stream large JSON bodies).
+	WriteTimeout time.Duration
+	// RequestTimeout is the per-request pipeline deadline: the engine's
+	// cooperative cancellation aborts a check or coverage run that
+	// exceeds it and the request fails with 504. Default 2m.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps a request body; larger bodies fail with 413.
+	// Default 64 MiB.
+	MaxBodyBytes int64
+	// RegistryMaxEntries bounds how many distinct contract sets stay
+	// resident (the registry's LRU size). Default
+	// core.DefaultRegistryEntries.
+	RegistryMaxEntries int
+	// DrainTimeout bounds graceful shutdown: in-flight requests and
+	// learn jobs get this long to finish before being cancelled.
+	// Default 10s.
+	DrainTimeout time.Duration
+}
+
+// DefaultOptions returns the server defaults.
+func DefaultOptions() Options {
+	return Options{
+		Addr:               "127.0.0.1:8344",
+		ReadTimeout:        time.Minute,
+		WriteTimeout:       5 * time.Minute,
+		RequestTimeout:     2 * time.Minute,
+		MaxBodyBytes:       64 << 20,
+		RegistryMaxEntries: core.DefaultRegistryEntries,
+		DrainTimeout:       10 * time.Second,
+	}
+}
+
+// withDefaults fills zero fields with the defaults.
+func (o Options) withDefaults() Options {
+	def := DefaultOptions()
+	if o.Addr == "" {
+		o.Addr = def.Addr
+	}
+	if o.ReadTimeout == 0 {
+		o.ReadTimeout = def.ReadTimeout
+	}
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = def.WriteTimeout
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = def.RequestTimeout
+	}
+	if o.MaxBodyBytes == 0 {
+		o.MaxBodyBytes = def.MaxBodyBytes
+	}
+	if o.RegistryMaxEntries == 0 {
+		o.RegistryMaxEntries = def.RegistryMaxEntries
+	}
+	if o.DrainTimeout == 0 {
+		o.DrainTimeout = def.DrainTimeout
+	}
+	return o
+}
+
+// Validate rejects unusable option values. Zero values are legal (New
+// fills defaults first), so only explicitly negative or senseless
+// settings fail.
+func (o Options) Validate() error {
+	if o.ReadTimeout < 0 || o.WriteTimeout < 0 || o.RequestTimeout < 0 || o.DrainTimeout < 0 {
+		return fmt.Errorf("server: timeouts must be non-negative")
+	}
+	if o.MaxBodyBytes < 0 {
+		return fmt.Errorf("server: MaxBodyBytes must be non-negative (got %d)", o.MaxBodyBytes)
+	}
+	if o.RegistryMaxEntries < 0 {
+		return fmt.Errorf("server: RegistryMaxEntries must be non-negative (got %d)", o.RegistryMaxEntries)
+	}
+	return nil
+}
+
+// residentSpanLimit caps the /metrics recorder's retained spans; the
+// recorder lives as long as the daemon, so per-request spans must not
+// accumulate without bound.
+const residentSpanLimit = 512
+
+// requestSpanLimit caps one request's response-embedded spans.
+const requestSpanLimit = 64
+
+// Server is the resident contract service. Construct with New, then
+// ListenAndServe (or Serve on an existing listener) and Shutdown.
+type Server struct {
+	opts       Options
+	engineOpts core.Options
+	reg        *core.EngineRegistry
+	rec        *telemetry.Recorder
+	diags      *diag.Collector
+	jobs       *jobStore
+	mux        *http.ServeMux
+	hs         *http.Server
+	start      time.Time
+
+	// baseCtx is cancelled when the server shuts down; learn jobs run
+	// under it so drain can cut them off cooperatively.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu           sync.Mutex
+	defaultEntry *core.RegistryEntry
+	listener     net.Listener
+}
+
+// New builds a server. engineOpts configures every resident engine
+// (support, confidence, limits, user tokens, artifact cache, ...);
+// per-request sinks in it are ignored — each request gets its own
+// telemetry recorder and diagnostics. opts configures the daemon
+// itself; zero fields select defaults.
+func New(engineOpts core.Options, opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	reg, err := core.NewEngineRegistry(engineOpts, opts.RegistryMaxEntries)
+	if err != nil {
+		return nil, err
+	}
+	rec := telemetry.NewRecorder()
+	rec.SetSpanLimit(residentSpanLimit)
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:       opts,
+		engineOpts: engineOpts,
+		reg:        reg,
+		rec:        rec,
+		diags:      diag.New(),
+		jobs:       newJobStore(),
+		mux:        http.NewServeMux(),
+		start:      time.Now(),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+	}
+	s.routes()
+	s.hs = &http.Server{
+		Handler:      s.mux,
+		ReadTimeout:  opts.ReadTimeout,
+		WriteTimeout: opts.WriteTimeout,
+	}
+	return s, nil
+}
+
+// Registry exposes the server's engine registry (primarily for tests
+// and the bench harness).
+func (s *Server) Registry() *core.EngineRegistry { return s.reg }
+
+// SetDefaultContracts registers set as the server's default contract
+// set — the one used by check and coverage requests that embed no set
+// and name no fingerprint — compiling it immediately so the first
+// request is already warm. It may be called again to hot-swap the
+// default; in-flight requests finish against the set they resolved.
+func (s *Server) SetDefaultContracts(ctx context.Context, set *contracts.Set) (string, error) {
+	en, err := s.reg.Acquire(ctx, set)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.defaultEntry = en
+	s.mu.Unlock()
+	return en.Fingerprint(), nil
+}
+
+// defaultContracts returns the current default entry, or nil.
+func (s *Server) defaultContracts() *core.RegistryEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.defaultEntry
+}
+
+// Handler returns the server's HTTP handler, for in-process use (the
+// bench harness drives it without a socket).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe binds the configured address and serves until
+// Shutdown. Use Addr afterwards to learn the bound address (the
+// configured one may end in ":0").
+func (s *Server) ListenAndServe() error {
+	l, err := net.Listen("tcp", s.opts.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Serve answers requests on l until Shutdown; like http.Server.Serve it
+// returns http.ErrServerClosed after a clean shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	return s.hs.Serve(l)
+}
+
+// Addr returns the bound listen address, or the configured address
+// before Serve.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener != nil {
+		return s.listener.Addr().String()
+	}
+	return s.opts.Addr
+}
+
+// Shutdown drains the server gracefully: the listener closes, in-flight
+// requests run to completion, and learn jobs get until ctx's deadline
+// to finish before being cancelled cooperatively. It returns once
+// everything has stopped. Use a context carrying the drain timeout:
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), opts.DrainTimeout)
+//	defer cancel()
+//	srv.Shutdown(ctx)
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.hs.Shutdown(ctx)
+	done := make(chan struct{})
+	go func() {
+		s.jobs.wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Drain deadline passed: cancel running jobs; the engine's
+		// cooperative cancellation stops them within one unit of work.
+		s.baseCancel()
+		<-done
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	s.baseCancel()
+	return err
+}
+
+// DrainTimeout returns the configured drain budget, for callers wiring
+// Shutdown to a signal handler.
+func (s *Server) DrainTimeout() time.Duration { return s.opts.DrainTimeout }
+
+// routes installs the endpoint handlers.
+func (s *Server) routes() {
+	s.handle("POST /v1/check", s.handleCheck)
+	s.handle("GET /v1/coverage", s.handleCoverage)
+	s.handle("POST /v1/coverage", s.handleCoverage)
+	s.handle("POST /v1/learn", s.handleLearn)
+	s.handle("GET /v1/jobs/{id}", s.handleJob)
+	s.handle("GET /healthz", s.handleHealthz)
+	s.handle("GET /metrics", s.handleMetrics)
+}
+
+// statusWriter tracks whether a handler already wrote headers, so the
+// panic-containment wrapper never writes a second status line.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// handle wraps a handler with the per-request envelope: body size cap,
+// request counting and latency accounting on the resident recorder,
+// the server faultinject site, and panic containment — a panicking
+// request is recorded as a diagnostic and answered with 500, and the
+// daemon keeps serving.
+func (s *Server) handle(pattern string, fn http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		s.rec.Add("server.requests", 1)
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.rec.Add("server.panics", 1)
+				d := diag.FromPanic("server", r.URL.Path, rec)
+				s.diags.Add(d)
+				if sw.status == 0 {
+					writeError(sw, http.StatusInternalServerError,
+						fmt.Errorf("request panicked: %v", rec))
+				}
+			}
+			s.rec.Add("server.request_ns", time.Since(start).Nanoseconds())
+			if sw.status >= 400 {
+				s.rec.Add("server.errors", 1)
+			}
+		}()
+		if s.opts.MaxBodyBytes > 0 && r.Body != nil {
+			r.Body = http.MaxBytesReader(sw, r.Body, s.opts.MaxBodyBytes)
+		}
+		faultinject.At("server.request", r.URL.Path)
+		fn(sw, r)
+	})
+}
+
+// requestContext derives the per-request pipeline context: the client
+// disconnecting cancels it, and the configured RequestTimeout bounds
+// it.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.opts.RequestTimeout <= 0 {
+		return context.WithCancel(r.Context())
+	}
+	return context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// writeError answers with a JSON error body.
+func writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+}
+
+// writeJSON answers with a JSON body.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// statusFor maps a pipeline error to an HTTP status: bad inputs are the
+// client's fault, deadlines are 504, everything else 500.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, core.ErrNoSources), errors.Is(err, core.ErrUnknownFingerprint):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is moot but 499-style
+		// accounting still shows up in server.errors.
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// handleHealthz reports liveness, uptime, and registry/job statistics.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	type health struct {
+		Status   string             `json:"status"`
+		UptimeMS float64            `json:"uptime_ms"`
+		Registry core.RegistryStats `json:"registry"`
+		Jobs     jobStats           `json:"jobs"`
+	}
+	writeJSON(w, http.StatusOK, health{
+		Status:   "ok",
+		UptimeMS: float64(time.Since(s.start)) / float64(time.Millisecond),
+		Registry: s.reg.Stats(),
+		Jobs:     s.jobs.stats(),
+	})
+}
+
+// handleMetrics serializes the resident telemetry recorder: server
+// counters (requests, errors, panics, request wall time) plus whatever
+// the most recent requests' engine stages recorded into it.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = s.rec.WriteJSON(w)
+}

@@ -1,0 +1,542 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"concord/internal/contracts"
+	"concord/internal/core"
+	"concord/internal/faultinject"
+)
+
+// fixtureSources builds the chaos-style homogeneous corpus used across
+// the engine test suites.
+func fixtureSources(n int) []core.Source {
+	var out []core.Source
+	for i := 0; i < n; i++ {
+		text := fmt.Sprintf(
+			"hostname r%02d\n"+
+				"interface Loopback0\n"+
+				"   ip address 10.0.%d.1\n"+
+				"router bgp 65000\n"+
+				"   router-id 10.0.%d.1\n"+
+				"   vlan %d\n",
+			i, i, i, 100+10*i)
+		out = append(out, core.Source{Name: fmt.Sprintf("r%02d.cfg", i), Text: []byte(text)})
+	}
+	return out
+}
+
+func toJSONSources(srcs []core.Source) []SourceJSON {
+	out := make([]SourceJSON, len(srcs))
+	for i, s := range srcs {
+		out[i] = SourceJSON{Name: s.Name, Text: string(s.Text)}
+	}
+	return out
+}
+
+// learnSet mines a contract set from the fixture corpus.
+func learnSet(t *testing.T) *contracts.Set {
+	t.Helper()
+	lr, err := core.MustNew(core.DefaultOptions()).Learn(fixtureSources(20), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lr.Set
+}
+
+// startServer boots a daemon on a loopback port and registers a
+// cleanup that drains it and checks for goroutine leaks.
+func startServer(t *testing.T, engineOpts core.Options, opts Options) (*Server, string) {
+	t.Helper()
+	opts.Addr = "127.0.0.1:0"
+	srv, err := New(engineOpts, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	// Wait for the listener to bind (Addr flips from the :0 template).
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Addr() == opts.Addr {
+		if time.Now().After(deadline) {
+			t.Fatal("server never bound its listener")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Cleanup(func() {
+		// Generous deadline: http.Server.Shutdown treats a connection
+		// the transport dialed but never used (StateNew) as idle only
+		// after a 5-second grace.
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			t.Errorf("Serve returned %v, want ErrServerClosed", err)
+		}
+		// before+1: the ListenAndServe goroutine itself is gone after
+		// errc delivers, but allow the runtime a moment to reap.
+		leakDeadline := time.Now().Add(2 * time.Second)
+		for runtime.NumGoroutine() > before {
+			if time.Now().After(leakDeadline) {
+				t.Errorf("goroutines leaked: %d before, %d after shutdown", before, runtime.NumGoroutine())
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+	return srv, "http://" + srv.Addr()
+}
+
+// postJSON POSTs a JSON body and returns status plus response bytes.
+func postJSON(t *testing.T, url string, v any) (int, []byte) {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+func getJSON(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// TestServeSmoke is the end-to-end round trip: start a daemon with a
+// default contract set, check one config over HTTP, compare against a
+// one-shot engine run, hit the health and metrics endpoints, and shut
+// down cleanly (the startServer cleanup asserts drain + no leaks).
+func TestServeSmoke(t *testing.T) {
+	set := learnSet(t)
+	test := fixtureSources(3)
+	want, err := core.MustNew(core.DefaultOptions()).Check(set, test, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, base := startServer(t, core.DefaultOptions(), Options{})
+	fp, err := srv.SetDefaultContracts(context.Background(), set)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	status, body := postJSON(t, base+"/v1/check", CheckRequest{
+		Configs:   toJSONSources(test),
+		Telemetry: true,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("POST /v1/check = %d: %s", status, body)
+	}
+	var got CheckResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint != fp {
+		t.Errorf("fingerprint = %s, want %s", got.Fingerprint, fp)
+	}
+	gotJSON, _ := json.Marshal(struct {
+		V []contracts.Violation
+		C core.CoverageSummary
+		S core.ProcessStats
+	}{got.Violations, got.Coverage, got.Stats})
+	wantJSON, _ := json.Marshal(struct {
+		V []contracts.Violation
+		C core.CoverageSummary
+		S core.ProcessStats
+	}{want.Violations, want.Coverage, want.Stats})
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Errorf("served check diverges from one-shot:\n got %s\nwant %s", gotJSON, wantJSON)
+	}
+	if got.Telemetry == nil || len(got.Telemetry.Spans) == 0 {
+		t.Error("response carries no request-scoped telemetry spans")
+	}
+
+	// Coverage over the same corpus.
+	status, body = postJSON(t, base+"/v1/coverage", CheckRequest{Configs: toJSONSources(test)})
+	if status != http.StatusOK {
+		t.Fatalf("POST /v1/coverage = %d: %s", status, body)
+	}
+	var cov CoverageResponse
+	if err := json.Unmarshal(body, &cov); err != nil {
+		t.Fatal(err)
+	}
+	if len(cov.Lines) == 0 {
+		t.Error("coverage response carries no lines")
+	}
+
+	// Health and metrics.
+	status, body = getJSON(t, base+"/healthz")
+	if status != http.StatusOK || !bytes.Contains(body, []byte(`"status": "ok"`)) && !bytes.Contains(body, []byte(`"status":"ok"`)) {
+		t.Errorf("GET /healthz = %d: %s", status, body)
+	}
+	status, body = getJSON(t, base+"/metrics")
+	if status != http.StatusOK || !bytes.Contains(body, []byte("server.requests")) {
+		t.Errorf("GET /metrics = %d: %s", status, body)
+	}
+}
+
+// TestServeConcurrentBurstCompilesOnce is the tentpole acceptance gate
+// over real HTTP: 64 concurrent clients post the same embedded contract
+// set against a fresh daemon; every response must be correct and the
+// registry must have compiled exactly once. Run under -race by the
+// serve-smoke CI target.
+func TestServeConcurrentBurstCompilesOnce(t *testing.T) {
+	set := learnSet(t)
+	test := fixtureSources(2)
+	want, err := core.MustNew(core.DefaultOptions()).Check(set, test, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, _ := json.Marshal(want.Violations)
+
+	srv, base := startServer(t, core.DefaultOptions(), Options{})
+	setJSON, err := json.Marshal(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients = 64
+	var wg sync.WaitGroup
+	failures := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(CheckRequest{Contracts: setJSON, Configs: toJSONSources(test)})
+			resp, err := http.Post(base+"/v1/check", "application/json", bytes.NewReader(body))
+			if err != nil {
+				failures[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			data, err := io.ReadAll(resp.Body)
+			if err != nil {
+				failures[i] = err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				failures[i] = fmt.Errorf("status %d: %s", resp.StatusCode, data)
+				return
+			}
+			var cr CheckResponse
+			if err := json.Unmarshal(data, &cr); err != nil {
+				failures[i] = err
+				return
+			}
+			gotJSON, _ := json.Marshal(cr.Violations)
+			if !bytes.Equal(gotJSON, wantJSON) {
+				failures[i] = fmt.Errorf("violations diverge: %s != %s", gotJSON, wantJSON)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range failures {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	if c := srv.Registry().Stats().Compiles; c != 1 {
+		t.Errorf("compile count = %d after %d-client burst, want 1", c, clients)
+	}
+}
+
+// TestServeFingerprintReference: a set registered by one request is
+// addressable by fingerprint in the next, and an unknown or malformed
+// fingerprint is the client's fault (400).
+func TestServeFingerprintReference(t *testing.T) {
+	set := learnSet(t)
+	test := fixtureSources(2)
+	_, base := startServer(t, core.DefaultOptions(), Options{})
+	setJSON, _ := json.Marshal(set)
+
+	status, body := postJSON(t, base+"/v1/check", CheckRequest{Contracts: setJSON, Configs: toJSONSources(test)})
+	if status != http.StatusOK {
+		t.Fatalf("embedded-set check = %d: %s", status, body)
+	}
+	var first CheckResponse
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+
+	status, body = postJSON(t, base+"/v1/check", CheckRequest{Fingerprint: first.Fingerprint, Configs: toJSONSources(test)})
+	if status != http.StatusOK {
+		t.Fatalf("fingerprint check = %d: %s", status, body)
+	}
+	var second CheckResponse
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.Fingerprint != first.Fingerprint {
+		t.Errorf("fingerprints diverge: %s != %s", second.Fingerprint, first.Fingerprint)
+	}
+
+	status, body = postJSON(t, base+"/v1/check", CheckRequest{
+		Fingerprint: strings.Repeat("ab", 32),
+		Configs:     toJSONSources(test),
+	})
+	if status != http.StatusBadRequest {
+		t.Errorf("unknown fingerprint = %d, want 400: %s", status, body)
+	}
+}
+
+// TestServeBadRequests: empty corpora, missing contract sets, and
+// malformed bodies are 400s, not 500s.
+func TestServeBadRequests(t *testing.T) {
+	set := learnSet(t)
+	_, base := startServer(t, core.DefaultOptions(), Options{})
+	setJSON, _ := json.Marshal(set)
+
+	// No configs → ErrNoSources → 400.
+	status, body := postJSON(t, base+"/v1/check", CheckRequest{Contracts: setJSON})
+	if status != http.StatusBadRequest {
+		t.Errorf("empty configs = %d, want 400: %s", status, body)
+	}
+	// No set anywhere → 400.
+	status, body = postJSON(t, base+"/v1/check", CheckRequest{Configs: toJSONSources(fixtureSources(1))})
+	if status != http.StatusBadRequest {
+		t.Errorf("no contract set = %d, want 400: %s", status, body)
+	}
+	// Malformed JSON → 400.
+	resp, err := http.Post(base+"/v1/check", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body = %d, want 400", resp.StatusCode)
+	}
+	// Empty learn corpus → 400.
+	status, body = postJSON(t, base+"/v1/learn", LearnRequest{})
+	if status != http.StatusBadRequest {
+		t.Errorf("empty learn = %d, want 400: %s", status, body)
+	}
+	// Unknown job → 404.
+	status, _ = getJSON(t, base+"/v1/jobs/learn-999")
+	if status != http.StatusNotFound {
+		t.Errorf("unknown job = %d, want 404", status)
+	}
+}
+
+// TestServeBodyLimit: a body over MaxBodyBytes is rejected with 413 and
+// the daemon keeps serving.
+func TestServeBodyLimit(t *testing.T) {
+	set := learnSet(t)
+	srv, base := startServer(t, core.DefaultOptions(), Options{MaxBodyBytes: 1024})
+	if _, err := srv.SetDefaultContracts(context.Background(), set); err != nil {
+		t.Fatal(err)
+	}
+	big := CheckRequest{Configs: []SourceJSON{{Name: "big.cfg", Text: strings.Repeat("x", 4096)}}}
+	status, body := postJSON(t, base+"/v1/check", big)
+	if status != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body = %d, want 413: %s", status, body)
+	}
+	status, _ = postJSON(t, base+"/v1/check", CheckRequest{Configs: toJSONSources(fixtureSources(1))})
+	if status != http.StatusOK {
+		t.Errorf("small request after oversized one = %d, want 200", status)
+	}
+}
+
+// TestServeLearnJob drives the async learn flow end to end: 202 with a
+// job ID, poll to completion, then check against the learned set by
+// fingerprint — it must match a one-shot Learn+Check exactly.
+func TestServeLearnJob(t *testing.T) {
+	train := fixtureSources(20)
+	test := fixtureSources(3)
+	lr, err := core.MustNew(core.DefaultOptions()).Learn(train, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.MustNew(core.DefaultOptions()).Check(lr.Set, test, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, base := startServer(t, core.DefaultOptions(), Options{})
+	status, body := postJSON(t, base+"/v1/learn", LearnRequest{Configs: toJSONSources(train)})
+	if status != http.StatusAccepted {
+		t.Fatalf("POST /v1/learn = %d: %s", status, body)
+	}
+	var accepted JobStatus
+	if err := json.Unmarshal(body, &accepted); err != nil {
+		t.Fatal(err)
+	}
+	if accepted.ID == "" || accepted.State != JobRunning {
+		t.Fatalf("accepted job = %+v", accepted)
+	}
+
+	var done JobStatus
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		status, body = getJSON(t, base+"/v1/jobs/"+accepted.ID)
+		if status != http.StatusOK {
+			t.Fatalf("GET job = %d: %s", status, body)
+		}
+		if err := json.Unmarshal(body, &done); err != nil {
+			t.Fatal(err)
+		}
+		if done.State != JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("learn job never finished")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if done.State != JobDone || done.Result == nil {
+		t.Fatalf("job = %+v, want done with result", done)
+	}
+	if done.Result.Contracts != lr.Set.Len() {
+		t.Errorf("learned contracts = %d, want %d", done.Result.Contracts, lr.Set.Len())
+	}
+
+	status, body = postJSON(t, base+"/v1/check", CheckRequest{
+		Fingerprint: done.Result.Fingerprint,
+		Configs:     toJSONSources(test),
+	})
+	if status != http.StatusOK {
+		t.Fatalf("check by learned fingerprint = %d: %s", status, body)
+	}
+	var got CheckResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, _ := json.Marshal(got.Violations)
+	wantJSON, _ := json.Marshal(want.Violations)
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Errorf("learned-set check diverges: %s != %s", gotJSON, wantJSON)
+	}
+}
+
+// TestChaosServeRequestPanicContained injects a panic at the server's
+// request faultinject site: the poisoned request gets a 500 with a JSON
+// error, the daemon answers the next request normally, and the panic is
+// visible in /metrics.
+func TestChaosServeRequestPanicContained(t *testing.T) {
+	defer faultinject.Reset()
+	set := learnSet(t)
+	srv, base := startServer(t, core.DefaultOptions(), Options{})
+	if _, err := srv.SetDefaultContracts(context.Background(), set); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Set("server.request", faultinject.PanicOn(errors.New("injected request fault"), "/v1/check"))
+
+	status, body := postJSON(t, base+"/v1/check", CheckRequest{Configs: toJSONSources(fixtureSources(1))})
+	if status != http.StatusInternalServerError {
+		t.Fatalf("poisoned request = %d, want 500: %s", status, body)
+	}
+	var er errorResponse
+	if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+		t.Errorf("500 body is not a JSON error: %s", body)
+	}
+
+	faultinject.Reset()
+	status, _ = postJSON(t, base+"/v1/check", CheckRequest{Configs: toJSONSources(fixtureSources(1))})
+	if status != http.StatusOK {
+		t.Errorf("request after contained panic = %d, want 200", status)
+	}
+	if n := srv.rec.Counter("server.panics"); n != 1 {
+		t.Errorf("server.panics = %d, want 1", n)
+	}
+}
+
+// TestServeRequestTimeout: a request that cannot finish inside the
+// per-request deadline is answered 504, and the daemon stays healthy.
+func TestServeRequestTimeout(t *testing.T) {
+	set := learnSet(t)
+	srv, base := startServer(t, core.DefaultOptions(), Options{RequestTimeout: time.Nanosecond})
+	if _, err := srv.SetDefaultContracts(context.Background(), set); err != nil {
+		t.Fatal(err)
+	}
+	status, body := postJSON(t, base+"/v1/check", CheckRequest{Configs: toJSONSources(fixtureSources(4))})
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("deadline-exceeded request = %d, want 504: %s", status, body)
+	}
+	status, _ = getJSON(t, base+"/healthz")
+	if status != http.StatusOK {
+		t.Errorf("healthz after timeout = %d, want 200", status)
+	}
+}
+
+// TestServerOptionsValidate mirrors the core Options contract: zero
+// values select defaults, negatives are rejected.
+func TestServerOptionsValidate(t *testing.T) {
+	if err := (Options{}).withDefaults().Validate(); err != nil {
+		t.Errorf("defaults invalid: %v", err)
+	}
+	def := DefaultOptions()
+	if def.Addr == "" || def.RegistryMaxEntries != core.DefaultRegistryEntries {
+		t.Errorf("suspicious defaults: %+v", def)
+	}
+	bad := []Options{
+		{ReadTimeout: -1},
+		{WriteTimeout: -1},
+		{RequestTimeout: -1},
+		{DrainTimeout: -1},
+		{MaxBodyBytes: -1},
+		{RegistryMaxEntries: -1},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, o)
+		}
+		if _, err := New(core.DefaultOptions(), o); err == nil {
+			t.Errorf("case %d: New accepted %+v", i, o)
+		}
+	}
+}
+
+// TestServeDrainWaitsForLearnJobs: shutdown with a generous deadline
+// completes the in-flight learn job rather than killing it.
+func TestServeDrainWaitsForLearnJobs(t *testing.T) {
+	srv, base := startServer(t, core.DefaultOptions(), Options{})
+	status, body := postJSON(t, base+"/v1/learn", LearnRequest{Configs: toJSONSources(fixtureSources(20))})
+	if status != http.StatusAccepted {
+		t.Fatalf("POST /v1/learn = %d: %s", status, body)
+	}
+	var accepted JobStatus
+	if err := json.Unmarshal(body, &accepted); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown = %v", err)
+	}
+	j, ok := srv.jobs.get(accepted.ID)
+	if !ok {
+		t.Fatal("job vanished")
+	}
+	if st := j.status(); st.State != JobDone {
+		t.Errorf("job after drain = %+v, want done", st)
+	}
+}

@@ -47,6 +47,12 @@ type Recorder struct {
 	spans    []SpanReport
 	counters map[string]int64
 	gauges   map[string]float64
+	// spanLimit, when positive, caps the retained spans; excess spans
+	// are counted in spansDropped instead of appended. Resident
+	// processes set it so a recorder that lives for weeks cannot grow
+	// without bound.
+	spanLimit    int
+	spansDropped int64
 }
 
 // NewRecorder returns an empty recorder whose report clock starts now.
@@ -107,8 +113,55 @@ func (s *Span) EndCount(items int) {
 		Items:      items,
 	}
 	s.rec.mu.Lock()
-	s.rec.spans = append(s.rec.spans, sr)
+	if s.rec.spanLimit > 0 && len(s.rec.spans) >= s.rec.spanLimit {
+		s.rec.spansDropped++
+	} else {
+		s.rec.spans = append(s.rec.spans, sr)
+	}
 	s.rec.mu.Unlock()
+}
+
+// SetSpanLimit caps how many spans the recorder retains; once full,
+// further spans are dropped (and counted in the report's SpansDropped)
+// while counters and gauges keep accumulating. n <= 0 removes the cap.
+// Long-lived recorders — a resident server's /metrics recorder — need a
+// cap because every request records stage spans.
+func (r *Recorder) SetSpanLimit(n int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.spanLimit = n
+	r.mu.Unlock()
+}
+
+// Merge folds a snapshot into the recorder: counters add, gauges
+// overwrite, spans append (subject to the recorder's span limit, which
+// counts overflow in SpansDropped). A resident server uses it to fold
+// each request's recorder into the long-lived /metrics recorder.
+func (r *Recorder) Merge(rep Report) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, v := range rep.Counters {
+		r.counters[k] += v
+	}
+	if len(rep.Gauges) > 0 && r.gauges == nil {
+		r.gauges = make(map[string]float64, len(rep.Gauges))
+	}
+	for k, v := range rep.Gauges {
+		r.gauges[k] = v
+	}
+	for _, sp := range rep.Spans {
+		if r.spanLimit > 0 && len(r.spans) >= r.spanLimit {
+			r.spansDropped++
+			continue
+		}
+		r.spans = append(r.spans, sp)
+	}
+	r.spansDropped += rep.SpansDropped
 }
 
 // Add increments a named counter by delta.
@@ -178,6 +231,8 @@ type Report struct {
 	WallMS float64 `json:"wall_ms"`
 	// Spans lists finished spans ordered by start time.
 	Spans []SpanReport `json:"spans"`
+	// SpansDropped counts spans discarded by the recorder's span limit.
+	SpansDropped int64 `json:"spans_dropped,omitempty"`
 	// Counters holds the monotonic counters.
 	Counters map[string]int64 `json:"counters"`
 	// Gauges holds the latest gauge values.
@@ -194,10 +249,11 @@ func (r *Recorder) Snapshot() Report {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	rep := Report{
-		Start:    r.start,
-		WallMS:   float64(time.Since(r.start)) / float64(time.Millisecond),
-		Spans:    append([]SpanReport(nil), r.spans...),
-		Counters: make(map[string]int64, len(r.counters)),
+		Start:        r.start,
+		WallMS:       float64(time.Since(r.start)) / float64(time.Millisecond),
+		Spans:        append([]SpanReport(nil), r.spans...),
+		SpansDropped: r.spansDropped,
+		Counters:     make(map[string]int64, len(r.counters)),
 	}
 	sort.SliceStable(rep.Spans, func(i, j int) bool { return rep.Spans[i].StartMS < rep.Spans[j].StartMS })
 	for k, v := range r.counters {
