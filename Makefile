@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-smoke chaos serve-smoke vuln
+.PHONY: ci fmt vet build test race bench bench-smoke chaos serve-smoke reload-smoke vuln
 
 # ci is the full verification gate: formatting, static checks, build,
 # the race-enabled test suite, the fault-injection suite, a smoke run
-# of the benchmark harness, a smoke run of the HTTP service, and a
-# best-effort vulnerability scan.
-ci: fmt vet build race chaos bench-smoke serve-smoke vuln
+# of the benchmark harness, a smoke run of the HTTP service, the
+# crash-recovery/hot-reload smoke, and a best-effort vulnerability
+# scan.
+ci: fmt vet build race chaos bench-smoke serve-smoke reload-smoke vuln
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -30,7 +31,7 @@ race:
 # the race detector: panic containment, strict-mode aborts, input
 # guards, and goroutine-leak checks.
 chaos:
-	$(GO) test -race -timeout 10m -run 'Chaos|Fault|Panic|Pathological|Lenient|Diagnostics|Guard|Limits|Binary|Oversize|DepthCap|LineBudget|EmptyCorpus|Poison|Warm|Artifact|Incremental|Corrupt|Concurrent|Registry|Singleflight|Eviction' ./...
+	$(GO) test -race -timeout 10m -run 'Chaos|Fault|Panic|Pathological|Lenient|Diagnostics|Guard|Limits|Binary|Oversize|DepthCap|LineBudget|EmptyCorpus|Poison|Warm|Artifact|Incremental|Corrupt|Concurrent|Registry|Singleflight|Eviction|Bundle|Reload|Rollback|Journal|Recover' ./...
 
 # serve-smoke boots the resident HTTP service under the race detector
 # and drives it over real sockets: one-shot/served output identity, the
@@ -38,6 +39,14 @@ chaos:
 # full start-request-drain lifecycle.
 serve-smoke:
 	$(GO) test -race -timeout 5m -count=1 -run 'TestServeSmoke|TestServeConcurrentBurstCompilesOnce|TestServeCommand' ./internal/server ./cmd/concord
+
+# reload-smoke is the crash-safety gate: a real daemon is SIGKILLed
+# mid-learn and a successor over the same bundle directory must
+# recover the last-known-good serving set and the interrupted job;
+# plus the in-process hot-reload-under-load and restart-recovery
+# suites, all under the race detector.
+reload-smoke:
+	$(GO) test -race -timeout 5m -count=1 -run 'TestReloadSmokeKillRecover|TestServeRestart|TestServeReloadUnderLoad|TestServeBundle' ./cmd/concord ./internal/server
 
 # vuln scans dependencies with govulncheck when it is installed; the
 # scan is best-effort and never fails the build (the tool may be
@@ -49,20 +58,22 @@ vuln:
 		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
-# bench reproduces the committed BENCH_PR6.json — the learn phase
+# bench reproduces the committed BENCH_PR7.json — the learn phase
 # (fast lex/intern/mining path vs. the string-keyed baseline), the
 # check phase (compiled engine vs. the pre-PR linear scan), the warm
 # phase (incremental run over a populated artifact cache vs. the cold
 # path), and the serve phase (concurrent HTTP clients against the
-# resident service, with compile-once and output-identity gates) —
-# and runs the Go micro-benchmarks. Both are pinned — fixed
-# GOMAXPROCS, fixed iteration counts — so numbers are comparable
-# across machines of the same class and across runs.
+# resident service, with compile-once, output-identity, and
+# hot-reload-soak gates: 50 bundle swaps under load must drop zero
+# requests and leave served output byte-identical) — and runs the Go
+# micro-benchmarks. Both are pinned — fixed GOMAXPROCS, fixed
+# iteration counts — so numbers are comparable across machines of the
+# same class and across runs.
 BENCH_GOMAXPROCS ?= 4
 
 bench:
 	GOMAXPROCS=$(BENCH_GOMAXPROCS) $(GO) test -bench=. -benchtime=1x -count=1 -run=^$$ .
-	GOMAXPROCS=$(BENCH_GOMAXPROCS) $(GO) run ./cmd/concord bench -count 3 -out BENCH_PR6.json
+	GOMAXPROCS=$(BENCH_GOMAXPROCS) $(GO) run ./cmd/concord bench -count 3 -out BENCH_PR7.json
 
 # bench-smoke is the ci gate: a fast, tiny-scale run of the bench
 # harness that still cross-checks output equality on every corpus in

@@ -273,7 +273,7 @@ func BenchmarkMinimization(b *testing.B) {
 // to one mode: LinearScan=true is the pre-PR per-contract scan,
 // LinearScan=false the compiled (indexed) engine. Contracts are learned
 // once from a subset so the timed loop measures checking only; the
-// speedup between the two benchmarks is tracked in BENCH_PR6.json
+// speedup between the two benchmarks is tracked in BENCH_PR7.json
 // (regenerate with `make bench`).
 func benchmarkCheckEngine(b *testing.B, roleName string, linear bool) {
 	srcs, meta := benchCorpus(b, roleName)

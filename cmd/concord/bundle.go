@@ -1,0 +1,171 @@
+package main
+
+// The bundle subcommand: operator tooling for the crash-safe bundle
+// store behind `concord serve -bundle-dir`.
+//
+//	concord bundle pack    — package a learned contract file (plus an
+//	                         optional operator overlay and suppression
+//	                         list) into the store; a SIGHUP to the
+//	                         daemon (or its next restart) activates it
+//	concord bundle inspect — list the store's bundles, the last-known-
+//	                         good pointer, and anything quarantined
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"concord/internal/bundle"
+	"concord/internal/diag"
+	"concord/internal/report"
+)
+
+func runBundle(args []string, w io.Writer) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: concord bundle pack|inspect [options]")
+	}
+	switch args[0] {
+	case "pack":
+		return runBundlePack(args[1:], w)
+	case "inspect":
+		return runBundleInspect(args[1:], w)
+	default:
+		return fmt.Errorf("unknown bundle subcommand %q (want pack or inspect)", args[0])
+	}
+}
+
+// runBundlePack writes a contract bundle into a store directory. The
+// write is atomic and checksummed: a crash mid-pack leaves only swept
+// temp debris, never a half-visible bundle.
+func runBundlePack(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("bundle pack", flag.ExitOnError)
+	dir := fs.String("dir", "", "bundle store root (the daemon's -bundle-dir)")
+	contractsPath := fs.String("contracts", "", "contract file from concord learn (required)")
+	overlayPath := fs.String("overlay", "", "operator overlay contract file served alongside the base set")
+	suppressPath := fs.String("suppress", "", "JSON file of contract IDs to suppress (operator feedback)")
+	name := fs.String("name", "", "bundle name (default: the contracts file name)")
+	revision := fs.String("revision", "", "bundle revision label (e.g. a VCS hash)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("-dir is required")
+	}
+	if *contractsPath == "" {
+		return fmt.Errorf("-contracts is required")
+	}
+	data, err := os.ReadFile(*contractsPath)
+	if err != nil {
+		return err
+	}
+	set, err := report.ParseContractsJSON(data)
+	if err != nil {
+		return err
+	}
+	b := bundle.New(*name, *revision, bundle.RoleServe, set, nil, nil)
+	if b.Manifest.Name == "" {
+		b.Manifest.Name = *contractsPath
+	}
+	if *overlayPath != "" {
+		data, err := os.ReadFile(*overlayPath)
+		if err != nil {
+			return err
+		}
+		ov, err := report.ParseContractsJSON(data)
+		if err != nil {
+			return fmt.Errorf("parsing overlay: %w", err)
+		}
+		b.Overlay = ov
+	}
+	if *suppressPath != "" {
+		data, err := os.ReadFile(*suppressPath)
+		if err != nil {
+			return err
+		}
+		var ids []string
+		if err := json.Unmarshal(data, &ids); err != nil {
+			return fmt.Errorf("parsing %s: %w", *suppressPath, err)
+		}
+		b.Suppressions = ids
+	}
+	st, err := bundle.Open(*dir)
+	if err != nil {
+		return err
+	}
+	id, err := st.Write(b)
+	if err != nil {
+		return err
+	}
+	eff := b.Effective()
+	fmt.Fprintf(w, "packed bundle %s: %d contract(s)", id, eff.Len())
+	if n := b.Manifest.Contracts + b.Manifest.Overlay - eff.Len(); n > 0 {
+		fmt.Fprintf(w, " (%d suppressed)", n)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "activate with SIGHUP to the daemon, or POST /v1/bundles\n")
+	return nil
+}
+
+// runBundleInspect lists a store's bundles. Scanning also quarantines
+// anything corrupt, exactly as the daemon would on reload, and reports
+// what it moved.
+func runBundleInspect(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("bundle inspect", flag.ExitOnError)
+	dir := fs.String("dir", "", "bundle store root (the daemon's -bundle-dir)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("-dir is required")
+	}
+	st, err := bundle.Open(*dir)
+	if err != nil {
+		return err
+	}
+	bundles, ds, err := st.Scan()
+	if err != nil {
+		return err
+	}
+	lkg, lkgErr := st.LastKnownGood()
+	for _, d := range ds {
+		if d.Severity == diag.SevWarn {
+			fmt.Fprintf(w, "quarantined: %s\n", d.Message)
+		}
+	}
+	if lkgErr != nil {
+		fmt.Fprintf(w, "last-known-good pointer unreadable: %v\n", lkgErr)
+	}
+	if len(bundles) == 0 {
+		fmt.Fprintln(w, "no bundles")
+		return nil
+	}
+	for _, b := range bundles {
+		m := b.Manifest
+		marker := " "
+		if m.ID == lkg {
+			marker = "*" // last known good
+		}
+		fmt.Fprintf(w, "%s %s  role=%-5s  contracts=%d", marker, m.ID, m.Role, m.Contracts)
+		if m.Overlay > 0 {
+			fmt.Fprintf(w, "  overlay=%d", m.Overlay)
+		}
+		if m.Suppressions > 0 {
+			fmt.Fprintf(w, "  suppressions=%d", m.Suppressions)
+		}
+		fmt.Fprintf(w, "  %s", time.Unix(m.CreatedUnix, 0).UTC().Format(time.RFC3339))
+		if m.Name != "" {
+			fmt.Fprintf(w, "  %s", m.Name)
+		}
+		if m.Revision != "" {
+			fmt.Fprintf(w, "@%s", m.Revision)
+		}
+		fmt.Fprintln(w)
+	}
+	if lkg != "" {
+		fmt.Fprintf(w, "last known good: %s\n", lkg)
+	}
+	return nil
+}

@@ -59,6 +59,8 @@ func main() {
 		err = runCoverage(os.Args[2:], os.Stdout)
 	case "serve":
 		err = runServe(os.Args[2:], os.Stdout)
+	case "bundle":
+		err = runBundle(os.Args[2:], os.Stdout)
 	case "bench":
 		err = runBench(os.Args[2:], os.Stdout)
 	case "-h", "--help", "help":
@@ -82,20 +84,35 @@ func usage() {
   concord learn -configs GLOB [-meta GLOB] [-tokens FILE] [-out FILE] [options]
   concord check -configs GLOB -contracts FILE [-meta GLOB] [-out FILE] [-html FILE] [options]
   concord coverage -configs GLOB -contracts FILE [-meta GLOB] [-uncovered] [options]
-  concord serve [-addr HOST:PORT] [-contracts FILE] [-registry-size N] [options]
+  concord serve [-addr HOST:PORT] [-contracts FILE] [-bundle-dir DIR] [options]
+  concord bundle pack -dir DIR -contracts FILE [-overlay FILE] [-suppress FILE]
+  concord bundle inspect -dir DIR
   concord bench [-out FILE] [-scale F] [-roles LIST] [-count N]
 
 serve (resident HTTP service; POST /v1/check, GET /v1/coverage,
-POST /v1/learn + GET /v1/jobs/{id}, GET /healthz, GET /metrics):
+POST /v1/learn + GET /v1/jobs/{id}, POST/GET /v1/bundles, GET /healthz,
+GET /metrics):
   -addr HOST:PORT      listen address (default 127.0.0.1:8344)
   -contracts FILE      default contract set (requests may embed their own
                        or reference any resident set by fingerprint)
+  -bundle-dir DIR      crash-safe bundle store: pushed/learned bundles
+                       persist there, SIGHUP hot-reloads the newest one
+                       (failed reloads roll back to the last known good),
+                       and learn jobs survive a daemon restart
+  -max-inflight N      shed work beyond N concurrent requests with 429
+  -job-retention DUR   keep finished learn jobs queryable this long (1h)
   -registry-size N     resident contract sets kept hot (LRU bound)
   -read-timeout DUR    HTTP read timeout
   -write-timeout DUR   HTTP write timeout
   -request-timeout DUR per-request pipeline deadline (504 on expiry)
   -max-body-bytes N    request body cap (413 on excess)
   -drain-timeout DUR   graceful shutdown budget after SIGINT/SIGTERM
+
+bundle (operator tooling for the serve bundle store):
+  pack                 package contracts + overlay + suppressions into
+                       the store atomically (checksummed manifest)
+  inspect              list bundles, the last-known-good pointer, and
+                       quarantined corruption
 
 options:
   -support N           minimum configurations per pattern (default 5)

@@ -1,0 +1,275 @@
+package main
+
+// Process-level crash recovery: a real `concord serve` daemon is
+// SIGKILLed — no drain, no deferred cleanup — and a fresh daemon over
+// the same bundle directory must come back serving the identical
+// last-known-good set, with the interrupted learn job recovered from
+// its journal. This is the one chaos case in-process tests cannot
+// cover: kill -9 gives the dying server no chance to run any code.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"concord/internal/synth"
+)
+
+// TestReloadSmokeChild is the helper process: it runs `concord serve`
+// with a bundle store until killed. It only executes when re-exec'd by
+// TestReloadSmokeKillRecover.
+func TestReloadSmokeChild(t *testing.T) {
+	if os.Getenv("CONCORD_RELOAD_SMOKE_CHILD") != "1" {
+		t.Skip("helper process for TestReloadSmokeKillRecover")
+	}
+	err := serveRun(t.Context(), []string{
+		"-addr", "127.0.0.1:0",
+		"-bundle-dir", os.Getenv("CONCORD_RELOAD_SMOKE_DIR"),
+		"-drain-timeout", "5s",
+	}, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve child: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// startServeChild re-execs the test binary as a serve daemon rooted at
+// dir and waits for its listen address.
+func startServeChild(t *testing.T, dir string) (*exec.Cmd, string, *syncBuffer) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestReloadSmokeChild$", "-test.count=1")
+	cmd.Env = append(os.Environ(),
+		"CONCORD_RELOAD_SMOKE_CHILD=1",
+		"CONCORD_RELOAD_SMOKE_DIR="+dir,
+	)
+	out := &syncBuffer{}
+	cmd.Stdout = out
+	cmd.Stderr = out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		}
+	})
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if addr, ok := serveAddrOf(out.String()); ok {
+			return cmd, "http://" + addr, out
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("child never reported a listen address:\n%s", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// postSmoke POSTs JSON and returns status + body.
+func postSmoke(t *testing.T, url string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, data
+}
+
+// stripTiming removes the wall-clock duration field from a check
+// response so before/after-crash outputs compare on content alone.
+func stripTiming(t *testing.T, data []byte) []byte {
+	t.Helper()
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("response is not JSON: %v: %s", err, data)
+	}
+	delete(m, "duration_ms")
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestReloadSmokeKillRecover: push a bundle into daemon #1, start a
+// learn job, kill -9 the daemon, and require daemon #2 over the same
+// directory to serve byte-identical default-set output and account for
+// the interrupted job.
+func TestReloadSmokeKillRecover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	dir := t.TempDir()
+	role, _ := synth.RoleByName("E1", 0.5)
+	ds := synth.Generate(role)
+	type srcJSON struct {
+		Name string `json:"name"`
+		Text string `json:"text"`
+	}
+	var configs []srcJSON
+	for _, f := range ds.Configs {
+		configs = append(configs, srcJSON{Name: f.Name, Text: string(f.Text)})
+	}
+	probe, _ := json.Marshal(map[string]any{"configs": configs[:2]})
+
+	// Daemon #1: learn a set, push it as a bundle, record reference
+	// output, then start a learn job and kill the daemon cold.
+	child1, base1, _ := startServeChild(t, dir)
+	learnBody, _ := json.Marshal(map[string]any{"configs": configs})
+	status, body := postSmoke(t, base1+"/v1/learn", learnBody)
+	if status != http.StatusAccepted {
+		t.Fatalf("learn #1 = %d: %s", status, body)
+	}
+	var warm struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &warm); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the first job so we have a learned set to push.
+	var setJSON json.RawMessage
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base1 + "/v1/jobs/" + warm.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var js struct {
+			State  string `json:"state"`
+			Error  string `json:"error"`
+			Result *struct {
+				Contracts int `json:"contracts"`
+			} `json:"result"`
+		}
+		if err := json.Unmarshal(data, &js); err != nil {
+			t.Fatal(err)
+		}
+		if js.State == "failed" {
+			t.Fatalf("warmup learn failed: %s", js.Error)
+		}
+		if js.State == "done" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("warmup learn never finished")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// Rebuild the set client-side for the push (the CLI path a real
+	// operator would use after `concord learn`).
+	var lw bytes.Buffer
+	for i, f := range ds.Configs {
+		if err := os.WriteFile(dir+"/cfg-"+fmt.Sprint(i)+".cfg", f.Text, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	contractsPath := dir + "/contracts.json"
+	if err := runLearn([]string{"-configs", dir + "/*.cfg", "-out", contractsPath}, &lw); err != nil {
+		t.Fatalf("learn CLI: %v\n%s", err, lw.String())
+	}
+	raw, err := os.ReadFile(contractsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setJSON = raw
+	pushBody, _ := json.Marshal(map[string]any{
+		"name": "smoke", "revision": "r1", "contracts": setJSON,
+	})
+	status, body = postSmoke(t, base1+"/v1/bundles", pushBody)
+	if status != http.StatusOK {
+		t.Fatalf("bundle push = %d: %s", status, body)
+	}
+	var pushed struct {
+		ID          string `json:"id"`
+		Fingerprint string `json:"fingerprint"`
+	}
+	if err := json.Unmarshal(body, &pushed); err != nil {
+		t.Fatal(err)
+	}
+	status, ref := postSmoke(t, base1+"/v1/check", probe)
+	if status != http.StatusOK {
+		t.Fatalf("reference check = %d: %s", status, ref)
+	}
+
+	// Start a second learn job and kill the daemon before it can
+	// finish: the journal now holds a running record.
+	status, body = postSmoke(t, base1+"/v1/learn", learnBody)
+	if status != http.StatusAccepted {
+		t.Fatalf("learn #2 = %d: %s", status, body)
+	}
+	var interrupted struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &interrupted); err != nil {
+		t.Fatal(err)
+	}
+	if err := child1.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	_ = child1.Wait()
+
+	// Daemon #2 over the same directory.
+	_, base2, out2 := startServeChild(t, dir)
+	if !strings.Contains(out2.String(), "recovered bundle "+pushed.ID) {
+		t.Errorf("restart output does not announce recovery of %s:\n%s", pushed.ID, out2.String())
+	}
+	status, got := postSmoke(t, base2+"/v1/check", probe)
+	if status != http.StatusOK {
+		t.Fatalf("post-restart check = %d: %s", status, got)
+	}
+	if !bytes.Equal(stripTiming(t, got), stripTiming(t, ref)) {
+		t.Errorf("post-restart default-set output diverges:\n got %s\nwant %s", got, ref)
+	}
+	// The interrupted job was recovered: resumed to completion or, if
+	// it had already persisted, reloaded. Either way it must reach a
+	// terminal state with a result, never vanish.
+	deadline = time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base2 + "/v1/jobs/" + interrupted.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("recovered job %s = %d: %s", interrupted.ID, resp.StatusCode, data)
+		}
+		var js struct {
+			State  string `json:"state"`
+			Error  string `json:"error"`
+			Result *struct {
+				Fingerprint string `json:"fingerprint"`
+				Contracts   int    `json:"contracts"`
+			} `json:"result"`
+		}
+		if err := json.Unmarshal(data, &js); err != nil {
+			t.Fatal(err)
+		}
+		if js.State == "failed" {
+			t.Fatalf("interrupted job failed after recovery: %s", js.Error)
+		}
+		if js.State == "done" {
+			if js.Result == nil || js.Result.Fingerprint == "" || js.Result.Contracts == 0 {
+				t.Fatalf("recovered job has no usable result: %s", data)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("interrupted job never reached a terminal state")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

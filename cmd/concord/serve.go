@@ -42,6 +42,9 @@ func serveRun(ctx context.Context, args []string, w io.Writer) error {
 	requestTimeout := fs.Duration("request-timeout", 0, "per-request pipeline deadline (0 = default)")
 	maxBodyBytes := fs.Int64("max-body-bytes", 0, "request body size cap in bytes (0 = default)")
 	drainTimeout := fs.Duration("drain-timeout", 0, "graceful shutdown budget (0 = default)")
+	bundleDir := fs.String("bundle-dir", "", "crash-safe bundle store root: enables POST /v1/bundles, SIGHUP hot reload, last-known-good recovery, and restart-surviving learn jobs")
+	maxInflight := fs.Int("max-inflight", 0, "cap on concurrently executing work requests; excess load sheds with 429 (0 = unlimited)")
+	jobRetention := fs.Duration("job-retention", 0, "how long finished learn jobs stay queryable (0 = default 1h)")
 	rc := sharedFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,10 +76,18 @@ func serveRun(ctx context.Context, args []string, w io.Writer) error {
 	if *drainTimeout > 0 {
 		sopts.DrainTimeout = *drainTimeout
 	}
+	sopts.BundleDir = *bundleDir
+	sopts.MaxInflight = *maxInflight
+	if *jobRetention > 0 {
+		sopts.JobRetention = *jobRetention
+	}
 
 	srv, err := concord.NewServer(opts, sopts)
 	if err != nil {
 		return err
+	}
+	if id, fp := srv.ActiveBundle(); id != "" {
+		fmt.Fprintf(w, "recovered bundle %s (fingerprint %s)\n", id, fp)
 	}
 	if *contractsPath != "" {
 		data, err := os.ReadFile(*contractsPath)
@@ -101,10 +112,27 @@ func serveRun(ctx context.Context, args []string, w io.Writer) error {
 	fmt.Fprintf(w, "listening on http://%s\n", l.Addr())
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(l) }()
-	select {
-	case err := <-errc:
-		return err
-	case <-ctx.Done():
+	// SIGHUP rescans the bundle store and hot-swaps the newest valid
+	// bundle in; a failed reload keeps the current set serving.
+	hup := make(chan os.Signal, 1)
+	if *bundleDir != "" {
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+	}
+loop:
+	for {
+		select {
+		case err := <-errc:
+			return err
+		case <-hup:
+			if fp, err := srv.Reload(ctx); err != nil {
+				fmt.Fprintf(w, "reload failed (previous set keeps serving): %v\n", err)
+			} else {
+				fmt.Fprintf(w, "reloaded; serving fingerprint %s\n", fp)
+			}
+		case <-ctx.Done():
+			break loop
+		}
 	}
 	fmt.Fprintf(w, "draining (up to %s)\n", srv.DrainTimeout())
 	sctx, cancel := context.WithTimeout(context.Background(), srv.DrainTimeout())

@@ -23,7 +23,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"os"
 	"path/filepath"
 )
@@ -139,8 +138,8 @@ func (e *CorruptError) Error() string {
 }
 
 // entry header: magic, schema version, payload length, FNV-1a payload
-// checksum. Fixed-width little-endian so corruption detection never
-// depends on parsing variable-length fields.
+// checksum (see frame.go). Fixed-width little-endian so corruption
+// detection never depends on parsing variable-length fields.
 var magic = [4]byte{'C', 'C', 'A', 'F'}
 
 const headerSize = 4 + 4 + 8 + 8
@@ -188,22 +187,13 @@ func (c *Cache) Load(kind Kind, key Key) ([]byte, error) {
 		}
 		return nil, &CorruptError{Path: p, Reason: err.Error()}
 	}
-	if len(data) < headerSize {
-		return nil, &CorruptError{Path: p, Reason: fmt.Sprintf("truncated header (%d bytes)", len(data))}
-	}
-	if [4]byte(data[:4]) != magic {
-		return nil, &CorruptError{Path: p, Reason: "bad magic"}
-	}
-	if v := binary.LittleEndian.Uint32(data[4:8]); v != SchemaVersion {
-		return nil, &CorruptError{Path: p, Reason: fmt.Sprintf("schema version %d, want %d", v, SchemaVersion)}
-	}
-	n := binary.LittleEndian.Uint64(data[8:16])
-	payload := data[headerSize:]
-	if uint64(len(payload)) != n {
-		return nil, &CorruptError{Path: p, Reason: fmt.Sprintf("payload length %d, header says %d", len(payload), n)}
-	}
-	if sum := binary.LittleEndian.Uint64(data[16:24]); sum != checksum(payload) {
-		return nil, &CorruptError{Path: p, Reason: "checksum mismatch"}
+	payload, err := DecodeFrame(magic, SchemaVersion, data)
+	if err != nil {
+		var fe *FrameError
+		if errors.As(err, &fe) {
+			return nil, &CorruptError{Path: p, Reason: fe.Reason}
+		}
+		return nil, &CorruptError{Path: p, Reason: err.Error()}
 	}
 	return payload, nil
 }
@@ -215,12 +205,7 @@ func (c *Cache) Store(kind Kind, key Key, payload []byte) error {
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
 		return fmt.Errorf("artifact: %w", err)
 	}
-	buf := make([]byte, headerSize+len(payload))
-	copy(buf, magic[:])
-	binary.LittleEndian.PutUint32(buf[4:8], SchemaVersion)
-	binary.LittleEndian.PutUint64(buf[8:16], uint64(len(payload)))
-	binary.LittleEndian.PutUint64(buf[16:24], checksum(payload))
-	copy(buf[headerSize:], payload)
+	buf := EncodeFrame(magic, SchemaVersion, payload)
 	tmp, err := os.CreateTemp(filepath.Dir(p), ".tmp-*")
 	if err != nil {
 		return fmt.Errorf("artifact: %w", err)
@@ -239,12 +224,6 @@ func (c *Cache) Store(kind Kind, key Key, payload []byte) error {
 		return fmt.Errorf("artifact: %w", err)
 	}
 	return nil
-}
-
-func checksum(payload []byte) uint64 {
-	h := fnv.New64a()
-	h.Write(payload)
-	return h.Sum64()
 }
 
 // ManifestEntry records one configuration's cache interaction in the

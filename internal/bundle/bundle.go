@@ -1,0 +1,238 @@
+// Package bundle implements Concord's crash-safe contract bundles: the
+// durable unit of deployment for a resident contract service. A bundle
+// packages a learned contract set together with operator overlay
+// contracts and a persistent suppression list — the paper's §4
+// operator feedback loop as durable state instead of a one-shot flag —
+// under a checksummed manifest that records a digest of every payload
+// file.
+//
+// The on-disk store (store.go) writes bundles atomically (temp
+// directory + fsync + rename, with internal/artifact's frame header on
+// the manifest), verifies every digest on load, quarantines corrupt
+// bundles instead of failing the daemon, and maintains a last-known-good
+// pointer so a crashed or bad push can never leave the service without
+// a valid serving set. The journal (journal.go) gives learn jobs the
+// same durability: a killed daemon recovers its jobs on restart.
+package bundle
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"concord/internal/artifact"
+	"concord/internal/contracts"
+)
+
+// SchemaVersion is the bundle store's on-disk encoding version.
+// Manifests written under a different version fail the frame check and
+// are quarantined rather than misread.
+const SchemaVersion = 1
+
+// Frame magics: manifests, the last-known-good pointer, and journal
+// entries are distinct file classes and must never parse as each other.
+var (
+	manifestMagic = [4]byte{'C', 'C', 'B', 'M'}
+	pointerMagic  = [4]byte{'C', 'C', 'B', 'P'}
+	journalMagic  = [4]byte{'C', 'C', 'B', 'J'}
+)
+
+// Bundle roles. The serve reload path only ever activates RoleServe
+// bundles; learn jobs persist their results as RoleJob bundles, which
+// exist for fingerprint re-registration on restart, not for serving as
+// the default set.
+const (
+	RoleServe = "serve"
+	RoleJob   = "job"
+)
+
+// Payload file names inside a bundle directory.
+const (
+	FileContracts    = "contracts.json"
+	FileOverlay      = "overlay.json"
+	FileSuppressions = "suppressions.json"
+)
+
+// Manifest is the checksummed table of contents of one bundle. It is
+// stored framed (magic, schema version, length, checksum) so any
+// truncation or torn write is detected before parsing, and it carries
+// the SHA-256 digest of every payload file so payload corruption is
+// detected before a single contract is decoded.
+type Manifest struct {
+	// Schema is the bundle encoding version.
+	Schema int `json:"schema"`
+	// ID is the store-assigned directory name (sequence + digest
+	// prefix); empty until the bundle has been written to a store.
+	ID string `json:"id,omitempty"`
+	// Name is the operator-facing bundle name.
+	Name string `json:"name"`
+	// Revision is an opaque operator revision label.
+	Revision string `json:"revision,omitempty"`
+	// Role classifies the bundle: RoleServe (hot-reload candidate) or
+	// RoleJob (persisted learn-job result).
+	Role string `json:"role"`
+	// Seq is the store-assigned monotonic sequence number; reload
+	// activates the valid serve-role bundle with the highest Seq.
+	Seq uint64 `json:"seq"`
+	// CreatedUnix is the packing time in Unix seconds.
+	CreatedUnix int64 `json:"created_unix"`
+	// Contracts, Overlay, and Suppressions count the payload entries,
+	// for listings that should not decode whole contract sets.
+	Contracts    int `json:"contracts"`
+	Overlay      int `json:"overlay,omitempty"`
+	Suppressions int `json:"suppressions,omitempty"`
+	// Files maps payload file name to hex SHA-256 digest.
+	Files map[string]string `json:"files"`
+}
+
+// Bundle is one versioned contract package: a base (typically learned)
+// contract set, optional operator overlay contracts appended to it, and
+// a suppression list of contract IDs removed from serving.
+type Bundle struct {
+	Manifest Manifest
+	// Contracts is the base contract set.
+	Contracts *contracts.Set
+	// Overlay holds operator-authored contracts served alongside the
+	// base set; nil when the bundle carries none.
+	Overlay *contracts.Set
+	// Suppressions lists contract IDs excluded from the effective set —
+	// the durable form of `concord check -suppress`.
+	Suppressions []string
+}
+
+// New assembles an unwritten bundle with the given role; Seq and ID are
+// assigned by Store.Write. A nil base set is rejected by Validate, not
+// here, so callers can build incrementally.
+func New(name, revision, role string, set, overlay *contracts.Set, suppressions []string) *Bundle {
+	if role == "" {
+		role = RoleServe
+	}
+	return &Bundle{
+		Manifest: Manifest{
+			Schema:   SchemaVersion,
+			Name:     name,
+			Revision: revision,
+			Role:     role,
+		},
+		Contracts:    set,
+		Overlay:      overlay,
+		Suppressions: suppressions,
+	}
+}
+
+// Validate rejects bundles that must never be written or activated.
+func (b *Bundle) Validate() error {
+	if b == nil || b.Contracts == nil {
+		return fmt.Errorf("bundle: no contract set")
+	}
+	if b.Manifest.Role != RoleServe && b.Manifest.Role != RoleJob {
+		return fmt.Errorf("bundle: unknown role %q", b.Manifest.Role)
+	}
+	return nil
+}
+
+// Effective computes the serving contract set: base contracts plus
+// overlay contracts, minus every suppressed contract ID. Suppressions
+// apply to overlay contracts too, so a suppression outlives an overlay
+// that re-introduces the same contract.
+func (b *Bundle) Effective() *contracts.Set {
+	n := b.Contracts.Len()
+	if b.Overlay != nil {
+		n += b.Overlay.Len()
+	}
+	merged := &contracts.Set{Contracts: make([]contracts.Contract, 0, n)}
+	merged.Contracts = append(merged.Contracts, b.Contracts.Contracts...)
+	if b.Overlay != nil {
+		merged.Contracts = append(merged.Contracts, b.Overlay.Contracts...)
+	}
+	if len(b.Suppressions) == 0 {
+		return merged
+	}
+	ids := make(map[string]bool, len(b.Suppressions))
+	for _, id := range b.Suppressions {
+		ids[id] = true
+	}
+	eff, _ := merged.Without(ids)
+	return eff
+}
+
+// payloads renders the bundle's payload files in canonical form and
+// fills the manifest's digests and counts. Only non-empty payloads are
+// written: a bundle without an overlay has no overlay.json at all.
+func (b *Bundle) payloads() (map[string][]byte, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	out := make(map[string][]byte, 3)
+	data, err := json.Marshal(b.Contracts)
+	if err != nil {
+		return nil, fmt.Errorf("bundle: encoding contracts: %w", err)
+	}
+	out[FileContracts] = data
+	if b.Overlay != nil && b.Overlay.Len() > 0 {
+		data, err := json.Marshal(b.Overlay)
+		if err != nil {
+			return nil, fmt.Errorf("bundle: encoding overlay: %w", err)
+		}
+		out[FileOverlay] = data
+	}
+	if len(b.Suppressions) > 0 {
+		data, err := json.Marshal(b.Suppressions)
+		if err != nil {
+			return nil, fmt.Errorf("bundle: encoding suppressions: %w", err)
+		}
+		out[FileSuppressions] = data
+	}
+	b.Manifest.Schema = SchemaVersion
+	b.Manifest.Contracts = b.Contracts.Len()
+	b.Manifest.Overlay = 0
+	if b.Overlay != nil {
+		b.Manifest.Overlay = b.Overlay.Len()
+	}
+	b.Manifest.Suppressions = len(b.Suppressions)
+	b.Manifest.Files = make(map[string]string, len(out))
+	for name, data := range out {
+		b.Manifest.Files[name] = artifact.HashBytes("concord/bundle/file/v1", data).Hex()
+	}
+	return out, nil
+}
+
+// decodeManifest parses a framed manifest file.
+func decodeManifest(data []byte) (*Manifest, error) {
+	payload, err := artifact.DecodeFrame(manifestMagic, SchemaVersion, data)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return nil, fmt.Errorf("parsing manifest: %w", err)
+	}
+	if m.Schema != SchemaVersion {
+		return nil, fmt.Errorf("manifest schema %d, want %d", m.Schema, SchemaVersion)
+	}
+	if m.Files[FileContracts] == "" {
+		return nil, fmt.Errorf("manifest lists no %s digest", FileContracts)
+	}
+	return &m, nil
+}
+
+// decodePayloads reconstructs a bundle from its manifest and verified
+// payload bytes.
+func decodePayloads(m *Manifest, files map[string][]byte) (*Bundle, error) {
+	b := &Bundle{Manifest: *m}
+	b.Contracts = &contracts.Set{}
+	if err := json.Unmarshal(files[FileContracts], b.Contracts); err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", FileContracts, err)
+	}
+	if data, ok := files[FileOverlay]; ok {
+		b.Overlay = &contracts.Set{}
+		if err := json.Unmarshal(data, b.Overlay); err != nil {
+			return nil, fmt.Errorf("decoding %s: %w", FileOverlay, err)
+		}
+	}
+	if data, ok := files[FileSuppressions]; ok {
+		if err := json.Unmarshal(data, &b.Suppressions); err != nil {
+			return nil, fmt.Errorf("decoding %s: %w", FileSuppressions, err)
+		}
+	}
+	return b, nil
+}

@@ -1,0 +1,346 @@
+package bundle
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"concord/internal/artifact"
+	"concord/internal/contracts"
+	"concord/internal/diag"
+	"concord/internal/faultinject"
+)
+
+// testSet builds a small contract set with distinguishable IDs.
+func testSet(patterns ...string) *contracts.Set {
+	s := &contracts.Set{}
+	for _, p := range patterns {
+		s.Contracts = append(s.Contracts, &contracts.Present{Pattern: p, Display: p})
+	}
+	return s
+}
+
+func openStore(t *testing.T) *Store {
+	t.Helper()
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestBundleRoundTrip writes a full bundle (base + overlay +
+// suppressions) and loads it back identically, digests verified.
+func TestBundleRoundTrip(t *testing.T) {
+	st := openStore(t)
+	b := New("edge", "v1", RoleServe, testSet("hostname .*", "ntp server .*"),
+		testSet("banner motd .*"), []string{"present|ntp server .*"})
+	id, err := st.Write(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(id, "00000001-") {
+		t.Fatalf("first bundle ID = %q, want 00000001-<digest> form", id)
+	}
+	if b.Manifest.ID != id || b.Manifest.Seq != 1 {
+		t.Fatalf("manifest not updated by Write: %+v", b.Manifest)
+	}
+	got, err := st.Load(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Manifest, b.Manifest) {
+		t.Errorf("manifest round trip:\n got %+v\nwant %+v", got.Manifest, b.Manifest)
+	}
+	if !reflect.DeepEqual(got.Contracts, b.Contracts) {
+		t.Errorf("contracts round trip mismatch")
+	}
+	if !reflect.DeepEqual(got.Overlay, b.Overlay) {
+		t.Errorf("overlay round trip mismatch")
+	}
+	if !reflect.DeepEqual(got.Suppressions, b.Suppressions) {
+		t.Errorf("suppressions round trip mismatch")
+	}
+	if got.Manifest.Contracts != 2 || got.Manifest.Overlay != 1 || got.Manifest.Suppressions != 1 {
+		t.Errorf("manifest counts = %d/%d/%d, want 2/1/1",
+			got.Manifest.Contracts, got.Manifest.Overlay, got.Manifest.Suppressions)
+	}
+}
+
+// TestBundleEffective checks the serving-set computation: overlay
+// contracts are appended, and suppressions remove contracts from both
+// the base set and the overlay.
+func TestBundleEffective(t *testing.T) {
+	b := New("x", "", RoleServe,
+		testSet("a", "b"),
+		testSet("c"),
+		[]string{"present|b", "present|c"})
+	eff := b.Effective()
+	if eff.Len() != 1 {
+		t.Fatalf("effective set has %d contracts, want 1", eff.Len())
+	}
+	if id := eff.Contracts[0].ID(); id != "present|a" {
+		t.Fatalf("surviving contract = %s, want present|a", id)
+	}
+	// No suppressions: base + overlay verbatim.
+	b2 := New("y", "", RoleServe, testSet("a"), testSet("b"), nil)
+	if n := b2.Effective().Len(); n != 2 {
+		t.Fatalf("unsuppressed effective set has %d contracts, want 2", n)
+	}
+}
+
+// TestStoreSeqResumes reopens a store and checks new bundles never
+// reuse a sequence number, including across quarantined bundles.
+func TestStoreSeqResumes(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, err := st.Write(New("a", "", RoleServe, testSet("a"), nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Quarantine(id1, "test"); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := st2.Write(New("b", "", RoleServe, testSet("b"), nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(id2, "00000002-") {
+		t.Fatalf("bundle after reopen got ID %q, want seq 2 (seq 1 is quarantined)", id2)
+	}
+}
+
+// TestScanSweepsTornWrite plants .tmp-* debris — the state a kill -9
+// mid-Write leaves behind — and checks Scan removes it without touching
+// committed bundles.
+func TestScanSweepsTornWrite(t *testing.T) {
+	st := openStore(t)
+	id, err := st.Write(New("good", "", RoleServe, testSet("a"), nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	debris := filepath.Join(st.Dir(), bundlesDir, ".tmp-00000009-deadbeef")
+	if err := os.MkdirAll(debris, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(debris, "contracts.json"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bundles, ds, err := st.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bundles) != 1 || bundles[0].Manifest.ID != id {
+		t.Fatalf("scan after sweep returned %d bundles, want just %s", len(bundles), id)
+	}
+	if _, err := os.Stat(debris); !os.IsNotExist(err) {
+		t.Errorf("torn-write debris still present after scan")
+	}
+	var swept bool
+	for _, d := range ds {
+		if d.Severity == diag.SevInfo && strings.Contains(d.Message, "swept") {
+			swept = true
+		}
+	}
+	if !swept {
+		t.Errorf("sweep produced no info diagnostic: %v", ds)
+	}
+}
+
+// TestScanQuarantinesTruncatedManifest truncates a committed manifest
+// (torn write after rename, or disk corruption): the bundle must move
+// to quarantine with a reason file, other bundles and the last-known-
+// good pointer must survive untouched.
+func TestScanQuarantinesTruncatedManifest(t *testing.T) {
+	st := openStore(t)
+	goodID, err := st.Write(New("good", "", RoleServe, testSet("a"), nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetLastKnownGood(goodID); err != nil {
+		t.Fatal(err)
+	}
+	badID, err := st.Write(New("bad", "", RoleServe, testSet("b"), nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpath := filepath.Join(st.Dir(), bundlesDir, badID, manifestFile)
+	data, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(mpath, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	bundles, ds, err := st.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bundles) != 1 || bundles[0].Manifest.ID != goodID {
+		t.Fatalf("scan kept %d bundles, want just the intact %s", len(bundles), goodID)
+	}
+	var quarantined bool
+	for _, d := range ds {
+		if d.Severity == diag.SevWarn && strings.Contains(d.Message, "quarantined") {
+			quarantined = true
+		}
+	}
+	if !quarantined {
+		t.Fatalf("no quarantine diagnostic: %v", ds)
+	}
+	if _, err := os.Stat(filepath.Join(st.Dir(), quarantineDir, badID, "reason.txt")); err != nil {
+		t.Errorf("quarantined bundle has no reason.txt: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(st.Dir(), bundlesDir, badID)); !os.IsNotExist(err) {
+		t.Errorf("corrupt bundle still in bundles/ after quarantine")
+	}
+	lkg, err := st.LastKnownGood()
+	if err != nil || lkg != goodID {
+		t.Errorf("last known good = %q, %v; want %q", lkg, err, goodID)
+	}
+}
+
+// TestScanQuarantinesBitFlip flips one payload byte; the manifest
+// digest check must catch it even though the JSON may still parse.
+func TestScanQuarantinesBitFlip(t *testing.T) {
+	st := openStore(t)
+	id, err := st.Write(New("x", "", RoleServe, testSet("abc"), nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(st.Dir(), bundlesDir, id, FileContracts)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x20
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load(id); err == nil {
+		t.Fatal("Load accepted a bit-flipped payload")
+	} else if ce, ok := err.(*CorruptError); !ok || !strings.Contains(ce.Reason, "digest mismatch") {
+		t.Fatalf("Load error = %v, want *CorruptError with digest mismatch", err)
+	}
+	bundles, _, err := st.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bundles) != 0 {
+		t.Fatalf("scan kept %d bundles, want 0 (bit-flipped)", len(bundles))
+	}
+}
+
+// TestCrashMidWriteLeavesNoCommittedState simulates kill -9 at every
+// write step via faultinject: a panic before the rename must leave
+// bundles/ free of the new ID, and the next Scan must recover to
+// exactly the pre-write state.
+func TestCrashMidWriteLeavesNoCommittedState(t *testing.T) {
+	for _, step := range []string{FileContracts, "manifest", "rename"} {
+		t.Run(step, func(t *testing.T) {
+			st := openStore(t)
+			goodID, err := st.Write(New("good", "", RoleServe, testSet("a"), nil, nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			faultinject.Set("bundle.store.write", faultinject.PanicOn("kill", step))
+			defer faultinject.Reset()
+			func() {
+				defer func() { _ = recover() }()
+				_, _ = st.Write(New("torn", "", RoleServe, testSet("b"), nil, nil))
+				t.Error("injected crash did not fire")
+			}()
+			faultinject.Reset()
+			bundles, _, err := st.Scan()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(bundles) != 1 || bundles[0].Manifest.ID != goodID {
+				t.Fatalf("after crash at %s: %d bundles committed, want only %s", step, len(bundles), goodID)
+			}
+			// The store must keep working after the simulated crash.
+			if _, err := st.Write(New("after", "", RoleServe, testSet("c"), nil, nil)); err != nil {
+				t.Fatalf("write after crash: %v", err)
+			}
+		})
+	}
+}
+
+// TestLastKnownGoodPointer covers the pointer lifecycle: missing reads
+// as empty, set/read round-trips, and corruption is a CorruptError
+// rather than a wrong ID.
+func TestLastKnownGoodPointer(t *testing.T) {
+	st := openStore(t)
+	if lkg, err := st.LastKnownGood(); err != nil || lkg != "" {
+		t.Fatalf("fresh store LKG = %q, %v; want empty", lkg, err)
+	}
+	if err := st.SetLastKnownGood("00000001-abc"); err != nil {
+		t.Fatal(err)
+	}
+	if lkg, err := st.LastKnownGood(); err != nil || lkg != "00000001-abc" {
+		t.Fatalf("LKG = %q, %v; want 00000001-abc", lkg, err)
+	}
+	// Bit-flip the pointer file: the checksum must reject it.
+	p := filepath.Join(st.Dir(), lkgFile)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0xff
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.LastKnownGood(); err == nil {
+		t.Fatal("corrupt LKG pointer read back without error")
+	} else if _, ok := err.(*CorruptError); !ok {
+		t.Fatalf("corrupt LKG error = %T, want *CorruptError", err)
+	}
+}
+
+// TestLoadRejectsSuspiciousPayloadNames hand-crafts a manifest whose
+// file table tries to escape the bundle directory.
+func TestLoadRejectsSuspiciousPayloadNames(t *testing.T) {
+	st := openStore(t)
+	id, err := st.Write(New("x", "", RoleServe, testSet("a"), nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := st.Load(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Manifest.Files["../../etc/passwd"] = b.Manifest.Files[FileContracts]
+	mj, err := manifestJSON(&b.Manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpath := filepath.Join(st.Dir(), bundlesDir, id, manifestFile)
+	if err := os.WriteFile(mpath, artifact.EncodeFrame(manifestMagic, SchemaVersion, mj), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load(id); err == nil {
+		t.Fatal("Load accepted a manifest with a path-escaping payload name")
+	} else if !strings.Contains(err.Error(), "suspicious") {
+		t.Fatalf("error = %v, want suspicious-payload rejection", err)
+	}
+}
+
+// TestLoadMissingBundle distinguishes absent from corrupt.
+func TestLoadMissingBundle(t *testing.T) {
+	st := openStore(t)
+	if _, err := st.Load("00000042-nothere"); err == nil {
+		t.Fatal("Load of a missing bundle succeeded")
+	} else if !strings.Contains(err.Error(), "not found") {
+		t.Fatalf("error = %v, want ErrNotFound", err)
+	}
+}

@@ -1,0 +1,153 @@
+package bundle
+
+// The learn-job journal: one framed JSON file per job under the
+// store's jobs/ directory, atomically replaced on every state change.
+// A resident daemon journals a job as running (with the learn request
+// persisted so a restart can resume it), then rewrites it as done
+// (naming the RoleJob bundle holding the learned set) or failed. On
+// restart, Replay hands every decodable record back — the server
+// resumes running jobs, re-registers done jobs' sets from their
+// bundles, and marks undecodable entries failed with a diagnostic.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"concord/internal/artifact"
+)
+
+// Job states as journaled.
+const (
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// JobRecord is the durable state of one learn job.
+type JobRecord struct {
+	Schema int    `json:"schema"`
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	// CreatedUnix and UpdatedUnix bound the job's lifetime in Unix
+	// seconds.
+	CreatedUnix int64 `json:"created_unix"`
+	UpdatedUnix int64 `json:"updated_unix"`
+	// Request is the original learn request body, persisted while the
+	// job runs so a restarted daemon can resume it; cleared once the
+	// job reaches a terminal state.
+	Request json.RawMessage `json:"request,omitempty"`
+	// BundleID names the RoleJob bundle holding a done job's learned
+	// set; empty when persisting the bundle failed.
+	BundleID string `json:"bundle_id,omitempty"`
+	// Fingerprint is the learned set's registry fingerprint.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Contracts counts the learned contracts of a done job.
+	Contracts int `json:"contracts,omitempty"`
+	// Error explains a failed job.
+	Error string `json:"error,omitempty"`
+}
+
+// CorruptRecord reports one journal entry that could not be decoded
+// during Replay; the server marks the job failed with a diagnostic.
+type CorruptRecord struct {
+	ID     string
+	Path   string
+	Reason string
+}
+
+// Journal persists learn-job records. Writes are atomic per record;
+// the mutex only serializes same-ID writers.
+type Journal struct {
+	dir string
+	mu  sync.Mutex
+}
+
+const journalExt = ".ccb"
+
+// Put atomically writes (or replaces) the record for rec.ID.
+func (j *Journal) Put(rec JobRecord) error {
+	if rec.ID == "" {
+		return fmt.Errorf("bundle: journal record without ID")
+	}
+	rec.Schema = SchemaVersion
+	payload, err := json.MarshalIndent(&rec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bundle: encoding journal record: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return replaceFileSync(filepath.Join(j.dir, rec.ID+journalExt),
+		artifact.EncodeFrame(journalMagic, SchemaVersion, payload))
+}
+
+// Delete removes a job's record; a missing record is not an error.
+func (j *Journal) Delete(id string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	err := os.Remove(filepath.Join(j.dir, id+journalExt))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("bundle: %w", err)
+	}
+	return nil
+}
+
+// Replay reads every journal entry: decodable records are returned
+// sorted by ID, undecodable ones (truncated, bit-flipped, version-
+// skewed, or syntactically invalid) come back as CorruptRecords so the
+// caller can mark those jobs failed instead of crashing or silently
+// forgetting them. Stray temp files from interrupted writes are swept.
+func (j *Journal) Replay() ([]JobRecord, []CorruptRecord, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ents, err := os.ReadDir(j.dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bundle: %w", err)
+	}
+	var (
+		recs    []JobRecord
+		corrupt []CorruptRecord
+	)
+	for _, e := range ents {
+		name := e.Name()
+		if strings.HasPrefix(name, ".tmp-") {
+			_ = os.Remove(filepath.Join(j.dir, name))
+			continue
+		}
+		if e.IsDir() || !strings.HasSuffix(name, journalExt) {
+			continue
+		}
+		id := strings.TrimSuffix(name, journalExt)
+		p := filepath.Join(j.dir, name)
+		data, err := os.ReadFile(p)
+		if err != nil {
+			corrupt = append(corrupt, CorruptRecord{ID: id, Path: p, Reason: err.Error()})
+			continue
+		}
+		payload, err := artifact.DecodeFrame(journalMagic, SchemaVersion, data)
+		if err != nil {
+			corrupt = append(corrupt, CorruptRecord{ID: id, Path: p, Reason: err.Error()})
+			continue
+		}
+		var rec JobRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			corrupt = append(corrupt, CorruptRecord{ID: id, Path: p, Reason: err.Error()})
+			continue
+		}
+		if rec.ID != id {
+			corrupt = append(corrupt, CorruptRecord{ID: id, Path: p, Reason: fmt.Sprintf("record ID %q does not match file name", rec.ID)})
+			continue
+		}
+		switch rec.State {
+		case JobRunning, JobDone, JobFailed:
+		default:
+			corrupt = append(corrupt, CorruptRecord{ID: id, Path: p, Reason: fmt.Sprintf("unknown job state %q", rec.State)})
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	return recs, corrupt, nil
+}

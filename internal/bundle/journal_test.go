@@ -1,0 +1,223 @@
+package bundle
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"concord/internal/artifact"
+)
+
+// TestJournalReplay is the table-driven restart-recovery matrix: each
+// case plants journal state as a particular daemon death would leave it
+// and checks Replay hands back exactly the records a recovering server
+// needs — resumable running jobs, terminal jobs, and corrupt entries
+// flagged rather than dropped.
+func TestJournalReplay(t *testing.T) {
+	running := JobRecord{ID: "learn-1", State: JobRunning, Request: json.RawMessage(`{"configs":[{"name":"a","text":"x"}]}`)}
+	done := JobRecord{ID: "learn-2", State: JobDone, BundleID: "00000001-abc", Fingerprint: "fp", Contracts: 3}
+	failed := JobRecord{ID: "learn-3", State: JobFailed, Error: "boom"}
+
+	cases := []struct {
+		name string
+		// plant writes the journal state for the scenario.
+		plant func(t *testing.T, j *Journal)
+		// want maps job ID to expected state; wantCorrupt lists IDs that
+		// must come back as corrupt records.
+		want        map[string]string
+		wantCorrupt []string
+	}{
+		{
+			name: "clean exit",
+			plant: func(t *testing.T, j *Journal) {
+				mustPut(t, j, done)
+				mustPut(t, j, failed)
+			},
+			want: map[string]string{"learn-2": JobDone, "learn-3": JobFailed},
+		},
+		{
+			name: "killed mid-job",
+			plant: func(t *testing.T, j *Journal) {
+				mustPut(t, j, running)
+				mustPut(t, j, done)
+			},
+			want: map[string]string{"learn-1": JobRunning, "learn-2": JobDone},
+		},
+		{
+			name: "truncated record",
+			plant: func(t *testing.T, j *Journal) {
+				mustPut(t, j, running)
+				mustPut(t, j, done)
+				truncate(t, filepath.Join(j.dir, "learn-2"+journalExt))
+			},
+			want:        map[string]string{"learn-1": JobRunning},
+			wantCorrupt: []string{"learn-2"},
+		},
+		{
+			name: "bit-flipped record",
+			plant: func(t *testing.T, j *Journal) {
+				mustPut(t, j, failed)
+				flipByte(t, filepath.Join(j.dir, "learn-3"+journalExt))
+			},
+			wantCorrupt: []string{"learn-3"},
+		},
+		{
+			name: "version-skewed record",
+			plant: func(t *testing.T, j *Journal) {
+				payload, _ := json.Marshal(done)
+				p := filepath.Join(j.dir, "learn-2"+journalExt)
+				if err := os.WriteFile(p, artifact.EncodeFrame(journalMagic, SchemaVersion+1, payload), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantCorrupt: []string{"learn-2"},
+		},
+		{
+			name: "record under wrong file name",
+			plant: func(t *testing.T, j *Journal) {
+				renamed := done
+				payload, _ := json.Marshal(renamed)
+				p := filepath.Join(j.dir, "learn-9"+journalExt)
+				if err := os.WriteFile(p, artifact.EncodeFrame(journalMagic, SchemaVersion, payload), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantCorrupt: []string{"learn-9"},
+		},
+		{
+			name: "unknown state",
+			plant: func(t *testing.T, j *Journal) {
+				weird := JobRecord{ID: "learn-4", State: "zombie"}
+				payload, _ := json.Marshal(weird)
+				p := filepath.Join(j.dir, "learn-4"+journalExt)
+				if err := os.WriteFile(p, artifact.EncodeFrame(journalMagic, SchemaVersion, payload), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantCorrupt: []string{"learn-4"},
+		},
+		{
+			name: "torn temp file swept",
+			plant: func(t *testing.T, j *Journal) {
+				mustPut(t, j, done)
+				if err := os.WriteFile(filepath.Join(j.dir, ".tmp-12345"), []byte("half a reco"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			want: map[string]string{"learn-2": JobDone},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			j := st.Jobs()
+			tc.plant(t, j)
+			recs, corrupt, err := j.Replay()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(recs) != len(tc.want) {
+				t.Fatalf("replayed %d records, want %d: %+v", len(recs), len(tc.want), recs)
+			}
+			for _, rec := range recs {
+				if tc.want[rec.ID] != rec.State {
+					t.Errorf("job %s replayed as %q, want %q", rec.ID, rec.State, tc.want[rec.ID])
+				}
+				if rec.State == JobRunning && len(rec.Request) == 0 {
+					t.Errorf("running job %s lost its request", rec.ID)
+				}
+			}
+			if len(corrupt) != len(tc.wantCorrupt) {
+				t.Fatalf("got %d corrupt records, want %d: %+v", len(corrupt), len(tc.wantCorrupt), corrupt)
+			}
+			for i, id := range tc.wantCorrupt {
+				if corrupt[i].ID != id {
+					t.Errorf("corrupt[%d].ID = %s, want %s", i, corrupt[i].ID, id)
+				}
+				if corrupt[i].Reason == "" {
+					t.Errorf("corrupt record %s has no reason", id)
+				}
+			}
+			// Temp debris never survives a replay.
+			ents, err := os.ReadDir(j.dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range ents {
+				if strings.HasPrefix(e.Name(), ".tmp-") {
+					t.Errorf("replay left temp debris %s", e.Name())
+				}
+			}
+		})
+	}
+}
+
+// TestJournalPutDelete covers the per-record lifecycle.
+func TestJournalPutDelete(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := st.Jobs()
+	if err := j.Put(JobRecord{State: JobRunning}); err == nil {
+		t.Fatal("Put accepted a record without an ID")
+	}
+	mustPut(t, j, JobRecord{ID: "learn-1", State: JobRunning})
+	mustPut(t, j, JobRecord{ID: "learn-1", State: JobDone}) // replace
+	recs, corrupt, err := j.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].State != JobDone || len(corrupt) != 0 {
+		t.Fatalf("after replace: recs=%+v corrupt=%+v", recs, corrupt)
+	}
+	if err := j.Delete("learn-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Delete("learn-1"); err != nil {
+		t.Fatalf("double delete errored: %v", err)
+	}
+	recs, _, err = j.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("deleted record still replayed: %+v", recs)
+	}
+}
+
+func mustPut(t *testing.T, j *Journal, rec JobRecord) {
+	t.Helper()
+	if err := j.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func truncate(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func flipByte(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,420 @@
+package bundle
+
+// The on-disk bundle store. Layout under the root directory:
+//
+//	root/
+//	  bundles/<id>/            committed bundles; <id> = %08d-<digest12>
+//	    manifest.ccb           framed (magic+schema+length+checksum) JSON
+//	    contracts.json         base contract set (digest in manifest)
+//	    overlay.json           optional operator overlay contracts
+//	    suppressions.json      optional suppressed contract IDs
+//	  bundles/.tmp-*           in-flight writes (crash debris is swept)
+//	  quarantine/<id>/         corrupt bundles moved aside, never deleted
+//	  jobs/<id>.ccb            learn-job journal entries (journal.go)
+//	  lkg.ccb                  framed last-known-good pointer
+//
+// Crash safety is rename-based: a bundle is assembled in a temp
+// directory, every file is fsynced, and only then is the directory
+// renamed into bundles/ and the parent fsynced. A process killed at any
+// instant leaves either no trace (a .tmp-* directory swept by the next
+// Scan) or a fully committed bundle. The last-known-good pointer is a
+// separate atomically-replaced file, so activation order is: persist
+// bundle, activate in memory, then advance the pointer — a crash
+// between any two steps recovers to a consistent, previously-good
+// state.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"concord/internal/artifact"
+	"concord/internal/diag"
+	"concord/internal/faultinject"
+)
+
+// CorruptError reports a bundle that exists on disk but cannot be
+// trusted: framed-manifest corruption, a payload digest mismatch, a
+// missing payload file, or undecodable contracts.
+type CorruptError struct {
+	ID     string
+	Path   string
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("bundle: corrupt bundle %s at %s: %s", e.ID, e.Path, e.Reason)
+}
+
+// ErrNotFound reports a bundle ID with no committed directory.
+var ErrNotFound = errors.New("bundle: not found")
+
+// Store is a crash-safe bundle store rooted at one directory. It is
+// safe for concurrent use within a process: writes, scans, and pointer
+// updates serialize on one mutex (scans sweep crash debris, which must
+// not race an in-flight write's temp directory).
+type Store struct {
+	root string
+
+	mu      sync.Mutex
+	lastSeq uint64
+	journal *Journal
+}
+
+// Open creates (if needed) and returns the store rooted at dir. The
+// sequence counter resumes past every committed and quarantined bundle,
+// so IDs never collide across restarts.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("bundle: empty store directory")
+	}
+	for _, sub := range []string{bundlesDir, quarantineDir, jobsDir} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("bundle: %w", err)
+		}
+	}
+	s := &Store{root: dir}
+	s.journal = &Journal{dir: filepath.Join(dir, jobsDir)}
+	for _, sub := range []string{bundlesDir, quarantineDir} {
+		ents, err := os.ReadDir(filepath.Join(dir, sub))
+		if err != nil {
+			return nil, fmt.Errorf("bundle: %w", err)
+		}
+		for _, e := range ents {
+			if seq, ok := seqOf(e.Name()); ok && seq > s.lastSeq {
+				s.lastSeq = seq
+			}
+		}
+	}
+	return s, nil
+}
+
+const (
+	bundlesDir    = "bundles"
+	quarantineDir = "quarantine"
+	jobsDir       = "jobs"
+	manifestFile  = "manifest.ccb"
+	lkgFile       = "lkg.ccb"
+)
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.root }
+
+// Jobs returns the store's learn-job journal.
+func (s *Store) Jobs() *Journal { return s.journal }
+
+// seqOf parses the %08d- sequence prefix of a bundle directory name.
+func seqOf(id string) (uint64, bool) {
+	i := strings.IndexByte(id, '-')
+	if i <= 0 {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(id[:i], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// Write commits the bundle: it assigns the next sequence number and ID,
+// assembles the bundle in a temp directory with every file fsynced, and
+// renames it into place. On return the bundle is durable; on a crash at
+// any earlier instant no committed state changed. The assigned ID is
+// returned and recorded in b.Manifest.
+func (s *Store) Write(b *Bundle) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b.Manifest.Seq = s.lastSeq + 1
+	if b.Manifest.CreatedUnix == 0 {
+		b.Manifest.CreatedUnix = time.Now().Unix()
+	}
+	files, err := b.payloads()
+	if err != nil {
+		return "", err
+	}
+	// The ID folds in the contracts digest so operators can spot two
+	// packs of the same set at a glance.
+	digest := b.Manifest.Files[FileContracts]
+	id := fmt.Sprintf("%08d-%s", b.Manifest.Seq, digest[:12])
+	b.Manifest.ID = id
+
+	manifestJSON, err := manifestJSON(&b.Manifest)
+	if err != nil {
+		return "", err
+	}
+	dir := filepath.Join(s.root, bundlesDir)
+	tmp := filepath.Join(dir, ".tmp-"+id)
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		return "", fmt.Errorf("bundle: %w", err)
+	}
+	cleanup := func() { os.RemoveAll(tmp) }
+	for name, data := range files {
+		faultinject.At("bundle.store.write", name)
+		if err := writeFileSync(filepath.Join(tmp, name), data); err != nil {
+			cleanup()
+			return "", err
+		}
+	}
+	faultinject.At("bundle.store.write", "manifest")
+	if err := writeFileSync(filepath.Join(tmp, manifestFile), artifact.EncodeFrame(manifestMagic, SchemaVersion, manifestJSON)); err != nil {
+		cleanup()
+		return "", err
+	}
+	if err := syncDir(tmp); err != nil {
+		cleanup()
+		return "", err
+	}
+	faultinject.At("bundle.store.write", "rename")
+	if err := os.Rename(tmp, filepath.Join(dir, id)); err != nil {
+		cleanup()
+		return "", fmt.Errorf("bundle: committing %s: %w", id, err)
+	}
+	if err := syncDir(dir); err != nil {
+		return "", err
+	}
+	s.lastSeq = b.Manifest.Seq
+	return id, nil
+}
+
+func manifestJSON(m *Manifest) ([]byte, error) {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("bundle: encoding manifest: %w", err)
+	}
+	return data, nil
+}
+
+// Load reads and fully verifies the committed bundle with the given ID:
+// framed manifest first, then every payload digest, then the contract
+// decoding. Any failure is a *CorruptError (or ErrNotFound).
+func (s *Store) Load(id string) (*Bundle, error) {
+	return s.load(filepath.Join(s.root, bundlesDir, id), id)
+}
+
+func (s *Store) load(dir, id string) (*Bundle, error) {
+	mpath := filepath.Join(dir, manifestFile)
+	data, err := os.ReadFile(mpath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			if _, derr := os.Stat(dir); os.IsNotExist(derr) {
+				return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+			}
+			return nil, &CorruptError{ID: id, Path: mpath, Reason: "missing manifest"}
+		}
+		return nil, &CorruptError{ID: id, Path: mpath, Reason: err.Error()}
+	}
+	m, err := decodeManifest(data)
+	if err != nil {
+		return nil, &CorruptError{ID: id, Path: mpath, Reason: err.Error()}
+	}
+	files := make(map[string][]byte, len(m.Files))
+	for name, wantHex := range m.Files {
+		// Payload names come from the manifest; reject anything that
+		// would escape the bundle directory.
+		if name != filepath.Base(name) || strings.HasPrefix(name, ".") {
+			return nil, &CorruptError{ID: id, Path: mpath, Reason: fmt.Sprintf("manifest names suspicious payload %q", name)}
+		}
+		p := filepath.Join(dir, name)
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, &CorruptError{ID: id, Path: p, Reason: "missing payload: " + err.Error()}
+		}
+		if got := artifact.HashBytes("concord/bundle/file/v1", data).Hex(); got != wantHex {
+			return nil, &CorruptError{ID: id, Path: p, Reason: "payload digest mismatch"}
+		}
+		files[name] = data
+	}
+	b, err := decodePayloads(m, files)
+	if err != nil {
+		return nil, &CorruptError{ID: id, Path: dir, Reason: err.Error()}
+	}
+	return b, nil
+}
+
+// Quarantine moves a committed bundle into the quarantine directory and
+// records the reason alongside it. Quarantined bundles are never
+// deleted automatically: they are evidence.
+func (s *Store) Quarantine(id, reason string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quarantineLocked(id, reason)
+}
+
+func (s *Store) quarantineLocked(id, reason string) error {
+	src := filepath.Join(s.root, bundlesDir, id)
+	dst := filepath.Join(s.root, quarantineDir, id)
+	// A prior quarantine of the same ID (crash between rename and
+	// rescan) is cleared first; its reason file is rewritten below.
+	if err := os.RemoveAll(dst); err != nil {
+		return fmt.Errorf("bundle: %w", err)
+	}
+	if err := os.Rename(src, dst); err != nil {
+		return fmt.Errorf("bundle: quarantining %s: %w", id, err)
+	}
+	_ = os.WriteFile(filepath.Join(dst, "reason.txt"), []byte(reason+"\n"), 0o644)
+	_ = syncDir(filepath.Join(s.root, quarantineDir))
+	_ = syncDir(filepath.Join(s.root, bundlesDir))
+	return nil
+}
+
+// Scan sweeps crash debris (.tmp-* directories), loads and verifies
+// every committed bundle, quarantines the corrupt ones (each reported
+// as a warn diagnostic, stage "bundle"), and returns the valid bundles
+// sorted by ascending sequence number. A corrupt bundle never fails the
+// scan: the caller always receives every bundle that can be trusted.
+func (s *Store) Scan() ([]*Bundle, []diag.Diagnostic, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dir := filepath.Join(s.root, bundlesDir)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bundle: %w", err)
+	}
+	var (
+		out   []*Bundle
+		diags []diag.Diagnostic
+	)
+	for _, e := range ents {
+		name := e.Name()
+		if strings.HasPrefix(name, ".tmp-") {
+			// A write that never committed: a crash mid-assembly. The
+			// rename barrier guarantees nothing referenced it.
+			if err := os.RemoveAll(filepath.Join(dir, name)); err == nil {
+				diags = append(diags, diag.Diagnostic{
+					Severity: diag.SevInfo, Stage: "bundle", Source: name,
+					Message: "swept uncommitted bundle write (crash debris)",
+				})
+			}
+			continue
+		}
+		if !e.IsDir() {
+			continue
+		}
+		b, err := s.load(filepath.Join(dir, name), name)
+		if err != nil {
+			reason := err.Error()
+			if qerr := s.quarantineLocked(name, reason); qerr != nil {
+				reason = fmt.Sprintf("%s (quarantine failed: %v)", reason, qerr)
+			}
+			diags = append(diags, diag.Diagnostic{
+				Severity: diag.SevWarn, Stage: "bundle", Source: name,
+				Message: "quarantined corrupt bundle: " + reason, Cause: err,
+			})
+			continue
+		}
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Manifest.Seq < out[j].Manifest.Seq })
+	return out, diags, nil
+}
+
+// lkgPointer is the framed payload of the last-known-good file.
+type lkgPointer struct {
+	Schema int    `json:"schema"`
+	Bundle string `json:"bundle"`
+}
+
+// SetLastKnownGood atomically advances the last-known-good pointer to
+// the committed bundle with the given ID.
+func (s *Store) SetLastKnownGood(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	payload, err := json.MarshalIndent(&lkgPointer{Schema: SchemaVersion, Bundle: id}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bundle: %w", err)
+	}
+	return replaceFileSync(filepath.Join(s.root, lkgFile), artifact.EncodeFrame(pointerMagic, SchemaVersion, payload))
+}
+
+// LastKnownGood returns the ID the pointer names, or "" when no pointer
+// has been written. A corrupt pointer is reported as a *CorruptError —
+// callers should fall back to the newest valid bundle.
+func (s *Store) LastKnownGood() (string, error) {
+	p := filepath.Join(s.root, lkgFile)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return "", nil
+		}
+		return "", &CorruptError{ID: "lkg", Path: p, Reason: err.Error()}
+	}
+	payload, err := artifact.DecodeFrame(pointerMagic, SchemaVersion, data)
+	if err != nil {
+		return "", &CorruptError{ID: "lkg", Path: p, Reason: err.Error()}
+	}
+	var ptr lkgPointer
+	if err := json.Unmarshal(payload, &ptr); err != nil {
+		return "", &CorruptError{ID: "lkg", Path: p, Reason: err.Error()}
+	}
+	return ptr.Bundle, nil
+}
+
+// writeFileSync writes data to a new file and fsyncs it before close,
+// so the bytes are durable before the commit rename can be.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("bundle: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("bundle: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("bundle: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("bundle: %w", err)
+	}
+	return nil
+}
+
+// replaceFileSync atomically replaces path via a synced temp file and
+// rename, then fsyncs the parent directory.
+func replaceFileSync(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("bundle: %w", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("bundle: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("bundle: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("bundle: %w", err)
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("bundle: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a rename into it is durable.
+func syncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("bundle: %w", err)
+	}
+	// Some filesystems reject directory fsync; rename atomicity still
+	// holds there, so the error is not fatal.
+	_ = d.Sync()
+	return d.Close()
+}

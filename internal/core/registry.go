@@ -65,6 +65,10 @@ type RegistryStats struct {
 	// find) their fingerprint resident.
 	Hits   int64 `json:"hits"`
 	Misses int64 `json:"misses"`
+	// Pinned is the number of resident entries currently pinned against
+	// LRU eviction (the serving default set, unexpired learn-job
+	// results).
+	Pinned int `json:"pinned"`
 }
 
 // EngineRegistry is a concurrency-safe registry of resident engines
@@ -174,13 +178,7 @@ func (r *EngineRegistry) Acquire(ctx context.Context, set *contracts.Set) (*Regi
 	en := &RegistryEntry{reg: r, key: key, set: set, ready: make(chan struct{})}
 	en.elem = r.lru.PushFront(en)
 	r.entries[key] = en
-	for r.lru.Len() > r.max {
-		back := r.lru.Back()
-		victim := back.Value.(*RegistryEntry)
-		r.lru.Remove(back)
-		delete(r.entries, victim.key)
-		r.evictions.Add(1)
-	}
+	r.evictLocked()
 	r.mu.Unlock()
 	en.compile(r)
 	return en.wait(ctx)
@@ -212,13 +210,77 @@ func (r *EngineRegistry) AcquireByFingerprint(ctx context.Context, fingerprint s
 // set that is not resident (never registered, or evicted by the LRU).
 var ErrUnknownFingerprint = errors.New("unknown contract-set fingerprint")
 
+// evictLocked enforces the LRU bound, skipping pinned entries. When
+// every entry is pinned the registry is allowed to exceed its bound —
+// dropping a pinned entry (the serving default, an unexpired job
+// result) would break fingerprint addressability, which is worse than
+// a transiently larger working set. Callers hold r.mu.
+func (r *EngineRegistry) evictLocked() {
+	for r.lru.Len() > r.max {
+		var victim *list.Element
+		for e := r.lru.Back(); e != nil; e = e.Prev() {
+			if e.Value.(*RegistryEntry).pins.Load() == 0 {
+				victim = e
+				break
+			}
+		}
+		if victim == nil {
+			return
+		}
+		en := victim.Value.(*RegistryEntry)
+		r.lru.Remove(victim)
+		delete(r.entries, en.key)
+		r.evictions.Add(1)
+	}
+}
+
+// Pin marks the entry immune to LRU eviction until a matching Unpin.
+// Pins nest. If the entry was already evicted, pinning re-inserts it so
+// its fingerprint stays addressable — unless a newer entry for the same
+// fingerprint exists, in which case the entry merely stays usable by
+// its holders (the newer entry owns the key).
+func (r *EngineRegistry) Pin(en *RegistryEntry) {
+	if en == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	en.pins.Add(1)
+	if _, ok := r.entries[en.key]; !ok {
+		en.elem = r.lru.PushFront(en)
+		r.entries[en.key] = en
+		r.evictLocked()
+	}
+}
+
+// Unpin releases one Pin; at zero pins the entry becomes evictable
+// again. Unpinning below zero is a bug and panics.
+func (r *EngineRegistry) Unpin(en *RegistryEntry) {
+	if en == nil {
+		return
+	}
+	if en.pins.Add(-1) < 0 {
+		panic("core: registry entry unpinned more times than pinned")
+	}
+	r.mu.Lock()
+	r.evictLocked()
+	r.mu.Unlock()
+}
+
 // Stats snapshots the registry's counters.
 func (r *EngineRegistry) Stats() RegistryStats {
 	r.mu.Lock()
 	n := r.lru.Len()
+	pinned := 0
+	for e := r.lru.Front(); e != nil; e = e.Next() {
+		if e.Value.(*RegistryEntry).pins.Load() > 0 {
+			pinned++
+		}
+	}
 	r.mu.Unlock()
 	return RegistryStats{
 		Entries:   n,
+		Pinned:    pinned,
 		Compiles:  r.compiles.Load(),
 		Evictions: r.evictions.Load(),
 		Hits:      r.hits.Load(),
@@ -254,6 +316,10 @@ type RegistryEntry struct {
 	key  artifact.Key
 	set  *contracts.Set
 	elem *list.Element
+
+	// pins counts Pin calls minus Unpin calls; a pinned entry is never
+	// LRU-evicted (see EngineRegistry.Pin).
+	pins atomic.Int64
 
 	// ready is closed when compilation finishes; err is set before the
 	// close and never written afterwards.

@@ -316,3 +316,104 @@ func TestRegistryRejectsNegativeSize(t *testing.T) {
 		t.Errorf("default size = %d, want %d", reg.max, DefaultRegistryEntries)
 	}
 }
+
+// TestRegistryPinBlocksEviction: a pinned entry (the serving default, a
+// live job result) is never LRU-evicted no matter how many other sets
+// arrive; once unpinned it competes like any other entry again.
+func TestRegistryPinBlocksEviction(t *testing.T) {
+	set, test, cold := registryFixture(t)
+	if set.Len() < 3 {
+		t.Fatalf("learned set too small (%d) to derive variant sets", set.Len())
+	}
+	other := &contracts.Set{Contracts: set.Contracts[:set.Len()-1]}
+	third := &contracts.Set{Contracts: set.Contracts[:set.Len()-2]}
+
+	reg, err := NewEngineRegistry(DefaultOptions(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, err := reg.Acquire(context.Background(), set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Pin(en)
+	if _, err := reg.Acquire(context.Background(), other); err != nil {
+		t.Fatal(err)
+	}
+	// The pinned entry must still be fingerprint-addressable.
+	if _, err := reg.AcquireByFingerprint(context.Background(), en.Fingerprint()); err != nil {
+		t.Fatalf("pinned entry lost to eviction: %v", err)
+	}
+	if st := reg.Stats(); st.Pinned != 1 {
+		t.Fatalf("stats.Pinned = %d, want 1 (%+v)", st.Pinned, st)
+	}
+	// And it serves byte-identical results while pinned under pressure.
+	got, err := en.CheckContext(context.Background(), test, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameCheck(t, "pinned-entry", got, cold)
+
+	reg.Unpin(en)
+	if st := reg.Stats(); st.Pinned != 0 {
+		t.Fatalf("stats.Pinned = %d after Unpin, want 0", st.Pinned)
+	}
+	// Unpinned, it is evictable again: a newcomer displaces it.
+	if _, err := reg.Acquire(context.Background(), third); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.AcquireByFingerprint(context.Background(), en.Fingerprint()); !errors.Is(err, ErrUnknownFingerprint) {
+		t.Errorf("unpinned entry survived eviction pressure: %v", err)
+	}
+}
+
+// TestRegistryPinReinsertsEvicted: pinning an entry that was already
+// evicted restores its fingerprint addressability (the hot-swap path
+// pins the new default before unpinning the old, so a pin can race an
+// eviction).
+func TestRegistryPinReinsertsEvicted(t *testing.T) {
+	set, _, _ := registryFixture(t)
+	if set.Len() < 2 {
+		t.Fatalf("learned set too small (%d) to derive a second set", set.Len())
+	}
+	other := &contracts.Set{Contracts: set.Contracts[:set.Len()-1]}
+	reg, err := NewEngineRegistry(DefaultOptions(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, err := reg.Acquire(context.Background(), set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Acquire(context.Background(), other); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.AcquireByFingerprint(context.Background(), en.Fingerprint()); !errors.Is(err, ErrUnknownFingerprint) {
+		t.Fatalf("expected %s evicted before pin: %v", en.Fingerprint(), err)
+	}
+	reg.Pin(en)
+	defer reg.Unpin(en)
+	if _, err := reg.AcquireByFingerprint(context.Background(), en.Fingerprint()); err != nil {
+		t.Fatalf("pin did not restore evicted entry: %v", err)
+	}
+}
+
+// TestRegistryUnpinBelowZeroPanics: unbalanced Unpin is a programming
+// error, not a silent counter underflow.
+func TestRegistryUnpinBelowZeroPanics(t *testing.T) {
+	set, _, _ := registryFixture(t)
+	reg, err := NewEngineRegistry(DefaultOptions(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, err := reg.Acquire(context.Background(), set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Unpin below zero did not panic")
+		}
+	}()
+	reg.Unpin(en)
+}

@@ -1,0 +1,365 @@
+package server
+
+// Bundle activation: the hot-reload pipeline that swaps the server's
+// default serving set without dropping a request. An incoming bundle
+// (POST /v1/bundles, or a SIGHUP-triggered rescan of the bundle
+// directory) is compiled off to the side through the registry's
+// singleflight, persisted to the crash-safe store, and only then
+// atomically swapped in; in-flight requests finish on the engine they
+// resolved. A failed compile or validation leaves the previous set —
+// the last known good — serving, untouched. On startup the server
+// recovers the last-known-good bundle from the store, so a crashed or
+// restarted daemon comes back serving exactly what it served before.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"concord/internal/bundle"
+	"concord/internal/diag"
+	"concord/internal/report"
+)
+
+// BundleRequest is the body of POST /v1/bundles: a contract bundle to
+// persist and activate as the default serving set.
+type BundleRequest struct {
+	// Name and Revision label the bundle for operators.
+	Name     string `json:"name"`
+	Revision string `json:"revision,omitempty"`
+	// Contracts is the base contract set — the learn output envelope or
+	// a bare contract array, the same formats `concord check -contracts`
+	// reads. Required.
+	Contracts json.RawMessage `json:"contracts"`
+	// Overlay optionally carries operator-authored contracts served
+	// alongside the base set.
+	Overlay json.RawMessage `json:"overlay,omitempty"`
+	// Suppressions lists contract IDs excluded from serving — the
+	// durable form of `concord check -suppress`.
+	Suppressions []string `json:"suppressions,omitempty"`
+}
+
+// BundleResponse is the body of a successful POST /v1/bundles.
+type BundleResponse struct {
+	// ID is the store-assigned bundle ID ("" when the server runs
+	// without a bundle store and the activation was memory-only).
+	ID string `json:"id,omitempty"`
+	// Fingerprint is the effective set's registry fingerprint.
+	Fingerprint string `json:"fingerprint"`
+	// Contracts counts the effective (served) contracts; Suppressed
+	// counts the contract IDs the suppression list removed.
+	Contracts  int  `json:"contracts"`
+	Suppressed int  `json:"suppressed"`
+	Activated  bool `json:"activated"`
+}
+
+// BundleInfo summarizes one stored bundle for GET /v1/bundles.
+type BundleInfo struct {
+	ID           string `json:"id"`
+	Name         string `json:"name"`
+	Revision     string `json:"revision,omitempty"`
+	Role         string `json:"role"`
+	Seq          uint64 `json:"seq"`
+	CreatedUnix  int64  `json:"created_unix"`
+	Contracts    int    `json:"contracts"`
+	Overlay      int    `json:"overlay,omitempty"`
+	Suppressions int    `json:"suppressions,omitempty"`
+}
+
+// BundlesResponse is the body of GET /v1/bundles.
+type BundlesResponse struct {
+	// ActiveID names the bundle behind the current default serving set
+	// ("" when the default was set directly via -contracts).
+	ActiveID string `json:"active_id,omitempty"`
+	// ActiveFingerprint is the default serving set's fingerprint ("" if
+	// the server has no default set).
+	ActiveFingerprint string `json:"active_fingerprint,omitempty"`
+	// LastKnownGood is the store's last-known-good pointer.
+	LastKnownGood string `json:"last_known_good,omitempty"`
+	// Bundles lists the store's committed, verified bundles.
+	Bundles []BundleInfo `json:"bundles,omitempty"`
+}
+
+// errNoBundleStore reports bundle-store operations on a server started
+// without -bundle-dir.
+var errNoBundleStore = fmt.Errorf("server: no bundle store configured (-bundle-dir)")
+
+// activateBundle runs the activation pipeline: validate, compile the
+// effective set off to the side (registry singleflight — concurrent
+// requests keep being served by the current engine), persist when asked,
+// swap atomically, then advance the last-known-good pointer. Any
+// failure before the swap leaves the previous serving set untouched and
+// counts a rollback.
+func (s *Server) activateBundle(ctx context.Context, b *bundle.Bundle, persist bool) (string, error) {
+	if err := b.Validate(); err != nil {
+		return "", err
+	}
+	eff := b.Effective()
+	en, err := s.reg.Acquire(ctx, eff)
+	if err != nil {
+		s.rec.Add("server.bundle_rollbacks", 1)
+		s.diags.Addf(diag.SevWarn, "bundle", b.Manifest.Name, 0,
+			"bundle activation failed, previous set keeps serving: %v", err)
+		return "", fmt.Errorf("activating bundle %q failed (previous set keeps serving): %w", b.Manifest.Name, err)
+	}
+	if persist && s.store != nil {
+		if _, err := s.store.Write(b); err != nil {
+			s.rec.Add("server.bundle_rollbacks", 1)
+			s.diags.Addf(diag.SevWarn, "bundle", b.Manifest.Name, 0,
+				"persisting bundle failed, previous set keeps serving: %v", err)
+			return "", fmt.Errorf("persisting bundle %q failed (previous set keeps serving): %w", b.Manifest.Name, err)
+		}
+	}
+	s.swapDefault(en, b.Manifest.ID)
+	s.rec.Add("server.bundle_activations", 1)
+	if s.store != nil && b.Manifest.ID != "" {
+		// The swap already happened; a pointer-write failure only means
+		// a restart recovers the previous LKG, so it degrades to a
+		// diagnostic instead of unwinding the activation.
+		if err := s.store.SetLastKnownGood(b.Manifest.ID); err != nil {
+			s.diags.Addf(diag.SevWarn, "bundle", b.Manifest.ID, 0,
+				"advancing last-known-good pointer failed: %v", err)
+		}
+	}
+	return en.Fingerprint(), nil
+}
+
+// Reload rescans the bundle store — quarantining anything corrupt — and
+// activates the newest valid serve-role bundle if it differs from the
+// one currently serving. `concord serve` wires SIGHUP to it. The
+// returned fingerprint is the (possibly unchanged) serving set's.
+func (s *Server) Reload(ctx context.Context) (string, error) {
+	if s.store == nil {
+		return "", errNoBundleStore
+	}
+	s.rec.Add("server.reloads", 1)
+	cand, err := s.scanStore()
+	if err != nil {
+		return "", err
+	}
+	if cand == nil {
+		// Nothing valid to serve: keep the current set (possibly none).
+		s.mu.Lock()
+		en := s.defaultEntry
+		s.mu.Unlock()
+		if en == nil {
+			return "", fmt.Errorf("server: bundle store has no valid serve bundles")
+		}
+		return en.Fingerprint(), nil
+	}
+	s.mu.Lock()
+	currentID := s.defaultBundleID
+	en := s.defaultEntry
+	s.mu.Unlock()
+	if en != nil && currentID == cand.Manifest.ID {
+		return en.Fingerprint(), nil
+	}
+	return s.activateBundle(ctx, cand, false)
+}
+
+// scanStore scans the bundle store, folds the scan's diagnostics and
+// quarantine count into the server's sinks, and returns the newest
+// valid serve-role bundle (nil when none exists).
+func (s *Server) scanStore() (*bundle.Bundle, error) {
+	bundles, ds, err := s.store.Scan()
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range ds {
+		s.diags.Add(d)
+		if d.Severity == diag.SevWarn {
+			s.rec.Add("server.bundles_quarantined", 1)
+		}
+	}
+	var newest *bundle.Bundle
+	for _, b := range bundles {
+		if b.Manifest.Role == bundle.RoleServe {
+			newest = b // Scan returns ascending Seq
+		}
+	}
+	return newest, nil
+}
+
+// recoverFromStore restores serving state after a restart: scan and
+// quarantine, activate the last-known-good bundle (falling back to the
+// newest valid serve bundle if the pointer is unset, stale, or names a
+// bundle that no longer verifies), then replay the learn-job journal.
+// Corrupt state never fails startup — the daemon always comes up with
+// the best consistent state the disk still holds.
+func (s *Server) recoverFromStore() error {
+	bundles, ds, err := s.store.Scan()
+	if err != nil {
+		return err
+	}
+	for _, d := range ds {
+		s.diags.Add(d)
+		if d.Severity == diag.SevWarn {
+			s.rec.Add("server.bundles_quarantined", 1)
+		}
+	}
+	lkg, lkgErr := s.store.LastKnownGood()
+	if lkgErr != nil {
+		s.diags.Addf(diag.SevWarn, "bundle", "lkg", 0,
+			"last-known-good pointer unreadable, falling back to newest valid bundle: %v", lkgErr)
+		lkg = ""
+	}
+	var chosen *bundle.Bundle
+	for _, b := range bundles {
+		if b.Manifest.Role != bundle.RoleServe {
+			continue
+		}
+		if b.Manifest.ID == lkg {
+			chosen = b
+			break
+		}
+	}
+	if chosen == nil {
+		for _, b := range bundles {
+			if b.Manifest.Role == bundle.RoleServe {
+				chosen = b // newest valid, ascending Seq
+			}
+		}
+		if chosen != nil && lkg != "" {
+			s.diags.Addf(diag.SevWarn, "bundle", lkg, 0,
+				"last-known-good bundle missing or corrupt, recovered newest valid bundle %s", chosen.Manifest.ID)
+		}
+	}
+	if chosen != nil {
+		if _, err := s.activateBundle(s.baseCtx, chosen, false); err != nil {
+			// Compile failure of a previously-good bundle (e.g. options
+			// changed across restarts): start without a default rather
+			// than refusing to start.
+			s.diags.Addf(diag.SevError, "bundle", chosen.Manifest.ID, 0,
+				"recovered bundle failed to activate: %v", err)
+		}
+	}
+	return s.recoverJobs()
+}
+
+// handleBundlePush answers POST /v1/bundles: decode, persist, compile
+// off to the side, and hot-swap the default serving set. A bad bundle
+// answers 4xx/422 and the previous set keeps serving.
+func (s *Server) handleBundlePush(w http.ResponseWriter, r *http.Request) {
+	var req BundleRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Contracts) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bundle push carries no contracts"))
+		return
+	}
+	set, err := report.ParseContractsJSON(req.Contracts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	b := bundle.New(req.Name, req.Revision, bundle.RoleServe, set, nil, req.Suppressions)
+	if len(req.Overlay) > 0 {
+		ov, err := report.ParseContractsJSON(req.Overlay)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding overlay: %w", err))
+			return
+		}
+		b.Overlay = ov
+	}
+	if b.Manifest.Name == "" {
+		b.Manifest.Name = "push"
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	fp, err := s.activateBundle(ctx, b, true)
+	if err != nil {
+		// The rollback already happened inside activateBundle; the push
+		// is the client's problem now.
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	eff := b.Effective()
+	writeJSON(w, http.StatusOK, BundleResponse{
+		ID:          b.Manifest.ID,
+		Fingerprint: fp,
+		Contracts:   eff.Len(),
+		Suppressed:  b.Manifest.Contracts + b.Manifest.Overlay - eff.Len(),
+		Activated:   true,
+	})
+}
+
+// handleBundleList answers GET /v1/bundles: the active bundle, the
+// last-known-good pointer, and every verified bundle in the store.
+func (s *Server) handleBundleList(w http.ResponseWriter, r *http.Request) {
+	resp := BundlesResponse{}
+	s.mu.Lock()
+	resp.ActiveID = s.defaultBundleID
+	if s.defaultEntry != nil {
+		resp.ActiveFingerprint = s.defaultEntry.Fingerprint()
+	}
+	s.mu.Unlock()
+	if s.store != nil {
+		bundles, ds, err := s.store.Scan()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		for _, d := range ds {
+			s.diags.Add(d)
+			if d.Severity == diag.SevWarn {
+				s.rec.Add("server.bundles_quarantined", 1)
+			}
+		}
+		if lkg, err := s.store.LastKnownGood(); err == nil {
+			resp.LastKnownGood = lkg
+		}
+		for _, b := range bundles {
+			m := b.Manifest
+			resp.Bundles = append(resp.Bundles, BundleInfo{
+				ID: m.ID, Name: m.Name, Revision: m.Revision, Role: m.Role,
+				Seq: m.Seq, CreatedUnix: m.CreatedUnix,
+				Contracts: m.Contracts, Overlay: m.Overlay, Suppressions: m.Suppressions,
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// Store exposes the server's bundle store (nil without BundleDir), for
+// tests and embedding callers.
+func (s *Server) Store() *bundle.Store { return s.store }
+
+// ActiveBundle reports the bundle ID and fingerprint behind the current
+// default serving set.
+func (s *Server) ActiveBundle() (id, fingerprint string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.defaultEntry != nil {
+		fingerprint = s.defaultEntry.Fingerprint()
+	}
+	return s.defaultBundleID, fingerprint
+}
+
+// startJobJanitor runs the retention sweep for finished learn jobs (see
+// jobs.go); it lives here only to keep New tidy.
+func (s *Server) startJobJanitor() {
+	tick := s.opts.JobRetention / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	if tick > time.Minute {
+		tick = time.Minute
+	}
+	s.bg.Add(1)
+	go func() {
+		defer s.bg.Done()
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.baseCtx.Done():
+				return
+			case <-t.C:
+				s.expireJobs(time.Now())
+			}
+		}
+	}()
+}

@@ -34,8 +34,10 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"concord/internal/bundle"
 	"concord/internal/contracts"
 	"concord/internal/core"
 	"concord/internal/diag"
@@ -70,6 +72,19 @@ type Options struct {
 	// learn jobs get this long to finish before being cancelled.
 	// Default 10s.
 	DrainTimeout time.Duration
+	// MaxInflight caps concurrently executing work requests (check,
+	// coverage, learn, bundle push); excess load is shed with 429 +
+	// Retry-After instead of queueing unboundedly. 0 disables the cap.
+	MaxInflight int
+	// BundleDir, when set, roots the crash-safe bundle store: pushed
+	// and learned bundles persist there, the last-known-good serving
+	// set is recovered on startup, and learn jobs journal their state
+	// for restart recovery.
+	BundleDir string
+	// JobRetention bounds how long finished learn-job records stay
+	// queryable (and their learned sets pinned in the registry).
+	// Default 1h.
+	JobRetention time.Duration
 }
 
 // DefaultOptions returns the server defaults.
@@ -82,6 +97,7 @@ func DefaultOptions() Options {
 		MaxBodyBytes:       64 << 20,
 		RegistryMaxEntries: core.DefaultRegistryEntries,
 		DrainTimeout:       10 * time.Second,
+		JobRetention:       time.Hour,
 	}
 }
 
@@ -109,6 +125,9 @@ func (o Options) withDefaults() Options {
 	if o.DrainTimeout == 0 {
 		o.DrainTimeout = def.DrainTimeout
 	}
+	if o.JobRetention == 0 {
+		o.JobRetention = def.JobRetention
+	}
 	return o
 }
 
@@ -124,6 +143,12 @@ func (o Options) Validate() error {
 	}
 	if o.RegistryMaxEntries < 0 {
 		return fmt.Errorf("server: RegistryMaxEntries must be non-negative (got %d)", o.RegistryMaxEntries)
+	}
+	if o.MaxInflight < 0 {
+		return fmt.Errorf("server: MaxInflight must be non-negative (got %d)", o.MaxInflight)
+	}
+	if o.JobRetention < 0 {
+		return fmt.Errorf("server: JobRetention must be non-negative")
 	}
 	return nil
 }
@@ -149,6 +174,17 @@ type Server struct {
 	hs         *http.Server
 	start      time.Time
 
+	// store is the crash-safe bundle store, nil without BundleDir.
+	store *bundle.Store
+
+	// inflight counts currently executing work requests for the
+	// MaxInflight admission cap.
+	inflight atomic.Int64
+
+	// bg tracks server-owned background goroutines (the job janitor);
+	// Shutdown waits for them after cancelling baseCtx.
+	bg sync.WaitGroup
+
 	// baseCtx is cancelled when the server shuts down; learn jobs run
 	// under it so drain can cut them off cooperatively.
 	baseCtx    context.Context
@@ -156,7 +192,10 @@ type Server struct {
 
 	mu           sync.Mutex
 	defaultEntry *core.RegistryEntry
-	listener     net.Listener
+	// defaultBundleID names the bundle behind the default entry, when
+	// the default was activated from one ("" for SetDefaultContracts).
+	defaultBundleID string
+	listener        net.Listener
 }
 
 // New builds a server. engineOpts configures every resident engine
@@ -194,6 +233,19 @@ func New(engineOpts core.Options, opts Options) (*Server, error) {
 		ReadTimeout:  opts.ReadTimeout,
 		WriteTimeout: opts.WriteTimeout,
 	}
+	if opts.BundleDir != "" {
+		st, err := bundle.Open(opts.BundleDir)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.store = st
+		if err := s.recoverFromStore(); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
+	s.startJobJanitor()
 	return s, nil
 }
 
@@ -211,10 +263,23 @@ func (s *Server) SetDefaultContracts(ctx context.Context, set *contracts.Set) (s
 	if err != nil {
 		return "", err
 	}
-	s.mu.Lock()
-	s.defaultEntry = en
-	s.mu.Unlock()
+	s.swapDefault(en, "")
 	return en.Fingerprint(), nil
+}
+
+// swapDefault atomically installs en as the default serving entry,
+// pinning it against LRU eviction and unpinning the previous default.
+// In-flight requests that already resolved the old entry finish on it.
+func (s *Server) swapDefault(en *core.RegistryEntry, bundleID string) {
+	s.reg.Pin(en)
+	s.mu.Lock()
+	old := s.defaultEntry
+	s.defaultEntry = en
+	s.defaultBundleID = bundleID
+	s.mu.Unlock()
+	if old != nil {
+		s.reg.Unpin(old)
+	}
 }
 
 // defaultContracts returns the current default entry, or nil.
@@ -286,6 +351,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 	}
 	s.baseCancel()
+	s.bg.Wait()
 	return err
 }
 
@@ -293,15 +359,19 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // Shutdown to a signal handler.
 func (s *Server) DrainTimeout() time.Duration { return s.opts.DrainTimeout }
 
-// routes installs the endpoint handlers.
+// routes installs the endpoint handlers. Work endpoints (heavy=true)
+// count against the MaxInflight admission cap; cheap introspection
+// endpoints stay reachable even when the server sheds load.
 func (s *Server) routes() {
-	s.handle("POST /v1/check", s.handleCheck)
-	s.handle("GET /v1/coverage", s.handleCoverage)
-	s.handle("POST /v1/coverage", s.handleCoverage)
-	s.handle("POST /v1/learn", s.handleLearn)
-	s.handle("GET /v1/jobs/{id}", s.handleJob)
-	s.handle("GET /healthz", s.handleHealthz)
-	s.handle("GET /metrics", s.handleMetrics)
+	s.handle("POST /v1/check", true, s.handleCheck)
+	s.handle("GET /v1/coverage", true, s.handleCoverage)
+	s.handle("POST /v1/coverage", true, s.handleCoverage)
+	s.handle("POST /v1/learn", true, s.handleLearn)
+	s.handle("GET /v1/jobs/{id}", false, s.handleJob)
+	s.handle("POST /v1/bundles", true, s.handleBundlePush)
+	s.handle("GET /v1/bundles", false, s.handleBundleList)
+	s.handle("GET /healthz", false, s.handleHealthz)
+	s.handle("GET /metrics", false, s.handleMetrics)
 }
 
 // statusWriter tracks whether a handler already wrote headers, so the
@@ -325,12 +395,13 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
-// handle wraps a handler with the per-request envelope: body size cap,
-// request counting and latency accounting on the resident recorder,
-// the server faultinject site, and panic containment — a panicking
-// request is recorded as a diagnostic and answered with 500, and the
-// daemon keeps serving.
-func (s *Server) handle(pattern string, fn http.HandlerFunc) {
+// handle wraps a handler with the per-request envelope: bounded
+// admission for heavy (work) endpoints, body size cap, request counting
+// and latency accounting on the resident recorder, the server
+// faultinject site, and panic containment — a panicking request is
+// recorded as a diagnostic and answered with 500, and the daemon keeps
+// serving.
+func (s *Server) handle(pattern string, heavy bool, fn http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
@@ -350,6 +421,17 @@ func (s *Server) handle(pattern string, fn http.HandlerFunc) {
 				s.rec.Add("server.errors", 1)
 			}
 		}()
+		if heavy && s.opts.MaxInflight > 0 {
+			if n := s.inflight.Add(1); n > int64(s.opts.MaxInflight) {
+				s.inflight.Add(-1)
+				s.rec.Add("server.requests_shed", 1)
+				sw.Header().Set("Retry-After", "1")
+				writeError(sw, http.StatusTooManyRequests,
+					fmt.Errorf("server at capacity (%d requests in flight); retry later", s.opts.MaxInflight))
+				return
+			}
+			defer s.inflight.Add(-1)
+		}
 		if s.opts.MaxBodyBytes > 0 && r.Body != nil {
 			r.Body = http.MaxBytesReader(sw, r.Body, s.opts.MaxBodyBytes)
 		}
