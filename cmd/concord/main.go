@@ -131,6 +131,13 @@ warm runs:
   -incremental         replay cached per-config check results for unchanged
                        configs (requires -cache-dir)
 
+fleet-scale checking:
+  -shards N            partition a check run into N deterministic contiguous
+                       shards streamed on a bounded pool; per-config results
+                       stream instead of holding the lexed fleet in memory,
+                       and output is byte-identical to an unsharded run
+  -shard-workers N     max shards in flight at once (default -parallel)
+
 robustness:
   -lenient             skip unreadable input files with diagnostics
   -strict              abort on the first contained fault or degraded input
@@ -281,6 +288,8 @@ func sharedFlags(fs *flag.FlagSet) *runConfig {
 	tokens := fs.String("tokens", "", "JSON file of user lexer token specs")
 	cacheDir := fs.String("cache-dir", "", "content-addressed artifact cache directory for warm runs")
 	incremental := fs.Bool("incremental", false, "replay cached check results for unchanged configs (requires -cache-dir)")
+	shards := fs.Int("shards", 0, "partition check runs into N streamed shards for fleet-scale corpora (0/1 = unsharded)")
+	shardWorkers := fs.Int("shard-workers", 0, "max shards in flight at once (0 = -parallel)")
 	rc := &runConfig{
 		metricsJSON: fs.String("metrics-json", "", "write a per-stage telemetry report to this file"),
 		cpuProfile:  fs.String("cpuprofile", "", "write a pprof CPU profile to this file"),
@@ -302,6 +311,8 @@ func sharedFlags(fs *flag.FlagSet) *runConfig {
 		opts.Confidence = *confidence
 		opts.ScoreThreshold = *threshold
 		opts.Parallelism = *parallel
+		opts.Shards = *shards
+		opts.ShardWorkers = *shardWorkers
 		opts.ContextEmbedding = !*noEmbed
 		opts.ConstantLearning = *constants
 		opts.Minimize = !*noMinimize

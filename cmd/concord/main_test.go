@@ -632,3 +632,72 @@ func TestCheckUniqueMissingFileLevel(t *testing.T) {
 		t.Errorf("expected file-level unique violation for r1.cfg:\n%s", out.String())
 	}
 }
+
+// TestShardedCheckCLIMatchesUnsharded runs the same corpus through
+// `concord check` with and without -shards and requires the JSON
+// reports to match byte-for-byte outside the generation timestamp.
+func TestShardedCheckCLIMatchesUnsharded(t *testing.T) {
+	trainDir := t.TempDir()
+	writeDataset(t, trainDir, nil)
+	contractsPath := filepath.Join(trainDir, "contracts.json")
+	var out bytes.Buffer
+	if err := runLearn([]string{
+		"-configs", filepath.Join(trainDir, "*.cfg"),
+		"-meta", filepath.Join(trainDir, "*.json"),
+		"-out", contractsPath,
+	}, &out); err != nil {
+		t.Fatalf("learn: %v", err)
+	}
+
+	badDir := t.TempDir()
+	writeDataset(t, badDir, synth.InjectMissingAggregate)
+	stripTimestamp := func(path string) string {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep map[string]json.RawMessage
+		if err := json.Unmarshal(data, &rep); err != nil {
+			t.Fatal(err)
+		}
+		delete(rep, "generated_at")
+		canon, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(canon)
+	}
+	run := func(extra ...string) (int, string) {
+		out.Reset()
+		jsonPath := filepath.Join(t.TempDir(), "report.json")
+		args := append([]string{
+			"-configs", filepath.Join(badDir, "*.cfg"),
+			"-meta", filepath.Join(badDir, "*.json"),
+			"-contracts", contractsPath,
+			"-out", jsonPath,
+		}, extra...)
+		n, err := runCheck(args, &out)
+		if err != nil {
+			t.Fatalf("check %v: %v", extra, err)
+		}
+		return n, stripTimestamp(jsonPath)
+	}
+	wantN, want := run()
+	if wantN == 0 {
+		t.Fatal("unsharded run caught no violations; the differential is vacuous")
+	}
+	for _, shards := range []string{"3", "16"} {
+		gotN, got := run("-shards", shards, "-shard-workers", "2")
+		if gotN != wantN || got != want {
+			t.Errorf("-shards %s: %d violations, report diverges from unsharded (%d)", shards, gotN, wantN)
+		}
+	}
+
+	if _, err := runCheck([]string{
+		"-configs", filepath.Join(badDir, "*.cfg"),
+		"-contracts", contractsPath,
+		"-shards", "-2",
+	}, &out); err == nil {
+		t.Error("check accepted a negative -shards")
+	}
+}

@@ -839,34 +839,15 @@ func (ch *Checker) UniqueContributions(cfg *lexer.Config) map[string][]UniqueSit
 // CheckUniqueFromContributions evaluates the cross-configuration
 // uniqueness component from per-configuration site contributions
 // (cached or freshly extracted), merged in configuration order.
-// names[i] labels contribs[i]'s configuration in violations. The
-// result is identical to CheckUniqueAcross over the same corpus: the
-// first site of a value is the witness, every later site a violation.
+// names[i] labels contribs[i]'s configuration in violations. It is a
+// single-accumulator reduction over the UniqueCombiner, so the result
+// is identical to CheckUniqueAcross over the same corpus: the first
+// site of a value is the witness, every later site a violation.
 func (ch *Checker) CheckUniqueFromContributions(names []string, contribs []map[string][]UniqueSite) []Violation {
-	var out []Violation
-	for _, u := range ch.uniqueContracts() {
-		u := u
-		ch.contained(u, "", func() {
-			faultinject.At("contracts.check.unique_global", u.ID())
-			type site struct {
-				file string
-				line int
-			}
-			seen := make(map[string]site)
-			for ci := range contribs {
-				for _, s := range contribs[ci][u.ID()] {
-					if prev, dup := seen[s.Key]; dup {
-						out = append(out, violation(u, names[ci], s.Line,
-							fmt.Sprintf("value %s duplicates %s:%d", s.Display, prev.file, prev.line)))
-						continue
-					}
-					seen[s.Key] = site{file: names[ci], line: s.Line}
-				}
-			}
-		})
-	}
-	sortViolations(out)
-	return out
+	c := ch.UniqueCombiner()
+	return c.Reduce([]Accumulator{
+		&UniqueAccumulator{ch: ch, names: names, contribs: contribs},
+	})
 }
 
 // equalsFast reports whether an equals contract can use the hash-based

@@ -133,6 +133,21 @@ type Options struct {
 	// (so cross-configuration uniqueness stays exact over a mix of
 	// cached and fresh configs). Requires Artifacts.
 	Incremental bool
+	// Shards, when greater than one, routes Check/CheckContext through
+	// the fleet-scale sharded driver: the corpus is partitioned into
+	// that many deterministic contiguous shards, shards run on a
+	// bounded pool, and each shard streams per-configuration results —
+	// lexed configurations are released as the shard advances, so peak
+	// memory is bounded by in-flight shards rather than fleet size.
+	// Cross-configuration Unique contracts are merged through the
+	// contracts.Combiner protocol. Results are byte-identical to the
+	// unsharded path, warm artifact replay included. See DESIGN.md §11.
+	Shards int
+	// ShardWorkers bounds how many shards are in flight at once; 0
+	// selects Parallelism. Configurations within a shard are processed
+	// sequentially, so ShardWorkers is the effective parallelism of a
+	// sharded check.
+	ShardWorkers int
 }
 
 // Validate rejects unusable option values: Support below 1, Confidence
@@ -158,6 +173,12 @@ func (o Options) Validate() error {
 	}
 	if o.Incremental && o.Artifacts == nil {
 		return fmt.Errorf("core: Incremental requires an Artifacts cache")
+	}
+	if o.Shards < 0 {
+		return fmt.Errorf("core: Shards must be non-negative (got %d)", o.Shards)
+	}
+	if o.ShardWorkers < 0 {
+		return fmt.Errorf("core: ShardWorkers must be non-negative (got %d)", o.ShardWorkers)
 	}
 	return nil
 }
@@ -340,103 +361,29 @@ type artState struct {
 func (e *Engine) processContext(ctx context.Context, dc *diag.Collector, sources, meta []Source) ([]*lexer.Config, *artState, ProcessStats, error) {
 	sp := e.opts.Telemetry.StartSpan(string(telemetry.StageProcess))
 	defer sp.EndCount(len(sources))
-	lim := e.opts.Limits.WithDefaults()
-	e.opts.Telemetry.SetGauge("limits.max_file_size", float64(lim.MaxFileSize))
-	e.opts.Telemetry.SetGauge("limits.max_line_len", float64(lim.MaxLineLen))
-	e.opts.Telemetry.SetGauge("limits.max_depth", float64(lim.MaxDepth))
-	e.opts.Telemetry.SetGauge("limits.max_lines", float64(lim.MaxLines))
-	// The lexer cache and intern table normally live for exactly one
-	// processed corpus: entries are only valid for this engine's lexer,
-	// and dense pattern IDs are only meaningful against this run's
-	// table. A resident engine (service mode) instead supplies
-	// long-lived instances shared across requests: both structures are
-	// concurrency-safe and append-only, so later corpora simply start
-	// warm, with identical results.
-	var cache *lexer.Cache
-	var interns *intern.Table
-	if e.resident != nil {
-		cache, interns = e.resident.cache, e.resident.interns
-	} else if !e.opts.LearnBaseline {
-		if e.opts.LexCacheSize >= 0 {
-			cache = lexer.NewCache(e.opts.LexCacheSize)
-		}
-		interns = intern.NewTable()
-	}
-	metaLines, err := e.processMeta(dc, lim, meta, cache, interns)
+	cr, err := e.newCorpusRun(dc, meta)
 	if err != nil {
 		return nil, nil, ProcessStats{}, err
 	}
-	// The artifact cache needs the interned-pattern pipeline; the
-	// baseline path exists precisely to bypass it.
-	artOn := e.opts.Artifacts != nil && !e.opts.LearnBaseline
+	artOn := cr.artOn
 	var artSlots []sourceArt
-	var metaFP artifact.Key
 	if artOn {
 		artSlots = make([]sourceArt, len(sources))
-		mh := artifact.NewHasher("concord/meta/v1")
-		for _, m := range meta {
-			mh.Str(m.Name).Bytes(m.Text)
-		}
-		metaFP = mh.Sum()
 	}
 	slots := make([]*lexer.Config, len(sources))
 	err = e.forEachCtx(ctx, dc, telemetry.StageProcess, len(sources),
 		func(i int) string { return sources[i].Name },
 		func(i int) {
-			faultinject.At("core.process.source", sources[i].Name)
+			cfg, sa := e.processOneSource(dc, cr, sources[i])
+			slots[i] = cfg
 			if artOn {
-				if cfg, sa, ok := e.loadLexArtifact(dc, sources[i], interns); ok {
-					cfg.Lines = append(cfg.Lines, metaLines...)
-					slots[i] = cfg
-					artSlots[i] = sa
-					return
-				} else {
-					artSlots[i] = sa
-				}
+				artSlots[i] = sa
 			}
-			// A per-source collector distinguishes "this source degraded"
-			// from the shared run state: only sources that process without
-			// any diagnostic are persisted to the cache.
-			sdc := dc
-			if artOn {
-				sdc = diag.New()
-			}
-			cfg := format.Process(sources[i].Name, sources[i].Text, e.lx,
-				format.Options{Embed: e.opts.ContextEmbedding, Limits: lim,
-					Telemetry: e.opts.Telemetry, Diagnostics: sdc,
-					Cache: cache, Interns: interns, Baseline: e.opts.LearnBaseline})
-			if artOn {
-				dc.Merge(sdc)
-			}
-			if cfg.Skipped {
-				return // input guards recorded the diagnostic
-			}
-			if artOn {
-				artSlots[i].clean = sdc.Len() == 0
-				if artSlots[i].clean {
-					// Encode before meta lines are appended: metadata is
-					// corpus state, not source content, and is re-applied
-					// (and fingerprinted) on every run.
-					if payload, ok := artifact.EncodeConfig(&cfg); ok {
-						if serr := e.opts.Artifacts.Store(artifact.KindLex, artSlots[i].lexKey, payload); serr != nil {
-							e.opts.Telemetry.Add("artifact.store_errors", 1)
-						} else {
-							e.opts.Telemetry.Add("artifact.bytes_written", int64(len(payload)))
-						}
-					}
-				}
-			}
-			cfg.Lines = append(cfg.Lines, metaLines...)
-			slots[i] = &cfg
 		})
 	if err != nil {
 		return nil, nil, ProcessStats{}, err
 	}
-	if cache != nil {
-		hits, misses := cache.Stats()
-		e.opts.Telemetry.Add("lex.cache_hits", hits)
-		e.opts.Telemetry.Add("lex.cache_misses", misses)
-	}
+	cr.emitCacheStats(e)
 	// Compact: sources that panicked a worker or were rejected by input
 	// guards leave nil slots; survivors keep input order (and their
 	// artifact state stays aligned with them).
@@ -455,7 +402,7 @@ func (e *Engine) processContext(ctx context.Context, dc *diag.Collector, sources
 	}
 	var arts *artState
 	if artOn {
-		arts = &artState{cache: e.opts.Artifacts, per: per, metaFP: metaFP}
+		arts = &artState{cache: e.opts.Artifacts, per: per, metaFP: cr.metaFP}
 	}
 	if e.opts.Strict {
 		if err := diag.Join(dc.All()); err != nil {
@@ -466,15 +413,7 @@ func (e *Engine) processContext(ctx context.Context, dc *diag.Collector, sources
 	patterns := make(map[string]int)
 	for _, cfg := range cfgs {
 		st.Lines += cfg.SourceLines
-		for i := range cfg.Lines {
-			line := &cfg.Lines[i]
-			if line.Meta {
-				continue
-			}
-			if n, ok := patterns[line.Pattern]; !ok || len(line.Params) > n {
-				patterns[line.Pattern] = len(line.Params)
-			}
-		}
+		addPatternStats(patterns, cfg)
 	}
 	st.Patterns = len(patterns)
 	for _, n := range patterns {
@@ -485,6 +424,138 @@ func (e *Engine) processContext(ctx context.Context, dc *diag.Collector, sources
 	e.opts.Telemetry.SetGauge("corpus.lines", float64(st.Lines))
 	e.opts.Telemetry.SetGauge("corpus.patterns", float64(st.Patterns))
 	return cfgs, arts, st, nil
+}
+
+// corpusRun is the per-run corpus state shared by every source: the
+// lexer cache, intern table, processed metadata lines, and artifact
+// bookkeeping. Both the unsharded and the sharded drivers build one
+// and thread it through the same per-source helpers, so the two paths
+// cannot drift.
+type corpusRun struct {
+	lim       format.Limits
+	cache     *lexer.Cache
+	interns   *intern.Table
+	metaLines []lexer.Line
+	// artOn reports the artifact cache participates in this run (cache
+	// attached and not a baseline run, which bypasses the
+	// interned-pattern pipeline the cache needs).
+	artOn  bool
+	metaFP artifact.Key
+}
+
+// newCorpusRun resolves limits, lexer cache, and intern table for one
+// run and processes the metadata corpus.
+func (e *Engine) newCorpusRun(dc *diag.Collector, meta []Source) (*corpusRun, error) {
+	lim := e.opts.Limits.WithDefaults()
+	e.opts.Telemetry.SetGauge("limits.max_file_size", float64(lim.MaxFileSize))
+	e.opts.Telemetry.SetGauge("limits.max_line_len", float64(lim.MaxLineLen))
+	e.opts.Telemetry.SetGauge("limits.max_depth", float64(lim.MaxDepth))
+	e.opts.Telemetry.SetGauge("limits.max_lines", float64(lim.MaxLines))
+	// The lexer cache and intern table normally live for exactly one
+	// processed corpus: entries are only valid for this engine's lexer,
+	// and dense pattern IDs are only meaningful against this run's
+	// table. A resident engine (service mode) instead supplies
+	// long-lived instances shared across requests: both structures are
+	// concurrency-safe and append-only, so later corpora simply start
+	// warm, with identical results.
+	cr := &corpusRun{lim: lim}
+	if e.resident != nil {
+		cr.cache, cr.interns = e.resident.cache, e.resident.interns
+	} else if !e.opts.LearnBaseline {
+		if e.opts.LexCacheSize >= 0 {
+			cr.cache = lexer.NewCache(e.opts.LexCacheSize)
+		}
+		cr.interns = intern.NewTable()
+	}
+	metaLines, err := e.processMeta(dc, lim, meta, cr.cache, cr.interns)
+	if err != nil {
+		return nil, err
+	}
+	cr.metaLines = metaLines
+	cr.artOn = e.opts.Artifacts != nil && !e.opts.LearnBaseline
+	if cr.artOn {
+		mh := artifact.NewHasher("concord/meta/v1")
+		for _, m := range meta {
+			mh.Str(m.Name).Bytes(m.Text)
+		}
+		cr.metaFP = mh.Sum()
+	}
+	return cr, nil
+}
+
+// emitCacheStats flushes the run's lexer-cache counters to telemetry.
+func (cr *corpusRun) emitCacheStats(e *Engine) {
+	if cr.cache == nil {
+		return
+	}
+	hits, misses := cr.cache.Stats()
+	e.opts.Telemetry.Add("lex.cache_hits", hits)
+	e.opts.Telemetry.Add("lex.cache_misses", misses)
+}
+
+// processOneSource lexes one source against the corpus state,
+// replaying it from the artifact cache when possible. A nil config
+// means the source was dropped by an input guard (the diagnostic is
+// already in dc). Panics propagate to the caller's containment.
+func (e *Engine) processOneSource(dc *diag.Collector, cr *corpusRun, src Source) (*lexer.Config, sourceArt) {
+	faultinject.At("core.process.source", src.Name)
+	var sa sourceArt
+	if cr.artOn {
+		var cfg *lexer.Config
+		var ok bool
+		if cfg, sa, ok = e.loadLexArtifact(dc, src, cr.interns); ok {
+			cfg.Lines = append(cfg.Lines, cr.metaLines...)
+			return cfg, sa
+		}
+	}
+	// A per-source collector distinguishes "this source degraded"
+	// from the shared run state: only sources that process without
+	// any diagnostic are persisted to the cache.
+	sdc := dc
+	if cr.artOn {
+		sdc = diag.New()
+	}
+	cfg := format.Process(src.Name, src.Text, e.lx,
+		format.Options{Embed: e.opts.ContextEmbedding, Limits: cr.lim,
+			Telemetry: e.opts.Telemetry, Diagnostics: sdc,
+			Cache: cr.cache, Interns: cr.interns, Baseline: e.opts.LearnBaseline})
+	if cr.artOn {
+		dc.Merge(sdc)
+	}
+	if cfg.Skipped {
+		return nil, sa // input guards recorded the diagnostic
+	}
+	if cr.artOn {
+		sa.clean = sdc.Len() == 0
+		if sa.clean {
+			// Encode before meta lines are appended: metadata is
+			// corpus state, not source content, and is re-applied
+			// (and fingerprinted) on every run.
+			if payload, ok := artifact.EncodeConfig(&cfg); ok {
+				if serr := e.opts.Artifacts.Store(artifact.KindLex, sa.lexKey, payload); serr != nil {
+					e.opts.Telemetry.Add("artifact.store_errors", 1)
+				} else {
+					e.opts.Telemetry.Add("artifact.bytes_written", int64(len(payload)))
+				}
+			}
+		}
+	}
+	cfg.Lines = append(cfg.Lines, cr.metaLines...)
+	return &cfg, sa
+}
+
+// addPatternStats folds one configuration into the corpus
+// pattern→max-parameter-count map behind ProcessStats.
+func addPatternStats(patterns map[string]int, cfg *lexer.Config) {
+	for i := range cfg.Lines {
+		line := &cfg.Lines[i]
+		if line.Meta {
+			continue
+		}
+		if n, ok := patterns[line.Pattern]; !ok || len(line.Params) > n {
+			patterns[line.Pattern] = len(line.Params)
+		}
+	}
 }
 
 // loadLexArtifact attempts to replay one source from the lex artifact
@@ -890,9 +961,19 @@ func (e *Engine) Check(set *contracts.Set, sources, meta []Source) (*CheckResult
 // checker counters go to Options.Telemetry. Faults are contained per
 // source and per contract: a panicking contract is skipped for that
 // configuration with a diagnostic; Options.Strict aborts instead.
+// With Options.Shards > 1 the corpus runs through the fleet-scale
+// sharded driver (see shard.go) with byte-identical results.
 func (e *Engine) CheckContext(ctx context.Context, set *contracts.Set, sources, meta []Source) (*CheckResult, error) {
 	dc := diag.New()
 	defer e.opts.Diagnostics.Merge(dc)
+	if e.opts.Shards > 1 {
+		res, err := e.checkShardedContext(ctx, dc, set, sources, meta, nil)
+		if err != nil {
+			return nil, err
+		}
+		res.Diagnostics = dc.All()
+		return res, nil
+	}
 	cfgs, arts, pstats, err := e.processContext(ctx, dc, sources, meta)
 	if err != nil {
 		return nil, err
@@ -956,6 +1037,90 @@ func (e *Engine) checkFingerprint(set *contracts.Set, metaFP artifact.Key) (arti
 	return h.Sum(), true
 }
 
+// checkKey is the cache address of one configuration's check result:
+// content hash ⊕ run/contract fingerprint ⊕ name.
+func checkKey(hash, checkFP artifact.Key, name string) artifact.Key {
+	return artifact.NewHasher("concord/checkkey/v1").
+		Key(hash).Key(checkFP).Str(name).Sum()
+}
+
+// checkedConfig is one configuration's check outcome in the form both
+// drivers (unsharded and sharded) consume: violations, coverage
+// counts, the unique-contract contribution when requested, and whether
+// the result was replayed from a check artifact.
+type checkedConfig struct {
+	violations []contracts.Violation
+	cov        *covCount
+	contrib    map[string][]contracts.UniqueSite
+	hit        bool
+}
+
+// checkOne evaluates one configuration: replayed from the check
+// artifact at key when cache is non-nil and the key is usable, else
+// checked fresh (and persisted when the result is certainly complete).
+// wantContrib additionally extracts the configuration's
+// unique-contract value multiset so the caller can merge
+// cross-configuration uniqueness without retaining the config. Panics
+// propagate to the caller's containment.
+func (e *Engine) checkOne(dc *diag.Collector, checker *contracts.Checker, cfg *lexer.Config, cache *artifact.Cache, clean bool, key artifact.Key, wantContrib bool) checkedConfig {
+	faultinject.At("core.check.config", cfg.Name)
+	warmKey := cache != nil && !key.IsZero()
+	if warmKey {
+		payload, lerr := cache.Load(artifact.KindCheck, key)
+		switch {
+		case lerr == nil:
+			entry, derr := artifact.DecodeCheckEntry(payload)
+			if derr == nil {
+				e.opts.Telemetry.Add("artifact.cache_hits", 1)
+				e.opts.Telemetry.Add("artifact.bytes_read", int64(len(payload)))
+				return checkedConfig{
+					violations: entry.Violations,
+					cov:        &covCount{entry.SourceLines, entry.Covered, entry.ByCategory},
+					contrib:    entry.Unique,
+					hit:        true,
+				}
+			}
+			e.invalidateArtifact(dc, cfg.Name, derr)
+		case errors.Is(lerr, artifact.ErrMiss):
+			e.opts.Telemetry.Add("artifact.cache_misses", 1)
+		default:
+			e.invalidateArtifact(dc, cfg.Name, lerr)
+		}
+	}
+	before := dc.Len()
+	out := checkedConfig{violations: checker.Check(cfg)}
+	if cov := checker.Coverage(cfg); cov != nil {
+		cc := &covCount{cov.SourceLines, len(cov.Covered), make(map[contracts.Category]int, len(cov.ByCategory))}
+		for cat, lines := range cov.ByCategory {
+			cc.byCategory[cat] = len(lines)
+		}
+		out.cov = cc
+	}
+	if wantContrib {
+		out.contrib = checker.UniqueContributions(cfg)
+	}
+	// Persist only results that are certainly complete: the config
+	// processed cleanly, coverage succeeded, and the check added no
+	// diagnostics (the Len comparison is conservative under concurrent
+	// workers — a skipped store costs speed, never correctness).
+	if warmKey && clean && out.cov != nil && dc.Len() == before {
+		entry := &artifact.CheckEntry{
+			Violations:  out.violations,
+			SourceLines: out.cov.sourceLines,
+			Covered:     out.cov.covered,
+			ByCategory:  out.cov.byCategory,
+			Unique:      out.contrib,
+		}
+		payload := artifact.EncodeCheckEntry(entry)
+		if serr := cache.Store(artifact.KindCheck, key, payload); serr != nil {
+			e.opts.Telemetry.Add("artifact.store_errors", 1)
+		} else {
+			e.opts.Telemetry.Add("artifact.bytes_written", int64(len(payload)))
+		}
+	}
+	return out
+}
+
 // checkProcessedContext evaluates the set against the processed
 // configurations. checker, when non-nil, is a pre-compiled checker to
 // reuse (the registry's compile-once-serve-many path); nil builds one
@@ -980,8 +1145,7 @@ func (e *Engine) checkProcessedContext(ctx context.Context, dc *diag.Collector, 
 		checkHits = make([]bool, len(cfgs))
 		for i := range cfgs {
 			if !arts.per[i].hash.IsZero() {
-				checkKeys[i] = artifact.NewHasher("concord/checkkey/v1").
-					Key(arts.per[i].hash).Key(checkFP).Str(cfgs[i].Name).Sum()
+				checkKeys[i] = checkKey(arts.per[i].hash, checkFP, cfgs[i].Name)
 			}
 		}
 	}
@@ -989,62 +1153,18 @@ func (e *Engine) checkProcessedContext(ctx context.Context, dc *diag.Collector, 
 	err := e.forEachCtx(ctx, dc, telemetry.StageCheck, len(cfgs),
 		func(i int) string { return cfgs[i].Name },
 		func(i int) {
-			faultinject.At("core.check.config", cfgs[i].Name)
-			if warm && !checkKeys[i].IsZero() {
-				payload, lerr := arts.cache.Load(artifact.KindCheck, checkKeys[i])
-				switch {
-				case lerr == nil:
-					entry, derr := artifact.DecodeCheckEntry(payload)
-					if derr == nil {
-						e.opts.Telemetry.Add("artifact.cache_hits", 1)
-						e.opts.Telemetry.Add("artifact.bytes_read", int64(len(payload)))
-						perCfgViolations[i] = entry.Violations
-						perCfgCov[i] = &covCount{entry.SourceLines, entry.Covered, entry.ByCategory}
-						contribs[i] = entry.Unique
-						checkHits[i] = true
-						return
-					}
-					e.invalidateArtifact(dc, cfgs[i].Name, derr)
-				case errors.Is(lerr, artifact.ErrMiss):
-					e.opts.Telemetry.Add("artifact.cache_misses", 1)
-				default:
-					e.invalidateArtifact(dc, cfgs[i].Name, lerr)
-				}
-			}
-			before := dc.Len()
-			vs := checker.Check(cfgs[i])
-			cov := checker.Coverage(cfgs[i])
-			perCfgViolations[i] = vs
-			var cc *covCount
-			if cov != nil {
-				cc = &covCount{cov.SourceLines, len(cov.Covered), make(map[contracts.Category]int, len(cov.ByCategory))}
-				for cat, lines := range cov.ByCategory {
-					cc.byCategory[cat] = len(lines)
-				}
-				perCfgCov[i] = cc
-			}
+			var cache *artifact.Cache
+			var clean bool
+			var key artifact.Key
 			if warm {
-				contribs[i] = checker.UniqueContributions(cfgs[i])
-				// Persist only results that are certainly complete: the
-				// config processed cleanly, coverage succeeded, and the
-				// check added no diagnostics (the Len comparison is
-				// conservative under concurrent workers — a skipped store
-				// costs speed, never correctness).
-				if !checkKeys[i].IsZero() && arts.per[i].clean && cc != nil && dc.Len() == before {
-					entry := &artifact.CheckEntry{
-						Violations:  vs,
-						SourceLines: cc.sourceLines,
-						Covered:     cc.covered,
-						ByCategory:  cc.byCategory,
-						Unique:      contribs[i],
-					}
-					payload := artifact.EncodeCheckEntry(entry)
-					if serr := arts.cache.Store(artifact.KindCheck, checkKeys[i], payload); serr != nil {
-						e.opts.Telemetry.Add("artifact.store_errors", 1)
-					} else {
-						e.opts.Telemetry.Add("artifact.bytes_written", int64(len(payload)))
-					}
-				}
+				cache, clean, key = arts.cache, arts.per[i].clean, checkKeys[i]
+			}
+			r := e.checkOne(dc, checker, cfgs[i], cache, clean, key, warm)
+			perCfgViolations[i] = r.violations
+			perCfgCov[i] = r.cov
+			if warm {
+				contribs[i] = r.contrib
+				checkHits[i] = r.hit
 			}
 		})
 	sp.EndCount(len(cfgs))

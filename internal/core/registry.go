@@ -411,6 +411,29 @@ func (en *RegistryEntry) CheckContext(ctx context.Context, sources, meta []Sourc
 	return res, nil
 }
 
+// CheckShardedContext is CheckContext routed through the fleet-scale
+// sharded driver (see shard.go): the corpus is partitioned into
+// deterministic contiguous shards streamed on a bounded pool, with
+// results byte-identical to CheckContext. shards <= 1 falls back to
+// the unsharded path; shardWorkers <= 0 selects the engine's
+// Parallelism. The entry's compiled checker and resident caches are
+// shared either way.
+func (en *RegistryEntry) CheckShardedContext(ctx context.Context, sources, meta []Source, rec *telemetry.Recorder, shards, shardWorkers int) (*CheckResult, error) {
+	if shards <= 1 {
+		return en.CheckContext(ctx, sources, meta, rec)
+	}
+	e := en.eng.forRequest(rec)
+	e.opts.Shards, e.opts.ShardWorkers = shards, shardWorkers
+	dc := diag.New()
+	defer en.eng.opts.Diagnostics.Merge(dc)
+	res, err := e.checkShardedContext(ctx, dc, en.set, sources, meta, en.checker.ForRequest(rec, dc))
+	if err != nil {
+		return nil, err
+	}
+	res.Diagnostics = dc.All()
+	return res, nil
+}
+
 // CoverageLinesContext computes per-line coverage for the sources under
 // the entry's contract set, sharing the compiled checker; see
 // Engine.CoverageLinesContext.

@@ -1,0 +1,374 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"concord/internal/faultinject"
+	"concord/internal/telemetry"
+)
+
+// shardEngine builds an engine routed through the sharded driver.
+func shardEngine(t *testing.T, shards, workers int, mutate func(*Options)) *Engine {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.Shards = shards
+	opts.ShardWorkers = workers
+	if mutate != nil {
+		mutate(&opts)
+	}
+	return MustNew(opts)
+}
+
+// shardCorpus plants violations that only a corpus-wide view can see:
+// distant configurations duplicating router-ids and vlans, so any
+// shard split separates a witness from its duplicates.
+func shardCorpus(n int) []Source {
+	srcs := chaosSources(n)
+	for i := range srcs {
+		if i > 0 && i%7 == 6 {
+			// Reuse the router-id of a config several shards away.
+			text := string(srcs[i].Text)
+			text = strings.Replace(text,
+				fmt.Sprintf("router-id 10.0.%d.1", i),
+				fmt.Sprintf("router-id 10.0.%d.1", i/7), 1)
+			srcs[i].Text = []byte(text)
+		}
+	}
+	return srcs
+}
+
+// checkJSON renders a CheckResult the way the CLI does: canonical
+// JSON, which is the byte-identity gate between drivers.
+func checkJSON(t *testing.T, res *CheckResult) string {
+	t.Helper()
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestShardedMatchesUnsharded is the differential gate for the sharded
+// driver: for shard counts {1, 3, 16} the full CheckResult — merged
+// cross-config Unique violations included — must serialize to JSON
+// byte-identical to the unsharded driver's.
+func TestShardedMatchesUnsharded(t *testing.T) {
+	lr, err := MustNew(DefaultOptions()).Learn(chaosSources(30), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := shardCorpus(40)
+	base, err := MustNew(DefaultOptions()).Check(lr.Set, test, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := 0
+	for _, v := range base.Violations {
+		if strings.Contains(v.Detail, "duplicates") {
+			dup++
+		}
+	}
+	if dup == 0 {
+		t.Fatal("baseline found no cross-config duplicates; the corpus does not exercise the combiner")
+	}
+	want := checkJSON(t, base)
+	for _, shards := range []int{1, 3, 16} {
+		got, err := shardEngine(t, shards, 4, nil).Check(lr.Set, test, nil)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if gj := checkJSON(t, got); gj != want {
+			t.Errorf("shards=%d: output diverges from unsharded driver:\n got %s\nwant %s", shards, gj, want)
+		}
+	}
+}
+
+// TestShardedEmptyAndTinyCorpus exercises the partition edges: fewer
+// sources than shards, a single source, and an empty corpus.
+func TestShardedEmptyAndTinyCorpus(t *testing.T) {
+	lr, err := MustNew(DefaultOptions()).Learn(chaosSources(20), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 1, 3} {
+		test := chaosSources(n)
+		base, err := MustNew(DefaultOptions()).Check(lr.Set, test, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := shardEngine(t, 16, 4, nil).Check(lr.Set, test, nil)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if gj, want := checkJSON(t, got), checkJSON(t, base); gj != want {
+			t.Errorf("n=%d: output diverges:\n got %s\nwant %s", n, gj, want)
+		}
+	}
+}
+
+// TestShardedWarmReplayMatchesCold composes sharding with the artifact
+// cache: a sharded incremental run over a corpus populated by the
+// unsharded driver replays every lex and check artifact and still
+// produces identical output — shard boundaries are invisible to the
+// cache.
+func TestShardedWarmReplayMatchesCold(t *testing.T) {
+	lr, err := MustNew(DefaultOptions()).Learn(chaosSources(20), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := shardCorpus(24)
+	cold, err := MustNew(DefaultOptions()).Check(lr.Set, test, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := openTestCache(t)
+	popEng, _ := warmEngine(t, cache, true)
+	populate, err := popEng.Check(lr.Set, test, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameCheck(t, "populate", populate, cold)
+
+	opts := DefaultOptions()
+	opts.Shards = 5
+	opts.ShardWorkers = 3
+	opts.Artifacts = cache
+	opts.Incremental = true
+	rec := telemetry.NewRecorder()
+	opts.Telemetry = rec
+	warm, err := MustNew(opts).Check(lr.Set, test, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameCheck(t, "sharded-warm", warm, cold)
+	if gj, want := checkJSON(t, warm), checkJSON(t, cold); gj != want {
+		t.Errorf("sharded warm output diverges:\n got %s\nwant %s", gj, want)
+	}
+	if hits, want := rec.Counter("artifact.cache_hits"), int64(2*len(test)); hits != want {
+		t.Errorf("sharded warm cache hits = %d, want %d", hits, want)
+	}
+	if misses := rec.Counter("artifact.cache_misses"); misses != 0 {
+		t.Errorf("sharded warm cache misses = %d, want 0", misses)
+	}
+	m, err := cache.ReadManifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Configs) != len(test) {
+		t.Fatalf("manifest has %d configs, want %d", len(m.Configs), len(test))
+	}
+	for i, mc := range m.Configs {
+		if mc.Name != test[i].Name {
+			t.Fatalf("manifest entry %d = %s, want corpus order (%s)", i, mc.Name, test[i].Name)
+		}
+		if !mc.LexHit || !mc.CheckHit {
+			t.Errorf("manifest entry %s: lex_hit=%v check_hit=%v, want both true", mc.Name, mc.LexHit, mc.CheckHit)
+		}
+	}
+}
+
+// progressLog records Options.Progress callbacks and asserts each
+// stage's (done, total) stream is the monotonic global sequence
+// 1..total over a constant total.
+type progressLog struct {
+	mu   sync.Mutex
+	seen map[telemetry.Stage][][2]int
+}
+
+func newProgressLog() *progressLog {
+	return &progressLog{seen: make(map[telemetry.Stage][][2]int)}
+}
+
+func (p *progressLog) record(stage telemetry.Stage, done, total int) {
+	p.mu.Lock()
+	p.seen[stage] = append(p.seen[stage], [2]int{done, total})
+	p.mu.Unlock()
+}
+
+func (p *progressLog) assertMonotonic(t *testing.T, stage telemetry.Stage, total int) {
+	t.Helper()
+	p.mu.Lock()
+	ticks := p.seen[stage]
+	p.mu.Unlock()
+	if len(ticks) != total {
+		t.Errorf("%s: %d progress ticks, want %d", stage, len(ticks), total)
+		return
+	}
+	for i, tick := range ticks {
+		if tick[0] != i+1 {
+			t.Errorf("%s: tick %d reported done=%d, want monotonic global %d", stage, i, tick[0], i+1)
+			return
+		}
+		if tick[1] != total {
+			t.Errorf("%s: tick %d reported total=%d, want constant %d", stage, i, tick[1], total)
+			return
+		}
+	}
+}
+
+// TestShardedProgressMonotonic asserts concurrent shards report one
+// global monotonic (done, total) stream per stage — not per-shard
+// restarts — and that an incremental (warm) sharded run does the same.
+func TestShardedProgressMonotonic(t *testing.T) {
+	lr, err := MustNew(DefaultOptions()).Learn(chaosSources(20), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := shardCorpus(60)
+	cache := openTestCache(t)
+	for _, pass := range []string{"cold", "warm"} {
+		plog := newProgressLog()
+		opts := DefaultOptions()
+		opts.Shards = 7
+		opts.ShardWorkers = 4
+		opts.Artifacts = cache
+		opts.Incremental = true
+		opts.Progress = plog.record
+		if _, err := MustNew(opts).Check(lr.Set, test, nil); err != nil {
+			t.Fatalf("%s: %v", pass, err)
+		}
+		plog.assertMonotonic(t, telemetry.StageProcess, len(test))
+		plog.assertMonotonic(t, telemetry.StageCheck, len(test))
+	}
+}
+
+// TestShardedConcurrentShards drives many shards across many workers
+// (run under -race by CI) and checks the merged result is still
+// identical to the unsharded driver's.
+func TestShardedConcurrentShards(t *testing.T) {
+	lr, err := MustNew(DefaultOptions()).Learn(chaosSources(20), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := shardCorpus(96)
+	base, err := MustNew(DefaultOptions()).Check(lr.Set, test, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := checkJSON(t, base)
+	before := runtime.NumGoroutine()
+	got, err := shardEngine(t, 16, 8, nil).Check(lr.Set, test, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertNoLeak(t, before)
+	if gj := checkJSON(t, got); gj != want {
+		t.Errorf("concurrent sharded output diverges:\n got %s\nwant %s", gj, want)
+	}
+}
+
+// TestChaosShardPanicContained injects a panic into one whole shard
+// (the faultinject site models a crashed shard worker). Lenient mode
+// completes on the surviving shards with one error diagnostic and the
+// lost shard's sources counted as skipped; strict mode fails fast.
+func TestChaosShardPanicContained(t *testing.T) {
+	defer faultinject.Reset()
+	lr, err := MustNew(DefaultOptions()).Learn(chaosSources(20), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := shardCorpus(40)
+	faultinject.Set("core.shard", faultinject.PanicOn("shard worker crashed", "1"))
+
+	got, err := shardEngine(t, 4, 2, nil).Check(lr.Set, test, nil)
+	if err != nil {
+		t.Fatalf("lenient sharded check = %v, want degradation", err)
+	}
+	if got.Stats.Configs != 30 || got.Stats.Skipped != 10 {
+		t.Errorf("stats = %d configs/%d skipped, want 30/10 (one lost shard of 10)", got.Stats.Configs, got.Stats.Skipped)
+	}
+	found := false
+	for _, d := range got.Diagnostics {
+		if strings.Contains(d.Message, "shard worker crashed") && strings.Contains(d.Source, "shard 1") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("diagnostics missing the contained shard panic: %+v", got.Diagnostics)
+	}
+
+	strict, err := shardEngine(t, 4, 2, func(o *Options) { o.Strict = true }).Check(lr.Set, test, nil)
+	if err == nil {
+		t.Fatalf("strict sharded check completed (%+v), want fail-fast error", strict.Stats)
+	}
+	if !strings.Contains(err.Error(), "strict") {
+		t.Errorf("strict error = %v, want strict-mode abort", err)
+	}
+}
+
+// TestChaosShardConfigPanicContained injects a per-config panic inside
+// a sharded run: only that configuration is lost, mirroring the
+// unsharded worker pool's containment granularity.
+func TestChaosShardConfigPanicContained(t *testing.T) {
+	defer faultinject.Reset()
+	lr, err := MustNew(DefaultOptions()).Learn(chaosSources(20), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := shardCorpus(24)
+	victim := test[13].Name
+	faultinject.Set("core.check.config", faultinject.PanicOn("config check crashed", victim))
+
+	got, err := shardEngine(t, 4, 2, nil).Check(lr.Set, test, nil)
+	if err != nil {
+		t.Fatalf("lenient sharded check = %v, want degradation", err)
+	}
+	if got.Stats.Configs != len(test) {
+		t.Errorf("stats.Configs = %d, want %d (a check panic does not drop the config from the corpus)", got.Stats.Configs, len(test))
+	}
+	if len(got.Coverage.PerConfig) != len(test)-1 {
+		t.Errorf("coverage covers %d configs, want %d (victim excluded)", len(got.Coverage.PerConfig), len(test)-1)
+	}
+	found := false
+	for _, d := range got.Diagnostics {
+		if strings.Contains(d.Message, "config check crashed") && d.Source == victim {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("diagnostics missing the contained config panic: %+v", got.Diagnostics)
+	}
+}
+
+// TestShardOptionsValidate covers the new knobs' validation and the
+// partition helper's edges.
+func TestShardOptionsValidate(t *testing.T) {
+	for _, bad := range []func(*Options){
+		func(o *Options) { o.Shards = -1 },
+		func(o *Options) { o.ShardWorkers = -2 },
+	} {
+		opts := DefaultOptions()
+		bad(&opts)
+		if _, err := New(opts); err == nil {
+			t.Error("New accepted negative shard options")
+		}
+	}
+	srcs := chaosSources(10)
+	for _, tc := range []struct{ n, wantShards int }{
+		{1, 1}, {3, 3}, {10, 10}, {16, 10}, {0, 1},
+	} {
+		shards := makeShards(srcs, tc.n)
+		if len(shards) != tc.wantShards {
+			t.Errorf("makeShards(10, %d) = %d shards, want %d", tc.n, len(shards), tc.wantShards)
+		}
+		total := 0
+		last := ""
+		for _, sh := range shards {
+			total += len(sh.sources)
+			for _, s := range sh.sources {
+				if s.Name <= last {
+					t.Fatalf("makeShards(10, %d): corpus order broken at %s", tc.n, s.Name)
+				}
+				last = s.Name
+			}
+		}
+		if total != len(srcs) {
+			t.Errorf("makeShards(10, %d) covers %d sources, want %d", tc.n, total, len(srcs))
+		}
+	}
+}

@@ -56,6 +56,15 @@ type CheckRequest struct {
 	Configs []SourceJSON `json:"configs"`
 	// Metadata optionally supplies metadata/outside-information files.
 	Metadata []SourceJSON `json:"metadata,omitempty"`
+	// Shards, when greater than one, runs the batch through the
+	// fleet-scale sharded driver: deterministic contiguous shards
+	// streamed on a bounded pool, byte-identical results. Use for
+	// large batches where holding every lexed configuration in memory
+	// at once is the bottleneck.
+	Shards int `json:"shards,omitempty"`
+	// ShardWorkers bounds concurrently running shards; 0 selects the
+	// server engine's parallelism.
+	ShardWorkers int `json:"shard_workers,omitempty"`
 	// Telemetry requests this request's stage spans and counters in
 	// the response.
 	Telemetry bool `json:"telemetry,omitempty"`
@@ -159,6 +168,11 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: request carries no configs", core.ErrNoSources))
 		return
 	}
+	if req.Shards < 0 || req.ShardWorkers < 0 {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("shards and shard_workers must be non-negative (got %d, %d)", req.Shards, req.ShardWorkers))
+		return
+	}
 	en, ok := s.resolveEntry(w, r, req.Contracts, req.Fingerprint)
 	if !ok {
 		return
@@ -167,7 +181,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	start := time.Now()
 	rec := requestRecorder()
-	res, err := en.CheckContext(ctx, toSources(req.Configs), toSources(req.Metadata), rec)
+	res, err := en.CheckShardedContext(ctx, toSources(req.Configs), toSources(req.Metadata), rec, req.Shards, req.ShardWorkers)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return

@@ -540,3 +540,65 @@ func TestServeDrainWaitsForLearnJobs(t *testing.T) {
 		t.Errorf("job after drain = %+v, want done", st)
 	}
 }
+
+// TestServeShardedCheckBatch posts one batch twice — unsharded and
+// through the sharded driver — and requires identical violations,
+// coverage, and stats; negative shard parameters are client errors.
+func TestServeShardedCheckBatch(t *testing.T) {
+	set := learnSet(t)
+	test := fixtureSources(24)
+	// Plant a cross-config duplicate far from its witness so the
+	// sharded merge has real work.
+	test[17].Text = []byte(strings.Replace(string(test[17].Text),
+		"router-id 10.0.17.1", "router-id 10.0.2.1", 1))
+	srv, base := startServer(t, core.DefaultOptions(), Options{})
+	if _, err := srv.SetDefaultContracts(context.Background(), set); err != nil {
+		t.Fatal(err)
+	}
+
+	status, body := postJSON(t, base+"/v1/check", CheckRequest{Configs: toJSONSources(test)})
+	if status != http.StatusOK {
+		t.Fatalf("POST /v1/check = %d: %s", status, body)
+	}
+	var plain CheckResponse
+	if err := json.Unmarshal(body, &plain); err != nil {
+		t.Fatal(err)
+	}
+
+	status, body = postJSON(t, base+"/v1/check", CheckRequest{
+		Configs: toJSONSources(test), Shards: 5, ShardWorkers: 3,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("POST /v1/check (sharded) = %d: %s", status, body)
+	}
+	var sharded CheckResponse
+	if err := json.Unmarshal(body, &sharded); err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		V []contracts.Violation
+		C core.CoverageSummary
+		S core.ProcessStats
+	}
+	gotJSON, _ := json.Marshal(result{sharded.Violations, sharded.Coverage, sharded.Stats})
+	wantJSON, _ := json.Marshal(result{plain.Violations, plain.Coverage, plain.Stats})
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Errorf("sharded batch diverges from unsharded:\n got %s\nwant %s", gotJSON, wantJSON)
+	}
+	dup := false
+	for _, v := range sharded.Violations {
+		if strings.Contains(v.Detail, "duplicates") {
+			dup = true
+		}
+	}
+	if !dup {
+		t.Error("sharded batch missed the planted cross-config duplicate")
+	}
+
+	status, body = postJSON(t, base+"/v1/check", CheckRequest{
+		Configs: toJSONSources(test), Shards: -1,
+	})
+	if status != http.StatusBadRequest {
+		t.Errorf("POST /v1/check with negative shards = %d (%s), want 400", status, body)
+	}
+}

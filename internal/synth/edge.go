@@ -17,7 +17,7 @@ func generateEdge(role RoleSpec) *Dataset {
 	vlans := edgeVlans(role)
 	for d := 1; d <= role.Devices; d++ {
 		ds.Configs = append(ds.Configs, File{
-			Name: fmt.Sprintf("%s-sw%03d.cfg", role.Name, d),
+			Name: fmt.Sprintf("%s-sw%0*d.cfg", role.Name, nameWidth(role.Devices, 3), d),
 			Text: []byte(edgeDevice(role, d, vlans)),
 		})
 	}
@@ -59,10 +59,25 @@ func edgeMetadata(role RoleSpec, vlans []int) string {
 func edgeDevice(role RoleSpec, d int, vlans []int) string {
 	rng := deviceRand(role.Name, d)
 	s := site(d)
-	loopback := fmt.Sprintf("10.%d.%d.1", s, d%250)
-	mgmtNet := fmt.Sprintf("10.200.%d.0/24", d%250)
-	mgmtGW := fmt.Sprintf("10.200.%d.254", d%250)
+	// blk/idx decompose the device number uniquely, so every address
+	// family below stays collision-free across a 10k+ fleet (good to
+	// ~13k devices, bounded by the 200+blk management octet). The old
+	// plan reused d%250 alone: devices d and d+1000 shared a site
+	// number (d%40) and a device octet (d%250), so their loopbacks and
+	// management networks were identical, silently breaking the planted
+	// Unique-contract ground truth.
+	blk, idx := d/250, d%250
+	loopback := fmt.Sprintf("10.%d.%d.%d", s, idx, 1+blk)
+	mgmtNet := fmt.Sprintf("10.%d.%d.0/24", 200+blk, idx)
+	mgmtGW := fmt.Sprintf("10.%d.%d.254", 200+blk, idx)
 	asn := 65000 + d
+	// Uplink /31 blocks are allocated by per-site index: devices that
+	// share a site number (d ≡ d' mod 40) get disjoint u ranges, where
+	// the old 100+d%100 plan collided at 200 devices (lcm(40,100)).
+	uplink := func(i int) (o3, o4 int) {
+		u := (d/40)*role.Interfaces + (i - 1)
+		return u / 128, 2 * (u % 128)
+	}
 
 	var b builder
 	b.line(0, "hostname EDGE-SW%d", 1000+d)
@@ -92,13 +107,14 @@ func edgeDevice(role RoleSpec, d int, vlans []int) string {
 	b.bang()
 	b.line(0, "interface Management1")
 	b.line(1, "vrf Mgmt")
-	b.line(1, "ip address 10.200.%d.%d/24", d%250, 10+d%200)
+	b.line(1, "ip address 10.%d.%d.%d/24", 200+blk, idx, 10+d%200)
 	b.bang()
 	// Uplink interfaces: the bulk of the configuration. Descriptions
 	// name the far-end address, matching the BGP neighbor plan.
 	for i := 1; i <= role.Interfaces; i++ {
+		o3, o4 := uplink(i)
 		b.line(0, "interface Ethernet%d", i)
-		b.line(1, "description uplink-10.%d.%d.%d", s, 100+d%100, 2*i+1)
+		b.line(1, "description uplink-10.%d.%d.%d", s, o3, o4+1)
 		b.line(1, "no switchport")
 		// Sparse genuine type noise: one in ~200 interfaces carries an
 		// erroneous prefix instead of an MTU (a planted real bug class).
@@ -107,16 +123,20 @@ func edgeDevice(role RoleSpec, d int, vlans []int) string {
 		} else {
 			b.line(1, "mtu 9214")
 		}
-		b.line(1, "ip address 10.%d.%d.%d/31", s, 100+d%100, 2*i)
+		b.line(1, "ip address 10.%d.%d.%d/31", s, o3, o4)
 		b.bang()
 	}
 	// Port channels with EVPN ether-segments: the MAC's final segment is
-	// the channel number in hexadecimal (Figure 1 contract 1).
+	// the channel number in hexadecimal (Figure 1 contract 1). The
+	// middle segments encode the device so ether-segment identifiers
+	// stay unique fleet-wide: channel numbers alone repeat across
+	// devices (e.g. (7·1+41) ≡ (7·5+13) mod 150), which made the old
+	// 00:00:0c:d3:00:<pc> plan collide as early as devices 1 and 5.
 	for _, off := range []int{0, 13, 41} {
 		pc := 100 + (d*7+off)%150
 		b.line(0, "interface Port-Channel%d", pc)
 		b.line(1, "evpn ether-segment")
-		b.line(2, "route-target import 00:00:0c:d3:00:%02x", pc)
+		b.line(2, "route-target import 00:00:0c:%02x:%02x:%02x", 211+blk, idx, pc)
 		b.bang()
 	}
 	// Prefix lists: the loopback must be permitted (Figure 1 contract
@@ -148,10 +168,11 @@ func edgeDevice(role RoleSpec, d int, vlans []int) string {
 	b.line(1, "maximum-paths 64 ecmp 64")
 	b.line(1, "neighbor SPINES peer-group")
 	for i := 1; i <= min(role.Interfaces, 4); i++ {
-		b.line(1, "neighbor 10.%d.%d.%d peer-group SPINES", s, 100+d%100, 2*i+1)
+		o3, o4 := uplink(i)
+		b.line(1, "neighbor 10.%d.%d.%d peer-group SPINES", s, o3, o4+1)
 	}
 	b.line(1, "redistribute connected")
-	b.line(1, "neighbor 10.255.%d.1 peer-group OPT-A", d%250)
+	b.line(1, "neighbor 10.255.%d.%d peer-group OPT-A", idx, 1+blk)
 	// Vlans come from the metadata file (incident 2); the rd encodes the
 	// vlan id as its suffix (Figure 1 contract 3).
 	for _, v := range vlans {
@@ -169,13 +190,6 @@ func edgeDevice(role RoleSpec, d int, vlans []int) string {
 		b.bang()
 	}
 	return b.String()
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // edgeManifest declares the planted invariants of the edge roles.

@@ -1,0 +1,224 @@
+package synth
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// uniqueScan records (key, value) pairs and fails the test on the
+// first cross-device duplicate. Each key corresponds to one planted
+// Unique contract family.
+type uniqueScan struct {
+	t    *testing.T
+	seen map[string]map[string]string // key -> value -> first file
+}
+
+func newUniqueScan(t *testing.T) *uniqueScan {
+	return &uniqueScan{t: t, seen: map[string]map[string]string{}}
+}
+
+func (u *uniqueScan) add(file, key, val string) {
+	u.t.Helper()
+	m := u.seen[key]
+	if m == nil {
+		m = map[string]string{}
+		u.seen[key] = m
+	}
+	if first, dup := m[val]; dup {
+		u.t.Fatalf("%s: duplicate %s value %q (first seen in %s)", file, key, val, first)
+	}
+	m[val] = file
+}
+
+func (u *uniqueScan) require(key string, want int) {
+	u.t.Helper()
+	if got := len(u.seen[key]); got != want {
+		u.t.Fatalf("collected %d %s values, want %d", got, key, want)
+	}
+}
+
+// edgeUniqueLines maps a trimmed edge config line to its planted
+// Unique family, or ok=false for lines that legitimately repeat.
+func edgeUniqueLines(line string) (key, val string, ok bool) {
+	// Whole-line families: a constant prefix followed by the planted
+	// per-device value, so line uniqueness equals value uniqueness.
+	for _, p := range []string{
+		"hostname ",
+		"ip address ",
+		"tacacs-server source-ip ",
+		"sflow source ",
+		"msdp originator-id ",
+		"router-id ",
+		"router bgp ",
+		"rd ",
+		"route-target import 00:",
+		"aggregate-address ",
+		"ip route vrf Mgmt ",
+		"description uplink-",
+	} {
+		if strings.HasPrefix(line, p) {
+			return p, line, true
+		}
+	}
+	// BGP neighbors: SPINES far-ends and OPT-A gateways share the
+	// "neighbor [ip4] peer-group" pattern, so their addresses must be
+	// jointly unique.
+	if strings.HasPrefix(line, "neighbor 10.") {
+		return "neighbor", strings.Fields(line)[1], true
+	}
+	return "", "", false
+}
+
+// TestFleetEdgeUniqueness10k regenerates the planted-unique address
+// families of a 10k-device edge fleet and asserts none collide. The
+// old plan derived loopbacks and management networks from d%250 alone,
+// so devices d and d+1000 (same site number, same device octet) were
+// identical — this is the regression gate for that bug.
+func TestFleetEdgeUniqueness10k(t *testing.T) {
+	spec, ok := RoleByName("F2", 1.0)
+	if !ok {
+		t.Fatal("fleet role F2 not registered")
+	}
+	if spec.Devices < 10000 {
+		t.Fatalf("F2 at scale 1.0 has %d devices, want >= 10000", spec.Devices)
+	}
+	ds := Generate(spec)
+	scan := newUniqueScan(t)
+	for _, f := range ds.Configs {
+		for _, raw := range strings.Split(string(f.Text), "\n") {
+			if key, val, ok := edgeUniqueLines(strings.TrimSpace(raw)); ok {
+				scan.add(f.Name, key, val)
+			}
+		}
+	}
+	// Every device contributes exactly one loopback, one management
+	// aggregate, and three ether-segment identifiers.
+	scan.require("router-id ", spec.Devices)
+	scan.require("aggregate-address ", spec.Devices)
+	scan.require("route-target import 00:", 3*spec.Devices)
+}
+
+// TestFleetWanUniqueness10k does the same for the 10k-device flat WAN
+// fleet: loopback-derived sources, interface addresses, described
+// far-ends, per-group BGP neighbors, and the perimeter blocks whose
+// old 203.<d%200>.<8j> plan repeated at 200 devices.
+func TestFleetWanUniqueness10k(t *testing.T) {
+	spec, ok := RoleByName("F1", 1.0)
+	if !ok {
+		t.Fatal("fleet role F1 not registered")
+	}
+	if spec.Devices < 10000 {
+		t.Fatalf("F1 at scale 1.0 has %d devices, want >= 10000", spec.Devices)
+	}
+	ds := Generate(spec)
+	scan := newUniqueScan(t)
+	for _, f := range ds.Configs {
+		for _, raw := range strings.Split(string(f.Text), "\n") {
+			line := strings.TrimSpace(raw)
+			for _, p := range []string{
+				"set system host-name ",
+				"set routing-options router-id ",
+				"set system tacacs-server source-address ",
+				"set protocols msdp local-address ",
+				"set snmp trap-options source-address ",
+				"set system syslog source-address ",
+				"set protocols ldp router-id ",
+				"set protocols pim local-address ",
+			} {
+				if strings.HasPrefix(line, p) {
+					scan.add(f.Name, p, line)
+				}
+			}
+			// Loopback /32s and interface /31s share the planted
+			// "family inet address [pfx4]" uniqueness.
+			if i := strings.Index(line, " family inet address "); i >= 0 {
+				scan.add(f.Name, "family inet address", line[i:])
+			}
+			if i := strings.Index(line, " description core-link-"); i >= 0 {
+				scan.add(f.Name, "core-link", line[i:])
+			}
+			// Group neighbors repeat interface addresses across groups
+			// within a device by design; uniqueness is per group
+			// pattern, so the group name is part of the key.
+			if fs := strings.Fields(line); len(fs) == 7 && fs[2] == "bgp" && fs[5] == "neighbor" {
+				scan.add(f.Name, "neighbor/"+fs[4], fs[6])
+			}
+			if strings.HasPrefix(line, "set firewall filter PERIM-IN term ") {
+				scan.add(f.Name, "PERIM-IN", strings.TrimPrefix(line, "set firewall filter PERIM-IN "))
+			}
+			if strings.HasPrefix(line, "set firewall filter PERIM-OUT term ") {
+				scan.add(f.Name, "PERIM-OUT", strings.TrimPrefix(line, "set firewall filter PERIM-OUT "))
+			}
+		}
+	}
+	scan.require("set routing-options router-id ", spec.Devices)
+	scan.require("PERIM-IN", 6*spec.Devices)
+	scan.require("family inet address", spec.Devices*(1+spec.Interfaces))
+}
+
+// TestFleetIndentWanUniqueness covers the indent-dialect WAN formulas
+// past their old collision points: OPT-A gateways repeated at 200
+// devices and perimeter blocks at 200 devices.
+func TestFleetIndentWanUniqueness(t *testing.T) {
+	spec := RoleSpec{Name: "WX", Network: "wan", Devices: 1200, Syntax: SyntaxIndent, Interfaces: 4, PolicyVocab: 4}
+	ds := Generate(spec)
+	scan := newUniqueScan(t)
+	for _, f := range ds.Configs {
+		for _, raw := range strings.Split(string(f.Text), "\n") {
+			line := strings.TrimSpace(raw)
+			if strings.HasPrefix(line, "hostname ") || strings.HasPrefix(line, "ip address ") {
+				scan.add(f.Name, "addr", line)
+			}
+			if strings.HasPrefix(line, "neighbor 10.254.") {
+				scan.add(f.Name, "OPT-A", strings.Fields(line)[1])
+			}
+			// Perimeter ACL entries carry a "permit ip" tuple; the
+			// prefix-list entries that repeat by design do not.
+			if strings.HasPrefix(line, "seq ") && strings.Contains(line, " permit ip ") {
+				fs := strings.Fields(line)
+				dir := "PERIM-IN"
+				if fs[4] == "any" {
+					dir = "PERIM-OUT"
+				}
+				scan.add(f.Name, dir, line)
+			}
+		}
+	}
+	scan.require("OPT-A", spec.Devices)
+	scan.require("PERIM-IN", 6*spec.Devices)
+	scan.require("PERIM-OUT", 6*spec.Devices)
+}
+
+// TestFleetFileNamesSortInDeviceOrder asserts the zero-padded file
+// names sort lexicographically in device order at fleet scale: the
+// engine orders sources by path, and the old fixed %03d/%04d widths
+// put device 1000 before device 099.
+func TestFleetFileNamesSortInDeviceOrder(t *testing.T) {
+	for _, spec := range FleetRoles(1.0) {
+		ds := Generate(spec)
+		names := make([]string, len(ds.Configs))
+		for i, f := range ds.Configs {
+			names[i] = f.Name
+		}
+		if !sort.StringsAreSorted(names) {
+			t.Fatalf("%s: generated file names are not in lexicographic device order", spec.Name)
+		}
+	}
+}
+
+// TestFleetRoleByName asserts the fleet tiers resolve by name without
+// joining the Table 3 sweep set.
+func TestFleetRoleByName(t *testing.T) {
+	if _, ok := RoleByName("F1", 0.01); !ok {
+		t.Fatal("RoleByName(F1) failed")
+	}
+	if _, ok := RoleByName("F2", 0.01); !ok {
+		t.Fatal("RoleByName(F2) failed")
+	}
+	for _, r := range Roles(1.0) {
+		if r.Name == "F1" || r.Name == "F2" {
+			t.Fatalf("fleet tier %s leaked into Roles", r.Name)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"strconv"
 )
 
 // File is one generated input file.
@@ -100,9 +101,35 @@ func Roles(scale float64) []RoleSpec {
 	}
 }
 
-// RoleByName returns the named role at the given scale.
+// FleetRoles returns the fleet-scale tiers used by the sharded check
+// driver's evaluation: F1 is a 10k-device flat WAN fleet and F2 a
+// 10k-device indented edge fleet with shared metadata. Per-device line
+// counts are kept small so one run spans the whole fleet. They are
+// deliberately not part of Roles so Table 3 experiment sweeps do not
+// pick them up.
+func FleetRoles(scale float64) []RoleSpec {
+	n := func(d int) int {
+		v := int(float64(d)*scale + 0.5)
+		if v < 6 {
+			v = 6
+		}
+		return v
+	}
+	return []RoleSpec{
+		{Name: "F1", Network: "wan", Devices: n(10000), Syntax: SyntaxFlat, Interfaces: 4, Vlans: 0, PolicyVocab: 8, WithMeta: false},
+		{Name: "F2", Network: "edge", Devices: n(10000), Syntax: SyntaxIndent, Interfaces: 4, Vlans: 2, PolicyVocab: 6, WithMeta: true},
+	}
+}
+
+// RoleByName returns the named role at the given scale, searching the
+// Table 3 roles and then the fleet tiers.
 func RoleByName(name string, scale float64) (RoleSpec, bool) {
 	for _, r := range Roles(scale) {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	for _, r := range FleetRoles(scale) {
 		if r.Name == name {
 			return r, true
 		}
@@ -129,3 +156,15 @@ func deviceRand(role string, device int) *rand.Rand {
 
 // site derives a stable small "site number" for a device.
 func site(d int) int { return 10 + d%40 }
+
+// nameWidth returns the zero-pad width for device numbers in file
+// names: at least floor digits, growing with the fleet size so that
+// lexicographic file-name order always matches device order (the
+// engine's deterministic source ordering sorts by path).
+func nameWidth(devices, floor int) int {
+	w := len(strconv.Itoa(devices))
+	if w < floor {
+		w = floor
+	}
+	return w
+}

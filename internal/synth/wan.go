@@ -30,7 +30,7 @@ func generateWAN(role RoleSpec) *Dataset {
 			text = wanIndentDevice(role, d)
 		}
 		ds.Configs = append(ds.Configs, File{
-			Name: fmt.Sprintf("%s-r%04d.cfg", role.Name, d),
+			Name: fmt.Sprintf("%s-r%0*d.cfg", role.Name, nameWidth(role.Devices, 4), d),
 			Text: []byte(text),
 		})
 	}
@@ -48,6 +48,15 @@ func wanAddr(role RoleSpec, d, i int) string {
 // wanLoopback allocates device d's loopback address.
 func wanLoopback(d int) string {
 	return fmt.Sprintf("10.255.%d.%d", d/200, 1+d%200)
+}
+
+// wanPerimPrefix allocates device d's j-th perimeter block so blocks
+// stay unique per device across a 10k+ fleet (good to ~13k devices,
+// bounded by the 203+d/250 octet). The old 203.<d%200>.<8j> plan
+// repeated at 200 devices, so W4-W6 at full scale silently broke the
+// planted per-device uniqueness ground truth.
+func wanPerimPrefix(d, j int) string {
+	return fmt.Sprintf("%d.%d.%d.0/24", 203+d/250, d%250, 8*j)
 }
 
 // wanFlatDevice renders a Juniper-style device.
@@ -114,7 +123,7 @@ func wanFlatDevice(role RoleSpec, d int) string {
 	// destination filters (Table 8's symmetry contract), numbered in an
 	// arithmetic term sequence.
 	for j := 0; j < 6; j++ {
-		pfx := fmt.Sprintf("203.%d.%d.0/24", d%200, 8*j)
+		pfx := wanPerimPrefix(d, j)
 		b.line(0, "set firewall filter PERIM-IN term %d from source-address %s", 10*(j+1), pfx)
 		b.line(0, "set firewall filter PERIM-OUT term %d from destination-address %s", 10*(j+1), pfx)
 	}
@@ -175,7 +184,7 @@ func wanIndentDevice(role RoleSpec, d int) string {
 		b.line(1, "neighbor %s route-map RM-%s-IN in", wanAddr(role, d, p%role.Interfaces), name)
 	}
 	b.line(1, "redistribute connected")
-	b.line(1, "neighbor 10.254.%d.1 peer-group OPT-A", d%200)
+	b.line(1, "neighbor 10.254.%d.%d peer-group OPT-A", d%200, 1+d/200)
 	b.bang()
 	b.line(0, "ip prefix-list INTERNAL")
 	b.line(1, "seq 10 permit 10.0.0.0/8")
@@ -197,7 +206,7 @@ func wanIndentDevice(role RoleSpec, d int) string {
 	}
 	// Perimeter ACL symmetry.
 	for j := 0; j < 6; j++ {
-		pfx := fmt.Sprintf("203.%d.%d.0/24", d%200, 8*j)
+		pfx := wanPerimPrefix(d, j)
 		b.line(0, "ip access-list PERIM-IN")
 		b.line(1, "seq %d permit ip %s any", 10*(j+1), pfx)
 		b.line(0, "ip access-list PERIM-OUT")
