@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-smoke chaos serve-smoke reload-smoke fleet-smoke vuln
+.PHONY: ci fmt vet build test race bench bench-smoke chaos serve-smoke reload-smoke fleet-smoke dist-smoke vuln
 
 # ci is the full verification gate: formatting, static checks, build,
 # the race-enabled test suite, the fault-injection suite, a smoke run
 # of the benchmark harness, a smoke run of the HTTP service, the
 # crash-recovery/hot-reload smoke, the fleet-scale sharded-check
-# smoke, and a best-effort vulnerability scan.
-ci: fmt vet build race chaos bench-smoke serve-smoke reload-smoke fleet-smoke vuln
+# smoke, the worker-process shard backend smoke, and a best-effort
+# vulnerability scan.
+ci: fmt vet build race chaos bench-smoke serve-smoke reload-smoke fleet-smoke dist-smoke vuln
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -31,7 +32,7 @@ race:
 # the race detector: panic containment, strict-mode aborts, input
 # guards, and goroutine-leak checks.
 chaos:
-	$(GO) test -race -timeout 10m -run 'Chaos|Fault|Panic|Pathological|Lenient|Diagnostics|Guard|Limits|Binary|Oversize|DepthCap|LineBudget|EmptyCorpus|Poison|Warm|Artifact|Incremental|Corrupt|Concurrent|Registry|Singleflight|Eviction|Bundle|Reload|Rollback|Journal|Recover|Shard|Combiner|Fleet' ./...
+	$(GO) test -race -timeout 10m -run 'Chaos|Fault|Panic|Pathological|Lenient|Diagnostics|Guard|Limits|Binary|Oversize|DepthCap|LineBudget|EmptyCorpus|Poison|Warm|Artifact|Incremental|Corrupt|Concurrent|Registry|Singleflight|Eviction|Bundle|Reload|Rollback|Journal|Recover|Shard|Combiner|Fleet|Worker|Dist|Frame' ./...
 
 # serve-smoke boots the resident HTTP service under the race detector
 # and drives it over real sockets: one-shot/served output identity, the
@@ -58,6 +59,16 @@ reload-smoke:
 fleet-smoke:
 	$(GO) test -race -timeout 10m -count=1 -run 'TestSharded|TestShardOptionsValidate|TestChaosShard|TestUniqueCombiner|TestFleet|TestServeShardedCheckBatch' ./internal/core ./internal/contracts ./internal/synth ./internal/server ./cmd/concord
 
+# dist-smoke is the worker-process shard backend gate under the race
+# detector: cross-backend differential identity (process vs. in-process
+# at {1,3,16} shards × {1,4} workers), warm-cache replay across the
+# process boundary, worker-crash chaos (SIGKILL mid-shard, retry then
+# containment; corrupt result frames rejected by checksum and retried),
+# straggler speculation, no-orphan/no-leak drain, the wire-frame fuzz
+# corpus, and the server/CLI process-backend paths.
+dist-smoke:
+	$(GO) test -race -timeout 10m -count=1 -run 'TestDist|TestChaosDist|TestProcessBackend|TestWire|TestReadFrame|TestFrame|FuzzShardFrame|TestMakeShardsProperty|TestServeProcessBackendBatch|TestCheckShardBackendProcess' ./internal/core ./internal/shardrpc ./internal/artifact ./internal/server ./cmd/concord
+
 # vuln scans dependencies with govulncheck when it is installed; the
 # scan is best-effort and never fails the build (the tool may be
 # absent or need network access).
@@ -68,7 +79,7 @@ vuln:
 		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
-# bench reproduces the committed BENCH_PR8.json — the learn phase
+# bench reproduces the committed BENCH_PR9.json — the learn phase
 # (fast lex/intern/mining path vs. the string-keyed baseline), the
 # check phase (compiled engine vs. the pre-PR linear scan), the warm
 # phase (incremental run over a populated artifact cache vs. the cold
@@ -79,24 +90,28 @@ vuln:
 # phase (one check run over a 10k-device generated fleet, unsharded
 # vs. sharded, with byte-identity and streaming-peak-heap gates; the
 # ≥3x worker-scaling gate arms only on hosts with ≥8-way parallelism)
-# — and runs the Go micro-benchmarks. Both are pinned — fixed
+# and the dist phase (the same fleet tiers through the worker-process
+# shard backend: identity grid, per-shard dispatch overhead, and the
+# ≥2x multi-process scaling gate, likewise armed only on ≥8-way
+# hosts) — and runs the Go micro-benchmarks. Both are pinned — fixed
 # GOMAXPROCS, fixed iteration counts — so numbers are comparable
 # across machines of the same class and across runs.
 BENCH_GOMAXPROCS ?= 4
 
 bench:
 	GOMAXPROCS=$(BENCH_GOMAXPROCS) $(GO) test -bench=. -benchtime=1x -count=1 -run=^$$ .
-	GOMAXPROCS=$(BENCH_GOMAXPROCS) $(GO) run ./cmd/concord bench -count 3 -out BENCH_PR8.json
+	GOMAXPROCS=$(BENCH_GOMAXPROCS) $(GO) run ./cmd/concord bench -count 3 -out BENCH_PR9.json
 
 # bench-smoke is the ci gate: a fast, tiny-scale run of the bench
 # harness that still cross-checks output equality on every corpus in
-# all five phases — the mined contract set must be byte-identical
+# all six phases — the mined contract set must be byte-identical
 # between the fast and baseline learn paths, check violations
 # identical between the compiled and linear engines, the warm
 # (incremental, cache-replayed) run identical to both cold paths,
 # the served responses identical to the one-shot engine with exactly
-# one compile across the client burst, and the sharded fleet runs
-# byte-identical to unsharded with a lower streaming peak heap (the
-# harness fails on any divergence).
+# one compile across the client burst, the sharded fleet runs
+# byte-identical to unsharded with a lower streaming peak heap, and
+# the worker-process backend byte-identical across its whole identity
+# grid (the harness fails on any divergence).
 bench-smoke:
 	GOMAXPROCS=$(BENCH_GOMAXPROCS) $(GO) run ./cmd/concord bench -scale 0.1 -fleet-scale 0.02 -count 1 -out $${TMPDIR:-/tmp}/concord_bench_smoke.json

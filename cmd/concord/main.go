@@ -63,6 +63,11 @@ func main() {
 		err = runBundle(os.Args[2:], os.Stdout)
 	case "bench":
 		err = runBench(os.Args[2:], os.Stdout)
+	case "shard-worker":
+		// Hidden mode: serve the process shard backend's worker protocol
+		// over stdin/stdout. Spawned by a parent concord run with
+		// -shard-backend process; never invoked by hand.
+		err = concord.RunShardWorker(os.Stdin, os.Stdout)
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -137,6 +142,11 @@ fleet-scale checking:
                        stream instead of holding the lexed fleet in memory,
                        and output is byte-identical to an unsharded run
   -shard-workers N     max shards in flight at once (default -parallel)
+  -shard-backend B     shard execution backend: "inprocess" (default) or
+                       "process", which runs each shard in a pool of
+                       worker child processes over checksummed pipes —
+                       crashed workers are retried, stragglers re-run
+                       speculatively, and output stays byte-identical
 
 robustness:
   -lenient             skip unreadable input files with diagnostics
@@ -290,6 +300,7 @@ func sharedFlags(fs *flag.FlagSet) *runConfig {
 	incremental := fs.Bool("incremental", false, "replay cached check results for unchanged configs (requires -cache-dir)")
 	shards := fs.Int("shards", 0, "partition check runs into N streamed shards for fleet-scale corpora (0/1 = unsharded)")
 	shardWorkers := fs.Int("shard-workers", 0, "max shards in flight at once (0 = -parallel)")
+	shardBackend := fs.String("shard-backend", "", "shard execution backend: inprocess (default) or process")
 	rc := &runConfig{
 		metricsJSON: fs.String("metrics-json", "", "write a per-stage telemetry report to this file"),
 		cpuProfile:  fs.String("cpuprofile", "", "write a pprof CPU profile to this file"),
@@ -313,6 +324,7 @@ func sharedFlags(fs *flag.FlagSet) *runConfig {
 		opts.Parallelism = *parallel
 		opts.Shards = *shards
 		opts.ShardWorkers = *shardWorkers
+		opts.ShardBackend = *shardBackend
 		opts.ContextEmbedding = !*noEmbed
 		opts.ConstantLearning = *constants
 		opts.Minimize = !*noMinimize

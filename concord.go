@@ -26,6 +26,7 @@ package concord
 import (
 	"context"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -272,6 +273,22 @@ const (
 	CatUnique   = contracts.CatUnique
 	CatRelation = contracts.CatRelation
 )
+
+// The shard execution backends (Options.ShardBackend): in-process
+// goroutine pool (the default) or a pool of shard-worker child
+// processes with crash retries and straggler speculation. Results are
+// byte-identical across backends.
+const (
+	ShardBackendInProcess = core.ShardBackendInProcess
+	ShardBackendProcess   = core.ShardBackendProcess
+)
+
+// RunShardWorker serves the process shard backend's worker protocol
+// over r/w (normally stdin/stdout): one Job frame, then one shard per
+// Task frame until EOF. The concord CLI exposes it as the hidden
+// `shard-worker` subcommand; embedders with their own binary can call
+// it directly and point Options.ShardWorkerCommand at themselves.
+func RunShardWorker(r io.Reader, w io.Writer) error { return core.RunShardWorker(r, w) }
 
 // DefaultOptions returns the paper's default parameters: support 5,
 // confidence 96%, context embedding and contract minimization enabled.

@@ -149,6 +149,7 @@ const headerSize = 4 + 4 + 8 + 8
 // file and renamed into place, and same-key writers race benignly
 // (identical content either way).
 type Cache struct {
+	base string // dir as passed to Open
 	root string // dir/v<SchemaVersion>
 }
 
@@ -164,11 +165,16 @@ func Open(dir string) (*Cache, error) {
 	if err := os.MkdirAll(root, 0o755); err != nil {
 		return nil, fmt.Errorf("artifact: %w", err)
 	}
-	return &Cache{root: root}, nil
+	return &Cache{base: dir, root: root}, nil
 }
 
 // Dir returns the version-namespaced root directory of the cache.
 func (c *Cache) Dir() string { return c.root }
+
+// BaseDir returns the directory the cache was opened at — the value a
+// second Open (e.g. in a shard-worker process) needs to share this
+// cache's namespace.
+func (c *Cache) BaseDir() string { return c.base }
 
 // path shards entries by the first key byte to keep directories small.
 func (c *Cache) path(kind Kind, key Key) string {

@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"io"
 )
 
 // FrameError reports a frame that cannot be trusted: wrong magic,
@@ -55,6 +56,49 @@ func DecodeFrame(magic [4]byte, schema uint32, data []byte) ([]byte, error) {
 		return nil, &FrameError{Reason: fmt.Sprintf("payload length %d, header says %d", len(payload), n)}
 	}
 	if sum := binary.LittleEndian.Uint64(data[16:24]); sum != checksum(payload) {
+		return nil, &FrameError{Reason: "checksum mismatch"}
+	}
+	return payload, nil
+}
+
+// WriteFrame writes one framed payload to w. It is the streaming
+// counterpart of EncodeFrame, used where frames travel over a pipe or
+// socket instead of sitting whole in a file (the shard-worker wire
+// protocol in internal/shardrpc).
+func WriteFrame(w io.Writer, magic [4]byte, schema uint32, payload []byte) error {
+	_, err := w.Write(EncodeFrame(magic, schema, payload))
+	return err
+}
+
+// ReadFrame reads and validates exactly one frame from r. A clean EOF
+// before any header byte is returned as io.EOF so stream consumers can
+// distinguish an orderly close from truncation; every other defect —
+// torn header, wrong magic, schema skew, oversized or truncated
+// payload, checksum failure — is a *FrameError. maxPayload bounds the
+// allocation a hostile or corrupt length field can demand.
+func ReadFrame(r io.Reader, magic [4]byte, schema uint32, maxPayload uint64) ([]byte, error) {
+	header := make([]byte, headerSize)
+	if n, err := io.ReadFull(r, header); err != nil {
+		if n == 0 && err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, &FrameError{Reason: fmt.Sprintf("truncated header (%d bytes): %v", n, err)}
+	}
+	if [4]byte(header[:4]) != magic {
+		return nil, &FrameError{Reason: "bad magic"}
+	}
+	if v := binary.LittleEndian.Uint32(header[4:8]); v != schema {
+		return nil, &FrameError{Reason: fmt.Sprintf("schema version %d, want %d", v, schema)}
+	}
+	n := binary.LittleEndian.Uint64(header[8:16])
+	if n > maxPayload {
+		return nil, &FrameError{Reason: fmt.Sprintf("payload length %d exceeds limit %d", n, maxPayload)}
+	}
+	payload := make([]byte, n)
+	if m, err := io.ReadFull(r, payload); err != nil {
+		return nil, &FrameError{Reason: fmt.Sprintf("truncated payload (%d of %d bytes): %v", m, n, err)}
+	}
+	if sum := binary.LittleEndian.Uint64(header[16:24]); sum != checksum(payload) {
 		return nil, &FrameError{Reason: "checksum mismatch"}
 	}
 	return payload, nil

@@ -69,6 +69,17 @@ func (a *UniqueAccumulator) AddSites(name string, sites map[string][]UniqueSite)
 // Len returns the number of configurations folded in.
 func (a *UniqueAccumulator) Len() int { return len(a.names) }
 
+// Entry returns the i'th folded configuration's name and site lists,
+// in fold order. It exposes the accumulator's contents for wire
+// serialization: a worker process folds its shard locally, ships the
+// entries, and the parent replays them through AddSites on a fresh
+// accumulator, so Reduce sees exactly the state a local fold would
+// have produced. The returned map is the accumulator's own — callers
+// must not mutate it.
+func (a *UniqueAccumulator) Entry(i int) (string, map[string][]UniqueSite) {
+	return a.names[i], a.contribs[i]
+}
+
 // UniqueCombiner is the Combiner for the set's unique contracts. Its
 // Reduce reproduces CheckUniqueAcross over the concatenated corpus,
 // including first-seen-wins witness ordering.

@@ -148,6 +148,39 @@ type Options struct {
 	// sequentially, so ShardWorkers is the effective parallelism of a
 	// sharded check.
 	ShardWorkers int
+	// ShardBackend selects how a sharded check executes its shards.
+	// Empty or ShardBackendInProcess runs them on a goroutine pool in
+	// this process (the default). ShardBackendProcess dispatches each
+	// shard to a pool of worker child processes over the shardrpc wire
+	// protocol, with bounded crash retries and straggler speculation;
+	// results are byte-identical across backends, warm artifact replay
+	// included. The process backend also routes Shards == 1 through
+	// the sharded driver, so a single-shard corpus still executes out
+	// of process. It cannot serialize ExtraTransforms, ExtraRelations,
+	// or UserTokens with custom Parse funcs — such options are
+	// rejected.
+	ShardBackend string
+	// ShardWorkerCommand is the worker argv for ShardBackendProcess;
+	// element 0 is the executable. Empty selects the
+	// CONCORD_SHARD_WORKER_CMD environment variable (whitespace-split)
+	// and, failing that, the running executable invoked with a single
+	// "shard-worker" argument — correct when the embedding binary is
+	// the concord CLI or a test binary with the worker trampoline.
+	ShardWorkerCommand []string
+}
+
+// The shard execution backends (Options.ShardBackend).
+const (
+	ShardBackendInProcess = "inprocess"
+	ShardBackendProcess   = "process"
+)
+
+// shardingActive reports whether Check/CheckContext routes through the
+// sharded driver: always for Shards > 1, and for a single explicit
+// shard when the process backend is selected (so the work still leaves
+// this process).
+func (o Options) shardingActive() bool {
+	return o.Shards > 1 || (o.Shards == 1 && o.ShardBackend == ShardBackendProcess)
 }
 
 // Validate rejects unusable option values: Support below 1, Confidence
@@ -179,6 +212,20 @@ func (o Options) Validate() error {
 	}
 	if o.ShardWorkers < 0 {
 		return fmt.Errorf("core: ShardWorkers must be non-negative (got %d)", o.ShardWorkers)
+	}
+	switch o.ShardBackend {
+	case "", ShardBackendInProcess:
+	case ShardBackendProcess:
+		if len(o.ExtraTransforms) > 0 || len(o.ExtraRelations) > 0 {
+			return fmt.Errorf("core: shard backend %q cannot serialize ExtraTransforms or ExtraRelations across the process boundary", o.ShardBackend)
+		}
+		for _, t := range o.UserTokens {
+			if t.Parse != nil {
+				return fmt.Errorf("core: shard backend %q cannot serialize the custom Parse func of user token %q", o.ShardBackend, t.Name)
+			}
+		}
+	default:
+		return fmt.Errorf("core: unknown ShardBackend %q (want %q or %q)", o.ShardBackend, ShardBackendInProcess, ShardBackendProcess)
 	}
 	return nil
 }
@@ -214,6 +261,11 @@ type Engine struct {
 	// progressMu serializes Options.Progress callbacks issued from
 	// worker goroutines.
 	progressMu sync.Mutex
+	// dist overrides the process shard backend's scheduler policy
+	// (retry budget, speculation thresholds); nil selects the shardrpc
+	// defaults. It exists for tests that need deterministic fault and
+	// straggler behavior.
+	dist *distPolicy
 }
 
 // New builds an engine, compiling any user token specifications. Options
@@ -966,7 +1018,7 @@ func (e *Engine) Check(set *contracts.Set, sources, meta []Source) (*CheckResult
 func (e *Engine) CheckContext(ctx context.Context, set *contracts.Set, sources, meta []Source) (*CheckResult, error) {
 	dc := diag.New()
 	defer e.opts.Diagnostics.Merge(dc)
-	if e.opts.Shards > 1 {
+	if e.opts.shardingActive() {
 		res, err := e.checkShardedContext(ctx, dc, set, sources, meta, nil)
 		if err != nil {
 			return nil, err

@@ -414,16 +414,22 @@ func (en *RegistryEntry) CheckContext(ctx context.Context, sources, meta []Sourc
 // CheckShardedContext is CheckContext routed through the fleet-scale
 // sharded driver (see shard.go): the corpus is partitioned into
 // deterministic contiguous shards streamed on a bounded pool, with
-// results byte-identical to CheckContext. shards <= 1 falls back to
-// the unsharded path; shardWorkers <= 0 selects the engine's
+// results byte-identical to CheckContext. backend selects the shard
+// execution backend (Options.ShardBackend); with the process backend,
+// each shard runs in a worker child process and a single shard still
+// routes through the sharded driver. shards <= 1 otherwise falls back
+// to the unsharded path; shardWorkers <= 0 selects the engine's
 // Parallelism. The entry's compiled checker and resident caches are
 // shared either way.
-func (en *RegistryEntry) CheckShardedContext(ctx context.Context, sources, meta []Source, rec *telemetry.Recorder, shards, shardWorkers int) (*CheckResult, error) {
-	if shards <= 1 {
+func (en *RegistryEntry) CheckShardedContext(ctx context.Context, sources, meta []Source, rec *telemetry.Recorder, shards, shardWorkers int, backend string) (*CheckResult, error) {
+	if shards <= 1 && backend != ShardBackendProcess {
 		return en.CheckContext(ctx, sources, meta, rec)
 	}
+	if shards < 1 {
+		shards = 1
+	}
 	e := en.eng.forRequest(rec)
-	e.opts.Shards, e.opts.ShardWorkers = shards, shardWorkers
+	e.opts.Shards, e.opts.ShardWorkers, e.opts.ShardBackend = shards, shardWorkers, backend
 	dc := diag.New()
 	defer en.eng.opts.Diagnostics.Merge(dc)
 	res, err := e.checkShardedContext(ctx, dc, en.set, sources, meta, en.checker.ForRequest(rec, dc))

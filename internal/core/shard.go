@@ -132,9 +132,13 @@ func (e *Engine) checkShardedContext(ctx context.Context, dc *diag.Collector, se
 	checkProg := &progressCounter{e: e, stage: telemetry.StageCheck, total: len(sources)}
 	shards := makeShards(sources, e.opts.Shards)
 	results := make([]*shardResult, len(shards))
-	err = e.runShards(ctx, dc, shards, results, func(sh shard) (*shardResult, error) {
-		return e.runShard(ctx, dc, cr, checker, combiner, warm, checkFP, sh, procProg, checkProg)
-	})
+	if e.opts.ShardBackend == ShardBackendProcess {
+		err = e.runShardsProcess(ctx, dc, set, meta, cr, combiner, warm, checkFP, shards, results, procProg, checkProg)
+	} else {
+		err = e.runShards(ctx, dc, shards, results, func(sh shard) (*shardResult, error) {
+			return e.runShard(ctx, dc, cr, checker, combiner, warm, checkFP, sh, procProg, checkProg)
+		})
+	}
 	cr.emitCacheStats(e)
 	spProc.EndCount(len(sources))
 	spCheck.EndCount(len(sources))
@@ -177,10 +181,7 @@ func (e *Engine) runShards(ctx context.Context, dc *diag.Collector, shards []sha
 			if r == nil {
 				return
 			}
-			sh := shards[i]
-			label := fmt.Sprintf("shard %d [%s..%s]", sh.index,
-				sh.sources[0].Name, sh.sources[len(sh.sources)-1].Name)
-			d := diag.FromPanic(string(telemetry.StageCheck), label, r)
+			d := diag.FromPanic(string(telemetry.StageCheck), shardLabel(shards[i]), r)
 			if e.opts.Strict {
 				fail(fmt.Errorf("core: %s stage aborted (strict): %w", telemetry.StageCheck, d.AsError()))
 				return
@@ -233,6 +234,13 @@ func (e *Engine) runShards(ctx context.Context, dc *diag.Collector, shards []sha
 		return failErr
 	}
 	return ctx.Err()
+}
+
+// shardLabel names a shard in diagnostics: its index and the corpus
+// range it covers.
+func shardLabel(sh shard) string {
+	return fmt.Sprintf("shard %d [%s..%s]", sh.index,
+		sh.sources[0].Name, sh.sources[len(sh.sources)-1].Name)
 }
 
 // runShard streams one shard: each configuration is processed, checked,

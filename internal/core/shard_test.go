@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"strings"
 	"sync"
@@ -369,6 +370,54 @@ func TestShardOptionsValidate(t *testing.T) {
 		}
 		if total != len(srcs) {
 			t.Errorf("makeShards(10, %d) covers %d sources, want %d", tc.n, total, len(srcs))
+		}
+	}
+}
+
+// TestMakeShardsProperty checks the partition invariants over a
+// randomized corpus-length/shard-count grid: shards are contiguous
+// corpus slices, cover every source exactly once, never exceed the
+// requested count, and never differ in size by more than one.
+func TestMakeShardsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	type dims struct{ sources, shards int }
+	cases := []dims{
+		{0, 1}, {0, 5}, {1, 1}, {1, 8}, {2, 3}, {7, 7}, {8, 3}, {40, 16},
+	}
+	for i := 0; i < 200; i++ {
+		cases = append(cases, dims{rng.Intn(300), 1 + rng.Intn(40)})
+	}
+	for _, tc := range cases {
+		srcs := chaosSources(tc.sources)
+		shards := makeShards(srcs, tc.shards)
+		if len(shards) > tc.shards {
+			t.Fatalf("makeShards(%d, %d) produced %d shards", tc.sources, tc.shards, len(shards))
+		}
+		seen, minSize, maxSize := 0, len(srcs)+1, 0
+		for _, sh := range shards {
+			n := len(sh.sources)
+			if n == 0 {
+				t.Fatalf("makeShards(%d, %d): empty shard %d", tc.sources, tc.shards, sh.index)
+			}
+			// Contiguity and no overlap: each shard must start exactly
+			// where the previous one ended (aliasing the corpus slice).
+			if &sh.sources[0] != &srcs[seen] {
+				t.Fatalf("makeShards(%d, %d): shard %d is not the contiguous continuation at offset %d",
+					tc.sources, tc.shards, sh.index, seen)
+			}
+			seen += n
+			if n < minSize {
+				minSize = n
+			}
+			if n > maxSize {
+				maxSize = n
+			}
+		}
+		if seen != len(srcs) {
+			t.Fatalf("makeShards(%d, %d) covers %d sources", tc.sources, tc.shards, seen)
+		}
+		if len(shards) > 0 && maxSize-minSize > 1 {
+			t.Fatalf("makeShards(%d, %d): size skew %d..%d exceeds 1", tc.sources, tc.shards, minSize, maxSize)
 		}
 	}
 }

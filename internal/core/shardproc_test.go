@@ -1,0 +1,395 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"concord/internal/lexer"
+	"concord/internal/netdata"
+	"concord/internal/telemetry"
+)
+
+// TestMain doubles as the shard-worker trampoline: the process pool
+// launches this test binary with CONCORD_SHARD_WORKER=1, and the run
+// must turn into a worker loop instead of a second test suite.
+func TestMain(m *testing.M) {
+	if os.Getenv("CONCORD_SHARD_WORKER") == "1" {
+		if err := RunShardWorker(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// distEngine builds an engine routed through the process backend, with
+// this test binary serving as the shard-worker command.
+func distEngine(t *testing.T, shards, workers int, mutate func(*Options)) *Engine {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Shards = shards
+	opts.ShardWorkers = workers
+	opts.ShardBackend = ShardBackendProcess
+	opts.ShardWorkerCommand = []string{exe}
+	if mutate != nil {
+		mutate(&opts)
+	}
+	eng := MustNew(opts)
+	// Speculation off by default: chaos tests below re-enable it with
+	// deliberate thresholds, everything else wants determinism.
+	eng.dist = &distPolicy{maxRetries: 2, specMultiple: -1}
+	return eng
+}
+
+// TestDistProcessMatchesInProcess is the cross-backend differential
+// gate: at every (shards, workers) combination the process backend
+// must serialize byte-identical to the unsharded in-process driver,
+// merged cross-config Unique violations included.
+func TestDistProcessMatchesInProcess(t *testing.T) {
+	lr, err := MustNew(DefaultOptions()).Learn(chaosSources(30), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := shardCorpus(40)
+	base, err := MustNew(DefaultOptions()).Check(lr.Set, test, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := 0
+	for _, v := range base.Violations {
+		if strings.Contains(v.Detail, "duplicates") {
+			dup++
+		}
+	}
+	if dup == 0 {
+		t.Fatal("baseline found no cross-config duplicates; the corpus does not exercise the combiner")
+	}
+	want := checkJSON(t, base)
+	for _, shards := range []int{1, 3, 16} {
+		for _, workers := range []int{1, 4} {
+			rec := telemetry.NewRecorder()
+			eng := distEngine(t, shards, workers, func(o *Options) { o.Telemetry = rec })
+			got, err := eng.Check(lr.Set, test, nil)
+			if err != nil {
+				t.Fatalf("process backend %d shards / %d workers: %v", shards, workers, err)
+			}
+			if gotJSON := checkJSON(t, got); gotJSON != want {
+				t.Errorf("%d shards / %d workers diverge from the in-process driver:\n got %s\nwant %s",
+					shards, workers, gotJSON, want)
+			}
+			rep := rec.Snapshot()
+			wantShards := int64(shards)
+			if shards > len(test) {
+				wantShards = int64(len(test))
+			}
+			if n := rep.Counters["shard.dispatches"]; n != wantShards {
+				t.Errorf("%d shards / %d workers: shard.dispatches = %d, want %d", shards, workers, n, wantShards)
+			}
+			spans := 0
+			for _, sp := range rep.Spans {
+				if strings.HasPrefix(sp.Name, "dist.shard[") {
+					spans++
+				}
+			}
+			if int64(spans) != wantShards {
+				t.Errorf("%d shards / %d workers: %d dist.shard spans, want %d", shards, workers, spans, wantShards)
+			}
+		}
+	}
+}
+
+// TestDistProcessWarmReplay runs the process backend against a shared
+// artifact cache: the cold distributed run must match the in-process
+// driver, a second warm distributed run must replay identically, and
+// an in-process warm run over the same cache must hit the artifacts
+// the workers wrote (proving the fingerprints agree across the
+// process boundary).
+func TestDistProcessWarmReplay(t *testing.T) {
+	lr, err := MustNew(DefaultOptions()).Learn(chaosSources(20), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := shardCorpus(24)
+	base, err := MustNew(DefaultOptions()).Check(lr.Set, test, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := checkJSON(t, base)
+
+	cache := openTestCache(t)
+	shared := func(o *Options) { o.Artifacts = cache; o.Incremental = true }
+	cold, err := distEngine(t, 3, 2, shared).Check(lr.Set, test, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := checkJSON(t, cold); got != want {
+		t.Errorf("cold distributed run diverges:\n got %s\nwant %s", got, want)
+	}
+	warm, err := distEngine(t, 3, 2, shared).Check(lr.Set, test, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := checkJSON(t, warm); got != want {
+		t.Errorf("warm distributed run diverges:\n got %s\nwant %s", got, want)
+	}
+	// Worker-side counters never reach this process; the proof that
+	// workers populated the cache is an in-process warm run hitting it.
+	eng, rec := warmEngine(t, cache, true)
+	rep, err := eng.Check(lr.Set, test, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameCheck(t, "in-process warm after distributed cold", rep, base)
+	if hits := rec.Counter("artifact.cache_hits"); hits == 0 {
+		t.Error("in-process warm run hit no artifacts; workers did not populate the shared cache")
+	}
+}
+
+// TestDistWorkerCrashRetried SIGKILLs the worker holding shard 1 on
+// its first attempt: the scheduler must respawn and re-dispatch, and
+// the final report must be byte-identical to the in-process driver's.
+func TestDistWorkerCrashRetried(t *testing.T) {
+	t.Setenv("CONCORD_SHARDRPC_CRASH_SHARD", "1")
+	lr, err := MustNew(DefaultOptions()).Learn(chaosSources(20), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := shardCorpus(40)
+	base, err := MustNew(DefaultOptions()).Check(lr.Set, test, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := telemetry.NewRecorder()
+	got, err := distEngine(t, 4, 2, func(o *Options) { o.Telemetry = rec }).Check(lr.Set, test, nil)
+	if err != nil {
+		t.Fatalf("check with one worker crash = %v, want retried success", err)
+	}
+	if gotJSON, want := checkJSON(t, got), checkJSON(t, base); gotJSON != want {
+		t.Errorf("crash-retried run diverges:\n got %s\nwant %s", gotJSON, want)
+	}
+	if n := rec.Counter("worker.crashes"); n < 1 {
+		t.Errorf("worker.crashes = %d, want >= 1", n)
+	}
+	if n := rec.Counter("shard.retries"); n < 1 {
+		t.Errorf("shard.retries = %d, want >= 1", n)
+	}
+	if n := rec.Counter("worker.spawns"); n < 2 {
+		t.Errorf("worker.spawns = %d, want >= 2 (the crashed worker was replaced)", n)
+	}
+}
+
+// TestChaosDistWorkerCrashExhausted crashes shard 1's worker on every
+// attempt. Lenient mode survives on the other shards with the PR 8
+// containment shape (lost shard counted skipped, one diagnostic);
+// strict mode fails fast.
+func TestChaosDistWorkerCrashExhausted(t *testing.T) {
+	t.Setenv("CONCORD_SHARDRPC_CRASH_SHARD", "1")
+	t.Setenv("CONCORD_SHARDRPC_CRASH_MODE", "always")
+	lr, err := MustNew(DefaultOptions()).Learn(chaosSources(20), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := shardCorpus(40)
+
+	got, err := distEngine(t, 4, 2, nil).Check(lr.Set, test, nil)
+	if err != nil {
+		t.Fatalf("lenient distributed check = %v, want degradation", err)
+	}
+	if got.Stats.Configs != 30 || got.Stats.Skipped != 10 {
+		t.Errorf("stats = %d configs/%d skipped, want 30/10 (one lost shard of 10)", got.Stats.Configs, got.Stats.Skipped)
+	}
+	found := false
+	for _, d := range got.Diagnostics {
+		if strings.Contains(d.Message, "worker failed") && strings.Contains(d.Source, "shard 1") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("diagnostics missing the lost shard: %+v", got.Diagnostics)
+	}
+
+	strict, err := distEngine(t, 4, 2, func(o *Options) { o.Strict = true }).Check(lr.Set, test, nil)
+	if err == nil {
+		t.Fatalf("strict distributed check completed (%+v), want fail-fast error", strict.Stats)
+	}
+	if !strings.Contains(err.Error(), "strict") {
+		t.Errorf("strict error = %v, want strict-mode abort", err)
+	}
+}
+
+// TestChaosDistCorruptResultFrame makes shard 1's worker emit a
+// bit-flipped result frame on the first attempt: the checksum must
+// reject it, the shard must be retried, and no wrong bytes may reach
+// the report.
+func TestChaosDistCorruptResultFrame(t *testing.T) {
+	t.Setenv("CONCORD_SHARDRPC_CORRUPT_SHARD", "1")
+	lr, err := MustNew(DefaultOptions()).Learn(chaosSources(20), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := shardCorpus(40)
+	base, err := MustNew(DefaultOptions()).Check(lr.Set, test, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := telemetry.NewRecorder()
+	got, err := distEngine(t, 4, 2, func(o *Options) { o.Telemetry = rec }).Check(lr.Set, test, nil)
+	if err != nil {
+		t.Fatalf("check with one corrupt frame = %v, want retried success", err)
+	}
+	if gotJSON, want := checkJSON(t, got), checkJSON(t, base); gotJSON != want {
+		t.Errorf("corrupt-frame run diverges:\n got %s\nwant %s", gotJSON, want)
+	}
+	if n := rec.Counter("shard.retries"); n < 1 {
+		t.Errorf("shard.retries = %d, want >= 1 (corrupt frame must trigger a retry)", n)
+	}
+}
+
+// TestDistStragglerSpeculated stalls shard 0's first attempt well past
+// the speculation threshold: a twin attempt must win, the stalled
+// original must be killed, and the output must stay byte-identical.
+func TestDistStragglerSpeculated(t *testing.T) {
+	t.Setenv("CONCORD_SHARDRPC_STALL_SHARD", "0")
+	t.Setenv("CONCORD_SHARDRPC_STALL_MS", "20000")
+	lr, err := MustNew(DefaultOptions()).Learn(chaosSources(20), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := shardCorpus(40)
+	base, err := MustNew(DefaultOptions()).Check(lr.Set, test, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := telemetry.NewRecorder()
+	eng := distEngine(t, 4, 2, func(o *Options) { o.Telemetry = rec })
+	eng.dist = &distPolicy{maxRetries: 2, specMultiple: 2, specFloor: 100 * time.Millisecond}
+	start := time.Now()
+	got, err := eng.Check(lr.Set, test, nil)
+	if err != nil {
+		t.Fatalf("check with one straggler = %v, want speculated success", err)
+	}
+	if elapsed := time.Since(start); elapsed > 15*time.Second {
+		t.Errorf("run took %v; speculation did not cut the 20s straggler short", elapsed)
+	}
+	if gotJSON, want := checkJSON(t, got), checkJSON(t, base); gotJSON != want {
+		t.Errorf("speculated run diverges:\n got %s\nwant %s", gotJSON, want)
+	}
+	if n := rec.Counter("shard.speculative_wins"); n != 1 {
+		t.Errorf("shard.speculative_wins = %d, want 1", n)
+	}
+}
+
+// childWorkers scans /proc for live children of this process — after a
+// distributed run drains, no worker may be left behind.
+func childWorkers(t *testing.T) []int {
+	t.Helper()
+	entries, err := os.ReadDir("/proc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	me := os.Getpid()
+	var kids []int
+	for _, e := range entries {
+		pid, err := strconv.Atoi(e.Name())
+		if err != nil {
+			continue
+		}
+		stat, err := os.ReadFile(filepath.Join("/proc", e.Name(), "stat"))
+		if err != nil {
+			continue // raced with exit
+		}
+		// Field 4 of /proc/<pid>/stat is the ppid; the comm field (2)
+		// is parenthesized and may embed spaces, so scan past it.
+		s := string(stat)
+		close := strings.LastIndexByte(s, ')')
+		if close < 0 {
+			continue
+		}
+		fields := strings.Fields(s[close+1:])
+		if len(fields) < 2 {
+			continue
+		}
+		if ppid, err := strconv.Atoi(fields[1]); err == nil && ppid == me {
+			kids = append(kids, pid)
+		}
+	}
+	return kids
+}
+
+// TestDistNoOrphansNoLeaks runs the process backend twice (clean and
+// crashing) and requires every worker process reaped and every
+// scheduler goroutine joined once Check returns.
+func TestDistNoOrphansNoLeaks(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("orphan scan reads /proc")
+	}
+	lr, err := MustNew(DefaultOptions()).Learn(chaosSources(20), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := shardCorpus(40)
+	before := runtime.NumGoroutine()
+
+	if _, err := distEngine(t, 4, 2, nil).Check(lr.Set, test, nil); err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv("CONCORD_SHARDRPC_CRASH_SHARD", "1")
+	t.Setenv("CONCORD_SHARDRPC_CRASH_MODE", "always")
+	if _, err := distEngine(t, 4, 2, nil).Check(lr.Set, test, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	assertNoLeak(t, before)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		kids := childWorkers(t)
+		if len(kids) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker processes orphaned after drain: %v", kids)
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestProcessBackendOptionValidation: options that cannot cross a
+// process boundary (functions) must be rejected up front, as must an
+// unknown backend name.
+func TestProcessBackendOptionValidation(t *testing.T) {
+	opts := DefaultOptions()
+	opts.ShardBackend = "threads"
+	if _, err := New(opts); err == nil {
+		t.Error("New accepted an unknown shard backend")
+	}
+
+	opts = DefaultOptions()
+	opts.ShardBackend = ShardBackendProcess
+	opts.UserTokens = []lexer.TokenSpec{{
+		Name:    "odd",
+		Pattern: `odd[0-9]+`,
+		Parse:   func(s string) (netdata.Value, error) { return nil, nil },
+	}}
+	if _, err := New(opts); err == nil {
+		t.Error("New accepted a custom Parse func on the process backend")
+	}
+
+	opts = DefaultOptions()
+	opts.ShardBackend = ShardBackendProcess
+	opts.UserTokens = []lexer.TokenSpec{{Name: "esi", Pattern: `esi-[0-9]+`}}
+	if _, err := New(opts); err != nil {
+		t.Errorf("New rejected a declarative user token on the process backend: %v", err)
+	}
+}

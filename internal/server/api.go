@@ -65,6 +65,13 @@ type CheckRequest struct {
 	// ShardWorkers bounds concurrently running shards; 0 selects the
 	// server engine's parallelism.
 	ShardWorkers int `json:"shard_workers,omitempty"`
+	// ShardBackend selects the shard execution backend: "" or
+	// "inprocess" runs shards on a goroutine pool inside the server,
+	// "process" dispatches each shard to a pool of shard-worker child
+	// processes (crash retries, straggler speculation, byte-identical
+	// results). With "process", a batch of shards <= 1 still executes
+	// out of process as a single shard.
+	ShardBackend string `json:"shard_backend,omitempty"`
 	// Telemetry requests this request's stage spans and counters in
 	// the response.
 	Telemetry bool `json:"telemetry,omitempty"`
@@ -173,6 +180,14 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("shards and shard_workers must be non-negative (got %d, %d)", req.Shards, req.ShardWorkers))
 		return
 	}
+	switch req.ShardBackend {
+	case "", core.ShardBackendInProcess, core.ShardBackendProcess:
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("unknown shard_backend %q (want %q or %q)",
+				req.ShardBackend, core.ShardBackendInProcess, core.ShardBackendProcess))
+		return
+	}
 	en, ok := s.resolveEntry(w, r, req.Contracts, req.Fingerprint)
 	if !ok {
 		return
@@ -181,7 +196,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	start := time.Now()
 	rec := requestRecorder()
-	res, err := en.CheckShardedContext(ctx, toSources(req.Configs), toSources(req.Metadata), rec, req.Shards, req.ShardWorkers)
+	res, err := en.CheckShardedContext(ctx, toSources(req.Configs), toSources(req.Metadata), rec, req.Shards, req.ShardWorkers, req.ShardBackend)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return

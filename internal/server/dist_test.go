@@ -1,0 +1,87 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+
+	"concord/internal/contracts"
+	"concord/internal/core"
+)
+
+// TestMain doubles as the shard-worker trampoline: when a batch runs
+// with shard_backend "process", the pool re-launches this test binary
+// with CONCORD_SHARD_WORKER=1 and it must serve shards, not tests.
+func TestMain(m *testing.M) {
+	if os.Getenv("CONCORD_SHARD_WORKER") == "1" {
+		if err := core.RunShardWorker(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// TestServeProcessBackendBatch posts one batch three ways — unsharded,
+// in-process sharded, and process-backend sharded — and requires the
+// identical result from each; an unknown backend is a client error.
+func TestServeProcessBackendBatch(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := learnSet(t)
+	test := fixtureSources(24)
+	test[17].Text = []byte(strings.Replace(string(test[17].Text),
+		"router-id 10.0.17.1", "router-id 10.0.2.1", 1))
+	engineOpts := core.DefaultOptions()
+	engineOpts.ShardWorkerCommand = []string{exe}
+	srv, base := startServer(t, engineOpts, Options{})
+	if _, err := srv.SetDefaultContracts(context.Background(), set); err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		V []contracts.Violation
+		C core.CoverageSummary
+		S core.ProcessStats
+	}
+	run := func(req CheckRequest) []byte {
+		t.Helper()
+		status, body := postJSON(t, base+"/v1/check", req)
+		if status != http.StatusOK {
+			t.Fatalf("POST /v1/check (%+v) = %d: %s", req.ShardBackend, status, body)
+		}
+		var resp CheckResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		b, _ := json.Marshal(result{resp.Violations, resp.Coverage, resp.Stats})
+		return b
+	}
+	want := run(CheckRequest{Configs: toJSONSources(test)})
+	if !strings.Contains(string(want), "duplicates") {
+		t.Fatal("baseline missed the planted cross-config duplicate")
+	}
+	for _, req := range []CheckRequest{
+		{Configs: toJSONSources(test), ShardBackend: core.ShardBackendProcess},
+		{Configs: toJSONSources(test), Shards: 5, ShardWorkers: 2, ShardBackend: core.ShardBackendProcess},
+	} {
+		if got := run(req); !bytes.Equal(got, want) {
+			t.Errorf("process backend (shards=%d) diverges:\n got %s\nwant %s", req.Shards, got, want)
+		}
+	}
+
+	status, body := postJSON(t, base+"/v1/check", CheckRequest{
+		Configs: toJSONSources(test), ShardBackend: "threads",
+	})
+	if status != http.StatusBadRequest {
+		t.Errorf("POST /v1/check with unknown backend = %d (%s), want 400", status, body)
+	}
+}
