@@ -1,14 +1,14 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-smoke chaos serve-smoke reload-smoke fleet-smoke dist-smoke vuln
+.PHONY: ci fmt vet build test race bench bench-smoke chaos serve-smoke reload-smoke fleet-smoke dist-smoke learn-dist-smoke vuln
 
 # ci is the full verification gate: formatting, static checks, build,
 # the race-enabled test suite, the fault-injection suite, a smoke run
 # of the benchmark harness, a smoke run of the HTTP service, the
 # crash-recovery/hot-reload smoke, the fleet-scale sharded-check
-# smoke, the worker-process shard backend smoke, and a best-effort
-# vulnerability scan.
-ci: fmt vet build race chaos bench-smoke serve-smoke reload-smoke fleet-smoke dist-smoke vuln
+# smoke, the worker-process shard backend smoke, the sharded
+# map-reduce learning smoke, and a best-effort vulnerability scan.
+ci: fmt vet build race chaos bench-smoke serve-smoke reload-smoke fleet-smoke dist-smoke learn-dist-smoke vuln
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -32,7 +32,7 @@ race:
 # the race detector: panic containment, strict-mode aborts, input
 # guards, and goroutine-leak checks.
 chaos:
-	$(GO) test -race -timeout 10m -run 'Chaos|Fault|Panic|Pathological|Lenient|Diagnostics|Guard|Limits|Binary|Oversize|DepthCap|LineBudget|EmptyCorpus|Poison|Warm|Artifact|Incremental|Corrupt|Concurrent|Registry|Singleflight|Eviction|Bundle|Reload|Rollback|Journal|Recover|Shard|Combiner|Fleet|Worker|Dist|Frame' ./...
+	$(GO) test -race -timeout 10m -run 'Chaos|Fault|Panic|Pathological|Lenient|Diagnostics|Guard|Limits|Binary|Oversize|DepthCap|LineBudget|EmptyCorpus|Poison|Warm|Artifact|Incremental|Corrupt|Concurrent|Registry|Singleflight|Eviction|Bundle|Reload|Rollback|Journal|Recover|Shard|Combiner|Fleet|Worker|Dist|Frame|Accumulator|Straggler' ./...
 
 # serve-smoke boots the resident HTTP service under the race detector
 # and drives it over real sockets: one-shot/served output identity, the
@@ -69,6 +69,19 @@ fleet-smoke:
 dist-smoke:
 	$(GO) test -race -timeout 10m -count=1 -run 'TestDist|TestChaosDist|TestProcessBackend|TestWire|TestReadFrame|TestFrame|FuzzShardFrame|TestMakeShardsProperty|TestServeProcessBackendBatch|TestCheckShardBackendProcess' ./internal/core ./internal/shardrpc ./internal/artifact ./internal/server ./cmd/concord
 
+# learn-dist-smoke is the fleet-scale sharded learning gate under the
+# race detector: the in-process shard-count differential ({1,2,3,16}
+# shards mining byte-identical learned sets), the process-backend learn
+# grid ({1,3,16} shards x {1,4} workers), the accumulator merge-law
+# property tests (associativity and shard-order insensitivity under
+# randomized splits), the CCSL learn-frame wire round-trip and fuzz
+# seeds, learn chaos (lost shards in lenient and strict modes, corrupt
+# result frames, crash-retry, straggler speculation, per-config panic
+# containment), global learn progress monotonicity, and the server's
+# sharded learn-job validation and equivalence paths.
+learn-dist-smoke:
+	$(GO) test -race -timeout 10m -count=1 -run 'TestShardedLearn|TestChaosShardedLearn|TestDistLearn|TestChaosDistLearn|TestAccumulator|TestImportAccumulator|TestLearnWire|TestLearnResult|FuzzLearnFrame|TestServeLearnShardValidation|TestServeShardedLearn' ./internal/core ./internal/mining ./internal/shardrpc ./internal/server
+
 # vuln scans dependencies with govulncheck when it is installed; the
 # scan is best-effort and never fails the build (the tool may be
 # absent or need network access).
@@ -79,7 +92,7 @@ vuln:
 		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
-# bench reproduces the committed BENCH_PR9.json — the learn phase
+# bench reproduces the committed BENCH_PR10.json — the learn phase
 # (fast lex/intern/mining path vs. the string-keyed baseline), the
 # check phase (compiled engine vs. the pre-PR linear scan), the warm
 # phase (incremental run over a populated artifact cache vs. the cold
@@ -93,25 +106,30 @@ vuln:
 # and the dist phase (the same fleet tiers through the worker-process
 # shard backend: identity grid, per-shard dispatch overhead, and the
 # ≥2x multi-process scaling gate, likewise armed only on ≥8-way
-# hosts) — and runs the Go micro-benchmarks. Both are pinned — fixed
+# hosts) and the learn-fleet phase (one whole-fleet Learn run
+# unsharded vs. sharded on both backends: a {1,3,16}-shard two-backend
+# byte-identity grid, the streaming-peak-heap gate, and a ≥2x
+# worker-scaling gate armed only on ≥8-way hosts) — and runs the Go
+# micro-benchmarks. Both are pinned — fixed
 # GOMAXPROCS, fixed iteration counts — so numbers are comparable
 # across machines of the same class and across runs.
 BENCH_GOMAXPROCS ?= 4
 
 bench:
 	GOMAXPROCS=$(BENCH_GOMAXPROCS) $(GO) test -bench=. -benchtime=1x -count=1 -run=^$$ .
-	GOMAXPROCS=$(BENCH_GOMAXPROCS) $(GO) run ./cmd/concord bench -count 3 -out BENCH_PR9.json
+	GOMAXPROCS=$(BENCH_GOMAXPROCS) $(GO) run ./cmd/concord bench -count 3 -out BENCH_PR10.json
 
 # bench-smoke is the ci gate: a fast, tiny-scale run of the bench
 # harness that still cross-checks output equality on every corpus in
-# all six phases — the mined contract set must be byte-identical
+# all seven phases — the mined contract set must be byte-identical
 # between the fast and baseline learn paths, check violations
 # identical between the compiled and linear engines, the warm
 # (incremental, cache-replayed) run identical to both cold paths,
 # the served responses identical to the one-shot engine with exactly
 # one compile across the client burst, the sharded fleet runs
-# byte-identical to unsharded with a lower streaming peak heap, and
-# the worker-process backend byte-identical across its whole identity
-# grid (the harness fails on any divergence).
+# byte-identical to unsharded with a lower streaming peak heap, the
+# worker-process backend byte-identical across its whole identity
+# grid, and every sharded learn byte-identical to the unsharded mine
+# on both backends (the harness fails on any divergence).
 bench-smoke:
 	GOMAXPROCS=$(BENCH_GOMAXPROCS) $(GO) run ./cmd/concord bench -scale 0.1 -fleet-scale 0.02 -count 1 -out $${TMPDIR:-/tmp}/concord_bench_smoke.json

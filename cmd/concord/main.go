@@ -136,11 +136,13 @@ warm runs:
   -incremental         replay cached per-config check results for unchanged
                        configs (requires -cache-dir)
 
-fleet-scale checking:
-  -shards N            partition a check run into N deterministic contiguous
-                       shards streamed on a bounded pool; per-config results
-                       stream instead of holding the lexed fleet in memory,
-                       and output is byte-identical to an unsharded run
+fleet-scale checking and learning:
+  -shards N            partition a check or learn run into N deterministic
+                       contiguous shards streamed on a bounded pool; shards
+                       stream configs one at a time (learn folds each into a
+                       mergeable statistics accumulator), so peak memory is
+                       bounded by workers instead of fleet size, and output
+                       is byte-identical to an unsharded run
   -shard-workers N     max shards in flight at once (default -parallel)
   -shard-backend B     shard execution backend: "inprocess" (default) or
                        "process", which runs each shard in a pool of
@@ -298,7 +300,7 @@ func sharedFlags(fs *flag.FlagSet) *runConfig {
 	tokens := fs.String("tokens", "", "JSON file of user lexer token specs")
 	cacheDir := fs.String("cache-dir", "", "content-addressed artifact cache directory for warm runs")
 	incremental := fs.Bool("incremental", false, "replay cached check results for unchanged configs (requires -cache-dir)")
-	shards := fs.Int("shards", 0, "partition check runs into N streamed shards for fleet-scale corpora (0/1 = unsharded)")
+	shards := fs.Int("shards", 0, "partition check and learn runs into N streamed shards for fleet-scale corpora (0/1 = unsharded)")
 	shardWorkers := fs.Int("shard-workers", 0, "max shards in flight at once (0 = -parallel)")
 	shardBackend := fs.String("shard-backend", "", "shard execution backend: inprocess (default) or process")
 	rc := &runConfig{

@@ -133,32 +133,35 @@ type Options struct {
 	// (so cross-configuration uniqueness stays exact over a mix of
 	// cached and fresh configs). Requires Artifacts.
 	Incremental bool
-	// Shards, when greater than one, routes Check/CheckContext through
-	// the fleet-scale sharded driver: the corpus is partitioned into
-	// that many deterministic contiguous shards, shards run on a
-	// bounded pool, and each shard streams per-configuration results —
-	// lexed configurations are released as the shard advances, so peak
-	// memory is bounded by in-flight shards rather than fleet size.
-	// Cross-configuration Unique contracts are merged through the
-	// contracts.Combiner protocol. Results are byte-identical to the
-	// unsharded path, warm artifact replay included. See DESIGN.md §11.
+	// Shards, when greater than one, routes Check/CheckContext and
+	// Learn/LearnContext through the fleet-scale sharded drivers: the
+	// corpus is partitioned into that many deterministic contiguous
+	// shards, shards run on a bounded pool, and each shard streams
+	// per-configuration work — lexed configurations are released as the
+	// shard advances, so peak memory is bounded by in-flight shards
+	// rather than fleet size. A sharded check merges cross-config
+	// Unique contracts through the contracts.Combiner protocol; a
+	// sharded learn folds each configuration into a per-shard
+	// mining.StatsAccumulator and merges the accumulators in shard
+	// order. Results are byte-identical to the unsharded paths, warm
+	// artifact replay included. See DESIGN.md §11 and §13.
 	Shards int
 	// ShardWorkers bounds how many shards are in flight at once; 0
 	// selects Parallelism. Configurations within a shard are processed
 	// sequentially, so ShardWorkers is the effective parallelism of a
-	// sharded check.
+	// sharded check or learn.
 	ShardWorkers int
-	// ShardBackend selects how a sharded check executes its shards.
-	// Empty or ShardBackendInProcess runs them on a goroutine pool in
-	// this process (the default). ShardBackendProcess dispatches each
-	// shard to a pool of worker child processes over the shardrpc wire
-	// protocol, with bounded crash retries and straggler speculation;
-	// results are byte-identical across backends, warm artifact replay
-	// included. The process backend also routes Shards == 1 through
-	// the sharded driver, so a single-shard corpus still executes out
-	// of process. It cannot serialize ExtraTransforms, ExtraRelations,
-	// or UserTokens with custom Parse funcs — such options are
-	// rejected.
+	// ShardBackend selects how a sharded check or learn executes its
+	// shards. Empty or ShardBackendInProcess runs them on a goroutine
+	// pool in this process (the default). ShardBackendProcess
+	// dispatches each shard to a pool of worker child processes over
+	// the shardrpc wire protocol, with bounded crash retries and
+	// straggler speculation; results are byte-identical across
+	// backends, warm artifact replay included. The process backend
+	// also routes Shards == 1 through the sharded driver, so a
+	// single-shard corpus still executes out of process. It cannot
+	// serialize ExtraTransforms, ExtraRelations, or UserTokens with
+	// custom Parse funcs — such options are rejected.
 	ShardBackend string
 	// ShardWorkerCommand is the worker argv for ShardBackendProcess;
 	// element 0 is the executable. Empty selects the
@@ -175,10 +178,10 @@ const (
 	ShardBackendProcess   = "process"
 )
 
-// shardingActive reports whether Check/CheckContext routes through the
-// sharded driver: always for Shards > 1, and for a single explicit
-// shard when the process backend is selected (so the work still leaves
-// this process).
+// shardingActive reports whether Check/CheckContext and
+// Learn/LearnContext route through the sharded drivers: always for
+// Shards > 1, and for a single explicit shard when the process backend
+// is selected (so the work still leaves this process).
 func (o Options) shardingActive() bool {
 	return o.Shards > 1 || (o.Shards == 1 && o.ShardBackend == ShardBackendProcess)
 }
@@ -845,11 +848,19 @@ func (e *Engine) Learn(sources, meta []Source) (*LearnResult, error) {
 func (e *Engine) LearnContext(ctx context.Context, sources, meta []Source) (*LearnResult, error) {
 	dc := diag.New()
 	defer e.opts.Diagnostics.Merge(dc)
-	cfgs, _, pstats, err := e.processContext(ctx, dc, sources, meta)
-	if err != nil {
-		return nil, err
+	var res *LearnResult
+	var err error
+	if e.opts.shardingActive() {
+		res, err = e.learnShardedContext(ctx, dc, sources, meta)
+	} else {
+		var cfgs []*lexer.Config
+		var pstats ProcessStats
+		cfgs, _, pstats, err = e.processContext(ctx, dc, sources, meta)
+		if err != nil {
+			return nil, err
+		}
+		res, err = e.learnProcessedContext(ctx, dc, cfgs, pstats)
 	}
-	res, err := e.learnProcessedContext(ctx, dc, cfgs, pstats)
 	if err != nil {
 		return nil, err
 	}
@@ -875,12 +886,11 @@ func (e *Engine) LearnProcessedContext(ctx context.Context, cfgs []*lexer.Config
 	return res, nil
 }
 
-func (e *Engine) learnProcessedContext(ctx context.Context, dc *diag.Collector, cfgs []*lexer.Config, pstats ProcessStats) (*LearnResult, error) {
-	var mineProgress func(done, total int)
-	if e.opts.Progress != nil {
-		mineProgress = func(done, total int) { e.progress(telemetry.StageMine, done, total) }
-	}
-	m := mining.New(mining.Options{
+// newLearnMiner builds the run's miner from the engine options; both the
+// unsharded and the sharded learn drivers construct it here, so the two
+// paths mine under identical parameters by construction.
+func (e *Engine) newLearnMiner(dc *diag.Collector, progress func(done, total int)) *mining.Miner {
+	return mining.New(mining.Options{
 		Support:          e.opts.Support,
 		Confidence:       e.opts.Confidence,
 		ScoreThreshold:   e.opts.ScoreThreshold,
@@ -893,15 +903,29 @@ func (e *Engine) learnProcessedContext(ctx context.Context, dc *diag.Collector, 
 		Telemetry:        e.opts.Telemetry,
 		Diagnostics:      dc,
 		Strict:           e.opts.Strict,
-		Progress:         mineProgress,
+		Progress:         progress,
 		Baseline:         e.opts.LearnBaseline,
 	})
+}
+
+func (e *Engine) learnProcessedContext(ctx context.Context, dc *diag.Collector, cfgs []*lexer.Config, pstats ProcessStats) (*LearnResult, error) {
+	var mineProgress func(done, total int)
+	if e.opts.Progress != nil {
+		mineProgress = func(done, total int) { e.progress(telemetry.StageMine, done, total) }
+	}
+	m := e.newLearnMiner(dc, mineProgress)
 	sp := e.opts.Telemetry.StartSpan(string(telemetry.StageMine))
 	set, err := m.MineContext(ctx, cfgs)
 	sp.EndCount(len(cfgs))
 	if err != nil {
 		return nil, err
 	}
+	return e.finishLearn(ctx, dc, set, pstats)
+}
+
+// finishLearn is the learn pipeline's shared tail: minimization (with
+// containment) and the learned-set gauge.
+func (e *Engine) finishLearn(ctx context.Context, dc *diag.Collector, set *contracts.Set, pstats ProcessStats) (*LearnResult, error) {
 	res := &LearnResult{Set: set, Stats: pstats}
 	if e.opts.Minimize {
 		if err := ctx.Err(); err != nil {

@@ -135,7 +135,7 @@ func (e *Engine) checkShardedContext(ctx context.Context, dc *diag.Collector, se
 	if e.opts.ShardBackend == ShardBackendProcess {
 		err = e.runShardsProcess(ctx, dc, set, meta, cr, combiner, warm, checkFP, shards, results, procProg, checkProg)
 	} else {
-		err = e.runShards(ctx, dc, shards, results, func(sh shard) (*shardResult, error) {
+		err = runShardPool(e, ctx, dc, telemetry.StageCheck, shards, results, func(sh shard) (*shardResult, error) {
 			return e.runShard(ctx, dc, cr, checker, combiner, warm, checkFP, sh, procProg, checkProg)
 		})
 	}
@@ -153,11 +153,14 @@ func (e *Engine) checkShardedContext(ctx context.Context, dc *diag.Collector, se
 	return e.mergeShards(combiner, warm, checkFP, shards, results), nil
 }
 
-// runShards executes run over the shards on a pool of ShardWorkers
+// runShardPool executes run over the shards on a pool of ShardWorkers
 // goroutines (Parallelism when unset), with per-shard panic
 // containment mirroring forEachCtx: lenient drops the shard with a
 // diagnostic and continues, strict aborts the run on the first fault.
-func (e *Engine) runShards(ctx context.Context, dc *diag.Collector, shards []shard, results []*shardResult, run func(shard) (*shardResult, error)) error {
+// It is generic over the shard result type so the check driver
+// (*shardResult) and the learn driver (*learnShardResult) share one
+// scheduler; stage labels containment diagnostics.
+func runShardPool[R any](e *Engine, ctx context.Context, dc *diag.Collector, stage telemetry.Stage, shards []shard, results []*R, run func(shard) (*R, error)) error {
 	workers := e.opts.ShardWorkers
 	if workers <= 0 {
 		workers = e.opts.Parallelism
@@ -181,9 +184,9 @@ func (e *Engine) runShards(ctx context.Context, dc *diag.Collector, shards []sha
 			if r == nil {
 				return
 			}
-			d := diag.FromPanic(string(telemetry.StageCheck), shardLabel(shards[i]), r)
+			d := diag.FromPanic(string(stage), shardLabel(shards[i]), r)
 			if e.opts.Strict {
-				fail(fmt.Errorf("core: %s stage aborted (strict): %w", telemetry.StageCheck, d.AsError()))
+				fail(fmt.Errorf("core: %s stage aborted (strict): %w", stage, d.AsError()))
 				return
 			}
 			dc.Add(d)

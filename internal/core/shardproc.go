@@ -44,6 +44,7 @@ import (
 	"concord/internal/contracts"
 	"concord/internal/diag"
 	"concord/internal/lexer"
+	"concord/internal/mining"
 	"concord/internal/shardrpc"
 	"concord/internal/telemetry"
 )
@@ -164,10 +165,24 @@ func (e *Engine) runShardsProcess(ctx context.Context, dc *diag.Collector, set *
 }
 
 // buildShardJob serializes the run's check configuration for worker
-// processes. Options that cannot cross a process boundary are rejected
-// here as well as in Options.Validate, because service requests can
-// select the backend after engine construction.
+// processes.
 func (e *Engine) buildShardJob(set *contracts.Set, meta []Source, cr *corpusRun) (*shardrpc.Job, error) {
+	job, err := e.newShardJobBase(meta, cr)
+	if err != nil {
+		return nil, err
+	}
+	job.SetJSON, err = json.Marshal(set)
+	if err != nil {
+		return nil, fmt.Errorf("core: serialize contract set: %w", err)
+	}
+	return job, nil
+}
+
+// newShardJobBase builds the processing-pipeline half of a Job, shared
+// by the check and learn backends. Options that cannot cross a process
+// boundary are rejected here as well as in Options.Validate, because
+// service requests can select the backend after engine construction.
+func (e *Engine) newShardJobBase(meta []Source, cr *corpusRun) (*shardrpc.Job, error) {
 	if len(e.opts.ExtraTransforms) > 0 || len(e.opts.ExtraRelations) > 0 {
 		return nil, fmt.Errorf("core: shard backend %q cannot serialize ExtraTransforms or ExtraRelations across the process boundary", ShardBackendProcess)
 	}
@@ -175,10 +190,6 @@ func (e *Engine) buildShardJob(set *contracts.Set, meta []Source, cr *corpusRun)
 		if t.Parse != nil {
 			return nil, fmt.Errorf("core: shard backend %q cannot serialize the custom Parse func of user token %q", ShardBackendProcess, t.Name)
 		}
-	}
-	setJSON, err := json.Marshal(set)
-	if err != nil {
-		return nil, fmt.Errorf("core: serialize contract set: %w", err)
 	}
 	lim := e.opts.Limits.WithDefaults()
 	job := &shardrpc.Job{
@@ -191,7 +202,6 @@ func (e *Engine) buildShardJob(set *contracts.Set, meta []Source, cr *corpusRun)
 		MaxLineLen:       lim.MaxLineLen,
 		MaxDepth:         lim.MaxDepth,
 		MaxLines:         lim.MaxLines,
-		SetJSON:          setJSON,
 	}
 	if cr.artOn {
 		job.CacheDir = e.opts.Artifacts.BaseDir()
@@ -296,6 +306,13 @@ func RunShardWorker(r io.Reader, w io.Writer) error {
 		}
 		chaos.maybeCrash(t)
 		chaos.maybeStall(t)
+		if job.Learn {
+			res := wk.runLearn(t)
+			if err := chaos.writeLearnResult(w, t, res); err != nil {
+				return fmt.Errorf("shard worker: write learn result: %w", err)
+			}
+			continue
+		}
 		res := wk.run(t)
 		if err := chaos.writeResult(w, t, res); err != nil {
 			return fmt.Errorf("shard worker: write result: %w", err)
@@ -304,14 +321,15 @@ func RunShardWorker(r io.Reader, w io.Writer) error {
 }
 
 // shardWorker is one worker process's resident pipeline state: engine,
-// compiled checker, and corpus run, built once per Job and reused for
-// every Task.
+// compiled checker (check jobs) or miner (learn jobs), and corpus run,
+// built once per Job and reused for every Task.
 type shardWorker struct {
 	eng      *Engine
 	dc       *diag.Collector
 	cr       *corpusRun
 	checker  *contracts.Checker
 	combiner *contracts.UniqueCombiner
+	miner    *mining.Miner
 	warm     bool
 	checkFP  artifact.Key
 	// base is dc's length after metadata processing; per-shard result
@@ -333,6 +351,19 @@ func newShardWorker(job *shardrpc.Job) (*shardWorker, error) {
 	opts.Limits.MaxLineLen = job.MaxLineLen
 	opts.Limits.MaxDepth = job.MaxDepth
 	opts.Limits.MaxLines = job.MaxLines
+	if job.Learn {
+		// Learn parameters arrive resolved (the parent's New already
+		// applied defaults), so the worker's miner is configured exactly
+		// like the parent's.
+		opts.Support = job.Support
+		opts.Confidence = job.Confidence
+		opts.ScoreThreshold = job.ScoreThreshold
+		opts.MaxFanout = job.MaxFanout
+		opts.ConstantLearning = job.ConstantLearning
+		for _, c := range job.Categories {
+			opts.Categories = append(opts.Categories, contracts.Category(c))
+		}
+	}
 	for _, t := range job.UserTokens {
 		opts.UserTokens = append(opts.UserTokens, lexer.TokenSpec{
 			Name: t.Name, Pattern: t.Pattern,
@@ -351,10 +382,6 @@ func newShardWorker(job *shardrpc.Job) (*shardWorker, error) {
 	if err != nil {
 		return nil, err
 	}
-	set := &contracts.Set{}
-	if err := json.Unmarshal(job.SetJSON, set); err != nil {
-		return nil, fmt.Errorf("decode contract set: %w", err)
-	}
 	var meta []Source
 	for _, m := range job.Meta {
 		meta = append(meta, Source{Name: m.Name, Text: m.Text})
@@ -364,11 +391,19 @@ func newShardWorker(job *shardrpc.Job) (*shardWorker, error) {
 	if err != nil {
 		return nil, err
 	}
-	wk.checker = eng.newChecker(set, wk.dc, wk.cr.interns)
-	wk.combiner = wk.checker.UniqueCombiner()
-	wk.warm = wk.cr.artOn && eng.opts.Incremental
-	if wk.warm {
-		wk.checkFP, wk.warm = eng.checkFingerprint(set, wk.cr.metaFP)
+	if job.Learn {
+		wk.miner = eng.newLearnMiner(wk.dc, nil)
+	} else {
+		set := &contracts.Set{}
+		if err := json.Unmarshal(job.SetJSON, set); err != nil {
+			return nil, fmt.Errorf("decode contract set: %w", err)
+		}
+		wk.checker = eng.newChecker(set, wk.dc, wk.cr.interns)
+		wk.combiner = wk.checker.UniqueCombiner()
+		wk.warm = wk.cr.artOn && eng.opts.Incremental
+		if wk.warm {
+			wk.checkFP, wk.warm = eng.checkFingerprint(set, wk.cr.metaFP)
+		}
 	}
 	wk.base = wk.dc.Len()
 	return wk, nil

@@ -1,0 +1,849 @@
+package mining
+
+// Sharded map-reduce learning: a StatsAccumulator is the "map" side of
+// the learn pipeline — one shard streams its configurations through
+// Fold, which runs exactly the per-config statistics and relational
+// scans MineContext runs, but into shard-local state that releases each
+// lexed configuration immediately afterwards. Accumulators then Merge
+// in shard order and MineAccumulated runs the category miners and
+// relational acceptance over the merged evidence.
+//
+// Merge laws. Every aggregate is either additive (counts: configCount,
+// lineCount, holdConfigs, firstOccs, type/sequence/unique tallies) or
+// max-normalized (relational score contributions, see score.AddInstance),
+// so Merge is associative and commutative on the numbers. Display
+// strings are first-wins, which is order-insensitive in effect: a
+// display is a pure rewrite of its pattern (lexer.Line.Display carries
+// the pattern with parameter names), so shards can only ever disagree
+// about a display by not having seen the pattern at all. The learned
+// set is therefore byte-identical at any shard count and any merge
+// association — the property test in accumulator_test.go pins this.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"concord/internal/contracts"
+	"concord/internal/faultinject"
+	"concord/internal/intern"
+	"concord/internal/lexer"
+	"concord/internal/relations"
+	"concord/internal/score"
+)
+
+// StatsAccumulator holds one shard's mining evidence: the statistics
+// the category miners consume plus the relational candidate table.
+// Exactly one of the interned/baseline forms is active, mirroring
+// collectStats' fast-path split. Not safe for concurrent use; shards
+// fold into private accumulators and merge afterwards.
+type StatsAccumulator struct {
+	m   *Miner
+	tab *intern.Table // nil selects the baseline string-keyed form
+
+	// Interned form (corpus carries a run-wide table, !opts.Baseline).
+	sti   *statsI
+	candI map[candKeyI]*candState
+
+	// Baseline form.
+	sts   *stats
+	candS map[candKey]*candState
+
+	scratch *scanScratch
+}
+
+// NewStatsAccumulator returns an empty accumulator. A non-nil tab (the
+// run-wide intern table every folded configuration must carry) selects
+// the interned fast path unless Options.Baseline forces string keys.
+func (m *Miner) NewStatsAccumulator(tab *intern.Table) *StatsAccumulator {
+	if m.opts.Baseline {
+		tab = nil
+	}
+	a := &StatsAccumulator{m: m, tab: tab}
+	if tab != nil {
+		a.sti = newStatsI(0, tab)
+		a.candI = make(map[candKeyI]*candState)
+	} else {
+		a.sts = &stats{
+			patterns:  make(map[string]*patternStats),
+			pairs:     make(map[[2]string]*pairStats),
+			firstOccs: make(map[string]int),
+			types:     make(map[string]*typeStats),
+			seqs:      make(map[string]*seqStats),
+			uniqs:     make(map[string]*uniqStats),
+			constants: make(map[string]*patternStats),
+			seqMeta:   make(map[string]patternParam),
+			uniqMeta:  make(map[string]patternParam),
+		}
+		a.candS = make(map[candKey]*candState)
+	}
+	return a
+}
+
+// NConfigs returns the number of configurations folded (and, after
+// merges, the merged total) — the denominator the miners divide by.
+func (a *StatsAccumulator) NConfigs() int {
+	if a.sti != nil {
+		return a.sti.nConfigs
+	}
+	return a.sts.nConfigs
+}
+
+// Candidates returns the size of the relational candidate table.
+func (a *StatsAccumulator) Candidates() int {
+	if a.sti != nil {
+		return len(a.candI)
+	}
+	return len(a.candS)
+}
+
+// Fold streams one configuration into the accumulator: the statistics
+// fold followed by the relational scan, under the same per-config
+// containment and fault-injection sites as the unsharded passes. The
+// configuration is not retained — callers may release it immediately,
+// which is the whole point: sharded learn's peak heap holds one config
+// per in-flight shard, not the corpus.
+func (a *StatsAccumulator) Fold(cfg *lexer.Config) error {
+	m := a.m
+	if a.sti != nil {
+		a.sti.nConfigs++
+		if err := m.statsOneConfigFast(cfg, a.sti); err != nil {
+			return err
+		}
+	} else {
+		a.sts.nConfigs++
+		if err := m.statsOneConfig(cfg, a.sts); err != nil {
+			return err
+		}
+	}
+	if !m.opts.enabled(contracts.CatRelation) {
+		return nil
+	}
+	if a.sti != nil {
+		return m.contain(cfg.Name, func() {
+			faultinject.At("mining.relational.config", cfg.Name)
+			if a.scratch == nil {
+				a.scratch = newScanScratch(len(m.transforms))
+			}
+			m.scanRelationalConfig(cfg, a.tab, a.scratch)
+			m.foldScanInterned(a.scratch, a.candI)
+		})
+	}
+	return m.contain(cfg.Name, func() {
+		faultinject.At("mining.relational.config", cfg.Name)
+		m.mineRelationalConfigBaseline(cfg, a.candS)
+	})
+}
+
+// Merge folds b into a. Both accumulators must be of the same form
+// (same intern table or both baseline) and built by miners with the
+// same registries. Merge steals b's sub-structures; b must not be used
+// afterwards. When merging shards in index order a sees lower-index
+// evidence first, reproducing corpus order for the first-wins display
+// fields — though the merge laws above make any order equivalent.
+func (a *StatsAccumulator) Merge(b *StatsAccumulator) {
+	if (a.sti == nil) != (b.sti == nil) {
+		panic("mining: merging accumulators of different key forms")
+	}
+	if a.sti != nil {
+		mergeStatsInterned(a.sti, b.sti)
+		mergeCands(a.candI, b.candI)
+		return
+	}
+	mergeStatsBaseline(a.sts, b.sts)
+	mergeCands(a.candS, b.candS)
+}
+
+func mergePatternStats(dst map[string]*patternStats, src map[string]*patternStats) {
+	for k, ps := range src {
+		if g := dst[k]; g != nil {
+			g.configCount += ps.configCount
+			g.lineCount += ps.lineCount
+		} else {
+			dst[k] = ps
+		}
+	}
+}
+
+func mergeTypeStats(dst, src map[string]*typeStats) {
+	for ag, ts := range src {
+		g := dst[ag]
+		if g == nil {
+			dst[ag] = ts
+			continue
+		}
+		g.total += ts.total
+		for len(g.perParam) < len(ts.perParam) {
+			g.perParam = append(g.perParam, make(map[string]*typeUse))
+		}
+		for pi, uses := range ts.perParam {
+			for typ, tu := range uses {
+				if gu := g.perParam[pi][typ]; gu != nil {
+					gu.lines += tu.lines
+				} else {
+					g.perParam[pi][typ] = tu
+				}
+			}
+		}
+	}
+}
+
+func mergeStatsInterned(dst, src *statsI) {
+	dst.nConfigs += src.nConfigs
+	for k, ps := range src.patterns {
+		if g := dst.patterns[k]; g != nil {
+			g.configCount += ps.configCount
+			g.lineCount += ps.lineCount
+		} else {
+			dst.patterns[k] = ps
+		}
+	}
+	for k, ps := range src.pairs {
+		if g := dst.pairs[k]; g != nil {
+			g.holdConfigs += ps.holdConfigs
+		} else {
+			dst.pairs[k] = ps
+		}
+	}
+	for k, n := range src.firstOccs {
+		dst.firstOccs[k] += n
+	}
+	mergeTypeStats(dst.types, src.types)
+	// agOf is a fold-time memo; merged accumulators are mined, not
+	// folded, so it is not carried over.
+	for k, ss := range src.seqs {
+		if g := dst.seqs[k]; g != nil {
+			g.configsWith2 += ss.configsWith2
+			g.configsSeq += ss.configsSeq
+		} else {
+			dst.seqs[k] = ss
+		}
+	}
+	for k, us := range src.uniqs {
+		g := dst.uniqs[k]
+		if g == nil {
+			dst.uniqs[k] = us
+			continue
+		}
+		g.totalValues += us.totalValues
+		for v, n := range us.valueCount {
+			g.valueCount[v] += n
+		}
+	}
+	mergePatternStats(dst.constants, src.constants)
+}
+
+func mergeStatsBaseline(dst, src *stats) {
+	dst.nConfigs += src.nConfigs
+	mergePatternStats(dst.patterns, src.patterns)
+	for k, ps := range src.pairs {
+		if g := dst.pairs[k]; g != nil {
+			g.holdConfigs += ps.holdConfigs
+		} else {
+			dst.pairs[k] = ps
+		}
+	}
+	for k, n := range src.firstOccs {
+		dst.firstOccs[k] += n
+	}
+	mergeTypeStats(dst.types, src.types)
+	for k, ss := range src.seqs {
+		if g := dst.seqs[k]; g != nil {
+			g.configsWith2 += ss.configsWith2
+			g.configsSeq += ss.configsSeq
+		} else {
+			dst.seqs[k] = ss
+		}
+	}
+	for k, us := range src.uniqs {
+		g := dst.uniqs[k]
+		if g == nil {
+			dst.uniqs[k] = us
+			continue
+		}
+		g.totalValues += us.totalValues
+		for v, n := range us.valueCount {
+			g.valueCount[v] += n
+		}
+	}
+	mergePatternStats(dst.constants, src.constants)
+	for k, pp := range src.seqMeta {
+		dst.seqMeta[k] = pp
+	}
+	for k, pp := range src.uniqMeta {
+		dst.uniqMeta[k] = pp
+	}
+}
+
+func mergeCands[K comparable](dst, src map[K]*candState) {
+	for k, cs := range src {
+		g := dst[k]
+		if g == nil {
+			dst[k] = cs
+			continue
+		}
+		g.holdConfigs += cs.holdConfigs
+		g.agg.Merge(cs.agg)
+	}
+}
+
+// MineAccumulated produces the learned set from a (merged) accumulator:
+// the category miners and relational acceptance filters MineContext
+// runs, over evidence collected by Fold instead of a corpus slice. The
+// output is byte-identical to MineContext over the concatenation of
+// every folded configuration.
+func (m *Miner) MineAccumulated(ctx context.Context, acc *StatsAccumulator) (*contracts.Set, error) {
+	var st *stats
+	if acc.sti != nil {
+		st = acc.sti.finalize()
+	} else {
+		st = acc.sts
+	}
+	set, err := m.mineFromStats(ctx, st, func() ([]contracts.Contract, error) {
+		if acc.sti != nil {
+			return m.acceptRelationalInterned(acc.candI, st, acc.tab), nil
+		}
+		return m.acceptRelationalBaseline(acc.candS, st), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if acc.tab != nil {
+		m.opts.Telemetry.Add("mine.interned_strings", int64(acc.tab.Len()))
+	}
+	return set, nil
+}
+
+// AccumulatorState is the portable plain-data form of a
+// StatsAccumulator, the payload of a shardrpc learn result frame. All
+// strings live in the Strings dictionary and are referenced by 1-based
+// StrID — worker-process intern IDs never cross the wire, the parent
+// rebinds every reference through an intern.Translator on import.
+// Export emits records in a canonical sort order with dictionary IDs
+// assigned in first-reference order, so equal accumulators serialize to
+// equal bytes regardless of map iteration.
+type AccumulatorState struct {
+	NConfigs  int
+	Strings   []string
+	Patterns  []AccPattern
+	Pairs     []AccPair
+	FirstOccs []AccFirstOcc
+	Types     []AccType
+	Seqs      []AccSeq
+	Uniqs     []AccUniq
+	Constants []AccConstant
+	Cands     []AccCand
+}
+
+// StrID references AccumulatorState.Strings[id-1]; 0 is invalid.
+type StrID = int32
+
+// AccPattern is one pattern's global statistics.
+type AccPattern struct {
+	Pattern, Display       StrID
+	ConfigCount, LineCount int
+}
+
+// AccPair is one observed successor pair.
+type AccPair struct {
+	First, Second               StrID
+	DisplayFirst, DisplaySecond StrID
+	HoldConfigs                 int
+}
+
+// AccFirstOcc counts configs containing a pattern (ordering support).
+type AccFirstOcc struct {
+	Pattern StrID
+	Configs int
+}
+
+// AccTypeUse counts lines using one type at one parameter position.
+type AccTypeUse struct {
+	Type  StrID
+	Lines int
+}
+
+// AccTypeParam is one parameter position's type uses.
+type AccTypeParam struct {
+	Uses []AccTypeUse
+}
+
+// AccType is one type-agnostic pattern's evidence.
+type AccType struct {
+	Agnostic StrID
+	Total    int
+	Params   []AccTypeParam
+}
+
+// AccSeq is one numeric parameter's equidistance evidence.
+type AccSeq struct {
+	Pattern                  StrID
+	Idx                      int
+	Display                  StrID
+	ConfigsWith2, ConfigsSeq int
+}
+
+// AccValueCount counts one value's global occurrences.
+type AccValueCount struct {
+	Key   StrID
+	Count int
+}
+
+// AccUniq is one parameter's uniqueness evidence.
+type AccUniq struct {
+	Pattern     StrID
+	Idx         int
+	Display     StrID
+	TotalValues int
+	Values      []AccValueCount
+}
+
+// AccConstant is one exact-text constant's statistics.
+type AccConstant struct {
+	Text        StrID
+	ConfigCount int
+}
+
+// AccScore is one relational score contribution.
+type AccScore struct {
+	Key   StrID
+	Score float64
+}
+
+// AccCand is one relational candidate's cross-config evidence.
+// Transforms and the relation cross the wire by name, not registry
+// index: names are self-describing, so a registry mismatch between
+// parent and worker surfaces as an import error instead of silently
+// rebinding evidence to the wrong transform.
+type AccCand struct {
+	P1                 StrID
+	I1                 int
+	T1                 StrID
+	Rel                StrID
+	P2                 StrID
+	I2                 int
+	T2                 StrID
+	Display1, Display2 StrID
+	HoldConfigs        int
+	Scores             []AccScore
+}
+
+// stateBuilder assigns dictionary IDs in first-reference order.
+type stateBuilder struct {
+	ids     map[string]StrID
+	strings []string
+}
+
+func (b *stateBuilder) sid(s string) StrID {
+	if id, ok := b.ids[s]; ok {
+		return id
+	}
+	id := StrID(len(b.strings) + 1)
+	b.ids[s] = id
+	b.strings = append(b.strings, s)
+	return id
+}
+
+// Export converts the accumulator to its portable form. The stats view
+// is finalized to string keys first (interned and baseline accumulators
+// export identically), then every table is emitted in canonical order.
+func (a *StatsAccumulator) Export() *AccumulatorState {
+	var st *stats
+	if a.sti != nil {
+		st = a.sti.finalize()
+	} else {
+		st = a.sts
+	}
+	b := &stateBuilder{ids: make(map[string]StrID)}
+	out := &AccumulatorState{NConfigs: st.nConfigs}
+
+	for _, k := range sortedKeys(st.patterns) {
+		ps := st.patterns[k]
+		out.Patterns = append(out.Patterns, AccPattern{
+			Pattern: b.sid(k), Display: b.sid(ps.display),
+			ConfigCount: ps.configCount, LineCount: ps.lineCount,
+		})
+	}
+	pairKeys := make([][2]string, 0, len(st.pairs))
+	for k := range st.pairs {
+		pairKeys = append(pairKeys, k)
+	}
+	sort.Slice(pairKeys, func(i, j int) bool {
+		if pairKeys[i][0] != pairKeys[j][0] {
+			return pairKeys[i][0] < pairKeys[j][0]
+		}
+		return pairKeys[i][1] < pairKeys[j][1]
+	})
+	for _, k := range pairKeys {
+		ps := st.pairs[k]
+		out.Pairs = append(out.Pairs, AccPair{
+			First: b.sid(k[0]), Second: b.sid(k[1]),
+			DisplayFirst: b.sid(ps.displayFirst), DisplaySecond: b.sid(ps.displaySecond),
+			HoldConfigs: ps.holdConfigs,
+		})
+	}
+	for _, k := range sortedKeys(st.firstOccs) {
+		out.FirstOccs = append(out.FirstOccs, AccFirstOcc{Pattern: b.sid(k), Configs: st.firstOccs[k]})
+	}
+	for _, ag := range sortedKeys(st.types) {
+		ts := st.types[ag]
+		at := AccType{Agnostic: b.sid(ag), Total: ts.total}
+		for _, uses := range ts.perParam {
+			ap := AccTypeParam{}
+			for _, typ := range sortedKeys(uses) {
+				ap.Uses = append(ap.Uses, AccTypeUse{Type: b.sid(typ), Lines: uses[typ].lines})
+			}
+			at.Params = append(at.Params, ap)
+		}
+		out.Types = append(out.Types, at)
+	}
+	for _, k := range sortedKeys(st.seqs) {
+		ss, pp := st.seqs[k], st.seqMeta[k]
+		out.Seqs = append(out.Seqs, AccSeq{
+			Pattern: b.sid(pp.pattern), Idx: pp.idx, Display: b.sid(ss.display),
+			ConfigsWith2: ss.configsWith2, ConfigsSeq: ss.configsSeq,
+		})
+	}
+	for _, k := range sortedKeys(st.uniqs) {
+		us, pp := st.uniqs[k], st.uniqMeta[k]
+		au := AccUniq{
+			Pattern: b.sid(pp.pattern), Idx: pp.idx, Display: b.sid(us.display),
+			TotalValues: us.totalValues,
+		}
+		for _, v := range sortedKeys(us.valueCount) {
+			au.Values = append(au.Values, AccValueCount{Key: b.sid(v), Count: us.valueCount[v]})
+		}
+		out.Uniqs = append(out.Uniqs, au)
+	}
+	for _, text := range sortedKeys(st.constants) {
+		out.Constants = append(out.Constants, AccConstant{Text: b.sid(text), ConfigCount: st.constants[text].configCount})
+	}
+	out.Cands = a.exportCands(b)
+	out.Strings = b.strings
+	return out
+}
+
+// exportCands materializes the candidate table with string-form keys in
+// canonical order.
+func (a *StatsAccumulator) exportCands(b *stateBuilder) []AccCand {
+	type flat struct {
+		k  candKey
+		cs *candState
+	}
+	var cands []flat
+	if a.sti != nil {
+		m := a.m
+		for k, cs := range a.candI {
+			cands = append(cands, flat{candKey{
+				p1: a.tab.String(k.p1), i1: int(k.i1), t1: m.transforms[k.t1].Name,
+				rel: m.rels[k.rel],
+				p2:  a.tab.String(k.p2), i2: int(k.i2), t2: m.transforms[k.t2].Name,
+			}, cs})
+		}
+	} else {
+		for k, cs := range a.candS {
+			cands = append(cands, flat{k, cs})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		x, y := cands[i].k, cands[j].k
+		switch {
+		case x.p1 != y.p1:
+			return x.p1 < y.p1
+		case x.i1 != y.i1:
+			return x.i1 < y.i1
+		case x.t1 != y.t1:
+			return x.t1 < y.t1
+		case x.rel != y.rel:
+			return x.rel < y.rel
+		case x.p2 != y.p2:
+			return x.p2 < y.p2
+		case x.i2 != y.i2:
+			return x.i2 < y.i2
+		default:
+			return x.t2 < y.t2
+		}
+	})
+	out := make([]AccCand, 0, len(cands))
+	for _, c := range cands {
+		ac := AccCand{
+			P1: b.sid(c.k.p1), I1: c.k.i1, T1: b.sid(c.k.t1),
+			Rel: b.sid(string(c.k.rel)),
+			P2:  b.sid(c.k.p2), I2: c.k.i2, T2: b.sid(c.k.t2),
+			Display1: b.sid(c.cs.display1), Display2: b.sid(c.cs.display2),
+			HoldConfigs: c.cs.holdConfigs,
+		}
+		for _, e := range c.cs.agg.Entries() {
+			ac.Scores = append(ac.Scores, AccScore{Key: b.sid(e.Key), Score: e.Score})
+		}
+		out = append(out, ac)
+	}
+	return out
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ImportAccumulator rebinds a wire-form accumulator onto this miner's
+// registries and the run's intern table (nil tab selects the baseline
+// form, matching a LearnBaseline run). Every dictionary reference is
+// range-checked and every transform/relation name resolved against the
+// local registries — malformed or registry-skewed state returns an
+// error, never a panic and never a silently partial accumulator.
+func (m *Miner) ImportAccumulator(state *AccumulatorState, tab *intern.Table) (*StatsAccumulator, error) {
+	a := m.NewStatsAccumulator(tab)
+	tr := intern.NewTranslator(tab, state.Strings)
+	if a.sti != nil {
+		a.sti.nConfigs = state.NConfigs
+	} else {
+		a.sts.nConfigs = state.NConfigs
+	}
+
+	str := tr.String
+	for _, p := range state.Patterns {
+		pattern, err := str(p.Pattern)
+		if err != nil {
+			return nil, err
+		}
+		display, err := str(p.Display)
+		if err != nil {
+			return nil, err
+		}
+		ps := &patternStats{display: display, configCount: p.ConfigCount, lineCount: p.LineCount}
+		if a.sti != nil {
+			pid, err := tr.ID(p.Pattern)
+			if err != nil {
+				return nil, err
+			}
+			a.sti.patterns[pid] = ps
+		} else {
+			a.sts.patterns[pattern] = ps
+		}
+	}
+	for _, p := range state.Pairs {
+		first, err := str(p.First)
+		if err != nil {
+			return nil, err
+		}
+		second, err := str(p.Second)
+		if err != nil {
+			return nil, err
+		}
+		d1, err := str(p.DisplayFirst)
+		if err != nil {
+			return nil, err
+		}
+		d2, err := str(p.DisplaySecond)
+		if err != nil {
+			return nil, err
+		}
+		ps := &pairStats{displayFirst: d1, displaySecond: d2, holdConfigs: p.HoldConfigs}
+		if a.sti != nil {
+			id1, err := tr.ID(p.First)
+			if err != nil {
+				return nil, err
+			}
+			id2, err := tr.ID(p.Second)
+			if err != nil {
+				return nil, err
+			}
+			a.sti.pairs[[2]int32{id1, id2}] = ps
+		} else {
+			a.sts.pairs[[2]string{first, second}] = ps
+		}
+	}
+	for _, f := range state.FirstOccs {
+		if a.sti != nil {
+			pid, err := tr.ID(f.Pattern)
+			if err != nil {
+				return nil, err
+			}
+			a.sti.firstOccs[pid] = f.Configs
+		} else {
+			pattern, err := str(f.Pattern)
+			if err != nil {
+				return nil, err
+			}
+			a.sts.firstOccs[pattern] = f.Configs
+		}
+	}
+	types := a.types()
+	for _, at := range state.Types {
+		ag, err := str(at.Agnostic)
+		if err != nil {
+			return nil, err
+		}
+		ts := &typeStats{total: at.Total}
+		for _, ap := range at.Params {
+			uses := make(map[string]*typeUse, len(ap.Uses))
+			for _, u := range ap.Uses {
+				typ, err := str(u.Type)
+				if err != nil {
+					return nil, err
+				}
+				uses[typ] = &typeUse{lines: u.Lines}
+			}
+			ts.perParam = append(ts.perParam, uses)
+		}
+		types[ag] = ts
+	}
+	for _, s := range state.Seqs {
+		pattern, err := str(s.Pattern)
+		if err != nil {
+			return nil, err
+		}
+		display, err := str(s.Display)
+		if err != nil {
+			return nil, err
+		}
+		ss := &seqStats{display: display, configsWith2: s.ConfigsWith2, configsSeq: s.ConfigsSeq}
+		if a.sti != nil {
+			pid, err := tr.ID(s.Pattern)
+			if err != nil {
+				return nil, err
+			}
+			a.sti.seqs[key2i(pid, s.Idx)] = ss
+		} else {
+			k := key2(pattern, s.Idx)
+			a.sts.seqs[k] = ss
+			a.sts.seqMeta[k] = patternParam{pattern: pattern, idx: s.Idx}
+		}
+	}
+	for _, u := range state.Uniqs {
+		pattern, err := str(u.Pattern)
+		if err != nil {
+			return nil, err
+		}
+		display, err := str(u.Display)
+		if err != nil {
+			return nil, err
+		}
+		us := &uniqStats{display: display, totalValues: u.TotalValues, valueCount: make(map[string]int, len(u.Values))}
+		for _, v := range u.Values {
+			key, err := str(v.Key)
+			if err != nil {
+				return nil, err
+			}
+			us.valueCount[key] = v.Count
+		}
+		if a.sti != nil {
+			pid, err := tr.ID(u.Pattern)
+			if err != nil {
+				return nil, err
+			}
+			a.sti.uniqs[key2i(pid, u.Idx)] = us
+		} else {
+			k := key2(pattern, u.Idx)
+			a.sts.uniqs[k] = us
+			a.sts.uniqMeta[k] = patternParam{pattern: pattern, idx: u.Idx}
+		}
+	}
+	constants := a.constants()
+	for _, c := range state.Constants {
+		text, err := str(c.Text)
+		if err != nil {
+			return nil, err
+		}
+		constants[text] = &patternStats{display: text, configCount: c.ConfigCount}
+	}
+	if err := m.importCands(a, state, tr); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func (a *StatsAccumulator) types() map[string]*typeStats {
+	if a.sti != nil {
+		return a.sti.types
+	}
+	return a.sts.types
+}
+
+func (a *StatsAccumulator) constants() map[string]*patternStats {
+	if a.sti != nil {
+		return a.sti.constants
+	}
+	return a.sts.constants
+}
+
+func (m *Miner) importCands(a *StatsAccumulator, state *AccumulatorState, tr *intern.Translator) error {
+	transformIdx := make(map[string]int32, len(m.transforms))
+	for ti := range m.transforms {
+		transformIdx[m.transforms[ti].Name] = int32(ti)
+	}
+	relIdx := make(map[relations.Rel]int8, len(m.rels))
+	for ri := range m.rels {
+		relIdx[m.rels[ri]] = int8(ri)
+	}
+	for _, c := range state.Cands {
+		t1, err := tr.String(c.T1)
+		if err != nil {
+			return err
+		}
+		t2, err := tr.String(c.T2)
+		if err != nil {
+			return err
+		}
+		relName, err := tr.String(c.Rel)
+		if err != nil {
+			return err
+		}
+		rel := relations.Rel(relName)
+		d1, err := tr.String(c.Display1)
+		if err != nil {
+			return err
+		}
+		d2, err := tr.String(c.Display2)
+		if err != nil {
+			return err
+		}
+		cs := &candState{display1: d1, display2: d2, holdConfigs: c.HoldConfigs, agg: score.NewAggregator()}
+		for _, s := range c.Scores {
+			key, err := tr.String(s.Key)
+			if err != nil {
+				return err
+			}
+			cs.agg.AddInstance(key, s.Score)
+		}
+		if a.sti != nil {
+			ti1, ok := transformIdx[t1]
+			if !ok {
+				return fmt.Errorf("mining: imported accumulator names unknown transform %q", t1)
+			}
+			ti2, ok := transformIdx[t2]
+			if !ok {
+				return fmt.Errorf("mining: imported accumulator names unknown transform %q", t2)
+			}
+			ri, ok := relIdx[rel]
+			if !ok {
+				return fmt.Errorf("mining: imported accumulator names unknown relation %q", rel)
+			}
+			p1, err := tr.ID(c.P1)
+			if err != nil {
+				return err
+			}
+			p2, err := tr.ID(c.P2)
+			if err != nil {
+				return err
+			}
+			a.candI[candKeyI{p1: p1, i1: int32(c.I1), t1: ti1, rel: ri, p2: p2, i2: int32(c.I2), t2: ti2}] = cs
+		} else {
+			p1, err := tr.String(c.P1)
+			if err != nil {
+				return err
+			}
+			p2, err := tr.String(c.P2)
+			if err != nil {
+				return err
+			}
+			a.candS[candKey{p1: p1, i1: c.I1, t1: t1, rel: rel, p2: p2, i2: c.I2, t2: t2}] = cs
+		}
+	}
+	return nil
+}

@@ -156,6 +156,25 @@ func (m *Miner) MineContext(ctx context.Context, cfgs []*lexer.Config) (*contrac
 	if err != nil {
 		return nil, err
 	}
+	set, err := m.mineFromStats(ctx, st, func() ([]contracts.Contract, error) {
+		return m.mineRelational(ctx, cfgs, st)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if tab := commonInterns(cfgs); tab != nil && !m.opts.Baseline {
+		rec.Add("mine.interned_strings", int64(tab.Len()))
+	}
+	return set, nil
+}
+
+// mineFromStats runs the category miners and the relational acceptance
+// over a completed statistics view. It is the shared tail of
+// MineContext (stats collected in one pass over the corpus) and
+// MineAccumulated (stats merged from per-shard accumulators); the
+// relational closure supplies that path's candidate evidence.
+func (m *Miner) mineFromStats(ctx context.Context, st *stats, relational func() ([]contracts.Contract, error)) (*contracts.Set, error) {
+	rec := m.opts.Telemetry
 	set := &contracts.Set{}
 	mineCat := func(cat contracts.Category, name string, candidates int, fn func() []contracts.Contract) ([]contracts.Contract, error) {
 		if !m.opts.enabled(cat) {
@@ -243,16 +262,13 @@ func (m *Miner) MineContext(ctx context.Context, cfgs []*lexer.Config) (*contrac
 			return nil, err
 		}
 		sp := rec.StartSpan("mine/relation")
-		found, err := m.mineRelational(ctx, cfgs, st)
+		found, err := relational()
 		sp.EndCount(len(found))
 		if err != nil {
 			return nil, err
 		}
 		rec.Add("mine.relation.accepted", int64(len(found)))
 		set.Contracts = append(set.Contracts, found...)
-	}
-	if tab := commonInterns(cfgs); tab != nil && !m.opts.Baseline {
-		rec.Add("mine.interned_strings", int64(tab.Len()))
 	}
 	return set, nil
 }
@@ -279,8 +295,7 @@ type typeStats struct {
 }
 
 type typeUse struct {
-	lines   int
-	configs map[int]bool
+	lines int
 }
 
 // seqStats tracks a numeric parameter's per-config equidistance.
@@ -352,11 +367,11 @@ func (m *Miner) contain(unit string, fn func()) (err error) {
 func (m *Miner) collectStats(ctx context.Context, cfgs []*lexer.Config) (*stats, error) {
 	if tab := commonInterns(cfgs); tab != nil && !m.opts.Baseline {
 		sti := newStatsI(len(cfgs), tab)
-		for ci, cfg := range cfgs {
+		for _, cfg := range cfgs {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			if err := m.statsOneConfigFast(ci, cfg, sti); err != nil {
+			if err := m.statsOneConfigFast(cfg, sti); err != nil {
 				return nil, err
 			}
 		}
@@ -374,11 +389,11 @@ func (m *Miner) collectStats(ctx context.Context, cfgs []*lexer.Config) (*stats,
 		seqMeta:   make(map[string]patternParam),
 		uniqMeta:  make(map[string]patternParam),
 	}
-	for ci, cfg := range cfgs {
+	for _, cfg := range cfgs {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if err := m.statsOneConfig(ci, cfg, st); err != nil {
+		if err := m.statsOneConfig(cfg, st); err != nil {
 			return nil, err
 		}
 	}
@@ -389,7 +404,7 @@ func (m *Miner) collectStats(ctx context.Context, cfgs []*lexer.Config) (*stats,
 // Containment is best-effort: the fault-injection point fires before
 // any mutation, but a genuine mid-fold panic can leave this
 // configuration partially counted (the diagnostic says which).
-func (m *Miner) statsOneConfig(ci int, cfg *lexer.Config, st *stats) error {
+func (m *Miner) statsOneConfig(cfg *lexer.Config, st *stats) error {
 	return m.contain(cfg.Name, func() {
 		faultinject.At("mining.stats.config", cfg.Name)
 		seenPatterns := make(map[string]bool)
@@ -446,11 +461,10 @@ func (m *Miner) statsOneConfig(ci int, cfg *lexer.Config, st *stats) error {
 				for pi, prm := range line.Params {
 					tu := ts.perParam[pi][prm.Type]
 					if tu == nil {
-						tu = &typeUse{configs: make(map[int]bool)}
+						tu = &typeUse{}
 						ts.perParam[pi][prm.Type] = tu
 					}
 					tu.lines++
-					tu.configs[ci] = true
 				}
 			}
 			// Sequences and uniques per parameter.

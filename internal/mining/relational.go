@@ -77,8 +77,16 @@ func (m *Miner) mineRelational(ctx context.Context, cfgs []*lexer.Config, st *st
 	if err != nil {
 		return nil, err
 	}
-	m.opts.Telemetry.Add("mine.relation.candidates", int64(len(global)))
+	return m.acceptRelationalBaseline(global, st), nil
+}
 
+// acceptRelationalBaseline filters a complete string-keyed candidate
+// table by support, confidence, and score, materializing the accepted
+// contracts. The table must hold the whole corpus's evidence (a merged
+// table from sharded accumulators is fine; a partial one is not, since
+// echo suppression compares candidates against each other).
+func (m *Miner) acceptRelationalBaseline(global map[candKey]*candState, st *stats) []contracts.Contract {
+	m.opts.Telemetry.Add("mine.relation.candidates", int64(len(global)))
 	var out []contracts.Contract
 	for k, cs := range global {
 		supp := st.patterns[k.p1].configCount
@@ -123,7 +131,7 @@ func (m *Miner) mineRelational(ctx context.Context, cfgs []*lexer.Config, st *st
 		})
 	}
 	sortByID(out)
-	return out, nil
+	return out
 }
 
 // mineRelationalInterned is mineRelational's fast path: the global
@@ -150,6 +158,13 @@ func (m *Miner) mineRelationalInterned(ctx context.Context, cfgs []*lexer.Config
 	if err != nil {
 		return nil, err
 	}
+	return m.acceptRelationalInterned(global, st, tab), nil
+}
+
+// acceptRelationalInterned is acceptRelationalBaseline on the interned
+// candidate table: pattern strings are materialized only for candidates
+// clearing the filters.
+func (m *Miner) acceptRelationalInterned(global map[candKeyI]*candState, st *stats, tab *intern.Table) []contracts.Contract {
 	m.opts.Telemetry.Add("mine.relation.candidates", int64(len(global)))
 
 	idIdx := int32(-1)
@@ -201,7 +216,7 @@ func (m *Miner) mineRelationalInterned(ctx context.Context, cfgs []*lexer.Config
 		})
 	}
 	sortByID(out)
-	return out, nil
+	return out
 }
 
 // relationalPass runs mineOne over every configuration, sequentially or

@@ -79,7 +79,7 @@ func (st *statsI) pid(line *lexer.Line) int32 {
 // statsOneConfigFast is statsOneConfig on interned keys; the fold logic
 // mirrors it statement for statement (the golden differential test
 // pins the equivalence).
-func (m *Miner) statsOneConfigFast(ci int, cfg *lexer.Config, st *statsI) error {
+func (m *Miner) statsOneConfigFast(cfg *lexer.Config, st *statsI) error {
 	return m.contain(cfg.Name, func() {
 		faultinject.At("mining.stats.config", cfg.Name)
 		seenPatterns := make(map[int32]bool)
@@ -139,11 +139,10 @@ func (m *Miner) statsOneConfigFast(ci int, cfg *lexer.Config, st *statsI) error 
 				for pi, prm := range line.Params {
 					tu := ts.perParam[pi][prm.Type]
 					if tu == nil {
-						tu = &typeUse{configs: make(map[int]bool)}
+						tu = &typeUse{}
 						ts.perParam[pi][prm.Type] = tu
 					}
 					tu.lines++
-					tu.configs[ci] = true
 				}
 			}
 			// Sequences and uniques per parameter.

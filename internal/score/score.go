@@ -111,10 +111,12 @@ func (a *Aggregator) Add(v netdata.Value) {
 
 // AddInstance records one relation instance by explicit key and score,
 // for callers that score an instance as a function of both operands
-// (e.g. min of the two informativeness scores). Duplicate keys are
-// ignored.
+// (e.g. min of the two informativeness scores). Duplicate keys keep the
+// larger score — the same normalization Merge applies — so a total is a
+// pure function of the instance multiset, independent of the order
+// configurations are folded or how they are split across shards.
 func (a *Aggregator) AddInstance(key string, s float64) {
-	if _, ok := a.scores[key]; ok {
+	if cur, ok := a.scores[key]; ok && cur >= s {
 		return
 	}
 	a.scores[key] = s
@@ -136,6 +138,25 @@ func (a *Aggregator) Total() float64 {
 
 // Distinct returns the number of distinct values scored.
 func (a *Aggregator) Distinct() int { return len(a.scores) }
+
+// Entry is one (value key, score) contribution of an aggregator.
+type Entry struct {
+	Key   string
+	Score float64
+}
+
+// Entries returns the aggregator's contributions sorted by key: the
+// canonical serialized form, deterministic regardless of insertion
+// order. An aggregator rebuilt by AddInstance over the entries is
+// equivalent to the original.
+func (a *Aggregator) Entries() []Entry {
+	out := make([]Entry, 0, len(a.scores))
+	for k, s := range a.scores {
+		out = append(out, Entry{Key: k, Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
 
 // Merge folds another aggregator's instances into a. Keys present in
 // both keep the larger score so merging is commutative.

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"concord/internal/core"
+	"concord/internal/lexer"
+	"concord/internal/netdata"
+)
+
+// TestServeLearnShardValidation: POST /v1/learn rejects malformed shard
+// selections with a 400 at submit time — never by accepting a job that
+// is doomed to fail asynchronously.
+func TestServeLearnShardValidation(t *testing.T) {
+	train := toJSONSources(fixtureSources(4))
+	_, base := startServer(t, core.DefaultOptions(), Options{})
+
+	for _, tc := range []struct {
+		name string
+		req  LearnRequest
+		want string
+	}{
+		{"negative shards", LearnRequest{Configs: train, Shards: -1}, "non-negative"},
+		{"negative workers", LearnRequest{Configs: train, ShardWorkers: -2}, "non-negative"},
+		{"unknown backend", LearnRequest{Configs: train, ShardBackend: "threads"}, "unknown shard_backend"},
+	} {
+		status, body := postJSON(t, base+"/v1/learn", tc.req)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s = %d (%s), want 400", tc.name, status, body)
+		} else if !strings.Contains(string(body), tc.want) {
+			t.Errorf("%s error %s does not mention %q", tc.name, body, tc.want)
+		}
+	}
+
+	// A server whose engine options carry a func-valued user token can
+	// serve in-process learns, but a process-backend learn request must
+	// be refused: the Parse func cannot cross the process boundary.
+	funcOpts := core.DefaultOptions()
+	funcOpts.UserTokens = []lexer.TokenSpec{{
+		Name:    "odd",
+		Pattern: `odd[0-9]+`,
+		Parse:   func(s string) (netdata.Value, error) { return nil, nil },
+	}}
+	_, fbase := startServer(t, funcOpts, Options{})
+	status, body := postJSON(t, fbase+"/v1/learn", LearnRequest{
+		Configs: train, ShardBackend: core.ShardBackendProcess,
+	})
+	if status != http.StatusBadRequest {
+		t.Errorf("process backend over func token = %d (%s), want 400", status, body)
+	} else if !strings.Contains(string(body), "cannot serialize") {
+		t.Errorf("process-backend error %s does not explain the serialization limit", body)
+	}
+	// The same request without the backend override still learns fine.
+	status, body = postJSON(t, fbase+"/v1/learn", LearnRequest{Configs: train})
+	if status != http.StatusAccepted {
+		t.Fatalf("in-process learn on func-token server = %d: %s", status, body)
+	}
+	var accepted JobStatus
+	if err := json.Unmarshal(body, &accepted); err != nil {
+		t.Fatal(err)
+	}
+	pollJob(t, fbase, accepted.ID, 30*time.Second)
+}
+
+// TestServeShardedLearnJob runs the async learn flow unsharded,
+// in-process sharded, and process-backend sharded over one corpus: all
+// three jobs must register learned sets under the identical fingerprint
+// with identical contract counts and corpus statistics.
+func TestServeShardedLearnJob(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := fixtureSources(24)
+	engineOpts := core.DefaultOptions()
+	engineOpts.ShardWorkerCommand = []string{exe}
+	_, base := startServer(t, engineOpts, Options{})
+
+	learn := func(req LearnRequest) *LearnResult {
+		t.Helper()
+		status, body := postJSON(t, base+"/v1/learn", req)
+		if status != http.StatusAccepted {
+			t.Fatalf("POST /v1/learn (shards=%d backend=%q) = %d: %s", req.Shards, req.ShardBackend, status, body)
+		}
+		var accepted JobStatus
+		if err := json.Unmarshal(body, &accepted); err != nil {
+			t.Fatal(err)
+		}
+		done := pollJob(t, base, accepted.ID, 60*time.Second)
+		if done.State != JobDone || done.Result == nil {
+			t.Fatalf("job %s (shards=%d backend=%q) = %+v, want done with result",
+				accepted.ID, req.Shards, req.ShardBackend, done)
+		}
+		return done.Result
+	}
+
+	want := learn(LearnRequest{Configs: toJSONSources(train)})
+	if want.Contracts == 0 {
+		t.Fatal("baseline learn mined no contracts; the corpus does not exercise the miners")
+	}
+	for _, req := range []LearnRequest{
+		{Configs: toJSONSources(train), Shards: 3},
+		{Configs: toJSONSources(train), Shards: 3, ShardWorkers: 2, ShardBackend: core.ShardBackendProcess},
+		{Configs: toJSONSources(train), ShardBackend: core.ShardBackendProcess},
+	} {
+		got := learn(req)
+		if got.Fingerprint != want.Fingerprint {
+			t.Errorf("shards=%d backend=%q: fingerprint %s diverges from unsharded %s",
+				req.Shards, req.ShardBackend, got.Fingerprint, want.Fingerprint)
+		}
+		if got.Contracts != want.Contracts {
+			t.Errorf("shards=%d backend=%q: %d contracts, want %d", req.Shards, req.ShardBackend, got.Contracts, want.Contracts)
+		}
+		if got.Stats != want.Stats {
+			t.Errorf("shards=%d backend=%q: stats %+v diverge from %+v", req.Shards, req.ShardBackend, got.Stats, want.Stats)
+		}
+	}
+
+	// The sharded fingerprint is immediately checkable, like any other.
+	status, body := postJSON(t, base+"/v1/check", CheckRequest{
+		Fingerprint: want.Fingerprint, Configs: toJSONSources(fixtureSources(3)),
+	})
+	if status != http.StatusOK {
+		t.Errorf("check by sharded-learn fingerprint = %d: %s", status, body)
+	}
+}
+
+// TestServeShardedLearnJournalRoundTrip: the shard selection rides the
+// journaled request, so a daemon restarted mid-job resumes the learn
+// under the backend it was submitted with.
+func TestServeShardedLearnJournalRoundTrip(t *testing.T) {
+	raw, err := json.Marshal(LearnRequest{
+		Configs: toJSONSources(fixtureSources(2)), Shards: 5, ShardWorkers: 2,
+		ShardBackend: core.ShardBackendInProcess,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got LearnRequest
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Shards != 5 || got.ShardWorkers != 2 || got.ShardBackend != core.ShardBackendInProcess {
+		t.Errorf("journaled shard selection lost: %+v", got)
+	}
+}

@@ -51,6 +51,19 @@ type LearnRequest struct {
 	Configs []SourceJSON `json:"configs"`
 	// Metadata optionally supplies metadata/outside-information files.
 	Metadata []SourceJSON `json:"metadata,omitempty"`
+	// Shards, when greater than one, runs the learn job through the
+	// fleet-scale sharded mine driver: shards stream configurations one
+	// at a time into per-shard accumulators that merge before mining,
+	// bounding peak memory by worker count instead of corpus size. The
+	// learned set is byte-identical at any shard count.
+	Shards int `json:"shards,omitempty"`
+	// ShardWorkers bounds concurrently running shards; 0 selects the
+	// server engine's parallelism.
+	ShardWorkers int `json:"shard_workers,omitempty"`
+	// ShardBackend selects the shard execution backend, exactly as in
+	// CheckRequest: "" or "inprocess" runs shards inside the server,
+	// "process" dispatches them to shard-worker child processes.
+	ShardBackend string `json:"shard_backend,omitempty"`
 	// Telemetry requests the learn run's stage spans in the job result.
 	Telemetry bool `json:"telemetry,omitempty"`
 }
@@ -263,6 +276,37 @@ func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: learn request carries no configs", core.ErrNoSources))
 		return
 	}
+	if req.Shards < 0 || req.ShardWorkers < 0 {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("shards and shard_workers must be non-negative (got %d, %d)", req.Shards, req.ShardWorkers))
+		return
+	}
+	switch req.ShardBackend {
+	case "", core.ShardBackendInProcess, core.ShardBackendProcess:
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("unknown shard_backend %q (want %q or %q)",
+				req.ShardBackend, core.ShardBackendInProcess, core.ShardBackendProcess))
+		return
+	}
+	// The process backend cannot serialize func-valued engine options
+	// across the process boundary (the same rule Options.Validate
+	// enforces); reject the combination at submit time with a 400
+	// rather than accepting a job doomed to fail.
+	if req.ShardBackend == core.ShardBackendProcess {
+		if len(s.engineOpts.ExtraTransforms) > 0 || len(s.engineOpts.ExtraRelations) > 0 {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("shard_backend %q cannot serialize this server's ExtraTransforms or ExtraRelations across the process boundary", req.ShardBackend))
+			return
+		}
+		for _, t := range s.engineOpts.UserTokens {
+			if t.Parse != nil {
+				writeError(w, http.StatusBadRequest,
+					fmt.Errorf("shard_backend %q cannot serialize the custom Parse func of user token %q", req.ShardBackend, t.Name))
+				return
+			}
+		}
+	}
 	j := s.jobs.create()
 	s.rec.Add("server.learn_jobs", 1)
 	if s.store != nil {
@@ -341,6 +385,12 @@ func (s *Server) runLearnJob(j *job, req LearnRequest) {
 	opts.Telemetry = rec
 	opts.Diagnostics = nil
 	opts.Progress = nil
+	// Shard selection rides the journaled request, so a job recovered
+	// after a restart re-runs under the same backend it was submitted
+	// with.
+	opts.Shards = req.Shards
+	opts.ShardWorkers = req.ShardWorkers
+	opts.ShardBackend = req.ShardBackend
 	eng, err := core.New(opts)
 	if err != nil {
 		s.failJob(j, err)

@@ -1,0 +1,323 @@
+// Learn-result frames (CCSL): the wire form of one shard's mining
+// evidence. A learn worker folds its corpus slice into a
+// mining.StatsAccumulator and ships the exported AccumulatorState —
+// every string lives in a dictionary and is referenced by 1-based ID,
+// so worker-process intern IDs never cross the wire; the parent
+// rebinds every reference onto its own intern table through an
+// intern.Translator at import. Export order is canonical, so equal
+// accumulators always encode to equal bytes, and the whole frame rides
+// the same checksummed envelope as check results: a torn or corrupt
+// frame errors at the frame layer and is retried by the pool, never
+// half-applied.
+package shardrpc
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"concord/internal/artifact"
+	"concord/internal/diag"
+	"concord/internal/mining"
+)
+
+// LearnResult is one shard's complete learn outcome. Err, Stack, Lost,
+// and Diags carry the same failure taxonomy as the check Result: a
+// non-empty Err is a deterministic in-band failure the parent never
+// retries; Lost is a worker-contained whole-shard panic in lenient
+// mode. State is nil exactly when the shard produced no evidence (Err
+// or Lost).
+type LearnResult struct {
+	Shard int
+	Err   string
+	Stack string
+	Lost  bool
+	// State is the shard's exported mining evidence.
+	State *mining.AccumulatorState
+	// Skipped, Lines, and Patterns are the shard's corpus statistics
+	// (ProcessStats inputs), mirroring the check Result fields.
+	Skipped  int
+	Lines    int
+	Patterns map[string]int
+	Diags    []diag.Diagnostic
+}
+
+// ShardIndex identifies the shard this result answers for (the pool's
+// echo check).
+func (res *LearnResult) ShardIndex() int { return res.Shard }
+
+// ErrText returns the in-band failure text, empty on success.
+func (res *LearnResult) ErrText() string { return res.Err }
+
+// ShardIndex identifies the shard this result answers for.
+func (res *Result) ShardIndex() int { return res.Shard }
+
+// ErrText returns the in-band failure text, empty on success.
+func (res *Result) ErrText() string { return res.Err }
+
+// EncodeLearnResult serializes a LearnResult payload (frame not
+// included). Map keys are encoded in sorted order so the same result
+// always encodes to the same bytes.
+func EncodeLearnResult(res *LearnResult) []byte {
+	w := &writer{}
+	w.uvarint(uint64(res.Shard))
+	w.str(res.Err)
+	w.str(res.Stack)
+	w.bool(res.Lost)
+	w.bool(res.State != nil)
+	if res.State != nil {
+		encodeAccState(w, res.State)
+	}
+	w.uvarint(uint64(res.Skipped))
+	w.uvarint(uint64(res.Lines))
+	encodePatternCounts(w, res.Patterns)
+	diags, _ := json.Marshal(res.Diags)
+	w.bytes(diags)
+	return w.b
+}
+
+// DecodeLearnResult parses a LearnResult payload, returning an error on
+// any defect — a malformed field never yields a partial result.
+func DecodeLearnResult(payload []byte) (*LearnResult, error) {
+	r := &reader{b: payload}
+	res := &LearnResult{}
+	res.Shard = int(r.uvarint())
+	res.Err = r.str()
+	res.Stack = r.str()
+	res.Lost = r.bool()
+	if r.bool() {
+		res.State = decodeAccState(r)
+	}
+	res.Skipped = int(r.uvarint())
+	res.Lines = int(r.uvarint())
+	res.Patterns = decodePatternCounts(r)
+	diags := r.bytes()
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	if len(diags) > 0 {
+		if err := json.Unmarshal(diags, &res.Diags); err != nil {
+			return nil, fmt.Errorf("shardrpc: bad diagnostics JSON: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// WriteLearnResult frames and writes a LearnResult to w.
+func WriteLearnResult(w io.Writer, res *LearnResult) error {
+	return artifact.WriteFrame(w, LearnResultMagic, SchemaVersion, EncodeLearnResult(res))
+}
+
+// ReadLearnResult reads and decodes one framed LearnResult from r.
+func ReadLearnResult(r io.Reader) (*LearnResult, error) {
+	payload, err := artifact.ReadFrame(r, LearnResultMagic, SchemaVersion, MaxLearnResultBytes)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeLearnResult(payload)
+}
+
+func encodePatternCounts(w *writer, patterns map[string]int) {
+	pats := sortedMapKeys(patterns)
+	w.uvarint(uint64(len(pats)))
+	for _, p := range pats {
+		w.str(p)
+		w.uvarint(uint64(patterns[p]))
+	}
+}
+
+func decodePatternCounts(r *reader) map[string]int {
+	n := r.count()
+	if n == 0 || r.err != nil {
+		return nil
+	}
+	out := make(map[string]int, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		p := r.str()
+		out[p] = int(r.uvarint())
+	}
+	return out
+}
+
+func sortedMapKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// --- AccumulatorState codec ---
+//
+// The record layouts mirror mining's Acc* types field for field. All
+// counters are non-negative uvarints; string references are dictionary
+// IDs whose range the importing miner validates (intern.Translator), so
+// a corrupt ID surfaces as an import error rather than a panic; scores
+// are fixed-width IEEE 754 bits.
+
+func encodeAccState(w *writer, st *mining.AccumulatorState) {
+	w.uvarint(uint64(st.NConfigs))
+	w.uvarint(uint64(len(st.Strings)))
+	for _, s := range st.Strings {
+		w.str(s)
+	}
+	w.uvarint(uint64(len(st.Patterns)))
+	for _, p := range st.Patterns {
+		w.uvarint(uint64(p.Pattern))
+		w.uvarint(uint64(p.Display))
+		w.uvarint(uint64(p.ConfigCount))
+		w.uvarint(uint64(p.LineCount))
+	}
+	w.uvarint(uint64(len(st.Pairs)))
+	for _, p := range st.Pairs {
+		w.uvarint(uint64(p.First))
+		w.uvarint(uint64(p.Second))
+		w.uvarint(uint64(p.DisplayFirst))
+		w.uvarint(uint64(p.DisplaySecond))
+		w.uvarint(uint64(p.HoldConfigs))
+	}
+	w.uvarint(uint64(len(st.FirstOccs)))
+	for _, f := range st.FirstOccs {
+		w.uvarint(uint64(f.Pattern))
+		w.uvarint(uint64(f.Configs))
+	}
+	w.uvarint(uint64(len(st.Types)))
+	for _, t := range st.Types {
+		w.uvarint(uint64(t.Agnostic))
+		w.uvarint(uint64(t.Total))
+		w.uvarint(uint64(len(t.Params)))
+		for _, p := range t.Params {
+			w.uvarint(uint64(len(p.Uses)))
+			for _, u := range p.Uses {
+				w.uvarint(uint64(u.Type))
+				w.uvarint(uint64(u.Lines))
+			}
+		}
+	}
+	w.uvarint(uint64(len(st.Seqs)))
+	for _, s := range st.Seqs {
+		w.uvarint(uint64(s.Pattern))
+		w.uvarint(uint64(s.Idx))
+		w.uvarint(uint64(s.Display))
+		w.uvarint(uint64(s.ConfigsWith2))
+		w.uvarint(uint64(s.ConfigsSeq))
+	}
+	w.uvarint(uint64(len(st.Uniqs)))
+	for _, u := range st.Uniqs {
+		w.uvarint(uint64(u.Pattern))
+		w.uvarint(uint64(u.Idx))
+		w.uvarint(uint64(u.Display))
+		w.uvarint(uint64(u.TotalValues))
+		w.uvarint(uint64(len(u.Values)))
+		for _, v := range u.Values {
+			w.uvarint(uint64(v.Key))
+			w.uvarint(uint64(v.Count))
+		}
+	}
+	w.uvarint(uint64(len(st.Constants)))
+	for _, c := range st.Constants {
+		w.uvarint(uint64(c.Text))
+		w.uvarint(uint64(c.ConfigCount))
+	}
+	w.uvarint(uint64(len(st.Cands)))
+	for _, c := range st.Cands {
+		w.uvarint(uint64(c.P1))
+		w.uvarint(uint64(c.I1))
+		w.uvarint(uint64(c.T1))
+		w.uvarint(uint64(c.Rel))
+		w.uvarint(uint64(c.P2))
+		w.uvarint(uint64(c.I2))
+		w.uvarint(uint64(c.T2))
+		w.uvarint(uint64(c.Display1))
+		w.uvarint(uint64(c.Display2))
+		w.uvarint(uint64(c.HoldConfigs))
+		w.uvarint(uint64(len(c.Scores)))
+		for _, s := range c.Scores {
+			w.uvarint(uint64(s.Key))
+			w.f64(s.Score)
+		}
+	}
+}
+
+func decodeAccState(r *reader) *mining.AccumulatorState {
+	st := &mining.AccumulatorState{}
+	st.NConfigs = int(r.uvarint())
+	for i, n := 0, r.count(); i < n && r.err == nil; i++ {
+		st.Strings = append(st.Strings, r.str())
+	}
+	for i, n := 0, r.count(); i < n && r.err == nil; i++ {
+		st.Patterns = append(st.Patterns, mining.AccPattern{
+			Pattern: mining.StrID(r.uvarint()), Display: mining.StrID(r.uvarint()),
+			ConfigCount: int(r.uvarint()), LineCount: int(r.uvarint()),
+		})
+	}
+	for i, n := 0, r.count(); i < n && r.err == nil; i++ {
+		st.Pairs = append(st.Pairs, mining.AccPair{
+			First: mining.StrID(r.uvarint()), Second: mining.StrID(r.uvarint()),
+			DisplayFirst: mining.StrID(r.uvarint()), DisplaySecond: mining.StrID(r.uvarint()),
+			HoldConfigs: int(r.uvarint()),
+		})
+	}
+	for i, n := 0, r.count(); i < n && r.err == nil; i++ {
+		st.FirstOccs = append(st.FirstOccs, mining.AccFirstOcc{
+			Pattern: mining.StrID(r.uvarint()), Configs: int(r.uvarint()),
+		})
+	}
+	for i, n := 0, r.count(); i < n && r.err == nil; i++ {
+		t := mining.AccType{Agnostic: mining.StrID(r.uvarint()), Total: int(r.uvarint())}
+		for j, np := 0, r.count(); j < np && r.err == nil; j++ {
+			p := mining.AccTypeParam{}
+			for k, nu := 0, r.count(); k < nu && r.err == nil; k++ {
+				p.Uses = append(p.Uses, mining.AccTypeUse{
+					Type: mining.StrID(r.uvarint()), Lines: int(r.uvarint()),
+				})
+			}
+			t.Params = append(t.Params, p)
+		}
+		st.Types = append(st.Types, t)
+	}
+	for i, n := 0, r.count(); i < n && r.err == nil; i++ {
+		st.Seqs = append(st.Seqs, mining.AccSeq{
+			Pattern: mining.StrID(r.uvarint()), Idx: int(r.uvarint()),
+			Display:      mining.StrID(r.uvarint()),
+			ConfigsWith2: int(r.uvarint()), ConfigsSeq: int(r.uvarint()),
+		})
+	}
+	for i, n := 0, r.count(); i < n && r.err == nil; i++ {
+		u := mining.AccUniq{
+			Pattern: mining.StrID(r.uvarint()), Idx: int(r.uvarint()),
+			Display: mining.StrID(r.uvarint()), TotalValues: int(r.uvarint()),
+		}
+		for j, nv := 0, r.count(); j < nv && r.err == nil; j++ {
+			u.Values = append(u.Values, mining.AccValueCount{
+				Key: mining.StrID(r.uvarint()), Count: int(r.uvarint()),
+			})
+		}
+		st.Uniqs = append(st.Uniqs, u)
+	}
+	for i, n := 0, r.count(); i < n && r.err == nil; i++ {
+		st.Constants = append(st.Constants, mining.AccConstant{
+			Text: mining.StrID(r.uvarint()), ConfigCount: int(r.uvarint()),
+		})
+	}
+	for i, n := 0, r.count(); i < n && r.err == nil; i++ {
+		c := mining.AccCand{
+			P1: mining.StrID(r.uvarint()), I1: int(r.uvarint()),
+			T1:  mining.StrID(r.uvarint()),
+			Rel: mining.StrID(r.uvarint()),
+			P2:  mining.StrID(r.uvarint()), I2: int(r.uvarint()),
+			T2:       mining.StrID(r.uvarint()),
+			Display1: mining.StrID(r.uvarint()), Display2: mining.StrID(r.uvarint()),
+			HoldConfigs: int(r.uvarint()),
+		}
+		for j, ns := 0, r.count(); j < ns && r.err == nil; j++ {
+			c.Scores = append(c.Scores, mining.AccScore{
+				Key: mining.StrID(r.uvarint()), Score: r.f64(),
+			})
+		}
+		st.Cands = append(st.Cands, c)
+	}
+	return st
+}

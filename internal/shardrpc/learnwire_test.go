@@ -1,0 +1,174 @@
+package shardrpc
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"concord/internal/artifact"
+	"concord/internal/diag"
+	"concord/internal/mining"
+)
+
+func testLearnJob() *Job {
+	job := testJob()
+	job.Learn = true
+	job.SetJSON = nil
+	job.Support = 5
+	job.Confidence = 0.96
+	job.ScoreThreshold = 8
+	job.MaxFanout = 64
+	job.ConstantLearning = true
+	job.Categories = []string{"present", "unique"}
+	return job
+}
+
+func testLearnResult() *LearnResult {
+	return &LearnResult{
+		Shard: 2,
+		State: &mining.AccumulatorState{
+			NConfigs: 3,
+			Strings:  []string{"/router bgp [num]", "/router bgp *", "/vlan [num]", "65000", "num", "suffix", "eq"},
+			Patterns: []mining.AccPattern{
+				{Pattern: 1, Display: 2, ConfigCount: 3, LineCount: 3},
+				{Pattern: 3, Display: 3, ConfigCount: 2, LineCount: 4},
+			},
+			Pairs:     []mining.AccPair{{First: 1, Second: 3, DisplayFirst: 2, DisplaySecond: 3, HoldConfigs: 2}},
+			FirstOccs: []mining.AccFirstOcc{{Pattern: 1, Configs: 3}},
+			Types: []mining.AccType{{Agnostic: 2, Total: 3, Params: []mining.AccTypeParam{
+				{Uses: []mining.AccTypeUse{{Type: 5, Lines: 3}}},
+				{}, // a parameter position with no observed uses
+			}}},
+			Seqs:      []mining.AccSeq{{Pattern: 3, Idx: 0, Display: 3, ConfigsWith2: 2, ConfigsSeq: 1}},
+			Uniqs:     []mining.AccUniq{{Pattern: 1, Idx: 0, Display: 2, TotalValues: 3, Values: []mining.AccValueCount{{Key: 4, Count: 3}}}},
+			Constants: []mining.AccConstant{{Text: 4, ConfigCount: 3}},
+			Cands: []mining.AccCand{{
+				P1: 1, I1: 0, T1: 6, Rel: 7, P2: 3, I2: 0, T2: 6,
+				Display1: 2, Display2: 3, HoldConfigs: 2,
+				Scores: []mining.AccScore{{Key: 4, Score: 3.5}},
+			}},
+		},
+		Skipped:  1,
+		Lines:    42,
+		Patterns: map[string]int{"/router bgp [num]": 1, "/vlan [num]": 1},
+		Diags: []diag.Diagnostic{{
+			Severity: diag.SevError, Stage: "mine", Source: "r2.cfg",
+			Message: "recovered panic", Cause: errors.New("boom"), Stack: "stack...",
+		}},
+	}
+}
+
+// TestLearnWireRoundTrip pushes a learn Job and a CCSL learn result
+// through Write and Read and requires the decoded values to match
+// field for field — the exported accumulator state included.
+func TestLearnWireRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	job := testLearnJob()
+	res := testLearnResult()
+	if err := WriteJob(&buf, job); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteLearnResult(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	gotJob, err := ReadJob(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A learn job's absent SetJSON decodes as empty, which is equivalent.
+	if len(gotJob.SetJSON) == 0 {
+		gotJob.SetJSON = nil
+	}
+	if !reflect.DeepEqual(gotJob, job) {
+		t.Errorf("learn job round-trip diverged:\n got %+v\nwant %+v", gotJob, job)
+	}
+	gotRes, err := ReadLearnResult(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotRes.Diags[0].Cause == nil || gotRes.Diags[0].Cause.Error() != "boom" {
+		t.Errorf("diagnostic cause lost: %+v", gotRes.Diags[0])
+	}
+	gotRes.Diags[0].Cause, res.Diags[0].Cause = nil, nil
+	if !reflect.DeepEqual(gotRes, res) {
+		t.Errorf("learn result round-trip diverged:\n got %+v\nwant %+v", gotRes, res)
+	}
+	if _, err := ReadLearnResult(&buf); err != io.EOF {
+		t.Errorf("drained stream = %v, want io.EOF", err)
+	}
+}
+
+// TestLearnResultLostRoundTrip covers the stateless shapes: a lost
+// shard and an in-band error carry no accumulator state, and State
+// must decode as nil (which the parent treats as shard loss), never as
+// a zero-valued accumulator.
+func TestLearnResultLostRoundTrip(t *testing.T) {
+	for _, res := range []*LearnResult{
+		{Shard: 1, Lost: true, Diags: []diag.Diagnostic{{Severity: diag.SevError, Stage: "mine", Source: "shard 1", Message: "recovered panic"}}},
+		{Shard: 4, Err: "core: mine stage aborted (strict): boom", Stack: "stack..."},
+	} {
+		var buf bytes.Buffer
+		if err := WriteLearnResult(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadLearnResult(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.State != nil {
+			t.Errorf("stateless result decoded with State = %+v, want nil", got.State)
+		}
+		if got.Shard != res.Shard || got.Err != res.Err || got.Lost != res.Lost {
+			t.Errorf("stateless round-trip diverged: got %+v, want %+v", got, res)
+		}
+	}
+}
+
+// TestLearnWireDeterministicEncoding requires EncodeLearnResult to be
+// a pure function of the value, map iteration order notwithstanding.
+func TestLearnWireDeterministicEncoding(t *testing.T) {
+	a := EncodeLearnResult(testLearnResult())
+	for i := 0; i < 16; i++ {
+		if b := EncodeLearnResult(testLearnResult()); !bytes.Equal(a, b) {
+			t.Fatal("EncodeLearnResult is not deterministic across runs")
+		}
+	}
+}
+
+// FuzzLearnFrame feeds arbitrary bytes to the framed CCSL reader and
+// the raw decoder: truncated, bit-flipped, or version-skewed learn
+// frames must decode to an error — never a panic, and never a
+// silently partial accumulator state.
+func FuzzLearnFrame(f *testing.F) {
+	payload := EncodeLearnResult(testLearnResult())
+	valid := artifact.EncodeFrame(LearnResultMagic, SchemaVersion, payload)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:10])
+	f.Add(artifact.EncodeFrame(LearnResultMagic, SchemaVersion+7, payload))
+	f.Add(artifact.EncodeFrame(ResultMagic, SchemaVersion, payload))
+	flip := append([]byte(nil), valid...)
+	flip[len(flip)/2] ^= 0x40
+	f.Add(flip)
+	head := append([]byte(nil), valid...)
+	head[5] ^= 0x01
+	f.Add(head)
+	f.Add(payload) // bare payload without a frame header
+	f.Add([]byte{})
+	f.Add([]byte("CCSL garbage that is not a frame"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if res, err := ReadLearnResult(bytes.NewReader(data)); err == nil {
+			if res == nil {
+				t.Fatal("ReadLearnResult: nil result without error")
+			}
+		} else if err == io.EOF && len(data) > 0 {
+			t.Fatal("ReadLearnResult: io.EOF on a non-empty defective stream")
+		}
+		if res, err := DecodeLearnResult(data); err == nil && res == nil {
+			t.Fatal("DecodeLearnResult: nil result without error")
+		}
+	})
+}

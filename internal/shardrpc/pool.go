@@ -73,6 +73,10 @@ type PoolOptions struct {
 	// shard.retries, shard.speculative_wins, worker.spawns,
 	// worker.crashes) and per-shard wall-time spans. Nil is free.
 	Telemetry *telemetry.Recorder
+	// SpanPrefix names the per-shard telemetry spans: "<prefix>[N]".
+	// Empty selects "dist.shard"; the learn driver passes "dist.learn"
+	// so a mixed workload's spans stay distinguishable.
+	SpanPrefix string
 }
 
 const (
@@ -95,11 +99,31 @@ type ShardFailure struct {
 	Attempts int
 }
 
-// Run executes every task and returns results indexed like tasks.
-// results[i] is nil exactly when tasks[i] appears in failures. The
-// returned error is non-nil only for run-level aborts: context
+// poolResult is what the generic scheduler needs from a wire result
+// type: the shard echo (round-trip integrity) and the in-band failure
+// text (FailFast). *Result and *LearnResult implement it.
+type poolResult interface {
+	ShardIndex() int
+	ErrText() string
+}
+
+// Run executes every check task and returns results indexed like
+// tasks. results[i] is nil exactly when tasks[i] appears in failures.
+// The returned error is non-nil only for run-level aborts: context
 // cancellation, or the first failure under FailFast.
 func Run(ctx context.Context, job *Job, tasks []Task, opts PoolOptions) ([]*Result, []ShardFailure, error) {
+	return runPool(ctx, job, tasks, opts, ReadResult)
+}
+
+// RunLearn is Run for learn jobs: workers answer CCSL learn-result
+// frames, with the same scheduler, retry, and speculation policy.
+func RunLearn(ctx context.Context, job *Job, tasks []Task, opts PoolOptions) ([]*LearnResult, []ShardFailure, error) {
+	return runPool(ctx, job, tasks, opts, ReadLearnResult)
+}
+
+// runPool is the shared scheduler entry, generic over the result frame
+// type; read decodes one framed result from a worker's stdout.
+func runPool[R poolResult](ctx context.Context, job *Job, tasks []Task, opts PoolOptions, read func(io.Reader) (R, error)) ([]R, []ShardFailure, error) {
 	if len(tasks) == 0 {
 		return nil, nil, nil
 	}
@@ -121,24 +145,28 @@ func Run(ctx context.Context, job *Job, tasks []Task, opts PoolOptions) ([]*Resu
 	if opts.SpeculativeFloor <= 0 {
 		opts.SpeculativeFloor = defaultSpecFloor
 	}
-	s := &scheduler{
+	if opts.SpanPrefix == "" {
+		opts.SpanPrefix = "dist.shard"
+	}
+	s := &scheduler[R]{
 		opts:    opts,
 		job:     job,
 		tasks:   tasks,
-		results: make([]*Result, len(tasks)),
+		read:    read,
+		results: make([]R, len(tasks)),
 		state:   make([]taskState, len(tasks)),
-		events:  make(chan event, opts.Workers),
+		events:  make(chan event[R], opts.Workers),
 	}
 	return s.run(ctx)
 }
 
-// event is one slot's report back to the scheduler: a Result, or a
+// event is one slot's report back to the scheduler: a result, or a
 // transport error.
-type event struct {
+type event[R poolResult] struct {
 	slot    int
 	task    int
 	spec    bool
-	res     *Result
+	res     R
 	err     error
 	elapsed time.Duration
 }
@@ -162,33 +190,35 @@ type taskState struct {
 	slots    []int // slots currently running this task
 }
 
-type scheduler struct {
+type scheduler[R poolResult] struct {
 	opts    PoolOptions
 	job     *Job
 	tasks   []Task
-	results []*Result
+	read    func(io.Reader) (R, error)
+	results []R
 	state   []taskState
 
-	events chan event
-	slots  []*slot
+	events chan event[R]
+	slots  []*slot[R]
 
 	completed []time.Duration
 	pending   []int
 	idle      []int
 }
 
-func (s *scheduler) run(ctx context.Context) ([]*Result, []ShardFailure, error) {
+func (s *scheduler[R]) run(ctx context.Context) ([]R, []ShardFailure, error) {
 	ictx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	jobFrame := artifact.EncodeFrame(JobMagic, SchemaVersion, EncodeJob(s.job))
 	var wg sync.WaitGroup
-	s.slots = make([]*slot, s.opts.Workers)
+	s.slots = make([]*slot[R], s.opts.Workers)
 	for i := range s.slots {
-		sl := &slot{
+		sl := &slot[R]{
 			id:       i,
 			opts:     &s.opts,
 			tasks:    s.tasks,
+			read:     s.read,
 			jobFrame: jobFrame,
 			reqs:     make(chan attempt),
 			events:   s.events,
@@ -276,7 +306,7 @@ func (s *scheduler) run(ctx context.Context) ([]*Result, []ShardFailure, error) 
 			for _, other := range append([]int(nil), st.slots...) {
 				s.slots[other].killCurrent()
 			}
-			if s.opts.FailFast && ev.res.Err != "" {
+			if s.opts.FailFast && ev.res.ErrText() != "" {
 				return s.results, failures, nil
 			}
 		}
@@ -285,7 +315,7 @@ func (s *scheduler) run(ctx context.Context) ([]*Result, []ShardFailure, error) 
 }
 
 // feed assigns pending tasks to idle slots.
-func (s *scheduler) feed() {
+func (s *scheduler[R]) feed() {
 	for len(s.pending) > 0 && len(s.idle) > 0 {
 		task := s.pending[0]
 		s.pending = s.pending[1:]
@@ -295,10 +325,10 @@ func (s *scheduler) feed() {
 	}
 }
 
-func (s *scheduler) dispatch(task, slotID int, spec bool) {
+func (s *scheduler[R]) dispatch(task, slotID int, spec bool) {
 	st := &s.state[task]
 	if st.dispatch == 0 {
-		st.span = s.opts.Telemetry.StartSpan(fmt.Sprintf("dist.shard[%d]", s.tasks[task].Shard))
+		st.span = s.opts.Telemetry.StartSpan(fmt.Sprintf("%s[%d]", s.opts.SpanPrefix, s.tasks[task].Shard))
 		st.started = time.Now()
 	}
 	a := attempt{task: task, attempt: st.dispatch, spec: spec}
@@ -316,7 +346,7 @@ func (s *scheduler) dispatch(task, slotID int, spec bool) {
 // a task with exactly one attempt in flight, older than
 // max(floor, multiple × median completed duration), gets a duplicate
 // dispatch; whichever attempt returns first wins.
-func (s *scheduler) speculate() {
+func (s *scheduler[R]) speculate() {
 	if s.opts.SpeculativeMultiple < 0 || len(s.idle) == 0 || len(s.pending) > 0 {
 		return
 	}
@@ -358,13 +388,14 @@ func removeSlot(slots []int, id int) []int {
 
 // --- worker slot: owns at most one child process at a time ---
 
-type slot struct {
+type slot[R poolResult] struct {
 	id       int
 	opts     *PoolOptions
 	tasks    []Task
+	read     func(io.Reader) (R, error)
 	jobFrame []byte
 	reqs     chan attempt
-	events   chan<- event
+	events   chan<- event[R]
 
 	mu   sync.Mutex
 	proc *workerProc
@@ -378,38 +409,39 @@ type workerProc struct {
 	stderr *tailBuffer
 }
 
-func (sl *slot) loop(ctx context.Context) {
+func (sl *slot[R]) loop(ctx context.Context) {
 	defer sl.reapCurrent()
 	for a := range sl.reqs {
 		start := time.Now()
 		res, err := sl.roundTrip(ctx, a)
-		sl.events <- event{
+		sl.events <- event[R]{
 			slot: sl.id, task: a.task, spec: a.spec,
 			res: res, err: err, elapsed: time.Since(start),
 		}
 	}
 }
 
-func (sl *slot) roundTrip(ctx context.Context, a attempt) (*Result, error) {
+func (sl *slot[R]) roundTrip(ctx context.Context, a attempt) (R, error) {
+	var zero R
 	proc, err := sl.ensureProc(ctx)
 	if err != nil {
-		return nil, err
+		return zero, err
 	}
 	t := sl.taskFor(a)
 	if err := WriteTask(proc.stdin, &t); err != nil {
-		return nil, sl.crash(proc, fmt.Errorf("shardrpc: write task: %w", err))
+		return zero, sl.crash(proc, fmt.Errorf("shardrpc: write task: %w", err))
 	}
-	res, err := ReadResult(proc.stdout)
+	res, err := sl.read(proc.stdout)
 	if err != nil {
-		return nil, sl.crash(proc, fmt.Errorf("shardrpc: read result: %w", err))
+		return zero, sl.crash(proc, fmt.Errorf("shardrpc: read result: %w", err))
 	}
-	if res.Shard != t.Shard {
-		return nil, sl.crash(proc, fmt.Errorf("shardrpc: worker answered shard %d for task shard %d", res.Shard, t.Shard))
+	if res.ShardIndex() != t.Shard {
+		return zero, sl.crash(proc, fmt.Errorf("shardrpc: worker answered shard %d for task shard %d", res.ShardIndex(), t.Shard))
 	}
 	return res, nil
 }
 
-func (sl *slot) taskFor(a attempt) Task {
+func (sl *slot[R]) taskFor(a attempt) Task {
 	t := sl.tasks[a.task]
 	t.Attempt = a.attempt
 	return t
@@ -417,7 +449,7 @@ func (sl *slot) taskFor(a attempt) Task {
 
 // ensureProc returns the slot's live process, spawning one (and
 // writing the Job frame) if needed.
-func (sl *slot) ensureProc(ctx context.Context) (*workerProc, error) {
+func (sl *slot[R]) ensureProc(ctx context.Context) (*workerProc, error) {
 	sl.mu.Lock()
 	if sl.proc != nil {
 		p := sl.proc
@@ -460,7 +492,7 @@ func (sl *slot) ensureProc(ctx context.Context) (*workerProc, error) {
 // crash records a dead worker: the process is killed and reaped, the
 // slot left empty for a lazy respawn, and the error annotated with the
 // worker's final stderr.
-func (sl *slot) crash(proc *workerProc, err error) error {
+func (sl *slot[R]) crash(proc *workerProc, err error) error {
 	sl.opts.Telemetry.Add("worker.crashes", 1)
 	sl.reap(proc)
 	if tail := proc.stderr.String(); tail != "" {
@@ -472,7 +504,7 @@ func (sl *slot) crash(proc *workerProc, err error) error {
 // killCurrent kills the slot's live process, if any. The slot's
 // goroutine, if blocked mid-round-trip on that process, errors out of
 // the read and reports a transport failure.
-func (sl *slot) killCurrent() {
+func (sl *slot[R]) killCurrent() {
 	sl.mu.Lock()
 	proc := sl.proc
 	sl.mu.Unlock()
@@ -483,7 +515,7 @@ func (sl *slot) killCurrent() {
 
 // reapCurrent kills and waits out the slot's live process, if any —
 // the slot goroutine's exit path, so no zombie survives the drain.
-func (sl *slot) reapCurrent() {
+func (sl *slot[R]) reapCurrent() {
 	sl.mu.Lock()
 	proc := sl.proc
 	sl.mu.Unlock()
@@ -493,7 +525,7 @@ func (sl *slot) reapCurrent() {
 }
 
 // reap kills and waits out a process, releasing its pipes.
-func (sl *slot) reap(proc *workerProc) {
+func (sl *slot[R]) reap(proc *workerProc) {
 	sl.mu.Lock()
 	if sl.proc == proc {
 		sl.proc = nil

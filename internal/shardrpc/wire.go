@@ -23,6 +23,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 
 	"concord/internal/artifact"
@@ -30,26 +31,29 @@ import (
 	"concord/internal/diag"
 )
 
-// Frame magics for the three message kinds. CCS = Concord Shard.
+// Frame magics for the four message kinds. CCS = Concord Shard.
 var (
-	JobMagic    = [4]byte{'C', 'C', 'S', 'J'}
-	TaskMagic   = [4]byte{'C', 'C', 'S', 'T'}
-	ResultMagic = [4]byte{'C', 'C', 'S', 'R'}
+	JobMagic         = [4]byte{'C', 'C', 'S', 'J'}
+	TaskMagic        = [4]byte{'C', 'C', 'S', 'T'}
+	ResultMagic      = [4]byte{'C', 'C', 'S', 'R'}
+	LearnResultMagic = [4]byte{'C', 'C', 'S', 'L'}
 )
 
 // SchemaVersion is the wire schema; any change to the encodings below
 // must bump it so a version-skewed worker fails loudly at the frame
-// layer instead of decoding garbage.
-const SchemaVersion = 1
+// layer instead of decoding garbage. Version 2 added the learn task
+// kind: the Job learn fields and the CCSL learn-result frame.
+const SchemaVersion = 2
 
 // Frame payload ceilings. Tasks carry raw config text and results can
-// carry a fleet shard's violations, so both are generous; the limits
-// exist to bound what a corrupt length field can make ReadFrame
-// allocate.
+// carry a fleet shard's violations or serialized mining evidence, so
+// all are generous; the limits exist to bound what a corrupt length
+// field can make ReadFrame allocate.
 const (
-	MaxJobBytes    uint64 = 1 << 30
-	MaxTaskBytes   uint64 = 1 << 30
-	MaxResultBytes uint64 = 1 << 30
+	MaxJobBytes         uint64 = 1 << 30
+	MaxTaskBytes        uint64 = 1 << 30
+	MaxResultBytes      uint64 = 1 << 30
+	MaxLearnResultBytes uint64 = 1 << 30
 )
 
 // NamedBlob is one named input file (a configuration or metadata
@@ -94,6 +98,19 @@ type Job struct {
 	SetJSON    []byte
 	Meta       []NamedBlob
 	UserTokens []TokenSpec
+	// Learn selects the learn task kind: the worker folds each Task's
+	// sources into a mining accumulator and answers with a CCSL
+	// learn-result frame instead of running the check pipeline (SetJSON
+	// is empty; the fields below configure the worker's miner).
+	Learn            bool
+	Support          int
+	Confidence       float64
+	ScoreThreshold   float64
+	MaxFanout        int
+	ConstantLearning bool
+	// Categories restricts learning, by category name; empty learns
+	// all.
+	Categories []string
 }
 
 // Task is one shard dispatch: the contiguous corpus slice to check.
@@ -172,6 +189,12 @@ func (w *writer) bool(v bool) {
 func (w *writer) str(s string) {
 	w.uvarint(uint64(len(s)))
 	w.b = append(w.b, s...)
+}
+
+// f64 encodes a float64 as its fixed-width little-endian IEEE 754 bits:
+// exact round-trip, no formatting ambiguity.
+func (w *writer) f64(v float64) {
+	w.b = binary.LittleEndian.AppendUint64(w.b, math.Float64bits(v))
 }
 
 func (w *writer) bytes(b []byte) {
@@ -266,6 +289,19 @@ func (r *reader) bytes() []byte {
 	return b
 }
 
+func (r *reader) f64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b)-r.off < 8 {
+		r.fail("shardrpc: truncated float64 at offset %d", r.off)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.off:]))
+	r.off += 8
+	return v
+}
+
 func (r *reader) done() error {
 	if r.err != nil {
 		return r.err
@@ -305,6 +341,16 @@ func EncodeJob(j *Job) []byte {
 		w.bool(t.NoDigitBefore)
 		w.bool(t.WordBoundary)
 	}
+	w.bool(j.Learn)
+	w.uvarint(uint64(j.Support))
+	w.f64(j.Confidence)
+	w.f64(j.ScoreThreshold)
+	w.uvarint(uint64(j.MaxFanout))
+	w.bool(j.ConstantLearning)
+	w.uvarint(uint64(len(j.Categories)))
+	for _, c := range j.Categories {
+		w.str(c)
+	}
 	return w.b
 }
 
@@ -332,6 +378,15 @@ func DecodeJob(payload []byte) (*Job, error) {
 		t.NoDigitBefore = r.bool()
 		t.WordBoundary = r.bool()
 		j.UserTokens = append(j.UserTokens, t)
+	}
+	j.Learn = r.bool()
+	j.Support = int(r.uvarint())
+	j.Confidence = r.f64()
+	j.ScoreThreshold = r.f64()
+	j.MaxFanout = int(r.uvarint())
+	j.ConstantLearning = r.bool()
+	for i, n := 0, r.count(); i < n && r.err == nil; i++ {
+		j.Categories = append(j.Categories, r.str())
 	}
 	if err := r.done(); err != nil {
 		return nil, err
